@@ -1,0 +1,50 @@
+// Ablation: centralized-critic field of view (DESIGN.md section 4,
+// decision 6). The paper feeds the critic one-hop AND two-hop neighbor
+// features with zero padding at grid edges. This bench trains the same
+// agent with critic_hops in {0, 1, 2} and reports convergence, isolating
+// the value of the wider critic view.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "src/core/trainer.hpp"
+
+int main() {
+  using namespace tsc;
+
+  bench::HarnessConfig defaults;
+  defaults.episodes = 12;
+  const auto config = bench::load_config(defaults);
+  auto grid = bench::make_grid(config);
+  auto environment =
+      bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
+
+  std::printf("Critic field-of-view ablation on the 6x6 grid, pattern F1 (%zu "
+              "episodes each)\n\n",
+              config.episodes);
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> names;
+  for (std::size_t hops : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    core::PairUpConfig pairup_config;
+    pairup_config.seed = config.seed;
+    pairup_config.critic_hops = hops;
+    core::PairUpLightTrainer trainer(environment.get(), pairup_config);
+    std::vector<double> waits;
+    for (std::size_t e = 0; e < config.episodes; ++e)
+      waits.push_back(trainer.train_episode().avg_wait);
+    const std::size_t k = std::max<std::size_t>(1, waits.size() / 4);
+    double tail = 0.0;
+    for (std::size_t i = waits.size() - k; i < waits.size(); ++i) tail += waits[i];
+    tail /= static_cast<double>(k);
+    std::printf("critic_hops=%zu (input dim %3zu)  convergence %7.2f s\n", hops,
+                trainer.critic_input_dim(), tail);
+    rows.push_back({static_cast<double>(hops),
+                    static_cast<double>(trainer.critic_input_dim()), tail});
+    names.push_back("hops" + std::to_string(hops));
+  }
+  bench::write_csv("ablation_critic.csv", {"variant", "hops", "input_dim", "tail_wait"},
+                   rows, names);
+  std::printf("\n(paper design: two-hop critic; expectation: wider view helps "
+              "value learning under congestion)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: pairing strategy (DESIGN.md section 4, decision 5).
+//
+// The paper's key design choice is WHO an agent listens to: the most
+// congested upstream neighbor, re-paired every step. This bench trains
+// PairUpLight under four pairing rules with identical seeds and budgets:
+//   most-congested-upstream (paper) | self | random neighbor | fixed
+// and reports training convergence for each.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "src/core/trainer.hpp"
+
+int main() {
+  using namespace tsc;
+
+  bench::HarnessConfig defaults;
+  defaults.episodes = 12;
+  const auto config = bench::load_config(defaults);
+  auto grid = bench::make_grid(config);
+  auto environment =
+      bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
+
+  struct Variant {
+    const char* name;
+    core::PairingStrategy strategy;
+  };
+  const Variant variants[] = {
+      {"most-congested (paper)", core::PairingStrategy::kMostCongestedUpstream},
+      {"self", core::PairingStrategy::kSelf},
+      {"random-neighbor", core::PairingStrategy::kRandomNeighbor},
+      {"fixed-upstream", core::PairingStrategy::kFixedUpstream},
+  };
+
+  std::printf("Pairing-strategy ablation on the 6x6 grid, pattern F1 (%zu "
+              "episodes each)\n\n",
+              config.episodes);
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> names;
+  for (const Variant& variant : variants) {
+    core::PairUpConfig pairup_config;
+    pairup_config.seed = config.seed;
+    pairup_config.pairing = variant.strategy;
+    core::PairUpLightTrainer trainer(environment.get(), pairup_config);
+    std::vector<double> waits;
+    for (std::size_t e = 0; e < config.episodes; ++e)
+      waits.push_back(trainer.train_episode().avg_wait);
+    const std::size_t k = std::max<std::size_t>(1, waits.size() / 4);
+    double tail = 0.0;
+    for (std::size_t i = waits.size() - k; i < waits.size(); ++i) tail += waits[i];
+    tail /= static_cast<double>(k);
+    double best = waits[0];
+    for (double w : waits) best = std::min(best, w);
+    std::printf("%-24s convergence %7.2f s | best episode %7.2f s\n",
+                variant.name, tail, best);
+    rows.push_back({tail, best});
+    names.push_back(variant.name);
+  }
+  bench::write_csv("ablation_pairing.csv", {"strategy", "tail_wait", "best_wait"},
+                   rows, names);
+  std::printf("\n(paper expectation: congestion-first upstream pairing is the "
+              "strongest variant)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 10: training performance under the real-world heterogeneous
+// setting (Monaco, 30 signalized intersections, peak 975 veh/h).
+//
+// Heterogeneous intersections preclude parameter sharing, so PairUpLight
+// trains per-agent networks and is compared against MA2C (also per-agent)
+// and the fixed-time reference, as in the paper. SingleAgent/CoLight are
+// omitted for the same reason the paper omits them (shared nets cannot
+// span differing phase sets).
+#include <cstdio>
+
+#include "harness.hpp"
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/ma2c.hpp"
+#include "src/core/trainer.hpp"
+#include "src/scenarios/monaco.hpp"
+
+int main() {
+  using namespace tsc;
+
+  bench::HarnessConfig defaults;
+  defaults.episodes = 10;
+  const auto config = bench::load_config(defaults);
+
+  scenario::MonacoScenario monaco;
+  auto flows =
+      monaco.make_flows(975.0, config.time_scale, /*num_od_pairs=*/6,
+                        config.seed + 13);
+  env::EnvConfig env_config;
+  env_config.episode_seconds = config.episode_seconds;
+  env::TscEnv environment(&monaco.net(), std::move(flows), env_config, config.seed);
+
+  std::printf(
+      "Figure 10 reproduction: heterogeneous Monaco-like network\n"
+      "%zu signalized intersections, peak 975 veh/h, %zu episodes, no "
+      "parameter sharing\n\n",
+      monaco.net().signalized_nodes().size(), config.episodes);
+
+  baselines::FixedTimeController fixed_time;
+  const auto fixed_stats =
+      env::run_episode(environment, fixed_time, config.seed + 500);
+  std::printf("fixed-time reference: avg wait %.2f s, travel time %.1f s\n\n",
+              fixed_stats.avg_wait, fixed_stats.travel_time);
+
+  core::PairUpConfig pairup_config;
+  pairup_config.parameter_sharing = false;  // heterogeneous phase sets
+  pairup_config.seed = config.seed;
+  core::PairUpLightTrainer pairup(&environment, pairup_config);
+
+  baselines::Ma2cConfig ma2c_config;
+  ma2c_config.seed = config.seed + 2;
+  baselines::Ma2cTrainer ma2c(&environment, ma2c_config);
+
+  std::printf("%8s %14s %14s %14s\n", "episode", "PairUpLight", "MA2C",
+              "Fixedtime");
+  std::vector<std::vector<double>> rows;
+  std::vector<double> p_series, m_series;
+  for (std::size_t e = 0; e < config.episodes; ++e) {
+    const double p = pairup.train_episode().avg_wait;
+    const double m = ma2c.train_episode().avg_wait;
+    p_series.push_back(p);
+    m_series.push_back(m);
+    std::printf("%8zu %14.2f %14.2f %14.2f\n", e, p, m, fixed_stats.avg_wait);
+    rows.push_back({static_cast<double>(e), p, m, fixed_stats.avg_wait});
+  }
+  bench::write_csv("fig10_monaco.csv",
+                   {"episode", "pairuplight", "ma2c", "fixedtime"}, rows, {});
+
+  auto tail_mean = [](const std::vector<double>& xs) {
+    const std::size_t k = std::max<std::size_t>(1, xs.size() / 4);
+    double total = 0.0;
+    for (std::size_t i = xs.size() - k; i < xs.size(); ++i) total += xs[i];
+    return total / static_cast<double>(k);
+  };
+  std::printf(
+      "\nconvergence: PairUpLight %.2f s | MA2C %.2f s | Fixedtime %.2f s\n"
+      "(paper shape: PairUpLight trains stably and beats both on the "
+      "heterogeneous network)\n",
+      tail_mean(p_series), tail_mean(m_series), fixed_stats.avg_wait);
+  return 0;
+}

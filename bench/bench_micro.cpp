@@ -1,0 +1,177 @@
+// Microbenchmarks for the substrates (google-benchmark): simulator step
+// throughput, tensor/tape costs, actor/critic forward passes, PPO update
+// minibatches, and scenario construction. These guard the design decisions
+// in DESIGN.md section 4 (tape autodiff overhead, link-queue step cost).
+#include <benchmark/benchmark.h>
+
+#include "src/core/actor.hpp"
+#include "src/core/critic.hpp"
+#include "src/nn/gat.hpp"
+#include "src/nn/layers.hpp"
+#include "src/nn/optim.hpp"
+#include "src/rl/ppo.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+#include "src/scenarios/monaco.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace {
+
+using namespace tsc;
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::zeros(n, n), b = nn::Tensor::zeros(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (auto _ : state) {
+    auto c = nn::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Mlp mlp({32, 64, 64, 4}, rng);
+  nn::Tensor x = nn::Tensor::zeros(batch, 32);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+  for (auto _ : state) {
+    mlp.zero_grad();
+    nn::Tape tape;
+    nn::Var xv = tape.constant(x);
+    nn::Var loss = tape.mean(tape.square(mlp.forward(tape, xv)));
+    tape.backward(loss);
+    benchmark::DoNotOptimize(tape.value(loss)[0]);
+  }
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(1)->Arg(36)->Arg(128);
+
+void BM_LstmStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::LstmCell cell(32, 64, rng);
+  nn::Tensor x = nn::Tensor::zeros(36, 32);
+  for (auto _ : state) {
+    nn::Tape tape;
+    auto s = cell.zero_state(tape, 36);
+    auto next = cell.forward(tape, tape.constant(x), s.h, s.c);
+    benchmark::DoNotOptimize(tape.value(next.h).data());
+  }
+}
+BENCHMARK(BM_LstmStep);
+
+void BM_GatForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::GatLayer gat(32, 32, 5, rng);
+  nn::Tensor entities = nn::Tensor::zeros(5, 32);
+  for (std::size_t i = 0; i < entities.size(); ++i) entities[i] = rng.normal();
+  const std::vector<bool> mask = {true, true, true, true, false};
+  for (auto _ : state) {
+    nn::Tape tape;
+    auto out = gat.forward(tape, tape.constant(entities), mask);
+    benchmark::DoNotOptimize(tape.value(out).data());
+  }
+}
+BENCHMARK(BM_GatForward);
+
+void BM_CoordinatedActorForward36(benchmark::State& state) {
+  Rng rng(5);
+  core::CoordinatedActor actor(17, 1, 64, 8, rng);
+  nn::Tensor input = nn::Tensor::zeros(36, 18);
+  nn::Tensor h = nn::Tensor::zeros(36, 64), c = nn::Tensor::zeros(36, 64);
+  const std::vector<std::size_t> phases(36, 4);
+  for (auto _ : state) {
+    nn::Tape tape;
+    auto out = actor.forward(tape, tape.constant(input), tape.constant(h),
+                             tape.constant(c), phases);
+    benchmark::DoNotOptimize(tape.value(out.logits).data());
+  }
+}
+BENCHMARK(BM_CoordinatedActorForward36);
+
+void BM_PpoMinibatchUpdate(benchmark::State& state) {
+  const std::size_t batch = 128;
+  Rng rng(6);
+  core::CoordinatedActor actor(17, 1, 64, 8, rng);
+  core::CentralizedCritic critic(41, 64, rng);
+  nn::Tensor input = nn::Tensor::zeros(batch, 18);
+  nn::Tensor vinput = nn::Tensor::zeros(batch, 41);
+  nn::Tensor h = nn::Tensor::zeros(batch, 64), c = nn::Tensor::zeros(batch, 64);
+  std::vector<std::size_t> phases(batch, 4), actions(batch, 1);
+  std::vector<double> old_logp(batch, -1.4), adv(batch, 0.3), ret(batch, 1.0);
+  rl::PpoConfig config;
+  auto params = actor.parameters();
+  auto cp = critic.parameters();
+  params.insert(params.end(), cp.begin(), cp.end());
+  nn::Adam adam(params);
+  for (auto _ : state) {
+    actor.zero_grad();
+    critic.zero_grad();
+    nn::Tape tape;
+    auto aout = actor.forward(tape, tape.constant(input), tape.constant(h),
+                              tape.constant(c), phases);
+    nn::Var logp = tape.gather_cols(tape.log_softmax_rows(aout.logits), actions);
+    nn::Var entropy = rl::policy_entropy(tape, aout.logits);
+    auto cout_ = critic.forward(tape, tape.constant(vinput), tape.constant(h),
+                                tape.constant(c));
+    nn::Var loss = rl::ppo_total_loss(tape, logp, entropy, cout_.value, old_logp,
+                                      adv, ret, config);
+    tape.backward(loss);
+    nn::clip_grad_norm(params, 0.5);
+    adam.step();
+    benchmark::DoNotOptimize(tape.value(loss)[0]);
+  }
+}
+BENCHMARK(BM_PpoMinibatchUpdate);
+
+void BM_SimulatorStepGrid(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  scenario::GridConfig grid_config;
+  grid_config.rows = rows;
+  grid_config.cols = rows;
+  scenario::GridScenario grid(grid_config);
+  scenario::FlowPatternConfig flow_config;
+  flow_config.time_scale = 0.1;
+  auto flows =
+      scenario::make_flow_pattern(grid, scenario::FlowPattern::kPattern1,
+                                  flow_config);
+  sim::Simulator sim(&grid.net(), flows, sim::SimConfig{}, 1);
+  sim.step_seconds(120.0);  // warm up into the loaded regime
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.network_halting());
+  }
+}
+BENCHMARK(BM_SimulatorStepGrid)->Arg(4)->Arg(6);
+
+void BM_GridBuild6x6(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::GridScenario grid(scenario::GridConfig{});
+    benchmark::DoNotOptimize(grid.net().num_movements());
+  }
+}
+BENCHMARK(BM_GridBuild6x6);
+
+void BM_MonacoBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::MonacoScenario monaco;
+    benchmark::DoNotOptimize(monaco.net().num_movements());
+  }
+}
+BENCHMARK(BM_MonacoBuild);
+
+void BM_ShortestRoute(benchmark::State& state) {
+  scenario::GridScenario grid(scenario::GridConfig{});
+  for (auto _ : state) {
+    auto route = grid.route(grid.west_terminal(0), grid.east_terminal(5));
+    benchmark::DoNotOptimize(route.size());
+  }
+}
+BENCHMARK(BM_ShortestRoute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Scalability sweep: grid size vs. simulation throughput, training cost,
+// and classic-controller quality.
+//
+// The paper argues PPO+GAE scales to the largest grid evaluated to date
+// (6x6). This bench quantifies how the substrate and trainer scale from
+// 4x4 to 8x8: ticks/second of the simulator under load, wall-clock per
+// PairUpLight training episode, and travel time of fixed-time vs.
+// max-pressure (which need no training budget).
+#include <chrono>
+#include <cstdio>
+
+#include "harness.hpp"
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/max_pressure.hpp"
+#include "src/core/trainer.hpp"
+
+int main() {
+  using namespace tsc;
+  using clock = std::chrono::steady_clock;
+
+  bench::HarnessConfig defaults;
+  defaults.episodes = 2;
+  const auto config = bench::load_config(defaults);
+
+  std::printf("Scalability sweep (episode %.0f s, time scale %.3f)\n\n",
+              config.episode_seconds, config.time_scale);
+  bench::print_header("grid", {"agents", "sim_ticks/s", "train_s/ep",
+                               "fixed_tt", "maxpress_tt"});
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> names;
+  for (std::size_t size : {std::size_t{4}, std::size_t{6}, std::size_t{8}}) {
+    bench::HarnessConfig sized = config;
+    sized.grid_rows = sized.grid_cols = size;
+    auto grid = bench::make_grid(sized);
+    auto environment =
+        bench::make_env(*grid, scenario::FlowPattern::kPattern1, sized);
+
+    // Simulator throughput under load.
+    auto& sim = environment->simulator();
+    environment->reset(1);
+    sim.step_seconds(config.episode_seconds / 3.0);  // into the loaded regime
+    const auto t0 = clock::now();
+    const std::size_t ticks = 2000;
+    for (std::size_t i = 0; i < ticks; ++i) sim.step();
+    const double tick_rate =
+        ticks / std::chrono::duration<double>(clock::now() - t0).count();
+
+    // Training episode wall time.
+    core::PairUpConfig pairup_config;
+    pairup_config.seed = sized.seed;
+    core::PairUpLightTrainer trainer(environment.get(), pairup_config);
+    const auto t1 = clock::now();
+    for (std::size_t e = 0; e < sized.episodes; ++e) trainer.train_episode();
+    const double per_episode =
+        std::chrono::duration<double>(clock::now() - t1).count() /
+        static_cast<double>(sized.episodes);
+
+    baselines::FixedTimeController fixed_time;
+    const auto ft = env::run_episode(*environment, fixed_time, sized.seed + 99);
+    baselines::MaxPressureController max_pressure;
+    const auto mp = env::run_episode(*environment, max_pressure, sized.seed + 99);
+
+    const std::string name =
+        std::to_string(size) + "x" + std::to_string(size);
+    bench::print_row(name,
+                     {static_cast<double>(environment->num_agents()), tick_rate,
+                      per_episode, ft.travel_time, mp.travel_time});
+    rows.push_back({static_cast<double>(environment->num_agents()), tick_rate,
+                    per_episode, ft.travel_time, mp.travel_time});
+    names.push_back(name);
+  }
+  bench::write_csv("scalability.csv",
+                   {"grid", "agents", "ticks_per_s", "train_s_per_ep",
+                    "fixed_tt", "maxpressure_tt"},
+                   rows, names);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Table II: average travel time (s) in various traffic scenarios.
+//
+// Protocol (paper section VI-C): every RL method is trained ONLY on flow
+// pattern 1, then evaluated on patterns 1-5 without retraining. Fixed-time
+// needs no training. Expected shape (paper Table II):
+//   * PairUpLight lowest on every pattern;
+//   * MA2C collapsing off-distribution (worst rows under congestion);
+//   * CoLight mid-pack on congestion, worse than SingleAgent on pattern 5;
+//   * Fixedtime worst/near-worst under congestion, fine on pattern 5.
+#include <cstdio>
+#include <memory>
+
+#include "harness.hpp"
+#include "src/baselines/colight.hpp"
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/ma2c.hpp"
+#include "src/baselines/single_agent.hpp"
+#include "src/core/trainer.hpp"
+
+int main() {
+  using namespace tsc;
+  using scenario::FlowPattern;
+
+  bench::HarnessConfig defaults;
+  defaults.episodes = 40;
+  const auto config = bench::load_config(defaults);
+  auto grid = bench::make_grid(config);
+  auto environment = bench::make_env(*grid, FlowPattern::kPattern1, config);
+
+  std::printf(
+      "Table II reproduction: avg travel time (s), trained on Pattern 1 only\n"
+      "grid %zux%zu, %zu training episodes, time scale %.3f, episode %.0f s\n\n",
+      config.grid_rows, config.grid_cols, config.episodes, config.time_scale,
+      config.episode_seconds);
+
+  // ---- train all RL methods on pattern 1 ----
+  core::PairUpConfig pairup_config;
+  pairup_config.seed = config.seed;
+  core::PairUpLightTrainer pairup(environment.get(), pairup_config);
+
+  baselines::SingleAgentConfig single_config;
+  single_config.seed = config.seed + 1;
+  baselines::SingleAgentPpoTrainer single(environment.get(), single_config);
+
+  baselines::Ma2cConfig ma2c_config;
+  ma2c_config.seed = config.seed + 2;
+  baselines::Ma2cTrainer ma2c(environment.get(), ma2c_config);
+
+  baselines::CoLightConfig colight_config;
+  colight_config.seed = config.seed + 3;
+  colight_config.epsilon_decay_episodes = config.episodes * 2 / 3;
+  baselines::CoLightTrainer colight(environment.get(), colight_config);
+
+  for (std::size_t e = 0; e < config.episodes; ++e) {
+    const auto sp = pairup.train_episode();
+    const auto ss = single.train_episode();
+    const auto sm = ma2c.train_episode();
+    const auto sc = colight.train_episode();
+    std::fprintf(stderr,
+                 "[train %2zu/%zu] wait(s): PairUp %6.1f  Single %6.1f  MA2C "
+                 "%6.1f  CoLight %6.1f\n",
+                 e + 1, config.episodes, sp.avg_wait, ss.avg_wait, sm.avg_wait,
+                 sc.avg_wait);
+  }
+
+  // ---- evaluate every method on every pattern ----
+  baselines::FixedTimeController fixed_time;
+  struct Method {
+    std::string name;
+    env::Controller* controller;
+  };
+  auto pairup_controller = pairup.make_controller();
+  auto single_controller = single.make_controller();
+  auto ma2c_controller = ma2c.make_controller();
+  auto colight_controller = colight.make_controller();
+  const Method methods[] = {
+      {"Fixedtime", &fixed_time},
+      {"SingleAgent", single_controller.get()},
+      {"MA2C", ma2c_controller.get()},
+      {"CoLight", colight_controller.get()},
+      {"PairUpLight", pairup_controller.get()},
+  };
+  const FlowPattern patterns[] = {FlowPattern::kPattern1, FlowPattern::kPattern2,
+                                  FlowPattern::kPattern3, FlowPattern::kPattern4,
+                                  FlowPattern::kPattern5};
+
+  std::vector<std::vector<double>> table(std::size(methods));
+  std::vector<std::vector<double>> wait_table(std::size(methods));
+  for (std::size_t m = 0; m < std::size(methods); ++m) table[m].reserve(5);
+
+  for (FlowPattern pattern : patterns) {
+    scenario::FlowPatternConfig flow_config;
+    flow_config.time_scale = config.time_scale;
+    for (std::size_t m = 0; m < std::size(methods); ++m) {
+      environment->set_flows(
+          scenario::make_flow_pattern(*grid, pattern, flow_config),
+          config.seed + 1000);
+      // Mean over three evaluation seeds for statistical stability.
+      const auto agg = env::run_episodes(
+          *environment, *methods[m].controller,
+          {config.seed + 1000, config.seed + 2000, config.seed + 3000});
+      table[m].push_back(agg.mean.travel_time);
+      wait_table[m].push_back(agg.mean.avg_wait);
+    }
+    std::fprintf(stderr, "[eval] %s done\n", scenario::flow_pattern_name(pattern));
+  }
+
+  std::printf("\nAverage travel time (s) - the paper's Table II metric:\n");
+  bench::print_header("Model", {"Pattern 1", "Pattern 2", "Pattern 3",
+                                "Pattern 4", "Pattern 5"});
+  std::vector<std::string> names;
+  for (std::size_t m = 0; m < std::size(methods); ++m) {
+    bench::print_row(methods[m].name, table[m]);
+    names.push_back(methods[m].name);
+  }
+  bench::write_csv("table2_travel_time.csv",
+                   {"model", "p1", "p2", "p3", "p4", "p5"}, table, names);
+
+  // Under the compressed default protocol, charged travel time saturates
+  // (every unfinished vehicle is charged to the episode end), so we also
+  // report the paper's waiting-time metric, which separates controllers at
+  // small training budgets.
+  std::printf("\nAverage waiting time (s) - the paper's Fig. 7/8 metric:\n");
+  bench::print_header("Model", {"Pattern 1", "Pattern 2", "Pattern 3",
+                                "Pattern 4", "Pattern 5"});
+  for (std::size_t m = 0; m < std::size(methods); ++m)
+    bench::print_row(methods[m].name, wait_table[m]);
+  bench::write_csv("table2_avg_wait.csv", {"model", "p1", "p2", "p3", "p4", "p5"},
+                   wait_table, names);
+
+  // Shape check summary.
+  std::size_t tt_wins = 0, wait_wins = 0;
+  for (std::size_t p = 0; p < 5; ++p) {
+    bool tt_best = true, wait_best = true;
+    for (std::size_t m = 0; m + 1 < std::size(methods); ++m) {
+      if (table[m][p] < table[4][p]) tt_best = false;
+      if (wait_table[m][p] < wait_table[4][p]) wait_best = false;
+    }
+    tt_wins += tt_best;
+    wait_wins += wait_best;
+  }
+  std::printf(
+      "\nPairUpLight best travel time on %zu/5 patterns, best waiting time on "
+      "%zu/5 (paper: 5/5 travel time under the full 1000-episode protocol)\n",
+      tt_wins, wait_wins);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared experiment harness for the per-table / per-figure benchmarks.
+//
+// Every bench binary reproduces one table or figure from the paper. Because
+// the full paper schedule (1000 episodes x 3600 s) is a multi-day CPU-only
+// run, the default harness compresses time (time_scale) and episode counts
+// while keeping every code path identical. Scale knobs (environment
+// variables, all optional):
+//   PAIRUP_EPISODES     training episodes per RL method (default per bench)
+//   PAIRUP_TIME_SCALE   flow-schedule compression (default 1/6)
+//   PAIRUP_EPISODE_SECONDS  simulated seconds per episode (default 600)
+//   PAIRUP_SEED         base seed (default 1)
+// Set PAIRUP_TIME_SCALE=1 PAIRUP_EPISODE_SECONDS=3600 PAIRUP_EPISODES=1000
+// to replicate the paper's full protocol.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/env/controller.hpp"
+#include "src/env/env.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+
+namespace tsc::bench {
+
+struct HarnessConfig {
+  std::size_t episodes = 12;       ///< training episodes per method
+  double time_scale = 1.0 / 6.0;   ///< flow schedule compression
+  double episode_seconds = 600.0;
+  std::uint64_t seed = 1;
+  std::size_t grid_rows = 6;
+  std::size_t grid_cols = 6;
+};
+
+/// Reads the PAIRUP_* environment overrides on top of `defaults`.
+HarnessConfig load_config(HarnessConfig defaults);
+
+/// The paper's evaluation grid (6x6 by default).
+std::unique_ptr<scenario::GridScenario> make_grid(const HarnessConfig& config);
+
+/// Environment for one flow pattern on `grid`.
+std::unique_ptr<env::TscEnv> make_env(const scenario::GridScenario& grid,
+                                      scenario::FlowPattern pattern,
+                                      const HarnessConfig& config);
+
+/// Pretty-prints one table row: name column then fixed-width numbers.
+void print_row(const std::string& name, const std::vector<double>& values);
+void print_header(const std::string& name_col,
+                  const std::vector<std::string>& columns);
+
+/// Writes a CSV (swallow-errors convenience for bench output artifacts).
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows,
+               const std::vector<std::string>& row_names);
+
+/// Smoothed copy of a training curve (moving average, window w).
+std::vector<double> smooth(const std::vector<double>& xs, std::size_t w);
+
+}  // namespace tsc::bench

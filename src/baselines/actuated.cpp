@@ -1,0 +1,52 @@
+#include "src/baselines/actuated.hpp"
+
+namespace tsc::baselines {
+
+void ActuatedController::begin_episode(const env::TscEnv& env) {
+  action_duration_ = env.config().action_duration;
+  current_.assign(env.num_agents(), 0);
+  green_.assign(env.num_agents(), 0.0);
+}
+
+std::uint32_t ActuatedController::phase_demand(const env::TscEnv& env,
+                                               std::size_t agent,
+                                               std::size_t phase) {
+  // Detector actuation reads through the env's sensor layer so fault
+  // injection degrades this controller the same way it degrades RL agents.
+  const auto& net = env.simulator().network();
+  const auto& node = net.node(env.agent(agent).node);
+  double demand = 0.0;
+  for (sim::MovementId mid : node.phases.at(phase)) {
+    const auto& m = net.movement(mid);
+    for (std::uint32_t lane : m.allowed_lanes)
+      demand += env.observed_lane_queue(m.from_link, lane);
+  }
+  return static_cast<std::uint32_t>(demand);
+}
+
+std::vector<std::size_t> ActuatedController::act(const env::TscEnv& env) {
+  std::vector<std::size_t> actions(env.num_agents());
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    const std::size_t num_phases = env.agent(i).num_phases;
+    const bool min_done = green_[i] >= config_.min_green - 1e-9;
+    const bool max_hit = green_[i] >= config_.max_green - 1e-9;
+    const bool has_demand = phase_demand(env, i, current_[i]) > 0;
+    if (min_done && (max_hit || !has_demand)) {
+      // Advance to the next phase with demand; if every other phase is
+      // empty too, just rotate once (keeps the cycle fair).
+      std::size_t next = (current_[i] + 1) % num_phases;
+      for (std::size_t k = 0; k + 1 < num_phases; ++k) {
+        if (phase_demand(env, i, next) > 0) break;
+        next = (next + 1) % num_phases;
+        if (next == current_[i]) next = (next + 1) % num_phases;
+      }
+      current_[i] = next;
+      green_[i] = 0.0;
+    }
+    green_[i] += action_duration_;
+    actions[i] = current_[i];
+  }
+  return actions;
+}
+
+}  // namespace tsc::baselines

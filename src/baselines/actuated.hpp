@@ -1,0 +1,39 @@
+// Gap-based actuated control - the second classical control family from
+// the paper's taxonomy (section II-A). Each phase's green extends while its
+// served movements still have queued demand, up to a maximum green; when
+// demand gaps out (or max green is hit) the controller advances to the next
+// phase in the cycle that has demand (or simply the next phase if none do).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/env/controller.hpp"
+
+namespace tsc::baselines {
+
+struct ActuatedConfig {
+  double min_green = 5.0;   ///< seconds a phase is always held
+  double max_green = 30.0;  ///< green cap before forced rotation
+};
+
+class ActuatedController : public env::Controller {
+ public:
+  explicit ActuatedController(ActuatedConfig config = {}) : config_(config) {}
+
+  void begin_episode(const env::TscEnv& env) override;
+  std::vector<std::size_t> act(const env::TscEnv& env) override;
+  std::string name() const override { return "Actuated"; }
+
+  /// Queued demand served by phase `p` of agent `i` (exposed for tests).
+  static std::uint32_t phase_demand(const env::TscEnv& env, std::size_t agent,
+                                    std::size_t phase);
+
+ private:
+  ActuatedConfig config_;
+  std::vector<std::size_t> current_;
+  std::vector<double> green_;
+  double action_duration_ = 5.0;
+};
+
+}  // namespace tsc::baselines

@@ -1,0 +1,28 @@
+#include "src/baselines/fixed_time.hpp"
+
+namespace tsc::baselines {
+
+void FixedTimeController::begin_episode(const env::TscEnv& env) {
+  action_duration_ = env.config().action_duration;
+  phase_.assign(env.num_agents(), 0);
+  elapsed_.assign(env.num_agents(), 0.0);
+  if (offset_stagger_) {
+    for (std::size_t i = 0; i < env.num_agents(); ++i)
+      phase_[i] = i % env.agent(i).num_phases;
+  }
+}
+
+std::vector<std::size_t> FixedTimeController::act(const env::TscEnv& env) {
+  std::vector<std::size_t> actions(env.num_agents());
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    if (elapsed_[i] + 1e-9 >= green_seconds_) {
+      phase_[i] = (phase_[i] + 1) % env.agent(i).num_phases;
+      elapsed_[i] = 0.0;
+    }
+    actions[i] = phase_[i];
+    elapsed_[i] += action_duration_;
+  }
+  return actions;
+}
+
+}  // namespace tsc::baselines

@@ -1,0 +1,33 @@
+// Fixed-time baseline: cycles phases on a predetermined schedule,
+// independent of traffic (paper section VI-B, "Fixedtime").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/env/controller.hpp"
+
+namespace tsc::baselines {
+
+class FixedTimeController : public env::Controller {
+ public:
+  /// Each phase is held for `green_seconds` of decision time before the
+  /// cycle advances (the paper's plan: 5 s phases). `offset_stagger` adds
+  /// per-agent phase offsets (agent index modulo cycle) - a crude green
+  /// wave, disabled by default.
+  explicit FixedTimeController(double green_seconds = 5.0, bool offset_stagger = false)
+      : green_seconds_(green_seconds), offset_stagger_(offset_stagger) {}
+
+  void begin_episode(const env::TscEnv& env) override;
+  std::vector<std::size_t> act(const env::TscEnv& env) override;
+  std::string name() const override { return "Fixedtime"; }
+
+ private:
+  double green_seconds_;
+  bool offset_stagger_;
+  std::vector<std::size_t> phase_;
+  std::vector<double> elapsed_;
+  double action_duration_ = 5.0;
+};
+
+}  // namespace tsc::baselines

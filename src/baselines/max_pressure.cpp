@@ -1,0 +1,53 @@
+#include "src/baselines/max_pressure.hpp"
+
+namespace tsc::baselines {
+
+void MaxPressureController::begin_episode(const env::TscEnv& env) {
+  action_duration_ = env.config().action_duration;
+  current_.assign(env.num_agents(), 0);
+  held_.assign(env.num_agents(), 0.0);
+}
+
+double MaxPressureController::phase_pressure(const env::TscEnv& env,
+                                             std::size_t agent, std::size_t phase) {
+  // Reads go through the env's sensor layer (detector range caps, fault
+  // injection) so max-pressure sees the same world as the learned agents.
+  const auto& net = env.simulator().network();
+  const auto& node = net.node(env.agent(agent).node);
+  double total = 0.0;
+  for (sim::MovementId mid : node.phases.at(phase)) {
+    const auto& m = net.movement(mid);
+    const auto& in = net.link(m.from_link);
+    const auto& out = net.link(m.to_link);
+    total += env.observed_queue(in.id) / in.lanes -
+             env.observed_queue(out.id) / out.lanes;
+  }
+  return total;
+}
+
+std::vector<std::size_t> MaxPressureController::act(const env::TscEnv& env) {
+  std::vector<std::size_t> actions(env.num_agents());
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    if (held_[i] < min_green_ - 1e-9) {
+      held_[i] += action_duration_;
+      actions[i] = current_[i];
+      continue;
+    }
+    std::size_t best = 0;
+    double best_pressure = phase_pressure(env, i, 0);
+    for (std::size_t p = 1; p < env.agent(i).num_phases; ++p) {
+      const double pressure = phase_pressure(env, i, p);
+      if (pressure > best_pressure) {
+        best_pressure = pressure;
+        best = p;
+      }
+    }
+    if (best != current_[i]) held_[i] = 0.0;
+    current_[i] = best;
+    held_[i] += action_duration_;
+    actions[i] = best;
+  }
+  return actions;
+}
+
+}  // namespace tsc::baselines

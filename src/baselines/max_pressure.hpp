@@ -1,0 +1,40 @@
+// Max-pressure control (Varaiya 2013) - the classical model-based adaptive
+// baseline. At every decision step each intersection activates the phase
+// whose movements carry the largest total pressure
+//     pressure(m) = queue(in link)/lanes_in - queue(out link)/lanes_out,
+// which is throughput-optimal under idealized assumptions. Included beyond
+// the paper's baseline set because it is the standard non-learning
+// comparator for RL TSC work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/env/controller.hpp"
+
+namespace tsc::baselines {
+
+class MaxPressureController : public env::Controller {
+ public:
+  /// `min_green_seconds`: a phase is held at least this long before the
+  /// controller may switch (avoids thrash through yellow).
+  explicit MaxPressureController(double min_green_seconds = 5.0)
+      : min_green_(min_green_seconds) {}
+
+  void begin_episode(const env::TscEnv& env) override;
+  std::vector<std::size_t> act(const env::TscEnv& env) override;
+  std::string name() const override { return "MaxPressure"; }
+
+  /// Pressure of phase `p` at agent `i` in the current state (exposed for
+  /// tests).
+  static double phase_pressure(const env::TscEnv& env, std::size_t agent,
+                               std::size_t phase);
+
+ private:
+  double min_green_;
+  std::vector<std::size_t> current_;
+  std::vector<double> held_;
+  double action_duration_ = 5.0;
+};
+
+}  // namespace tsc::baselines

@@ -1,0 +1,246 @@
+#include "src/baselines/single_agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/stats.hpp"
+
+namespace tsc::baselines {
+
+using tsc::nn::Tape;
+using tsc::nn::Tensor;
+using tsc::nn::Var;
+
+namespace {
+
+Tensor pack_rows(const std::vector<std::vector<double>>& rows, std::size_t width) {
+  Tensor t = Tensor::zeros(rows.size(), width);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == width);
+    for (std::size_t c = 0; c < width; ++c) t.at(r, c) = rows[r][c];
+  }
+  return t;
+}
+
+Var mask_logits(Tape& tape, Var logits, const std::vector<std::size_t>& phase_counts,
+                std::size_t max_phases) {
+  bool needs_mask = false;
+  for (std::size_t pc : phase_counts)
+    if (pc < max_phases) needs_mask = true;
+  if (!needs_mask) return logits;
+  Tensor mask = Tensor::zeros(phase_counts.size(), max_phases);
+  for (std::size_t b = 0; b < phase_counts.size(); ++b)
+    for (std::size_t p = phase_counts[b]; p < max_phases; ++p) mask.at(b, p) = -1e9;
+  return tape.add(logits, tape.constant(std::move(mask)));
+}
+
+}  // namespace
+
+SingleAgentPpoTrainer::SingleAgentPpoTrainer(env::TscEnv* env, SingleAgentConfig config)
+    : env_(env), config_(config), rng_(config.seed), episode_seed_(config.seed * 6151) {
+  const std::size_t obs = env_->obs_dim();
+  const std::size_t max_phases = env_->config().max_phases;
+  actor_ = std::make_unique<nn::Mlp>(
+      std::vector<std::size_t>{obs, config_.hidden, config_.hidden, max_phases}, rng_);
+  critic_ = std::make_unique<nn::Mlp>(
+      std::vector<std::size_t>{obs, config_.hidden, config_.hidden, 1}, rng_,
+      nn::Activation::kTanh, 1.0);
+  all_params_ = actor_->parameters();
+  auto critic_params = critic_->parameters();
+  all_params_.insert(all_params_.end(), critic_params.begin(), critic_params.end());
+  nn::Adam::Config adam_config;
+  adam_config.lr = config_.ppo.lr;
+  optim_ = std::make_unique<nn::Adam>(all_params_, adam_config);
+}
+
+nn::Module& SingleAgentPpoTrainer::policy() { return *actor_; }
+
+std::vector<std::size_t> SingleAgentPpoTrainer::act_all(bool explore,
+                                                        rl::RolloutBuffer* buffer,
+                                                        Rng* sample_rng) {
+  const std::size_t n = env_->num_agents();
+  const std::size_t max_phases = env_->config().max_phases;
+  std::vector<std::vector<double>> obs_rows(n);
+  std::vector<std::size_t> phase_counts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs_rows[i] = env_->local_obs(i);
+    phase_counts[i] = env_->agent(i).num_phases;
+  }
+  Tape tape;
+  Var obs = tape.constant(pack_rows(obs_rows, env_->obs_dim()));
+  Var logits = mask_logits(tape, actor_->forward(tape, obs), phase_counts, max_phases);
+  Var probs = tape.softmax_rows(logits);
+  Var logp = tape.log_softmax_rows(logits);
+  Var values = critic_->forward(tape, obs);
+
+  const Tensor& probs_t = tape.value(probs);
+  const Tensor& logp_t = tape.value(logp);
+  const Tensor& val_t = tape.value(values);
+
+  std::vector<std::size_t> actions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t action = 0;
+    if (explore && config_.ppo.sample_actions) {
+      std::vector<double> w(phase_counts[i]);
+      for (std::size_t p = 0; p < phase_counts[i]; ++p) w[p] = probs_t.at(i, p);
+      action = rng_.categorical(w);
+    } else if (explore && rng_.bernoulli(rl::epsilon_at(episode_, config_.ppo))) {
+      action = rng_.uniform_int(phase_counts[i]);
+    } else if (!explore && sample_rng != nullptr) {
+      std::vector<double> w(phase_counts[i]);
+      for (std::size_t p = 0; p < phase_counts[i]; ++p) w[p] = probs_t.at(i, p);
+      action = sample_rng->categorical(w);
+    } else {
+      for (std::size_t p = 1; p < phase_counts[i]; ++p)
+        if (probs_t.at(i, p) > probs_t.at(i, action)) action = p;
+    }
+    actions[i] = action;
+    if (buffer != nullptr) {
+      rl::Sample s;
+      s.obs = obs_rows[i];
+      s.action = action;
+      s.phase_count = phase_counts[i];
+      s.log_prob = logp_t.at(i, action);
+      s.value = val_t.at(i, 0);
+      buffer->add(i, std::move(s));
+    }
+  }
+  return actions;
+}
+
+env::EpisodeStats SingleAgentPpoTrainer::run(bool train_mode, std::uint64_t seed) {
+  env_->reset(seed);
+  rl::RolloutBuffer buffer(env_->num_agents());
+  rl::RolloutBuffer* buffer_ptr = train_mode ? &buffer : nullptr;
+  Rng eval_rng(seed ^ env::kEvalSampleSalt);
+  Rng* sample_rng = (!train_mode && !config_.greedy_eval) ? &eval_rng : nullptr;
+  double reward_sum = 0.0;
+  std::size_t reward_count = 0;
+  while (!env_->done()) {
+    const auto actions = act_all(train_mode, buffer_ptr, sample_rng);
+    const auto rewards = env_->step(actions);
+    for (std::size_t i = 0; i < rewards.size(); ++i) {
+      reward_sum += rewards[i];
+      ++reward_count;
+      if (buffer_ptr != nullptr) buffer.last(i).reward = rewards[i];
+    }
+  }
+  if (train_mode) {
+    // Bootstrap values for the final state.
+    const std::size_t n = env_->num_agents();
+    std::vector<std::vector<double>> obs_rows(n);
+    for (std::size_t i = 0; i < n; ++i) obs_rows[i] = env_->local_obs(i);
+    Tape tape;
+    Var obs = tape.constant(pack_rows(obs_rows, env_->obs_dim()));
+    Var values = critic_->forward(tape, obs);
+    for (std::size_t i = 0; i < n; ++i)
+      buffer.finish_agent(i, tape.value(values).at(i, 0), config_.ppo.gamma,
+                          config_.ppo.lambda);
+    update(buffer);
+    ++episode_;
+  }
+  env::EpisodeStats stats;
+  stats.avg_wait = env_->episode_avg_wait();
+  stats.travel_time = env_->average_travel_time();
+  stats.mean_reward =
+      reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
+  stats.vehicles_finished = env_->simulator().vehicles_finished();
+  stats.vehicles_spawned = env_->simulator().vehicles_spawned();
+  return stats;
+}
+
+env::EpisodeStats SingleAgentPpoTrainer::train_episode() {
+  return run(true, episode_seed_ + episode_);
+}
+
+env::EpisodeStats SingleAgentPpoTrainer::eval_episode(std::uint64_t seed) {
+  return run(false, seed);
+}
+
+void SingleAgentPpoTrainer::update(rl::RolloutBuffer& buffer) {
+  std::vector<const rl::Sample*> samples;
+  if (config_.train_on_single_intersection) {
+    // Learn from the most central intersection only, normalizing its
+    // advantages locally.
+    const std::size_t center = env_->num_agents() / 2;
+    auto& center_samples = buffer.mutable_agent_samples(center);
+    if (config_.ppo.normalize_advantages && center_samples.size() > 1) {
+      std::vector<double> advantages;
+      advantages.reserve(center_samples.size());
+      for (const rl::Sample& s : center_samples) advantages.push_back(s.advantage);
+      normalize_in_place(advantages);
+      for (std::size_t i = 0; i < center_samples.size(); ++i)
+        center_samples[i].advantage = advantages[i];
+    }
+    for (const rl::Sample& s : center_samples) samples.push_back(&s);
+  } else {
+    samples = buffer.flatten(config_.ppo.normalize_advantages);
+  }
+  if (samples.empty()) return;
+  const std::size_t max_phases = env_->config().max_phases;
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t minibatch = std::max<std::size_t>(1, config_.ppo.minibatch);
+
+  for (std::size_t epoch = 0; epoch < config_.ppo.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng_.uniform_int(i)]);
+    for (std::size_t start = 0; start < order.size(); start += minibatch) {
+      const std::size_t end = std::min(order.size(), start + minibatch);
+      const std::size_t batch = end - start;
+      std::vector<std::vector<double>> obs_rows(batch);
+      std::vector<std::size_t> actions(batch);
+      std::vector<std::size_t> phase_counts(batch);
+      std::vector<double> old_logp(batch), advantages(batch), returns(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const rl::Sample& s = *samples[order[start + b]];
+        obs_rows[b] = s.obs;
+        actions[b] = s.action;
+        phase_counts[b] = s.phase_count;
+        old_logp[b] = s.log_prob;
+        advantages[b] = s.advantage;
+        returns[b] = s.ret;
+      }
+      Tape tape;
+      Var obs = tape.constant(pack_rows(obs_rows, env_->obs_dim()));
+      Var logits =
+          mask_logits(tape, actor_->forward(tape, obs), phase_counts, max_phases);
+      Var new_logp = tape.gather_cols(tape.log_softmax_rows(logits), actions);
+      Var entropy = rl::policy_entropy(tape, logits);
+      Var values = critic_->forward(tape, obs);
+      Var loss = rl::ppo_total_loss(tape, new_logp, entropy, values, old_logp,
+                                    advantages, returns, config_.ppo);
+      actor_->zero_grad();
+      critic_->zero_grad();
+      tape.backward(loss);
+      nn::clip_grad_norm(all_params_, config_.ppo.max_grad_norm);
+      optim_->step();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class SingleAgentController : public env::Controller {
+ public:
+  explicit SingleAgentController(SingleAgentPpoTrainer* trainer) : trainer_(trainer) {}
+  void begin_episode(const env::TscEnv& env) override {
+    rng_ = Rng(env.episode_seed() ^ env::kEvalSampleSalt);
+  }
+  std::vector<std::size_t> act(const env::TscEnv& env) override {
+    (void)env;
+    Rng* sample_rng = trainer_->config_.greedy_eval ? nullptr : &rng_;
+    return trainer_->act_all(/*explore=*/false, nullptr, sample_rng);
+  }
+  std::string name() const override { return "SingleAgent"; }
+
+ private:
+  SingleAgentPpoTrainer* trainer_;
+  Rng rng_{0};
+};
+
+std::unique_ptr<env::Controller> SingleAgentPpoTrainer::make_controller() {
+  return std::make_unique<SingleAgentController>(this);
+}
+
+}  // namespace tsc::baselines

@@ -1,0 +1,66 @@
+// SingleAgentRL baseline (paper section VI-B): one PPO policy trained from
+// local observations only and applied uniformly to every intersection.
+// No communication, no neighbor information, no recurrence - the policy is
+// a feed-forward actor-critic over the local observation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/env/controller.hpp"
+#include "src/env/env.hpp"
+#include "src/nn/layers.hpp"
+#include "src/nn/optim.hpp"
+#include "src/rl/ppo.hpp"
+#include "src/rl/rollout.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::baselines {
+
+struct SingleAgentConfig {
+  rl::PpoConfig ppo;
+  std::size_t hidden = 64;
+  /// Paper semantics (section VI-B): "a single agent is trained ... its
+  /// learned policy is uniformly applied to all intersections". When true
+  /// the policy learns from ONE intersection's experience stream (the most
+  /// central one); when false it learns from every intersection's samples -
+  /// a strictly stronger parameter-shared variant kept for comparison.
+  bool train_on_single_intersection = true;
+  /// Sample from the stochastic policy at evaluation time (deterministic
+  /// per-episode stream); argmax when true. See PairUpConfig::greedy_eval.
+  bool greedy_eval = false;
+  std::uint64_t seed = 2;
+};
+
+class SingleAgentPpoTrainer {
+ public:
+  SingleAgentPpoTrainer(env::TscEnv* env, SingleAgentConfig config);
+
+  env::EpisodeStats train_episode();
+  env::EpisodeStats eval_episode(std::uint64_t seed);
+  std::unique_ptr<env::Controller> make_controller();
+  std::size_t episodes_trained() const { return episode_; }
+  nn::Module& policy();
+
+ private:
+  friend class SingleAgentController;
+
+  /// Actions for the current env state. When not exploring, samples with
+  /// `sample_rng` if provided, else takes the argmax.
+  std::vector<std::size_t> act_all(bool explore, rl::RolloutBuffer* buffer,
+                                   Rng* sample_rng = nullptr);
+  env::EpisodeStats run(bool train_mode, std::uint64_t seed);
+  void update(rl::RolloutBuffer& buffer);
+
+  env::TscEnv* env_;
+  SingleAgentConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Mlp> actor_;
+  std::unique_ptr<nn::Mlp> critic_;
+  std::unique_ptr<nn::Adam> optim_;
+  std::vector<nn::Parameter*> all_params_;
+  std::size_t episode_ = 0;
+  std::uint64_t episode_seed_ = 0;
+};
+
+}  // namespace tsc::baselines

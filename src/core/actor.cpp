@@ -1,0 +1,53 @@
+#include "src/core/actor.hpp"
+
+#include <cassert>
+
+namespace tsc::core {
+
+using tsc::nn::Linear;
+using tsc::nn::LstmCell;
+using tsc::nn::Tape;
+using tsc::nn::Tensor;
+using tsc::nn::Var;
+
+CoordinatedActor::CoordinatedActor(std::size_t obs_dim, std::size_t msg_dim,
+                                   std::size_t hidden, std::size_t max_phases,
+                                   tsc::Rng& rng)
+    : obs_dim_(obs_dim), msg_dim_(msg_dim), hidden_(hidden), max_phases_(max_phases) {
+  embed_ = std::make_unique<Linear>(obs_dim + msg_dim, hidden, rng);
+  lstm_ = std::make_unique<LstmCell>(hidden, hidden, rng);
+  policy_head_ = std::make_unique<Linear>(hidden, max_phases, rng, 0.01);
+  message_head_ = std::make_unique<Linear>(hidden, msg_dim, rng, 0.01);
+  register_module(embed_.get());
+  register_module(lstm_.get());
+  register_module(policy_head_.get());
+  register_module(message_head_.get());
+}
+
+CoordinatedActor::Output CoordinatedActor::forward(
+    Tape& tape, Var input, Var h, Var c, const std::vector<std::size_t>& phase_counts) {
+  const std::size_t batch = tape.value(input).rows();
+  assert(tape.value(input).cols() == input_dim());
+  assert(phase_counts.size() == batch);
+
+  Var x = tape.tanh(embed_->forward(tape, input));
+  LstmCell::State state = lstm_->forward(tape, x, h, c);
+  Var logits = policy_head_->forward(tape, state.h);
+
+  // Mask invalid phases (heterogeneous intersections have fewer phases).
+  bool needs_mask = false;
+  for (std::size_t pc : phase_counts)
+    if (pc < max_phases_) needs_mask = true;
+  if (needs_mask) {
+    Tensor mask = Tensor::zeros(batch, max_phases_);
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t p = phase_counts[b]; p < max_phases_; ++p)
+        mask.at(b, p) = -1e9;
+    logits = tape.add(logits, tape.constant(std::move(mask)));
+  }
+
+  Var message = message_head_->forward(tape, state.h);
+  return {logits, message, state};
+}
+
+}  // namespace tsc::core

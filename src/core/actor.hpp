@@ -1,0 +1,50 @@
+// PairUpLight coordinated Actor network (paper Fig. 5, Eq. 8).
+//
+// Input:  local observation concatenated with the incoming regularized
+//         message m_hat from the paired (most congested upstream) agent.
+// Body:   FC -> tanh -> LSTM.
+// Heads:  action logits over phases (masked per agent) and the raw outgoing
+//         message m (regularized to m_hat = Logistic(N(m, sigma)) outside
+//         the network, Algorithm 1 line 16).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.hpp"
+#include "src/nn/module.hpp"
+
+namespace tsc::core {
+
+class CoordinatedActor : public tsc::nn::Module {
+ public:
+  /// `obs_dim` excludes the message; the network input is obs_dim+msg_dim.
+  CoordinatedActor(std::size_t obs_dim, std::size_t msg_dim, std::size_t hidden,
+                   std::size_t max_phases, tsc::Rng& rng);
+
+  struct Output {
+    tsc::nn::Var logits;   ///< [B, max_phases] (masked: invalid = -1e9)
+    tsc::nn::Var message;  ///< [B, msg_dim], raw (pre-regularizer)
+    tsc::nn::LstmCell::State state;
+  };
+
+  /// `input` is [B, obs_dim+msg_dim]; `phase_counts[b]` masks logits beyond
+  /// each row's phase count.
+  Output forward(tsc::nn::Tape& tape, tsc::nn::Var input, tsc::nn::Var h,
+                 tsc::nn::Var c, const std::vector<std::size_t>& phase_counts);
+
+  std::size_t obs_dim() const { return obs_dim_; }
+  std::size_t msg_dim() const { return msg_dim_; }
+  std::size_t hidden_size() const { return hidden_; }
+  std::size_t max_phases() const { return max_phases_; }
+  std::size_t input_dim() const { return obs_dim_ + msg_dim_; }
+
+ private:
+  std::size_t obs_dim_, msg_dim_, hidden_, max_phases_;
+  std::unique_ptr<tsc::nn::Linear> embed_;
+  std::unique_ptr<tsc::nn::LstmCell> lstm_;
+  std::unique_ptr<tsc::nn::Linear> policy_head_;
+  std::unique_ptr<tsc::nn::Linear> message_head_;
+};
+
+}  // namespace tsc::core

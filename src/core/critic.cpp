@@ -1,0 +1,32 @@
+#include "src/core/critic.hpp"
+
+#include <cassert>
+
+namespace tsc::core {
+
+using tsc::nn::Linear;
+using tsc::nn::LstmCell;
+using tsc::nn::Tape;
+using tsc::nn::Var;
+
+CentralizedCritic::CentralizedCritic(std::size_t input_dim, std::size_t hidden,
+                                     tsc::Rng& rng)
+    : input_dim_(input_dim), hidden_(hidden) {
+  embed_ = std::make_unique<Linear>(input_dim, hidden, rng);
+  lstm_ = std::make_unique<LstmCell>(hidden, hidden, rng);
+  value_head_ = std::make_unique<Linear>(hidden, 1, rng, 1.0);
+  register_module(embed_.get());
+  register_module(lstm_.get());
+  register_module(value_head_.get());
+}
+
+CentralizedCritic::Output CentralizedCritic::forward(Tape& tape, Var input, Var h,
+                                                     Var c) {
+  assert(tape.value(input).cols() == input_dim_);
+  Var x = tape.tanh(embed_->forward(tape, input));
+  LstmCell::State state = lstm_->forward(tape, x, h, c);
+  Var value = value_head_->forward(tape, state.h);
+  return {value, state};
+}
+
+}  // namespace tsc::core

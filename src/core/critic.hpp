@@ -1,0 +1,41 @@
+// PairUpLight centralized Critic network (paper Fig. 5, Eq. 9).
+//
+// The critic sees a broader view than the actor: the agent's local
+// observation plus compact traffic features of its one-hop and two-hop
+// neighbors, zero-padded to fixed slot counts so edge intersections are
+// handled uniformly (the paper's padding technique). Body mirrors the
+// actor: FC -> tanh -> LSTM -> scalar value head.
+#pragma once
+
+#include <memory>
+
+#include "src/nn/layers.hpp"
+#include "src/nn/module.hpp"
+
+namespace tsc::core {
+
+class CentralizedCritic : public tsc::nn::Module {
+ public:
+  /// `input_dim` = local obs + hop1_slots*feat + hop2_slots*feat (the
+  /// trainer computes this from the environment's neighbor graph).
+  CentralizedCritic(std::size_t input_dim, std::size_t hidden, tsc::Rng& rng);
+
+  struct Output {
+    tsc::nn::Var value;  ///< [B, 1]
+    tsc::nn::LstmCell::State state;
+  };
+
+  Output forward(tsc::nn::Tape& tape, tsc::nn::Var input, tsc::nn::Var h,
+                 tsc::nn::Var c);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  std::size_t input_dim_, hidden_;
+  std::unique_ptr<tsc::nn::Linear> embed_;
+  std::unique_ptr<tsc::nn::LstmCell> lstm_;
+  std::unique_ptr<tsc::nn::Linear> value_head_;
+};
+
+}  // namespace tsc::core

@@ -1,0 +1,448 @@
+#include "src/core/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/nn/serialize.hpp"
+
+namespace tsc::core {
+
+using tsc::nn::Tape;
+using tsc::nn::Tensor;
+using tsc::nn::Var;
+
+namespace {
+
+/// Packs per-agent vectors into a [rows.size(), width] tensor.
+Tensor pack_rows(const std::vector<std::vector<double>>& rows, std::size_t width) {
+  Tensor t = Tensor::zeros(rows.size(), width);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == width);
+    for (std::size_t c = 0; c < width; ++c) t.at(r, c) = rows[r][c];
+  }
+  return t;
+}
+
+std::vector<double> extract_row(const Tensor& t, std::size_t r) {
+  std::vector<double> out(t.cols());
+  for (std::size_t c = 0; c < t.cols(); ++c) out[c] = t.at(r, c);
+  return out;
+}
+
+}  // namespace
+
+PairUpLightTrainer::PairUpLightTrainer(env::TscEnv* env, PairUpConfig config)
+    : env_(env), config_(config), rng_(config.seed), episode_seed_(config.seed * 7919) {
+  const std::size_t n = env_->num_agents();
+  for (std::size_t i = 0; i < n; ++i) {
+    hop1_slots_ = std::max(hop1_slots_, env_->agent(i).hop1.size());
+    hop2_slots_ = std::max(hop2_slots_, env_->agent(i).hop2.size());
+  }
+  if (config_.critic_hops < 1) hop1_slots_ = 0;
+  if (config_.critic_hops < 2) hop2_slots_ = 0;
+  critic_input_dim_ = env_->obs_dim() +
+                      (hop1_slots_ + hop2_slots_) * env::TscEnv::kNeighborFeatDim;
+
+  const std::size_t num_models = config_.parameter_sharing ? 1 : n;
+  const std::size_t max_phases = env_->config().max_phases;
+  for (std::size_t m = 0; m < num_models; ++m) {
+    actors_.push_back(std::make_unique<CoordinatedActor>(
+        env_->obs_dim(), config_.msg_dim, config_.hidden, max_phases, rng_));
+    critics_.push_back(
+        std::make_unique<CentralizedCritic>(critic_input_dim_, config_.hidden, rng_));
+    auto params = actors_.back()->parameters();
+    auto critic_params = critics_.back()->parameters();
+    params.insert(params.end(), critic_params.begin(), critic_params.end());
+    nn::Adam::Config adam_config;
+    adam_config.lr = config_.ppo.lr;
+    optims_.push_back(std::make_unique<nn::Adam>(std::move(params), adam_config));
+  }
+}
+
+void PairUpLightTrainer::reset_states(std::vector<AgentState>& states) const {
+  states.assign(env_->num_agents(), AgentState{});
+  for (AgentState& s : states) {
+    s.h_a.assign(config_.hidden, 0.0);
+    s.c_a.assign(config_.hidden, 0.0);
+    s.h_v.assign(config_.hidden, 0.0);
+    s.c_v.assign(config_.hidden, 0.0);
+    s.msg_out.assign(config_.msg_dim, 0.0);
+  }
+}
+
+std::size_t PairUpLightTrainer::pick_partner(std::size_t agent) {
+  const auto& upstream = env_->agent(agent).upstream;
+  switch (config_.pairing) {
+    case PairingStrategy::kMostCongestedUpstream:
+      return env_->most_congested_upstream(agent);
+    case PairingStrategy::kSelf:
+      return agent;
+    case PairingStrategy::kRandomNeighbor:
+      if (upstream.empty()) return agent;
+      return upstream[rng_.uniform_int(upstream.size())];
+    case PairingStrategy::kFixedUpstream:
+      return upstream.empty() ? agent : upstream.front();
+  }
+  return agent;
+}
+
+std::vector<double> PairUpLightTrainer::actor_input(
+    std::size_t agent, std::size_t partner,
+    const std::vector<AgentState>& states) const {
+  std::vector<double> input = env_->local_obs(agent);
+  if (config_.comm_enabled) {
+    const auto& msg = states[partner].msg_out;
+    input.insert(input.end(), msg.begin(), msg.end());
+  } else {
+    input.insert(input.end(), config_.msg_dim, 0.0);
+  }
+  return input;
+}
+
+std::vector<double> PairUpLightTrainer::critic_input(std::size_t agent) const {
+  std::vector<double> input = env_->local_obs(agent);
+  const env::AgentSpec& spec = env_->agent(agent);
+  const std::size_t feat = env::TscEnv::kNeighborFeatDim;
+  for (std::size_t slot = 0; slot < hop1_slots_; ++slot) {
+    if (slot < spec.hop1.size()) {
+      const auto f = env_->neighbor_feat(spec.hop1[slot]);
+      input.insert(input.end(), f.begin(), f.end());
+    } else {
+      input.insert(input.end(), feat, 0.0);  // padding (paper section V-B)
+    }
+  }
+  for (std::size_t slot = 0; slot < hop2_slots_; ++slot) {
+    if (slot < spec.hop2.size()) {
+      const auto f = env_->neighbor_feat(spec.hop2[slot]);
+      input.insert(input.end(), f.begin(), f.end());
+    } else {
+      input.insert(input.end(), feat, 0.0);
+    }
+  }
+  assert(input.size() == critic_input_dim_);
+  return input;
+}
+
+double PairUpLightTrainer::current_epsilon() const {
+  return rl::epsilon_at(episode_, config_.ppo);
+}
+
+PairUpLightTrainer::StepDecision PairUpLightTrainer::decide(
+    std::vector<AgentState>& states, bool explore, rl::RolloutBuffer* buffer,
+    Rng* sample_rng) {
+  const std::size_t n = env_->num_agents();
+  StepDecision decision;
+  decision.actions.resize(n);
+  decision.log_probs.resize(n);
+  decision.values.resize(n);
+
+  // Gather inputs before any state mutation (messages are the previous
+  // step's outputs for everyone, matching Algorithm 1's synchronous sweep).
+  std::vector<std::vector<double>> a_inputs(n), v_inputs(n);
+  last_partners_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    last_partners_[i] = pick_partner(i);
+    a_inputs[i] = actor_input(i, last_partners_[i], states);
+    v_inputs[i] = critic_input(i);
+  }
+
+  // Group agents by model so shared mode runs one batched forward.
+  std::vector<std::vector<std::size_t>> groups(actors_.size());
+  for (std::size_t i = 0; i < n; ++i) groups[model_of(i)].push_back(i);
+
+  for (std::size_t m = 0; m < groups.size(); ++m) {
+    const auto& members = groups[m];
+    if (members.empty()) continue;
+    const std::size_t batch = members.size();
+
+    Tape tape;
+    std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
+        vi_rows(batch), hv_rows(batch), cv_rows(batch);
+    std::vector<std::size_t> phase_counts(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t i = members[b];
+      in_rows[b] = a_inputs[i];
+      ha_rows[b] = states[i].h_a;
+      ca_rows[b] = states[i].c_a;
+      vi_rows[b] = v_inputs[i];
+      hv_rows[b] = states[i].h_v;
+      cv_rows[b] = states[i].c_v;
+      phase_counts[b] = env_->agent(i).num_phases;
+    }
+    CoordinatedActor& actor = *actors_[m];
+    CentralizedCritic& critic = *critics_[m];
+
+    Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
+    Var h_a = tape.constant(pack_rows(ha_rows, config_.hidden));
+    Var c_a = tape.constant(pack_rows(ca_rows, config_.hidden));
+    auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+    Var probs = tape.softmax_rows(actor_out.logits);
+    Var logp = tape.log_softmax_rows(actor_out.logits);
+
+    Var v_input = tape.constant(pack_rows(vi_rows, critic_input_dim_));
+    Var h_v = tape.constant(pack_rows(hv_rows, config_.hidden));
+    Var c_v = tape.constant(pack_rows(cv_rows, config_.hidden));
+    auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+
+    const Tensor& probs_t = tape.value(probs);
+    const Tensor& logp_t = tape.value(logp);
+    const Tensor& msg_t = tape.value(actor_out.message);
+    const Tensor& ha_t = tape.value(actor_out.state.h);
+    const Tensor& ca_t = tape.value(actor_out.state.c);
+    const Tensor& hv_t = tape.value(critic_out.state.h);
+    const Tensor& cv_t = tape.value(critic_out.state.c);
+    const Tensor& val_t = tape.value(critic_out.value);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t i = members[b];
+      const std::size_t num_phases = phase_counts[b];
+
+      // Action selection.
+      std::size_t action;
+      if (!explore) {
+        if (sample_rng != nullptr) {
+          // Stochastic evaluation: draw from the learned policy with the
+          // caller's deterministic stream.
+          std::vector<double> w(num_phases);
+          for (std::size_t p = 0; p < num_phases; ++p) w[p] = probs_t.at(b, p);
+          action = sample_rng->categorical(w);
+        } else {
+          action = 0;
+          for (std::size_t p = 1; p < num_phases; ++p)
+            if (probs_t.at(b, p) > probs_t.at(b, action)) action = p;
+        }
+      } else if (config_.ppo.sample_actions) {
+        std::vector<double> w(num_phases);
+        for (std::size_t p = 0; p < num_phases; ++p) w[p] = probs_t.at(b, p);
+        action = rng_.categorical(w);
+      } else {
+        // Paper Algorithm 1: epsilon-greedy over the policy's argmax.
+        if (rng_.bernoulli(current_epsilon())) {
+          action = rng_.uniform_int(num_phases);
+        } else {
+          action = 0;
+          for (std::size_t p = 1; p < num_phases; ++p)
+            if (probs_t.at(b, p) > probs_t.at(b, action)) action = p;
+        }
+      }
+
+      decision.actions[i] = action;
+      decision.log_probs[i] = logp_t.at(b, action);
+      decision.values[i] = val_t.at(b, 0);
+
+      if (buffer != nullptr) {
+        rl::Sample sample;
+        sample.obs = a_inputs[i];
+        sample.critic_obs = v_inputs[i];
+        sample.h_actor = states[i].h_a;
+        sample.c_actor = states[i].c_a;
+        sample.h_critic = states[i].h_v;
+        sample.c_critic = states[i].c_v;
+        sample.action = action;
+        sample.phase_count = num_phases;
+        sample.log_prob = decision.log_probs[i];
+        sample.value = decision.values[i];
+        buffer->add(i, std::move(sample));
+      }
+
+      // Advance recurrent state and regularize the outgoing message:
+      // m_hat = Logistic(N(m, sigma)); noiseless at evaluation time.
+      states[i].h_a = extract_row(ha_t, b);
+      states[i].c_a = extract_row(ca_t, b);
+      states[i].h_v = extract_row(hv_t, b);
+      states[i].c_v = extract_row(cv_t, b);
+      for (std::size_t k = 0; k < config_.msg_dim; ++k) {
+        const double raw = msg_t.at(b, k);
+        const double noisy =
+            explore ? rng_.normal(raw, config_.msg_sigma) : raw;
+        states[i].msg_out[k] = 1.0 / (1.0 + std::exp(-noisy));
+      }
+    }
+  }
+  last_messages_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) last_messages_[i] = states[i].msg_out;
+  return decision;
+}
+
+void PairUpLightTrainer::save_checkpoint(const std::string& prefix) {
+  for (std::size_t m = 0; m < actors_.size(); ++m) {
+    nn::save_weights(*actors_[m], prefix + "_actor" + std::to_string(m) + ".bin");
+    nn::save_weights(*critics_[m], prefix + "_critic" + std::to_string(m) + ".bin");
+  }
+}
+
+void PairUpLightTrainer::load_checkpoint(const std::string& prefix) {
+  for (std::size_t m = 0; m < actors_.size(); ++m) {
+    nn::load_weights(*actors_[m], prefix + "_actor" + std::to_string(m) + ".bin");
+    nn::load_weights(*critics_[m], prefix + "_critic" + std::to_string(m) + ".bin");
+  }
+}
+
+env::EpisodeStats PairUpLightTrainer::run(bool train_mode, std::uint64_t seed) {
+  env_->reset(seed);
+  std::vector<AgentState> states;
+  reset_states(states);
+  rl::RolloutBuffer buffer(env_->num_agents());
+  rl::RolloutBuffer* buffer_ptr = train_mode ? &buffer : nullptr;
+
+  Rng eval_rng(seed ^ env::kEvalSampleSalt);
+  Rng* sample_rng =
+      (!train_mode && !config_.greedy_eval) ? &eval_rng : nullptr;
+
+  double reward_sum = 0.0;
+  std::size_t reward_count = 0;
+  while (!env_->done()) {
+    StepDecision decision = decide(states, train_mode, buffer_ptr, sample_rng);
+    const auto rewards = env_->step(decision.actions);
+    for (std::size_t i = 0; i < rewards.size(); ++i) {
+      reward_sum += rewards[i];
+      ++reward_count;
+    }
+    if (buffer_ptr != nullptr) {
+      for (std::size_t i = 0; i < rewards.size(); ++i)
+        buffer.last(i).reward = rewards[i];
+    }
+  }
+
+  if (train_mode) {
+    // Bootstrap V(s_T) per agent (Algorithm 1 line 24).
+    StepDecision boot = decide(states, /*explore=*/false, nullptr);
+    for (std::size_t i = 0; i < env_->num_agents(); ++i)
+      buffer.finish_agent(i, boot.values[i], config_.ppo.gamma, config_.ppo.lambda);
+    update(buffer);
+    ++episode_;
+  }
+
+  env::EpisodeStats stats;
+  stats.avg_wait = env_->episode_avg_wait();
+  stats.travel_time = env_->average_travel_time();
+  stats.mean_reward =
+      reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
+  stats.vehicles_finished = env_->simulator().vehicles_finished();
+  stats.vehicles_spawned = env_->simulator().vehicles_spawned();
+  return stats;
+}
+
+env::EpisodeStats PairUpLightTrainer::train_episode() {
+  return run(/*train_mode=*/true, episode_seed_ + episode_);
+}
+
+env::EpisodeStats PairUpLightTrainer::eval_episode(std::uint64_t seed) {
+  return run(/*train_mode=*/false, seed);
+}
+
+void PairUpLightTrainer::update(rl::RolloutBuffer& buffer) {
+  auto all = buffer.flatten(config_.ppo.normalize_advantages);
+  if (config_.parameter_sharing) {
+    update_model(0, all);
+  } else {
+    for (std::size_t i = 0; i < env_->num_agents(); ++i) {
+      std::vector<const rl::Sample*> mine;
+      for (const rl::Sample& s : buffer.agent_samples(i)) mine.push_back(&s);
+      update_model(i, mine);
+    }
+  }
+}
+
+void PairUpLightTrainer::update_model(std::size_t model,
+                                      const std::vector<const rl::Sample*>& samples) {
+  if (samples.empty()) return;
+  CoordinatedActor& actor = *actors_[model];
+  CentralizedCritic& critic = *critics_[model];
+  auto actor_params = actor.parameters();
+  auto critic_params = critic.parameters();
+  std::vector<nn::Parameter*> all_params = actor_params;
+  all_params.insert(all_params.end(), critic_params.begin(), critic_params.end());
+
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const std::size_t minibatch = std::max<std::size_t>(1, config_.ppo.minibatch);
+  for (std::size_t epoch = 0; epoch < config_.ppo.epochs; ++epoch) {
+    // Fisher-Yates shuffle with the trainer's deterministic stream.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng_.uniform_int(i)]);
+
+    for (std::size_t start = 0; start < order.size(); start += minibatch) {
+      const std::size_t end = std::min(order.size(), start + minibatch);
+      const std::size_t batch = end - start;
+
+      std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
+          vi_rows(batch), hv_rows(batch), cv_rows(batch);
+      std::vector<std::size_t> actions(batch), phase_counts(batch);
+      std::vector<double> old_logp(batch), advantages(batch), returns(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const rl::Sample& s = *samples[order[start + b]];
+        in_rows[b] = s.obs;
+        ha_rows[b] = s.h_actor;
+        ca_rows[b] = s.c_actor;
+        vi_rows[b] = s.critic_obs;
+        hv_rows[b] = s.h_critic;
+        cv_rows[b] = s.c_critic;
+        actions[b] = s.action;
+        old_logp[b] = s.log_prob;
+        advantages[b] = s.advantage;
+        returns[b] = s.ret;
+        phase_counts[b] = s.phase_count;
+      }
+
+      Tape tape;
+      Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
+      Var h_a = tape.constant(pack_rows(ha_rows, config_.hidden));
+      Var c_a = tape.constant(pack_rows(ca_rows, config_.hidden));
+      auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+      Var logp_all = tape.log_softmax_rows(actor_out.logits);
+      Var new_logp = tape.gather_cols(logp_all, actions);
+      Var entropy = rl::policy_entropy(tape, actor_out.logits);
+
+      Var v_input = tape.constant(pack_rows(vi_rows, critic_input_dim_));
+      Var h_v = tape.constant(pack_rows(hv_rows, config_.hidden));
+      Var c_v = tape.constant(pack_rows(cv_rows, config_.hidden));
+      auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+
+      Var loss = rl::ppo_total_loss(tape, new_logp, entropy, critic_out.value,
+                                    old_logp, advantages, returns, config_.ppo);
+      actor.zero_grad();
+      critic.zero_grad();
+      tape.backward(loss);
+      nn::clip_grad_norm(all_params, config_.ppo.max_grad_norm);
+      optims_[model]->step();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy inference controller.
+
+class PairUpController : public env::Controller {
+ public:
+  explicit PairUpController(PairUpLightTrainer* trainer) : trainer_(trainer) {}
+
+  void begin_episode(const env::TscEnv& env) override {
+    trainer_->reset_states(states_);
+    rng_ = Rng(env.episode_seed() ^ env::kEvalSampleSalt);
+  }
+
+  std::vector<std::size_t> act(const env::TscEnv& env) override {
+    (void)env;  // the trainer references the same environment
+    Rng* sample_rng = trainer_->config().greedy_eval ? nullptr : &rng_;
+    return trainer_->decide(states_, /*explore=*/false, nullptr, sample_rng)
+        .actions;
+  }
+
+  std::string name() const override {
+    return trainer_->config().comm_enabled ? "PairUpLight" : "PairUpLight-NoComm";
+  }
+
+ private:
+  PairUpLightTrainer* trainer_;
+  std::vector<PairUpLightTrainer::AgentState> states_;
+  Rng rng_{0};
+};
+
+std::unique_ptr<env::Controller> PairUpLightTrainer::make_controller() {
+  return std::make_unique<PairUpController>(this);
+}
+
+}  // namespace tsc::core

@@ -1,0 +1,155 @@
+// PairUpLight training loop (paper Algorithm 1).
+//
+// Centralized Training, Decentralized Execution: a (by default shared)
+// coordinated actor and centralized critic are trained with PPO + GAE over
+// multi-agent rollouts. At every step each agent pairs up with its most
+// congested upstream neighbor (falling back to itself) and receives that
+// partner's previous outgoing message, regularized as
+//     m_hat = Logistic(N(m, sigma))        (Algorithm 1 line 16)
+// During evaluation the noise is dropped (m_hat = logistic(m)) and actions
+// are greedy.
+//
+// Recurrent PPO uses stored hidden states: the h/c recorded during the
+// rollout are replayed as fixed inputs in the update, so minibatch samples
+// stay independent (see rl/rollout.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/actor.hpp"
+#include "src/core/critic.hpp"
+#include "src/env/controller.hpp"
+#include "src/env/env.hpp"
+#include "src/nn/optim.hpp"
+#include "src/rl/ppo.hpp"
+#include "src/rl/rollout.hpp"
+
+namespace tsc::core {
+
+/// Who an agent listens to (ablation of the paper's section V-B design;
+/// the paper's choice is kMostCongestedUpstream).
+enum class PairingStrategy {
+  kMostCongestedUpstream,  ///< paper: congestion-first upstream neighbor
+  kSelf,                   ///< listen to own previous message only
+  kRandomNeighbor,         ///< uniformly random upstream neighbor per step
+  kFixedUpstream,          ///< first upstream neighbor, never re-paired
+};
+
+struct PairUpConfig {
+  rl::PpoConfig ppo;
+  std::size_t hidden = 64;
+  std::size_t msg_dim = 1;      ///< communication bandwidth (Fig. 11: 1 vs 2)
+  double msg_sigma = 0.1;       ///< regularizer noise std during training
+  bool comm_enabled = true;     ///< false = no-communication ablation (Fig. 8)
+  PairingStrategy pairing = PairingStrategy::kMostCongestedUpstream;
+  /// Evaluation action rule. PPO learns a stochastic policy, so by default
+  /// evaluation SAMPLES from it (with a deterministic per-episode stream);
+  /// a barely-trained policy's argmax can freeze a phase and gridlock.
+  /// Set true to evaluate the argmax policy instead.
+  bool greedy_eval = false;
+  /// Neighbor rings fed to the centralized critic: 0 = local only,
+  /// 1 = +one-hop, 2 = +two-hop (the paper's design).
+  std::size_t critic_hops = 2;
+  /// One shared actor/critic for all agents (homogeneous grids) or one per
+  /// agent (heterogeneous networks, paper section VI-D).
+  bool parameter_sharing = true;
+  std::uint64_t seed = 1;
+};
+
+class PairUpLightTrainer {
+ public:
+  /// `env` must outlive the trainer.
+  PairUpLightTrainer(env::TscEnv* env, PairUpConfig config);
+
+  /// One training episode: rollout (with exploration + message noise),
+  /// then a PPO update. Episode seeds advance deterministically.
+  env::EpisodeStats train_episode();
+
+  /// One greedy episode without learning or exploration noise.
+  env::EpisodeStats eval_episode(std::uint64_t seed);
+
+  /// Stateful greedy controller over the trained policy (for the shared
+  /// evaluation harness). The controller references this trainer's
+  /// networks; the trainer must outlive it.
+  std::unique_ptr<env::Controller> make_controller();
+
+  std::size_t episodes_trained() const { return episode_; }
+  const PairUpConfig& config() const { return config_; }
+  std::size_t critic_input_dim() const { return critic_input_dim_; }
+  std::size_t num_models() const { return actors_.size(); }
+  CoordinatedActor& actor(std::size_t model = 0) { return *actors_.at(model); }
+  CentralizedCritic& critic(std::size_t model = 0) { return *critics_.at(model); }
+
+  /// Bits each agent receives from other intersections per decision step
+  /// (Table IV): msg_dim 32-bit values from exactly one neighbor.
+  std::size_t comm_bits_per_step() const { return config_.msg_dim * 32; }
+
+  /// Regularized outgoing messages (one per agent) recorded at the last
+  /// decision of train_episode()/eval_episode() - for protocol inspection.
+  const std::vector<std::vector<double>>& last_messages() const {
+    return last_messages_;
+  }
+  /// Pairing partner chosen for each agent at the last decision.
+  const std::vector<std::size_t>& last_partners() const { return last_partners_; }
+
+  /// Checkpoints every model to `<prefix>_actor<k>.bin` /
+  /// `<prefix>_critic<k>.bin`. load_checkpoint restores them (the trainer
+  /// must have been constructed with an identical config/environment).
+  void save_checkpoint(const std::string& prefix);
+  void load_checkpoint(const std::string& prefix);
+
+ private:
+  friend class PairUpController;
+
+  /// Per-agent recurrent + message runtime state.
+  struct AgentState {
+    std::vector<double> h_a, c_a;      ///< actor LSTM state
+    std::vector<double> h_v, c_v;      ///< critic LSTM state
+    std::vector<double> msg_out;       ///< last regularized outgoing message
+  };
+
+  std::size_t model_of(std::size_t agent) const {
+    return config_.parameter_sharing ? 0 : agent;
+  }
+  void reset_states(std::vector<AgentState>& states) const;
+  /// Communication partner of `agent` under the configured strategy.
+  std::size_t pick_partner(std::size_t agent);
+  std::vector<double> actor_input(std::size_t agent, std::size_t partner,
+                                  const std::vector<AgentState>& states) const;
+  std::vector<double> critic_input(std::size_t agent) const;
+
+  /// One decision for every agent; fills per-agent outputs. When `explore`
+  /// is set, actions follow the configured exploration rule and messages
+  /// get regularizer noise; otherwise greedy + noiseless.
+  struct StepDecision {
+    std::vector<std::size_t> actions;
+    std::vector<double> log_probs;
+    std::vector<double> values;
+  };
+  /// `sample_rng`: when non-null and not exploring, actions are sampled
+  /// from the policy with this stream (stochastic evaluation); when null,
+  /// non-exploring decisions take the argmax.
+  StepDecision decide(std::vector<AgentState>& states, bool explore,
+                      rl::RolloutBuffer* buffer, Rng* sample_rng = nullptr);
+
+  env::EpisodeStats run(bool train_mode, std::uint64_t seed);
+  void update(rl::RolloutBuffer& buffer);
+  void update_model(std::size_t model, const std::vector<const rl::Sample*>& samples);
+  double current_epsilon() const;
+
+  env::TscEnv* env_;
+  PairUpConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<CoordinatedActor>> actors_;
+  std::vector<std::unique_ptr<CentralizedCritic>> critics_;
+  std::vector<std::unique_ptr<nn::Adam>> optims_;
+  std::size_t hop1_slots_ = 0, hop2_slots_ = 0;
+  std::size_t critic_input_dim_ = 0;
+  std::size_t episode_ = 0;
+  std::uint64_t episode_seed_ = 0;
+  std::vector<std::vector<double>> last_messages_;
+  std::vector<std::size_t> last_partners_;
+};
+
+}  // namespace tsc::core

@@ -1,0 +1,82 @@
+// Reusable training orchestration over any of this repo's trainers
+// (PairUpLightTrainer, SingleAgentPpoTrainer, Ma2cTrainer, CoLightTrainer -
+// anything with train_episode()/eval_episode()). Handles periodic greedy
+// evaluation, CSV logging, and best-checkpoint tracking (for trainers that
+// support save_checkpoint).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/env/controller.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/log.hpp"
+
+namespace tsc::core {
+
+struct TrainingLoopConfig {
+  std::size_t episodes = 100;
+  /// Greedy evaluation every N training episodes (0 = never).
+  std::size_t eval_every = 10;
+  std::uint64_t eval_seed = 424242;
+  /// CSV path for the per-episode log ("" = no log).
+  std::string log_csv;
+  /// Checkpoint prefix for the best-eval model ("" = no checkpointing;
+  /// ignored for trainers without save_checkpoint()).
+  std::string best_checkpoint_prefix;
+};
+
+struct TrainingLoopResult {
+  std::vector<env::EpisodeStats> train_history;
+  /// (episode index, stats) for each evaluation run.
+  std::vector<std::pair<std::size_t, env::EpisodeStats>> eval_history;
+  double best_eval_wait = std::numeric_limits<double>::infinity();
+  std::size_t best_episode = 0;
+};
+
+template <typename Trainer>
+TrainingLoopResult run_training_loop(Trainer& trainer,
+                                     const TrainingLoopConfig& config) {
+  TrainingLoopResult result;
+  std::unique_ptr<CsvWriter> log;
+  if (!config.log_csv.empty()) {
+    log = std::make_unique<CsvWriter>(config.log_csv);
+    log->write_header({"episode", "kind", "avg_wait", "travel_time", "mean_reward"});
+  }
+
+  for (std::size_t e = 0; e < config.episodes; ++e) {
+    const env::EpisodeStats train_stats = trainer.train_episode();
+    result.train_history.push_back(train_stats);
+    if (log)
+      log->write_row(e, "train", train_stats.avg_wait, train_stats.travel_time,
+                     train_stats.mean_reward);
+
+    const bool eval_due =
+        config.eval_every != 0 &&
+        ((e + 1) % config.eval_every == 0 || e + 1 == config.episodes);
+    if (!eval_due) continue;
+
+    const env::EpisodeStats eval_stats = trainer.eval_episode(config.eval_seed);
+    result.eval_history.push_back({e, eval_stats});
+    if (log)
+      log->write_row(e, "eval", eval_stats.avg_wait, eval_stats.travel_time,
+                     eval_stats.mean_reward);
+    log_info("training loop: episode ", e, " eval avg wait ", eval_stats.avg_wait,
+             " s");
+
+    if (eval_stats.avg_wait < result.best_eval_wait) {
+      result.best_eval_wait = eval_stats.avg_wait;
+      result.best_episode = e;
+      if constexpr (requires { trainer.save_checkpoint(std::string{}); }) {
+        if (!config.best_checkpoint_prefix.empty())
+          trainer.save_checkpoint(config.best_checkpoint_prefix);
+      }
+    }
+  }
+  if (log) log->flush();
+  return result;
+}
+
+}  // namespace tsc::core

@@ -1,0 +1,64 @@
+#include "src/env/controller.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc::env {
+
+EpisodeStats run_episode(TscEnv& env, Controller& controller, std::uint64_t seed) {
+  env.reset(seed);
+  controller.begin_episode(env);
+  double reward_sum = 0.0;
+  std::size_t reward_count = 0;
+  while (!env.done()) {
+    const auto actions = controller.act(env);
+    const auto rewards = env.step(actions);
+    for (double r : rewards) reward_sum += r;
+    reward_count += rewards.size();
+  }
+  EpisodeStats stats;
+  stats.avg_wait = env.episode_avg_wait();
+  stats.travel_time = env.average_travel_time();
+  stats.mean_reward = reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
+  stats.vehicles_finished = env.simulator().vehicles_finished();
+  stats.vehicles_spawned = env.simulator().vehicles_spawned();
+  return stats;
+}
+
+AggregateStats run_episodes(TscEnv& env, Controller& controller,
+                            const std::vector<std::uint64_t>& seeds) {
+  if (seeds.empty()) throw std::invalid_argument("run_episodes: no seeds");
+  std::vector<EpisodeStats> all;
+  all.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) all.push_back(run_episode(env, controller, seed));
+
+  AggregateStats agg;
+  agg.runs = all.size();
+  const double n = static_cast<double>(all.size());
+  for (const EpisodeStats& s : all) {
+    agg.mean.avg_wait += s.avg_wait / n;
+    agg.mean.travel_time += s.travel_time / n;
+    agg.mean.mean_reward += s.mean_reward / n;
+    agg.mean.vehicles_finished += s.vehicles_finished;
+    agg.mean.vehicles_spawned += s.vehicles_spawned;
+  }
+  agg.mean.vehicles_finished /= all.size();
+  agg.mean.vehicles_spawned /= all.size();
+  if (all.size() > 1) {
+    double wait_var = 0.0, tt_var = 0.0, reward_var = 0.0;
+    for (const EpisodeStats& s : all) {
+      wait_var += (s.avg_wait - agg.mean.avg_wait) * (s.avg_wait - agg.mean.avg_wait);
+      tt_var += (s.travel_time - agg.mean.travel_time) *
+                (s.travel_time - agg.mean.travel_time);
+      reward_var += (s.mean_reward - agg.mean.mean_reward) *
+                    (s.mean_reward - agg.mean.mean_reward);
+    }
+    const double denom = n - 1.0;
+    agg.stddev.avg_wait = std::sqrt(wait_var / denom);
+    agg.stddev.travel_time = std::sqrt(tt_var / denom);
+    agg.stddev.mean_reward = std::sqrt(reward_var / denom);
+  }
+  return agg;
+}
+
+}  // namespace tsc::env

@@ -1,0 +1,55 @@
+// Uniform controller interface so fixed-time, single-agent RL, MARL
+// baselines, and PairUpLight can all be evaluated by the same harness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/env/env.hpp"
+
+namespace tsc::env {
+
+/// Per-episode summary used by training curves and evaluation tables.
+struct EpisodeStats {
+  double avg_wait = 0.0;       ///< mean over steps of network avg waiting time
+  double travel_time = 0.0;    ///< average travel time (unfinished charged)
+  double mean_reward = 0.0;    ///< mean per-agent per-step reward
+  std::size_t vehicles_finished = 0;
+  std::size_t vehicles_spawned = 0;
+};
+
+/// Salt mixed into env.episode_seed() to derive the deterministic sampling
+/// stream stochastic policies use during evaluation. Shared by the trainers
+/// and their controllers so `trainer.eval_episode(s)` and
+/// `run_episode(env, *trainer.make_controller(), s)` take identical actions.
+inline constexpr std::uint64_t kEvalSampleSalt = 0x5EED5A17ULL;
+
+/// A (possibly stateful) signal-control policy in inference mode.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  /// Called after env.reset(); clear recurrent state here.
+  virtual void begin_episode(const TscEnv& env) { (void)env; }
+  /// One phase index per agent for the current state.
+  virtual std::vector<std::size_t> act(const TscEnv& env) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Runs one full episode of `controller` on `env` (resetting with `seed`)
+/// and returns the episode statistics.
+EpisodeStats run_episode(TscEnv& env, Controller& controller, std::uint64_t seed);
+
+/// Mean and sample standard deviation of episode stats over several seeds -
+/// for statistically meaningful comparisons between controllers.
+struct AggregateStats {
+  EpisodeStats mean;
+  EpisodeStats stddev;  ///< 0 when fewer than two seeds
+  std::size_t runs = 0;
+};
+
+/// Runs one episode per seed and aggregates. Requires at least one seed.
+AggregateStats run_episodes(TscEnv& env, Controller& controller,
+                            const std::vector<std::uint64_t>& seeds);
+
+}  // namespace tsc::env

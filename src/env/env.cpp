@@ -1,0 +1,188 @@
+#include "src/env/env.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace tsc::env {
+
+TscEnv::TscEnv(const sim::RoadNetwork* net, std::vector<sim::FlowSpec> flows,
+               EnvConfig config, std::uint64_t seed)
+    : net_(net), config_(config), sim_(net, std::move(flows), sim::SimConfig{}, seed) {
+  const auto nodes = net_->signalized_nodes();
+  agent_of_node_.assign(net_->num_nodes(), -1);
+  agents_.reserve(nodes.size());
+  for (sim::NodeId node : nodes) {
+    AgentSpec spec;
+    spec.node = node;
+    spec.num_phases = net_->node(node).phases.size();
+    if (spec.num_phases > config_.max_phases)
+      throw std::invalid_argument("TscEnv: node exceeds max_phases");
+    if (net_->node(node).in_links.size() > config_.max_in_links)
+      throw std::invalid_argument("TscEnv: node exceeds max_in_links");
+    agent_of_node_[node] = static_cast<std::int32_t>(agents_.size());
+    agents_.push_back(std::move(spec));
+  }
+  // Neighbor graphs (indices into agents_).
+  for (AgentSpec& spec : agents_) {
+    for (sim::NodeId nb : net_->neighbor_signalized(spec.node))
+      spec.hop1.push_back(static_cast<std::size_t>(agent_of_node_[nb]));
+    for (sim::NodeId nb : net_->upstream_signalized(spec.node))
+      spec.upstream.push_back(static_cast<std::size_t>(agent_of_node_[nb]));
+    std::set<std::size_t> two_hop;
+    for (std::size_t nb : spec.hop1)
+      for (sim::NodeId nb2 : net_->neighbor_signalized(agents_[nb].node))
+        two_hop.insert(static_cast<std::size_t>(agent_of_node_[nb2]));
+    const std::size_t self = static_cast<std::size_t>(agent_of_node_[spec.node]);
+    two_hop.erase(self);
+    for (std::size_t nb : spec.hop1) two_hop.erase(nb);
+    spec.hop2.assign(two_hop.begin(), two_hop.end());
+  }
+}
+
+std::size_t TscEnv::obs_dim() const {
+  return 2 * config_.max_in_links + config_.max_phases + 1;
+}
+
+void TscEnv::reset(std::uint64_t seed) {
+  sim_.reset(seed);
+  episode_seed_ = seed;
+  steps_ = 0;
+  wait_history_.clear();
+  fault_rng_ = Rng(seed ^ 0xFA417ULL);
+  resample_sensor_faults();
+}
+
+void TscEnv::set_flows(std::vector<sim::FlowSpec> flows, std::uint64_t seed) {
+  sim_ = sim::Simulator(net_, std::move(flows), sim_.config(), seed);
+  episode_seed_ = seed;
+  steps_ = 0;
+  wait_history_.clear();
+  fault_rng_ = Rng(seed ^ 0xFA417ULL);
+  resample_sensor_faults();
+}
+
+void TscEnv::resample_sensor_faults() {
+  const bool clean = config_.sensor_noise_std == 0.0 && config_.sensor_dropout == 0.0;
+  if (clean) {
+    sensor_failed_.assign(net_->num_links(), false);
+    sensor_noise_.assign(net_->num_links(), 0.0);
+    return;
+  }
+  sensor_failed_.resize(net_->num_links());
+  sensor_noise_.resize(net_->num_links());
+  for (std::size_t l = 0; l < net_->num_links(); ++l) {
+    sensor_failed_[l] = fault_rng_.bernoulli(config_.sensor_dropout);
+    sensor_noise_[l] = config_.sensor_noise_std > 0.0
+                           ? fault_rng_.normal(0.0, config_.sensor_noise_std)
+                           : 0.0;
+  }
+}
+
+bool TscEnv::done() const { return sim_.now() >= config_.episode_seconds - 1e-9; }
+
+std::vector<double> TscEnv::step(const std::vector<std::size_t>& actions) {
+  if (actions.size() != agents_.size())
+    throw std::invalid_argument("TscEnv::step: wrong action count");
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (actions[i] >= agents_[i].num_phases)
+      throw std::out_of_range("TscEnv::step: phase index out of range");
+    sim_.set_phase(agents_[i].node, actions[i]);
+  }
+  sim_.step_seconds(config_.action_duration);
+  ++steps_;
+  wait_history_.push_back(sim_.network_avg_wait());
+  resample_sensor_faults();
+
+  std::vector<double> rewards(agents_.size());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const sim::NodeId node = agents_[i].node;
+    const double halting = sim_.intersection_halting(node);
+    const double max_wait = sim_.intersection_max_head_wait(node);
+    rewards[i] = -config_.reward_scale * (halting + max_wait);
+  }
+  return rewards;
+}
+
+std::vector<double> TscEnv::local_obs(std::size_t i) const {
+  const AgentSpec& spec = agents_.at(i);
+  const sim::Node& node = net_->node(spec.node);
+  std::vector<double> obs;
+  obs.reserve(obs_dim());
+  for (std::size_t slot = 0; slot < config_.max_in_links; ++slot) {
+    if (slot < node.in_links.size()) {
+      const sim::LinkId link = node.in_links[slot];
+      obs.push_back(observed_pressure(link) / config_.pressure_norm);
+      obs.push_back(observed_head_wait(link) / config_.wait_norm);
+    } else {
+      obs.push_back(0.0);
+      obs.push_back(0.0);
+    }
+  }
+  const sim::SignalController& sig = sim_.signal(spec.node);
+  for (std::size_t p = 0; p < config_.max_phases; ++p)
+    obs.push_back(p == sig.phase() ? 1.0 : 0.0);
+  obs.push_back(std::min(sig.green_elapsed() / 60.0, 2.0));
+  return obs;
+}
+
+double TscEnv::observed_pressure(sim::LinkId link) const {
+  if (!sensor_failed_.empty() && sensor_failed_[link]) return 0.0;
+  const double noise = sensor_noise_.empty() ? 0.0 : sensor_noise_[link];
+  return sim_.link_pressure(link) + noise * config_.pressure_norm;
+}
+
+double TscEnv::observed_queue(sim::LinkId link) const {
+  if (!sensor_failed_.empty() && sensor_failed_[link]) return 0.0;
+  const double noise = sensor_noise_.empty() ? 0.0 : sensor_noise_[link];
+  return std::max(0.0, static_cast<double>(sim_.detector_queue(link)) +
+                           noise * config_.pressure_norm);
+}
+
+double TscEnv::observed_lane_queue(sim::LinkId link, std::uint32_t lane) const {
+  if (!sensor_failed_.empty() && sensor_failed_[link]) return 0.0;
+  const double noise = sensor_noise_.empty() ? 0.0 : sensor_noise_[link];
+  return std::max(0.0, static_cast<double>(sim_.lane_queue(link, lane)) +
+                           noise * config_.pressure_norm);
+}
+
+double TscEnv::observed_head_wait(sim::LinkId link) const {
+  if (!sensor_failed_.empty() && sensor_failed_[link]) return 0.0;
+  const double noise = sensor_noise_.empty() ? 0.0 : sensor_noise_[link];
+  return std::max(0.0, sim_.detector_head_wait(link) + noise * config_.wait_norm);
+}
+
+std::vector<double> TscEnv::neighbor_feat(std::size_t i) const {
+  const sim::NodeId node = agents_.at(i).node;
+  return {sim_.intersection_pressure(node) / config_.pressure_norm,
+          static_cast<double>(sim_.intersection_halting(node)) /
+              config_.pressure_norm};
+}
+
+double TscEnv::congestion_score(std::size_t i) const {
+  return static_cast<double>(sim_.intersection_halting(agents_.at(i).node));
+}
+
+std::size_t TscEnv::most_congested_upstream(std::size_t i) const {
+  const AgentSpec& spec = agents_.at(i);
+  std::size_t best = i;
+  double best_score = congestion_score(i);
+  for (std::size_t up : spec.upstream) {
+    const double score = congestion_score(up);
+    if (score > best_score) {
+      best_score = score;
+      best = up;
+    }
+  }
+  return best;
+}
+
+double TscEnv::episode_avg_wait() const {
+  if (wait_history_.empty()) return 0.0;
+  double total = 0.0;
+  for (double w : wait_history_) total += w;
+  return total / static_cast<double>(wait_history_.size());
+}
+
+}  // namespace tsc::env

@@ -1,0 +1,136 @@
+// Gym-style multi-agent traffic-signal-control environment over the
+// link-queue simulator.
+//
+// One agent per signalized intersection. Every `action_duration` seconds
+// each agent picks a phase index; the simulator then advances (inserting a
+// yellow clearance when the phase changes) and each agent receives the
+// paper's reward (Eq. 6):
+//     r = -( sum_l halting[l] + max_l wait[l] )
+// evaluated after the action executes.
+//
+// Observations follow Eq. 5 plus signal context: per incoming-link slot
+// (zero-padded to `max_in_links`) the sensor-view link pressure and the
+// head-vehicle waiting time, then the active phase one-hot (padded to
+// `max_phases`) and the normalized green-elapsed time. The phase fields are
+// an implementation necessity (the action is a phase index); the paper's
+// traffic-state fields are exactly pressure + head wait.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace tsc::env {
+
+struct EnvConfig {
+  double action_duration = 5.0;    ///< seconds per decision (paper: 5 s phases)
+  double episode_seconds = 3600.0;
+  std::size_t max_in_links = 4;    ///< observation padding slots
+  std::size_t max_phases = 8;      ///< phase one-hot padding
+  double reward_scale = 0.05;      ///< multiplies Eq. 6 (training stability)
+  double pressure_norm = 10.0;     ///< obs normalizers
+  double wait_norm = 60.0;
+
+  // Sensor-failure injection (robustness experiments; 0 = clean sensors).
+  // Faults perturb only what agents OBSERVE, never the simulator state or
+  // the reward bookkeeping, mirroring real detector faults.
+  double sensor_noise_std = 0.0;  ///< additive Gaussian noise on normalized obs
+  double sensor_dropout = 0.0;    ///< P(per link per step the sensor reads 0)
+};
+
+/// Static description of one agent (intersection).
+struct AgentSpec {
+  sim::NodeId node = sim::kInvalidId;
+  std::size_t num_phases = 0;
+  std::vector<std::size_t> hop1;  ///< agent indices of 1-hop signalized neighbors
+  std::vector<std::size_t> hop2;  ///< 2-hop (excluding self and hop1)
+  std::vector<std::size_t> upstream;  ///< agent indices with a link into this node
+};
+
+class TscEnv {
+ public:
+  /// `net` must outlive the environment.
+  TscEnv(const sim::RoadNetwork* net, std::vector<sim::FlowSpec> flows,
+         EnvConfig config, std::uint64_t seed);
+
+  std::size_t num_agents() const { return agents_.size(); }
+  const AgentSpec& agent(std::size_t i) const { return agents_.at(i); }
+  const EnvConfig& config() const { return config_; }
+
+  /// Width of local_obs vectors (fixed across agents).
+  std::size_t obs_dim() const;
+  /// Width of neighbor_feat vectors (compact per-intersection summary).
+  static constexpr std::size_t kNeighborFeatDim = 2;
+
+  void reset(std::uint64_t seed);
+
+  /// Seed of the current episode (set by reset/set_flows). Controllers use
+  /// it to derive deterministic per-episode sampling streams.
+  std::uint64_t episode_seed() const { return episode_seed_; }
+
+  /// Replaces the traffic demand while keeping the network and agent roster
+  /// (used to evaluate a policy trained on one flow pattern against the
+  /// others, paper section VI-C). Implies reset(seed). Routes are validated
+  /// against the network.
+  void set_flows(std::vector<sim::FlowSpec> flows, std::uint64_t seed);
+
+  bool done() const;
+  double now() const { return sim_.now(); }
+  std::size_t steps_taken() const { return steps_; }
+
+  /// Applies one phase action per agent, advances the simulator by
+  /// action_duration, and returns the per-agent rewards.
+  /// actions[i] must be < agent(i).num_phases.
+  std::vector<double> step(const std::vector<std::size_t>& actions);
+
+  /// Local observation of agent i (Eq. 5 + phase context), normalized.
+  std::vector<double> local_obs(std::size_t i) const;
+
+  // Sensor-view link readings with this step's faults applied (dropout ->
+  // zero reading, Gaussian noise added). ALL controllers - learned or
+  // classic - must read traffic through these, never through the raw
+  // simulator, so fault injection affects every method consistently.
+  double observed_pressure(sim::LinkId link) const;
+  double observed_queue(sim::LinkId link) const;
+  double observed_lane_queue(sim::LinkId link, std::uint32_t lane) const;
+  double observed_head_wait(sim::LinkId link) const;
+  /// Compact features of agent i's intersection for consumption by other
+  /// agents' critics / attention: {pressure, halting}, normalized.
+  std::vector<double> neighbor_feat(std::size_t i) const;
+
+  /// Congestion score used for upstream pairing (halted vehicles on the
+  /// intersection's incoming links).
+  double congestion_score(std::size_t i) const;
+  /// Index of the most congested upstream agent, or i itself when no
+  /// upstream neighbor is more congested (paper section V-B).
+  std::size_t most_congested_upstream(std::size_t i) const;
+
+  sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
+
+  // ---- episode metrics ----
+  /// Mean over steps of the network average waiting time (Fig. 7/8 metric).
+  double episode_avg_wait() const;
+  /// Paper's travel-time metric (unfinished vehicles charged to now()).
+  double average_travel_time() const { return sim_.average_travel_time(); }
+  const std::vector<double>& wait_history() const { return wait_history_; }
+
+ private:
+  /// Resamples this step's per-link sensor faults (no-op with clean config).
+  void resample_sensor_faults();
+
+  const sim::RoadNetwork* net_;
+  EnvConfig config_;
+  sim::Simulator sim_;
+  std::vector<AgentSpec> agents_;
+  std::vector<std::int32_t> agent_of_node_;  // node id -> agent index or -1
+  std::size_t steps_ = 0;
+  std::vector<double> wait_history_;
+  std::uint64_t episode_seed_ = 0;
+  Rng fault_rng_{0};
+  std::vector<bool> sensor_failed_;   // per link, this step
+  std::vector<double> sensor_noise_;  // per link, this step
+};
+
+}  // namespace tsc::env

@@ -1,0 +1,55 @@
+#include "src/nn/gat.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsc::nn {
+
+GatLayer::GatLayer(std::size_t entity_dim, std::size_t out_dim,
+                   std::size_t max_entities, Rng& rng)
+    : entity_dim_(entity_dim), out_dim_(out_dim), max_entities_(max_entities) {
+  w_query_ = std::make_unique<Linear>(entity_dim, out_dim, rng, 1.0);
+  w_key_ = std::make_unique<Linear>(entity_dim, out_dim, rng, 1.0);
+  w_value_ = std::make_unique<Linear>(entity_dim, out_dim, rng, 1.0);
+  w_out_ = std::make_unique<Linear>(out_dim, out_dim, rng, 1.0);
+  register_module(w_query_.get());
+  register_module(w_key_.get());
+  register_module(w_value_.get());
+  register_module(w_out_.get());
+}
+
+Var GatLayer::forward(Tape& tape, Var entities, const std::vector<bool>& mask) {
+  assert(tape.value(entities).rows() == max_entities_);
+  assert(tape.value(entities).cols() == entity_dim_);
+  assert(mask.size() == max_entities_);
+  assert(mask[0] && "row 0 (self) must be a live entity");
+
+  Var query = w_query_->forward(tape, tape.select_row(entities, 0));  // [1, d]
+  Var keys = w_key_->forward(tape, entities);                         // [E, d]
+  Var vals = w_value_->forward(tape, entities);                       // [E, d]
+
+  // scores[1, E] = query @ keys^T / sqrt(d), with -inf on padded slots.
+  // keys^T is realized by per-row dot products via matmul with transposed
+  // layout: we compute query [1,d] @ keys_r [d,E] where keys_r is built from
+  // slices. Cheaper: scores_e = sum(query * key_e) using mul+sum per entity.
+  std::vector<Var> score_parts;
+  score_parts.reserve(max_entities_);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(out_dim_));
+  for (std::size_t e = 0; e < max_entities_; ++e) {
+    Var key_e = tape.select_row(keys, e);  // [1, d]
+    Var dot = tape.sum(tape.mul(query, key_e));
+    dot = tape.scale(dot, inv_sqrt_d);
+    if (!mask[e]) dot = tape.add_scalar(tape.scale(dot, 0.0), -1e9);
+    score_parts.push_back(dot);  // [1]
+  }
+  Var scores = tape.concat_cols(score_parts);  // [1, E]
+  Var alpha = tape.softmax_rows(scores);       // [1, E]
+
+  last_attention_.assign(tape.value(alpha).data(),
+                         tape.value(alpha).data() + max_entities_);
+
+  Var mixed = tape.matmul(alpha, vals);  // [1, d]
+  return tape.relu(w_out_->forward(tape, mixed));
+}
+
+}  // namespace tsc::nn

@@ -1,0 +1,41 @@
+// Graph attention over an agent's local neighborhood (self + K neighbor
+// slots), as used by CoLight: scaled dot-product attention where the query
+// is the agent itself and keys/values are the neighborhood entities.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.hpp"
+#include "src/nn/module.hpp"
+
+namespace tsc::nn {
+
+class GatLayer : public Module {
+ public:
+  /// `entity_dim`: embedding width of each entity row; `out_dim`: output
+  /// width; `max_entities`: fixed neighborhood size (self + padded slots).
+  GatLayer(std::size_t entity_dim, std::size_t out_dim, std::size_t max_entities,
+           Rng& rng);
+
+  /// entities: [max_entities, entity_dim] where row 0 is the agent itself;
+  /// mask[k] == false marks a padded slot (excluded from attention).
+  /// Returns [1, out_dim].
+  Var forward(Tape& tape, Var entities, const std::vector<bool>& mask);
+
+  /// Attention weights of the last forward() call (for tests/inspection).
+  const std::vector<double>& last_attention() const { return last_attention_; }
+
+  std::size_t max_entities() const { return max_entities_; }
+
+ private:
+  std::size_t entity_dim_, out_dim_, max_entities_;
+  std::unique_ptr<Linear> w_query_;
+  std::unique_ptr<Linear> w_key_;
+  std::unique_ptr<Linear> w_value_;
+  std::unique_ptr<Linear> w_out_;
+  std::vector<double> last_attention_;
+};
+
+}  // namespace tsc::nn

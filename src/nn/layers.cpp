@@ -1,0 +1,131 @@
+#include "src/nn/layers.hpp"
+
+#include <cassert>
+
+namespace tsc::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng, double gain, bool orthogonal)
+    : weight(Tensor::zeros(in, out), "linear.weight"),
+      bias(Tensor::zeros(out), "linear.bias"),
+      in_(in),
+      out_(out) {
+  if (orthogonal) {
+    orthogonal_init(weight.value, rng, gain);
+  } else {
+    xavier_init(weight.value, rng);
+  }
+  register_parameter(&weight);
+  register_parameter(&bias);
+}
+
+Var Linear::forward(Tape& tape, Var x) {
+  assert(tape.value(x).cols() == in_);
+  Var w = tape.param(weight);
+  Var b = tape.param(bias);
+  return tape.add(tape.matmul(x, w), b);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng, Activation hidden_act,
+         double out_gain)
+    : act_(hidden_act) {
+  assert(dims.size() >= 2);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool is_output = (i + 2 == dims.size());
+    const double gain = is_output ? out_gain : std::numbers::sqrt2;
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng, gain));
+    register_module(layers_.back().get());
+  }
+}
+
+Var Mlp::forward(Tape& tape, Var x) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(tape, x);
+    const bool is_output = (i + 1 == layers_.size());
+    if (!is_output) {
+      switch (act_) {
+        case Activation::kRelu: x = tape.relu(x); break;
+        case Activation::kTanh: x = tape.tanh(x); break;
+        case Activation::kNone: break;
+      }
+    }
+  }
+  return x;
+}
+
+LayerNorm::LayerNorm(std::size_t dim, double eps)
+    : gain(Tensor::full(1, dim, 1.0), "layernorm.gain"),
+      bias(Tensor::zeros(dim), "layernorm.bias"),
+      dim_(dim),
+      eps_(eps) {
+  register_parameter(&gain);
+  register_parameter(&bias);
+}
+
+Var LayerNorm::forward(Tape& tape, Var x) {
+  const std::size_t batch = tape.value(x).rows();
+  assert(tape.value(x).cols() == dim_);
+  const double inv_d = 1.0 / static_cast<double>(dim_);
+  // Row statistics via matmul with ones (keeps everything on the tape).
+  Var ones_col = tape.constant(Tensor::full(dim_, 1, 1.0));   // [d,1]
+  Var ones_row = tape.constant(Tensor::full(1, dim_, 1.0));   // [1,d]
+  Var mean = tape.scale(tape.matmul(x, ones_col), inv_d);     // [B,1]
+  Var centered = tape.sub(x, tape.matmul(mean, ones_row));    // [B,d]
+  Var var = tape.scale(tape.matmul(tape.square(centered), ones_col), inv_d);
+  // 1/sqrt(var + eps) == exp(-0.5 * log(var + eps)).
+  Var inv_std = tape.exp(tape.scale(tape.log(tape.add_scalar(var, eps_)), -0.5));
+  Var normalized = tape.mul(centered, tape.matmul(inv_std, ones_row));
+  Var ones_batch = tape.constant(Tensor::full(batch, 1, 1.0));  // [B,1]
+  Var gain_bcast = tape.matmul(ones_batch, tape.param(gain));   // [B,d]
+  return tape.add(tape.mul(normalized, gain_bcast), tape.param(bias));
+}
+
+Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(&rng) {
+  assert(p >= 0.0 && p < 1.0);
+}
+
+Var Dropout::forward(Tape& tape, Var x) {
+  if (!training_ || p_ == 0.0) return x;
+  const Tensor& v = tape.value(x);
+  Tensor mask = Tensor::zeros_like(v);
+  const double keep_scale = 1.0 / (1.0 - p_);
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    mask[i] = rng_->bernoulli(p_) ? 0.0 : keep_scale;
+  return tape.mul(x, tape.constant(std::move(mask)));
+}
+
+LstmCell::LstmCell(std::size_t in, std::size_t hidden, Rng& rng)
+    : w_x(Tensor::zeros(in, 4 * hidden), "lstm.w_x"),
+      w_h(Tensor::zeros(hidden, 4 * hidden), "lstm.w_h"),
+      bias(Tensor::zeros(4 * hidden), "lstm.bias"),
+      in_(in),
+      hidden_(hidden) {
+  orthogonal_init(w_x.value, rng, 1.0);
+  orthogonal_init(w_h.value, rng, 1.0);
+  // Forget-gate bias of 1 keeps early memories alive (standard practice).
+  for (std::size_t i = hidden; i < 2 * hidden; ++i) bias.value[i] = 1.0;
+  register_parameter(&w_x);
+  register_parameter(&w_h);
+  register_parameter(&bias);
+}
+
+LstmCell::State LstmCell::forward(Tape& tape, Var x, Var h, Var c) {
+  assert(tape.value(x).cols() == in_);
+  assert(tape.value(h).cols() == hidden_);
+  Var gates = tape.add(
+      tape.add(tape.matmul(x, tape.param(w_x)), tape.matmul(h, tape.param(w_h))),
+      tape.param(bias));
+  Var i_gate = tape.sigmoid(tape.slice_cols(gates, 0, hidden_));
+  Var f_gate = tape.sigmoid(tape.slice_cols(gates, hidden_, hidden_));
+  Var g_gate = tape.tanh(tape.slice_cols(gates, 2 * hidden_, hidden_));
+  Var o_gate = tape.sigmoid(tape.slice_cols(gates, 3 * hidden_, hidden_));
+  Var c_new = tape.add(tape.mul(f_gate, c), tape.mul(i_gate, g_gate));
+  Var h_new = tape.mul(o_gate, tape.tanh(c_new));
+  return {h_new, c_new};
+}
+
+LstmCell::State LstmCell::zero_state(Tape& tape, std::size_t batch) const {
+  return {tape.constant(Tensor::zeros(batch, hidden_)),
+          tape.constant(Tensor::zeros(batch, hidden_))};
+}
+
+}  // namespace tsc::nn

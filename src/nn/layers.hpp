@@ -1,0 +1,112 @@
+// Standard layers: Linear, multi-layer perceptron, LSTM cell.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "src/nn/module.hpp"
+#include "src/nn/tape.hpp"
+
+namespace tsc::nn {
+
+/// y = x @ W + b, with W [in, out], b [out].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng, double gain = std::numbers::sqrt2,
+         bool orthogonal = true);
+
+  /// x: [batch, in] -> [batch, out].
+  Var forward(Tape& tape, Var x);
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+  Parameter weight;
+  Parameter bias;
+
+ private:
+  std::size_t in_, out_;
+};
+
+enum class Activation { kNone, kRelu, kTanh };
+
+/// Stack of Linear layers with a fixed hidden activation; the output layer
+/// has no activation (callers apply softmax / identity as needed).
+class Mlp : public Module {
+ public:
+  /// dims = {in, h1, ..., out}; requires dims.size() >= 2.
+  Mlp(const std::vector<std::size_t>& dims, Rng& rng,
+      Activation hidden_act = Activation::kTanh, double out_gain = 0.01);
+
+  Var forward(Tape& tape, Var x);
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation act_;
+};
+
+/// Layer normalization over the last dimension: per row,
+/// y = gain * (x - mean) / sqrt(var + eps) + bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim, double eps = 1e-5);
+
+  /// x: [batch, dim] -> [batch, dim].
+  tsc::nn::Var forward(Tape& tape, Var x);
+
+  Parameter gain;  ///< [dim], initialized to 1
+  Parameter bias;  ///< [dim], initialized to 0
+
+ private:
+  std::size_t dim_;
+  double eps_;
+};
+
+/// Inverted dropout: active only between train()/eval() switches; scales
+/// kept activations by 1/(1-p) so evaluation needs no correction.
+class Dropout {
+ public:
+  Dropout(double p, Rng& rng);
+
+  Var forward(Tape& tape, Var x);
+
+  void train() { training_ = true; }
+  void eval() { training_ = false; }
+  bool training() const { return training_; }
+  double rate() const { return p_; }
+
+ private:
+  double p_;
+  Rng* rng_;
+  bool training_ = true;
+};
+
+/// Single LSTM cell. Gate order in the packed weight matrices: i, f, g, o.
+class LstmCell : public Module {
+ public:
+  LstmCell(std::size_t in, std::size_t hidden, Rng& rng);
+
+  struct State {
+    Var h;
+    Var c;
+  };
+
+  /// x: [batch, in], h/c: [batch, hidden] -> new (h, c).
+  State forward(Tape& tape, Var x, Var h, Var c);
+
+  /// Convenience: zero initial state as tape constants.
+  State zero_state(Tape& tape, std::size_t batch) const;
+
+  std::size_t hidden_size() const { return hidden_; }
+
+  Parameter w_x;  // [in, 4*hidden]
+  Parameter w_h;  // [hidden, 4*hidden]
+  Parameter bias; // [4*hidden] (forget-gate slice initialized to 1)
+
+ private:
+  std::size_t in_, hidden_;
+};
+
+}  // namespace tsc::nn

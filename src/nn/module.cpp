@@ -1,0 +1,90 @@
+#include "src/nn/module.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsc::nn {
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out = own_params_;
+  for (Module* child : children_) {
+    auto sub = child->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::size_t Module::num_weights() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.size();
+  return n;
+}
+
+void Module::copy_weights_from(Module& other) {
+  auto mine = parameters();
+  auto theirs = other.parameters();
+  assert(mine.size() == theirs.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    assert(mine[i]->value.same_shape(theirs[i]->value));
+    mine[i]->value = theirs[i]->value;
+  }
+}
+
+void Module::soft_update_from(Module& other, double tau) {
+  auto mine = parameters();
+  auto theirs = other.parameters();
+  assert(mine.size() == theirs.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    Tensor& a = mine[i]->value;
+    const Tensor& b = theirs[i]->value;
+    assert(a.same_shape(b));
+    for (std::size_t j = 0; j < a.size(); ++j) a[j] = (1.0 - tau) * a[j] + tau * b[j];
+  }
+}
+
+void orthogonal_init(Tensor& w, Rng& rng, double gain) {
+  assert(w.rank() == 2);
+  const std::size_t rows = w.shape()[0];
+  const std::size_t cols = w.shape()[1];
+  // Work on the taller orientation so Gram-Schmidt has full column rank.
+  const bool transpose = rows < cols;
+  const std::size_t n = transpose ? cols : rows;  // vectors length
+  const std::size_t k = transpose ? rows : cols;  // number of vectors
+  std::vector<std::vector<double>> q(k, std::vector<double>(n));
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) q[j][i] = rng.normal();
+    // Orthogonalize against previous columns (modified Gram-Schmidt).
+    for (std::size_t prev = 0; prev < j; ++prev) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += q[j][i] * q[prev][i];
+      for (std::size_t i = 0; i < n; ++i) q[j][i] -= dot * q[prev][i];
+    }
+    double norm = 0.0;
+    for (double x : q[j]) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-10) {
+      // Degenerate draw; use a unit basis vector instead.
+      for (double& x : q[j]) x = 0.0;
+      q[j][j % n] = 1.0;
+    } else {
+      for (double& x : q[j]) x /= norm;
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      w.at(r, c) = gain * (transpose ? q[r][c] : q[c][r]);
+}
+
+void xavier_init(Tensor& w, Rng& rng) {
+  assert(w.rank() == 2);
+  const double fan_in = static_cast<double>(w.shape()[0]);
+  const double fan_out = static_cast<double>(w.shape()[1]);
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.uniform(-bound, bound);
+}
+
+}  // namespace tsc::nn

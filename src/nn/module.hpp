@@ -1,0 +1,50 @@
+// Module base class (parameter registry) and weight initializers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nn/tape.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::nn {
+
+/// Base for anything that owns trainable Parameters. Modules register their
+/// own parameters and child modules; parameters() walks the tree.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its registered children.
+  std::vector<Parameter*> parameters();
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Total number of scalar weights.
+  std::size_t num_weights();
+
+  /// Copies all parameter values from `other` (shapes must match pairwise).
+  void copy_weights_from(Module& other);
+
+  /// Blends weights: this = (1-tau)*this + tau*other (for target networks).
+  void soft_update_from(Module& other, double tau);
+
+ protected:
+  void register_parameter(Parameter* p) { own_params_.push_back(p); }
+  void register_module(Module* m) { children_.push_back(m); }
+
+ private:
+  std::vector<Parameter*> own_params_;
+  std::vector<Module*> children_;
+};
+
+/// Fills a rank-2 parameter with an orthogonal matrix scaled by `gain`
+/// (Gram-Schmidt on a Gaussian sample; the paper's Algorithm 1 initializes
+/// both networks orthogonally).
+void orthogonal_init(Tensor& w, Rng& rng, double gain = 1.0);
+
+/// Xavier/Glorot uniform init for a rank-2 [fan_in, fan_out] tensor.
+void xavier_init(Tensor& w, Rng& rng);
+
+}  // namespace tsc::nn

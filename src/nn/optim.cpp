@@ -1,0 +1,56 @@
+#include "src/nn/optim.hpp"
+
+#include <cmath>
+
+namespace tsc::nn {
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+  double total_sq = 0.0;
+  for (const Parameter* p : params)
+    for (std::size_t i = 0; i < p->grad.size(); ++i) total_sq += p->grad[i] * p->grad[i];
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Parameter* p : params)
+      for (std::size_t i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+  }
+  return norm;
+}
+
+void Sgd::step() {
+  for (Parameter* p : params_)
+    for (std::size_t i = 0; i < p->value.size(); ++i) p->value[i] -= lr_ * p->grad[i];
+}
+
+Adam::Adam(std::vector<Parameter*> params, Config config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.push_back(Tensor::zeros_like(p->value));
+    v_.push_back(Tensor::zeros_like(p->value));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const double g = p.grad[i];
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g;
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      p.value[i] -= config_.lr *
+                    (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                     config_.weight_decay * p.value[i]);
+    }
+  }
+}
+
+}  // namespace tsc::nn

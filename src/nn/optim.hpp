@@ -1,0 +1,55 @@
+// Gradient-descent optimizers over a fixed parameter list.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/tape.hpp"
+
+namespace tsc::nn {
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr) : params_(std::move(params)), lr_(lr) {}
+  void step();
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam {
+ public:
+  struct Config {
+    double lr = 3e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;  // decoupled (AdamW-style)
+  };
+
+  Adam(std::vector<Parameter*> params, Config config);
+  explicit Adam(std::vector<Parameter*> params) : Adam(std::move(params), Config{}) {}
+
+  /// Applies one update from the parameters' current gradients.
+  void step();
+
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Config config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace tsc::nn

@@ -1,0 +1,65 @@
+#include "src/nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace tsc::nn {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'C', 'W'};
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_weights(Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  auto params = module.parameters();
+  write_u64(out, params.size());
+  for (Parameter* p : params) {
+    write_u64(out, p->value.rank());
+    for (std::size_t d : p->value.shape()) write_u64(out, d);
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+}
+
+void load_weights(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_weights: bad magic in " + path);
+  auto params = module.parameters();
+  const std::uint64_t count = read_u64(in);
+  if (count != params.size())
+    throw std::runtime_error("load_weights: parameter count mismatch in " + path);
+  for (Parameter* p : params) {
+    const std::uint64_t rank = read_u64(in);
+    if (rank != p->value.rank())
+      throw std::runtime_error("load_weights: rank mismatch for " + p->name);
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::uint64_t dim = read_u64(in);
+      if (dim != p->value.shape()[d])
+        throw std::runtime_error("load_weights: shape mismatch for " + p->name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+  }
+  if (!in) throw std::runtime_error("load_weights: truncated file " + path);
+}
+
+}  // namespace tsc::nn

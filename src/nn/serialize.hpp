@@ -1,0 +1,21 @@
+// Checkpointing: save/load a Module's parameters to a simple binary format.
+//
+// Format: magic "TSCW", u64 parameter count, then per parameter:
+//   u64 rank, u64 dims..., f64 values...
+// Parameters are matched positionally (same module architecture required).
+#pragma once
+
+#include <string>
+
+#include "src/nn/module.hpp"
+
+namespace tsc::nn {
+
+/// Writes all parameters of `module` to `path`. Throws on I/O failure.
+void save_weights(Module& module, const std::string& path);
+
+/// Loads parameters saved by save_weights. Throws on I/O failure or if the
+/// stored shapes do not match the module's parameters.
+void load_weights(Module& module, const std::string& path);
+
+}  // namespace tsc::nn

@@ -1,0 +1,534 @@
+#include "src/nn/tape.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsc::nn {
+
+Var Tape::push(Tensor value) {
+  Node n;
+  n.grad = Tensor::zeros_like(value);
+  n.value = std::move(value);
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<std::int32_t>(nodes_.size() - 1)};
+}
+
+Tape::Node& Tape::node(Var v) {
+  assert(v.valid() && static_cast<std::size_t>(v.idx) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(v.idx)];
+}
+
+const Tape::Node& Tape::node(Var v) const {
+  assert(v.valid() && static_cast<std::size_t>(v.idx) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(v.idx)];
+}
+
+Var Tape::constant(Tensor value) { return push(std::move(value)); }
+
+Var Tape::leaf(Tensor value) { return push(std::move(value)); }
+
+Var Tape::param(Parameter& p) {
+  Var v = push(p.value);
+  node(v).parameter = &p;
+  Var vc = v;
+  node(v).back = [this, vc]() {
+    Node& n = node(vc);
+    n.parameter->grad += n.grad;
+  };
+  return v;
+}
+
+const Tensor& Tape::value(Var v) const { return node(v).value; }
+const Tensor& Tape::grad(Var v) const { return node(v).grad; }
+
+Var Tape::add(Var a, Var b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  const bool broadcast = !ta.same_shape(tb);
+  Tensor out = ta;
+  if (broadcast) {
+    assert(tb.rank() == 1 && tb.size() == ta.cols());
+    for (std::size_t r = 0; r < ta.rows(); ++r)
+      for (std::size_t c = 0; c < ta.cols(); ++c) out.at(r, c) += tb[c];
+  } else {
+    out += tb;
+  }
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, b, broadcast]() {
+    const Tensor& g = node(v).grad;
+    node(a).grad += g;
+    Tensor& gb = node(b).grad;
+    if (broadcast) {
+      const std::size_t cols = g.cols();
+      for (std::size_t r = 0; r < g.rows(); ++r)
+        for (std::size_t c = 0; c < cols; ++c) gb[c] += g.at(r, c);
+    } else {
+      gb += g;
+    }
+  };
+  return v;
+}
+
+Var Tape::sub(Var a, Var b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  assert(ta.same_shape(tb));
+  Tensor out = ta;
+  out -= tb;
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, b]() {
+    const Tensor& g = node(v).grad;
+    node(a).grad += g;
+    Tensor& gb = node(b).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) gb[i] -= g[i];
+  };
+  return v;
+}
+
+Var Tape::mul(Var a, Var b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  assert(ta.same_shape(tb));
+  Tensor out = ta;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= tb[i];
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, b]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    const Tensor& vb = node(b).value;
+    Tensor& ga = node(a).grad;
+    Tensor& gb = node(b).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] * vb[i];
+      gb[i] += g[i] * va[i];
+    }
+  };
+  return v;
+}
+
+Var Tape::scale(Var a, double c) {
+  Tensor out = value(a);
+  out *= c;
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, c]() {
+    const Tensor& g = node(v).grad;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += c * g[i];
+  };
+  return v;
+}
+
+Var Tape::add_scalar(Var a, double c) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += c;
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a]() { node(a).grad += node(v).grad; };
+  return v;
+}
+
+Var Tape::matmul(Var a, Var b) {
+  Var v = push(nn::matmul(value(a), value(b)));
+  node(v).back = [this, v, a, b]() {
+    const Tensor& g = node(v).grad;
+    // dA = g @ B^T ; dB = A^T @ g
+    node(a).grad += matmul_nt(g, node(b).value);
+    node(b).grad += matmul_tn(node(a).value, g);
+  };
+  return v;
+}
+
+Var Tape::relu(Var a) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = out[i] > 0.0 ? out[i] : 0.0;
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (va[i] > 0.0) ga[i] += g[i];
+  };
+  return v;
+}
+
+Var Tape::leaky_relu(Var a, double slope) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] < 0.0) out[i] *= slope;
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, slope]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      ga[i] += g[i] * (va[i] > 0.0 ? 1.0 : slope);
+  };
+  return v;
+}
+
+Var Tape::tanh(Var a) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& y = node(v).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * (1.0 - y[i] * y[i]);
+  };
+  return v;
+}
+
+Var Tape::sigmoid(Var a) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = 1.0 / (1.0 + std::exp(-out[i]));
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& y = node(v).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * y[i] * (1.0 - y[i]);
+  };
+  return v;
+}
+
+Var Tape::exp(Var a) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::exp(out[i]);
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& y = node(v).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * y[i];
+  };
+  return v;
+}
+
+Var Tape::log(Var a, double eps) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::log(std::max(out[i], eps));
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, eps]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += g[i] / std::max(va[i], eps);
+  };
+  return v;
+}
+
+Var Tape::square(Var a) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= out[i];
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += 2.0 * g[i] * va[i];
+  };
+  return v;
+}
+
+Var Tape::huber(Var a, double delta) {
+  assert(delta > 0.0);
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double x = std::abs(out[i]);
+    out[i] = x <= delta ? 0.5 * x * x : delta * (x - 0.5 * delta);
+  }
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, delta]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double x = va[i];
+      const double d = std::abs(x) <= delta ? x : (x > 0.0 ? delta : -delta);
+      ga[i] += g[i] * d;
+    }
+  };
+  return v;
+}
+
+Var Tape::softmax_rows(Var a) {
+  const Tensor& ta = value(a);
+  assert(ta.rank() == 2 || ta.rank() == 1);
+  const std::size_t rows = ta.rows(), cols = ta.cols();
+  Tensor out = ta;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double mx = out[r * cols];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, out[r * cols + c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[r * cols + c] = std::exp(out[r * cols + c] - mx);
+      denom += out[r * cols + c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) out[r * cols + c] /= denom;
+  }
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, rows, cols]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& y = node(v).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t r = 0; r < rows; ++r) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) dot += g[r * cols + c] * y[r * cols + c];
+      for (std::size_t c = 0; c < cols; ++c)
+        ga[r * cols + c] += y[r * cols + c] * (g[r * cols + c] - dot);
+    }
+  };
+  return v;
+}
+
+Var Tape::log_softmax_rows(Var a) {
+  const Tensor& ta = value(a);
+  assert(ta.rank() == 2 || ta.rank() == 1);
+  const std::size_t rows = ta.rows(), cols = ta.cols();
+  Tensor out = ta;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double mx = out[r * cols];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, out[r * cols + c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) denom += std::exp(out[r * cols + c] - mx);
+    const double lse = mx + std::log(denom);
+    for (std::size_t c = 0; c < cols; ++c) out[r * cols + c] -= lse;
+  }
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, rows, cols]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& y = node(v).value;  // log-probs
+    Tensor& ga = node(a).grad;
+    for (std::size_t r = 0; r < rows; ++r) {
+      double gsum = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) gsum += g[r * cols + c];
+      for (std::size_t c = 0; c < cols; ++c)
+        ga[r * cols + c] += g[r * cols + c] - std::exp(y[r * cols + c]) * gsum;
+    }
+  };
+  return v;
+}
+
+Var Tape::sum(Var a) {
+  Tensor out = Tensor::vector({value(a).sum()});
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a]() {
+    const double g = node(v).grad[0];
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += g;
+  };
+  return v;
+}
+
+Var Tape::mean(Var a) {
+  const std::size_t n = value(a).size();
+  assert(n > 0);
+  Tensor out = Tensor::vector({value(a).sum() / static_cast<double>(n)});
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, n]() {
+    const double g = node(v).grad[0] / static_cast<double>(n);
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += g;
+  };
+  return v;
+}
+
+Var Tape::concat_cols(const std::vector<Var>& parts) {
+  assert(!parts.empty());
+  const std::size_t rows = value(parts[0]).rows();
+  std::size_t total_cols = 0;
+  for (Var p : parts) {
+    assert(value(p).rows() == rows);
+    total_cols += value(p).cols();
+  }
+  Tensor out = Tensor::zeros(rows, total_cols);
+  std::size_t off = 0;
+  for (Var p : parts) {
+    const Tensor& t = value(p);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < t.cols(); ++c) out.at(r, off + c) = t.at(r, c);
+    off += t.cols();
+  }
+  Var v = push(std::move(out));
+  std::vector<Var> parts_copy = parts;
+  node(v).back = [this, v, parts_copy, rows]() {
+    const Tensor& g = node(v).grad;
+    std::size_t off = 0;
+    for (Var p : parts_copy) {
+      Tensor& gp = node(p).grad;
+      const std::size_t pc = node(p).value.cols();
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < pc; ++c) gp[r * pc + c] += g.at(r, off + c);
+      off += pc;
+    }
+  };
+  return v;
+}
+
+Var Tape::concat_rows(const std::vector<Var>& parts) {
+  assert(!parts.empty());
+  const std::size_t cols = value(parts[0]).cols();
+  std::size_t total_rows = 0;
+  for (Var p : parts) {
+    assert(value(p).cols() == cols);
+    total_rows += value(p).rows();
+  }
+  Tensor out = Tensor::zeros(total_rows, cols);
+  std::size_t off = 0;
+  for (Var p : parts) {
+    const Tensor& t = value(p);
+    for (std::size_t r = 0; r < t.rows(); ++r)
+      for (std::size_t c = 0; c < cols; ++c) out.at(off + r, c) = t.at(r, c);
+    off += t.rows();
+  }
+  Var v = push(std::move(out));
+  std::vector<Var> parts_copy = parts;
+  node(v).back = [this, v, parts_copy, cols]() {
+    const Tensor& g = node(v).grad;
+    std::size_t off = 0;
+    for (Var p : parts_copy) {
+      Tensor& gp = node(p).grad;
+      const std::size_t pr = node(p).value.rows();
+      for (std::size_t r = 0; r < pr; ++r)
+        for (std::size_t c = 0; c < cols; ++c) gp[r * cols + c] += g.at(off + r, c);
+      off += pr;
+    }
+  };
+  return v;
+}
+
+Var Tape::slice_cols(Var a, std::size_t start, std::size_t len) {
+  const Tensor& ta = value(a);
+  assert(start + len <= ta.cols());
+  const std::size_t rows = ta.rows();
+  Tensor out = Tensor::zeros(rows, len);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < len; ++c) out.at(r, c) = ta.at(r, start + c);
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, start, len, rows]() {
+    const Tensor& g = node(v).grad;
+    Tensor& ga = node(a).grad;
+    const std::size_t acols = node(a).value.cols();
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < len; ++c) ga[r * acols + start + c] += g.at(r, c);
+  };
+  return v;
+}
+
+Var Tape::select_row(Var a, std::size_t r) {
+  const Tensor& ta = value(a);
+  assert(r < ta.rows());
+  const std::size_t cols = ta.cols();
+  Tensor out = Tensor::zeros(1, cols);
+  for (std::size_t c = 0; c < cols; ++c) out.at(0, c) = ta.at(r, c);
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, r, cols]() {
+    const Tensor& g = node(v).grad;
+    Tensor& ga = node(a).grad;
+    for (std::size_t c = 0; c < cols; ++c) ga[r * cols + c] += g[c];
+  };
+  return v;
+}
+
+Var Tape::gather_cols(Var a, const std::vector<std::size_t>& indices) {
+  const Tensor& ta = value(a);
+  assert(indices.size() == ta.rows());
+  Tensor out = Tensor::zeros(ta.rows(), 1);
+  for (std::size_t r = 0; r < ta.rows(); ++r) {
+    assert(indices[r] < ta.cols());
+    out.at(r, 0) = ta.at(r, indices[r]);
+  }
+  Var v = push(std::move(out));
+  std::vector<std::size_t> idx = indices;
+  node(v).back = [this, v, a, idx]() {
+    const Tensor& g = node(v).grad;
+    Tensor& ga = node(a).grad;
+    const std::size_t cols = node(a).value.cols();
+    for (std::size_t r = 0; r < idx.size(); ++r) ga[r * cols + idx[r]] += g[r];
+  };
+  return v;
+}
+
+Var Tape::clamp(Var a, double lo, double hi) {
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::clamp(out[i], lo, hi);
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, lo, hi]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (va[i] > lo && va[i] < hi) ga[i] += g[i];
+  };
+  return v;
+}
+
+Var Tape::min_elem(Var a, Var b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  assert(ta.same_shape(tb));
+  Tensor out = ta;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::min(ta[i], tb[i]);
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, b]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    const Tensor& vb = node(b).value;
+    Tensor& ga = node(a).grad;
+    Tensor& gb = node(b).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (va[i] < vb[i]) {
+        ga[i] += g[i];
+      } else if (vb[i] < va[i]) {
+        gb[i] += g[i];
+      } else {
+        ga[i] += 0.5 * g[i];
+        gb[i] += 0.5 * g[i];
+      }
+    }
+  };
+  return v;
+}
+
+Var Tape::max_elem(Var a, Var b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  assert(ta.same_shape(tb));
+  Tensor out = ta;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(ta[i], tb[i]);
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, b]() {
+    const Tensor& g = node(v).grad;
+    const Tensor& va = node(a).value;
+    const Tensor& vb = node(b).value;
+    Tensor& ga = node(a).grad;
+    Tensor& gb = node(b).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (va[i] > vb[i]) {
+        ga[i] += g[i];
+      } else if (vb[i] > va[i]) {
+        gb[i] += g[i];
+      } else {
+        ga[i] += 0.5 * g[i];
+        gb[i] += 0.5 * g[i];
+      }
+    }
+  };
+  return v;
+}
+
+void Tape::backward(Var loss) {
+  assert(loss.valid());
+  Node& ln = node(loss);
+  assert(ln.value.size() == 1 && "backward() requires a scalar loss");
+  ln.grad.fill(1.0);
+  for (std::size_t i = static_cast<std::size_t>(loss.idx) + 1; i-- > 0;) {
+    if (nodes_[i].back) nodes_[i].back();
+  }
+}
+
+void Tape::reset() { nodes_.clear(); }
+
+}  // namespace tsc::nn

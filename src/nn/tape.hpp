@@ -1,0 +1,135 @@
+// Reverse-mode automatic differentiation on a tape of Tensor ops.
+//
+// Usage: create leaves / parameter nodes, compose ops, call backward() on a
+// scalar node. Gradients for parameter nodes are accumulated into the owning
+// Parameter's `grad` tensor; intermediate gradients are queryable via grad().
+// Reset the tape between forward passes (parameters live outside the tape).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+
+namespace tsc::nn {
+
+/// A trainable tensor with its accumulated gradient. Owned by a Module;
+/// registered on a Tape per forward pass via Tape::param().
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+
+  Parameter() = default;
+  Parameter(Tensor v, std::string n) : value(std::move(v)), name(std::move(n)) {
+    grad = Tensor::zeros_like(value);
+  }
+  void zero_grad() { grad.fill(0.0); }
+};
+
+/// Handle to a tape node. Cheap to copy; only valid for the tape that
+/// created it, until that tape is reset.
+struct Var {
+  std::int32_t idx = -1;
+  bool valid() const { return idx >= 0; }
+};
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Node with no gradient tracking (inputs, masks, targets).
+  Var constant(Tensor value);
+  /// Node whose gradient is tracked and queryable via grad().
+  Var leaf(Tensor value);
+  /// Node backed by a Parameter; backward() accumulates into p.grad.
+  Var param(Parameter& p);
+
+  const Tensor& value(Var v) const;
+  const Tensor& grad(Var v) const;
+
+  // ---- arithmetic ----
+  /// Element-wise add. `b` may be rank-1 with b.size()==a.cols(), in which
+  /// case it is broadcast across the rows of `a` (bias add).
+  Var add(Var a, Var b);
+  Var sub(Var a, Var b);
+  /// Element-wise multiply (shapes must match).
+  Var mul(Var a, Var b);
+  Var scale(Var a, double c);
+  Var add_scalar(Var a, double c);
+  Var neg(Var a) { return scale(a, -1.0); }
+  /// Matrix product: a [m,k] @ b [k,n].
+  Var matmul(Var a, Var b);
+
+  // ---- nonlinearities ----
+  Var relu(Var a);
+  Var leaky_relu(Var a, double slope);
+  Var tanh(Var a);
+  Var sigmoid(Var a);
+  Var exp(Var a);
+  /// Natural log; inputs are clamped to >= eps for safety.
+  Var log(Var a, double eps = 1e-12);
+  Var square(Var a);
+  /// Element-wise Huber penalty: 0.5*x^2 for |x| <= delta, otherwise
+  /// delta*(|x| - delta/2). Standard robust loss for TD errors.
+  Var huber(Var a, double delta);
+
+  // ---- reductions / softmax ----
+  /// Row-wise softmax of a rank-2 tensor.
+  Var softmax_rows(Var a);
+  /// Row-wise log-softmax (numerically stable).
+  Var log_softmax_rows(Var a);
+  /// Sum of all elements -> scalar node (shape [1]).
+  Var sum(Var a);
+  /// Mean of all elements -> scalar node (shape [1]).
+  Var mean(Var a);
+
+  // ---- shaping ----
+  /// Concatenate along columns; all inputs must have equal row counts.
+  Var concat_cols(const std::vector<Var>& parts);
+  /// Concatenate along rows; all inputs must have equal column counts.
+  Var concat_rows(const std::vector<Var>& parts);
+  /// Columns [start, start+len) of a rank-2 tensor.
+  Var slice_cols(Var a, std::size_t start, std::size_t len);
+  /// Row r of a rank-2 tensor as a [1, cols] node.
+  Var select_row(Var a, std::size_t r);
+  /// out[i, 0] = a[i, indices[i]]; gradient scatters back.
+  Var gather_cols(Var a, const std::vector<std::size_t>& indices);
+
+  // ---- clipping / min-max ----
+  /// Clamp to [lo, hi]; gradient passes only where lo < x < hi.
+  Var clamp(Var a, double lo, double hi);
+  /// Element-wise minimum; gradient flows to the smaller operand
+  /// (split evenly on ties).
+  Var min_elem(Var a, Var b);
+  Var max_elem(Var a, Var b);
+
+  /// Runs reverse pass from `loss` (must be a single-element node) and
+  /// accumulates parameter gradients. May be called once per forward pass.
+  void backward(Var loss);
+
+  /// Drops all nodes. Parameter tensors are untouched.
+  void reset();
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    std::function<void()> back;  // empty for constants/leaves
+    Parameter* parameter = nullptr;
+  };
+
+  Var push(Tensor value);
+  Node& node(Var v);
+  const Node& node(Var v) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tsc::nn

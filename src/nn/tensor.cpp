@@ -1,0 +1,177 @@
+#include "src/nn/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace tsc::nn {
+
+Tensor Tensor::zeros(std::size_t n) {
+  Tensor t;
+  t.shape_ = {n};
+  t.data_.assign(n, 0.0);
+  return t;
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  Tensor t;
+  t.shape_ = {rows, cols};
+  t.data_.assign(rows * cols, 0.0);
+  return t;
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, double value) {
+  Tensor t = zeros(rows, cols);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::vector(std::vector<double> values) {
+  Tensor t;
+  t.shape_ = {values.size()};
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::matrix(std::size_t rows, std::size_t cols, std::vector<double> values) {
+  assert(values.size() == rows * cols);
+  Tensor t;
+  t.shape_ = {rows, cols};
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::zeros_like(const Tensor& other) {
+  Tensor t;
+  t.shape_ = other.shape_;
+  t.data_.assign(other.data_.size(), 0.0);
+  return t;
+}
+
+std::size_t Tensor::rows() const {
+  if (shape_.size() == 2) return shape_[0];
+  return shape_.empty() ? 0 : 1;
+}
+
+std::size_t Tensor::cols() const {
+  if (shape_.size() == 2) return shape_[1];
+  return shape_.empty() ? 0 : shape_[0];
+}
+
+double& Tensor::at(std::size_t r, std::size_t c) {
+  assert(r < rows() && c < cols());
+  return data_[r * cols() + c];
+}
+
+double Tensor::at(std::size_t r, std::size_t c) const {
+  assert(r < rows() && c < cols());
+  return data_[r * cols() + c];
+}
+
+void Tensor::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Tensor::norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+std::string Tensor::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << "]{";
+  const std::size_t show = data_.size() > 16 ? 16 : data_.size();
+  for (std::size_t i = 0; i < show; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (show < data_.size()) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  assert(b.rows() == k);
+  Tensor out = Tensor::zeros(m, n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = pa[i * k + p];
+      if (aip == 0.0) continue;
+      const double* brow = pb + p * n;
+      double* orow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aip * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  assert(b.cols() == k);
+  Tensor out = Tensor::zeros(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      const double* arow = a.data() + i * k;
+      const double* brow = b.data() + j * k;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      out.at(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  assert(b.rows() == k);
+  Tensor out = Tensor::zeros(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.data() + p * m;
+    const double* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = arow[i];
+      if (api == 0.0) continue;
+      double* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += api * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace tsc::nn

@@ -1,0 +1,76 @@
+// Dense row-major tensor of doubles. Supports rank 1 and rank 2 (the only
+// shapes the RL stack needs); rank-2 tensors are [rows, cols].
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tsc::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Rank-1 tensor of `n` zeros.
+  static Tensor zeros(std::size_t n);
+  /// Rank-2 tensor of zeros.
+  static Tensor zeros(std::size_t rows, std::size_t cols);
+  static Tensor full(std::size_t rows, std::size_t cols, double value);
+  /// Rank-1 from values.
+  static Tensor vector(std::vector<double> values);
+  /// Rank-2 from row-major values. Requires values.size() == rows*cols.
+  static Tensor matrix(std::size_t rows, std::size_t cols, std::vector<double> values);
+  /// Zeros with the same shape as `other`.
+  static Tensor zeros_like(const Tensor& other);
+
+  std::size_t rank() const { return shape_.size(); }
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Rows of a rank-2 tensor; a rank-1 tensor is treated as a single row.
+  std::size_t rows() const;
+  /// Cols of a rank-2 tensor; the length of a rank-1 tensor.
+  std::size_t cols() const;
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& values() { return data_; }
+  const std::vector<double>& values() const { return data_; }
+
+  void fill(double value);
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Element-wise in-place ops (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(double scalar);
+
+  /// Sum of all elements.
+  double sum() const;
+  /// L2 norm of all elements.
+  double norm() const;
+
+  /// "[2x3]{1, 2, 3, ...}" — for test failure messages.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<double> data_;
+};
+
+/// out = a @ b for rank-2 a [m,k] and b [k,n]. Asserts on shape mismatch.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// out = a @ b^T for rank-2 a [m,k], b [n,k].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// out = a^T @ b for rank-2 a [k,m], b [k,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+}  // namespace tsc::nn

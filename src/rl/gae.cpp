@@ -1,0 +1,26 @@
+#include "src/rl/gae.hpp"
+
+#include <cassert>
+
+namespace tsc::rl {
+
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values, double bootstrap_value,
+                      double gamma, double lambda) {
+  assert(rewards.size() == values.size());
+  const std::size_t n = rewards.size();
+  GaeResult out;
+  out.advantages.resize(n);
+  out.returns.resize(n);
+  double gae = 0.0;
+  for (std::size_t t = n; t-- > 0;) {
+    const double next_value = (t + 1 < n) ? values[t + 1] : bootstrap_value;
+    const double delta = rewards[t] + gamma * next_value - values[t];
+    gae = delta + gamma * lambda * gae;
+    out.advantages[t] = gae;
+    out.returns[t] = gae + values[t];
+  }
+  return out;
+}
+
+}  // namespace tsc::rl

@@ -1,0 +1,21 @@
+// Generalized Advantage Estimation (Schulman et al. 2016) - the advantage
+// estimator of the paper's backbone (Eq. 7).
+#pragma once
+
+#include <vector>
+
+namespace tsc::rl {
+
+struct GaeResult {
+  std::vector<double> advantages;
+  std::vector<double> returns;  ///< reward-to-go targets (advantage + value)
+};
+
+/// Computes GAE(gamma, lambda) over one trajectory.
+/// `values[t]` is V(s_t); `bootstrap_value` is V(s_T) for the state after
+/// the last reward (0 for terminal). Sizes of rewards and values must match.
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values, double bootstrap_value,
+                      double gamma, double lambda);
+
+}  // namespace tsc::rl

@@ -1,0 +1,42 @@
+#include "src/rl/normalizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsc::rl {
+
+void RunningNormalizer::update(const std::vector<double>& obs) {
+  assert(obs.size() == dim_);
+  if (frozen_) return;
+  ++count_;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double delta = obs[i] - mean_[i];
+    mean_[i] += delta / static_cast<double>(count_);
+    m2_[i] += delta * (obs[i] - mean_[i]);
+  }
+}
+
+double RunningNormalizer::stddev(std::size_t i) const {
+  if (count_ < 2) return 1.0;
+  return std::sqrt(std::max(m2_.at(i) / static_cast<double>(count_), 1e-8));
+}
+
+std::vector<double> RunningNormalizer::normalize(
+    const std::vector<double>& obs) const {
+  assert(obs.size() == dim_);
+  std::vector<double> out(dim_);
+  if (count_ < 2) return obs;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    out[i] = std::clamp((obs[i] - mean_[i]) / stddev(i), -clip_, clip_);
+  }
+  return out;
+}
+
+std::vector<double> RunningNormalizer::update_and_normalize(
+    const std::vector<double>& obs) {
+  update(obs);
+  return normalize(obs);
+}
+
+}  // namespace tsc::rl

@@ -1,0 +1,47 @@
+// Running observation/return normalization (Welford statistics shared
+// across agents). Optional preprocessing in front of any policy network;
+// particularly useful when transferring a policy between traffic regimes
+// whose raw observation scales differ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tsc::rl {
+
+class RunningNormalizer {
+ public:
+  explicit RunningNormalizer(std::size_t dim, double clip = 10.0)
+      : dim_(dim), clip_(clip), mean_(dim, 0.0), m2_(dim, 0.0) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t count() const { return count_; }
+
+  /// Folds one observation into the running statistics.
+  void update(const std::vector<double>& obs);
+
+  /// (obs - mean) / std, clipped to [-clip, clip]. Identity until at least
+  /// two samples were observed.
+  std::vector<double> normalize(const std::vector<double>& obs) const;
+
+  /// update() then normalize() - the common training-time call.
+  std::vector<double> update_and_normalize(const std::vector<double>& obs);
+
+  double mean(std::size_t i) const { return mean_.at(i); }
+  double stddev(std::size_t i) const;
+
+  /// Freezes statistics (evaluation mode): update() becomes a no-op.
+  void freeze() { frozen_ = true; }
+  void unfreeze() { frozen_ = false; }
+  bool frozen() const { return frozen_; }
+
+ private:
+  std::size_t dim_;
+  double clip_;
+  std::size_t count_ = 0;
+  bool frozen_ = false;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+};
+
+}  // namespace tsc::rl

@@ -1,0 +1,57 @@
+#include "src/rl/ppo.hpp"
+
+#include <cassert>
+
+namespace tsc::rl {
+
+nn::Var ppo_total_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
+                       nn::Var values, const std::vector<double>& old_logp,
+                       const std::vector<double>& advantages,
+                       const std::vector<double>& returns, const PpoConfig& config) {
+  const std::size_t batch = old_logp.size();
+  assert(advantages.size() == batch && returns.size() == batch);
+  assert(tape.value(new_logp).rows() == batch && tape.value(new_logp).cols() == 1);
+  assert(tape.value(values).rows() == batch && tape.value(values).cols() == 1);
+
+  std::vector<double> old_logp_col(old_logp);
+  nn::Var old_logp_node =
+      tape.constant(nn::Tensor::matrix(batch, 1, std::move(old_logp_col)));
+  std::vector<double> adv_col(advantages);
+  nn::Var adv_node = tape.constant(nn::Tensor::matrix(batch, 1, std::move(adv_col)));
+
+  // ratio = exp(logp_new - logp_old), clipped surrogate (Eq. 4).
+  nn::Var ratio = tape.exp(tape.sub(new_logp, old_logp_node));
+  nn::Var unclipped = tape.mul(ratio, adv_node);
+  nn::Var clipped = tape.mul(
+      tape.clamp(ratio, 1.0 - config.clip_eps, 1.0 + config.clip_eps), adv_node);
+  nn::Var policy_objective = tape.mean(tape.min_elem(unclipped, clipped));
+
+  std::vector<double> ret_col(returns);
+  nn::Var ret_node = tape.constant(nn::Tensor::matrix(batch, 1, std::move(ret_col)));
+  nn::Var value_loss = tape.mean(tape.square(tape.sub(values, ret_node)));
+
+  nn::Var loss = tape.add(
+      tape.neg(policy_objective),
+      tape.sub(tape.scale(value_loss, config.value_coef),
+               tape.scale(entropy, config.entropy_coef)));
+  return loss;
+}
+
+nn::Var policy_entropy(nn::Tape& tape, nn::Var logits) {
+  nn::Var logp = tape.log_softmax_rows(logits);
+  nn::Var p = tape.softmax_rows(logits);
+  const std::size_t rows = tape.value(logits).rows();
+  // H = -mean_rows sum_a p*logp == -sum(p*logp)/rows
+  nn::Var plogp = tape.sum(tape.mul(p, logp));
+  return tape.scale(plogp, -1.0 / static_cast<double>(rows));
+}
+
+double epsilon_at(std::size_t episode, const PpoConfig& config) {
+  if (config.epsilon_decay_episodes == 0) return config.epsilon_end;
+  const double frac =
+      std::min(1.0, static_cast<double>(episode) /
+                        static_cast<double>(config.epsilon_decay_episodes));
+  return config.epsilon_start + frac * (config.epsilon_end - config.epsilon_start);
+}
+
+}  // namespace tsc::rl

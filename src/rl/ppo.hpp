@@ -1,0 +1,50 @@
+// PPO building blocks: the clipped surrogate objective (paper Eq. 4) with
+// value and entropy terms, plus configuration shared by the PPO trainers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/tape.hpp"
+
+namespace tsc::rl {
+
+struct PpoConfig {
+  double gamma = 0.99;
+  double lambda = 0.95;        ///< GAE lambda
+  double clip_eps = 0.2;       ///< epsilon in Eq. 4
+  double entropy_coef = 0.01;  ///< beta in Eq. 7
+  double value_coef = 0.5;
+  double lr = 3e-4;
+  double max_grad_norm = 0.5;
+  std::size_t epochs = 4;       ///< K in Algorithm 1
+  std::size_t minibatch = 128;  ///< M in Algorithm 1
+  bool normalize_advantages = true;
+  /// Action selection during rollout: true samples from pi (standard PPO);
+  /// false uses the paper's Algorithm 1 epsilon-greedy argmax.
+  bool sample_actions = true;
+  double epsilon_start = 0.5;  ///< epsilon-greedy schedule (paper mode)
+  double epsilon_end = 0.02;
+  std::size_t epsilon_decay_episodes = 100;
+};
+
+/// Scalar PPO total loss on `tape`:
+///     L = -L_clip + value_coef * L_value - entropy_coef * H
+/// Inputs:
+///   new_logp   [B,1]  log pi_new(a_t | s_t) for the stored actions
+///   entropy    [1]    mean policy entropy over the minibatch
+///   values     [B,1]  V_new(s_t)
+///   old_logp / advantages / returns: stored rollout statistics (size B).
+nn::Var ppo_total_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
+                       nn::Var values, const std::vector<double>& old_logp,
+                       const std::vector<double>& advantages,
+                       const std::vector<double>& returns, const PpoConfig& config);
+
+/// Policy entropy of a [B, A] logits node: mean over rows of
+/// -sum_a p log p. Returns a scalar node.
+nn::Var policy_entropy(nn::Tape& tape, nn::Var logits);
+
+/// Linear epsilon decay: start -> end over `decay_episodes`.
+double epsilon_at(std::size_t episode, const PpoConfig& config);
+
+}  // namespace tsc::rl

@@ -1,0 +1,54 @@
+// Fixed-capacity ring replay buffer (for DQN-style baselines).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace tsc::rl {
+
+template <typename Transition>
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+    storage_.reserve(capacity);
+  }
+
+  void push(Transition t) {
+    if (storage_.size() < capacity_) {
+      storage_.push_back(std::move(t));
+    } else {
+      storage_[next_] = std::move(t);
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Uniform sample with replacement of `n` transitions.
+  std::vector<const Transition*> sample(std::size_t n, Rng& rng) const {
+    assert(!storage_.empty());
+    std::vector<const Transition*> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(&storage_[rng.uniform_int(storage_.size())]);
+    return out;
+  }
+
+  void clear() {
+    storage_.clear();
+    next_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> storage_;
+};
+
+}  // namespace tsc::rl

@@ -1,0 +1,52 @@
+#include "src/rl/rollout.hpp"
+
+#include <cmath>
+
+namespace tsc::rl {
+
+void RolloutBuffer::finish_agent(std::size_t agent, double bootstrap_value,
+                                 double gamma, double lambda) {
+  auto& samples = per_agent_.at(agent);
+  std::vector<double> rewards, values;
+  rewards.reserve(samples.size());
+  values.reserve(samples.size());
+  for (const Sample& s : samples) {
+    rewards.push_back(s.reward);
+    values.push_back(s.value);
+  }
+  const GaeResult gae = compute_gae(rewards, values, bootstrap_value, gamma, lambda);
+  for (std::size_t t = 0; t < samples.size(); ++t) {
+    samples[t].advantage = gae.advantages[t];
+    samples[t].ret = gae.returns[t];
+  }
+}
+
+std::size_t RolloutBuffer::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& v : per_agent_) n += v.size();
+  return n;
+}
+
+std::vector<const Sample*> RolloutBuffer::flatten(bool normalize_advantages) {
+  std::vector<const Sample*> out;
+  out.reserve(total_samples());
+  for (auto& v : per_agent_)
+    for (Sample& s : v) out.push_back(&s);
+  if (normalize_advantages && out.size() > 1) {
+    double mean = 0.0;
+    for (const Sample* s : out) mean += s->advantage;
+    mean /= static_cast<double>(out.size());
+    double var = 0.0;
+    for (const Sample* s : out) var += (s->advantage - mean) * (s->advantage - mean);
+    var /= static_cast<double>(out.size());
+    const double sd = std::sqrt(var);
+    for (auto& v : per_agent_)
+      for (Sample& s : v) {
+        s.advantage -= mean;
+        if (sd > 1e-8) s.advantage /= sd;
+      }
+  }
+  return out;
+}
+
+}  // namespace tsc::rl

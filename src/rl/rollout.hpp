@@ -1,0 +1,76 @@
+// On-policy rollout storage for recurrent multi-agent PPO.
+//
+// Samples are stored per (agent, step). Hidden LSTM states recorded during
+// the rollout are replayed as fixed inputs during the update ("stored
+// state" training: gradients flow through one recurrent step). This keeps
+// minibatch samples independent, trading exact BPTT for tractability -
+// standard practice in recurrent PPO implementations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/rl/gae.hpp"
+
+namespace tsc::rl {
+
+/// One decision point of one agent.
+struct Sample {
+  std::vector<double> obs;       ///< actor input (may include message)
+  std::vector<double> critic_obs;///< critic input (may include neighbors)
+  std::vector<double> h_actor;   ///< LSTM hidden (h) before this step
+  std::vector<double> c_actor;   ///< LSTM cell (c) before this step
+  std::vector<double> h_critic;
+  std::vector<double> c_critic;
+  std::size_t action = 0;
+  std::size_t phase_count = 0;  ///< valid actions for this agent (masking)
+  double log_prob = 0.0;
+  double value = 0.0;
+  double reward = 0.0;
+  // Filled by finish_agent():
+  double advantage = 0.0;
+  double ret = 0.0;
+};
+
+/// Rollout of a full episode for all agents, organized per agent so GAE can
+/// run over each agent's trajectory independently.
+class RolloutBuffer {
+ public:
+  explicit RolloutBuffer(std::size_t num_agents) : per_agent_(num_agents) {}
+
+  void add(std::size_t agent, Sample sample) {
+    per_agent_.at(agent).push_back(std::move(sample));
+  }
+
+  /// Most recent sample of `agent` (e.g. to fill in the reward that arrives
+  /// after the action executes).
+  Sample& last(std::size_t agent) { return per_agent_.at(agent).back(); }
+
+  /// Runs GAE over agent `agent`'s trajectory with `bootstrap_value` as
+  /// V(s_T), writing advantage/ret into each sample.
+  void finish_agent(std::size_t agent, double bootstrap_value, double gamma,
+                    double lambda);
+
+  /// All samples flattened (after finish_agent on every agent).
+  /// Optionally normalizes advantages across the whole batch.
+  std::vector<const Sample*> flatten(bool normalize_advantages);
+
+  /// Mutable access used by flatten's normalization.
+  std::size_t total_samples() const;
+  const std::vector<Sample>& agent_samples(std::size_t agent) const {
+    return per_agent_.at(agent);
+  }
+  std::vector<Sample>& mutable_agent_samples(std::size_t agent) {
+    return per_agent_.at(agent);
+  }
+  std::size_t num_agents() const { return per_agent_.size(); }
+
+  void clear() {
+    for (auto& v : per_agent_) v.clear();
+  }
+
+ private:
+  std::vector<std::vector<Sample>> per_agent_;
+};
+
+}  // namespace tsc::rl

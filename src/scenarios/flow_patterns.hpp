@@ -1,0 +1,50 @@
+// The paper's five traffic-flow patterns (Fig. 6) on a grid scenario.
+//
+// Patterns 1-4 combine two of four OD groups with time-staggered ramps that
+// deliberately drive the network into oversaturation:
+//   * forward flows ramp 0 -> peak over [0, 900 s], hold to 1800 s;
+//   * reverse flows start at 900 s, ramp to peak at 1800 s, hold to 2700 s;
+// so 16 OD pairs coexist during the overlap window, matching the paper's
+// congestion-generation strategy (more intersecting OD pairs + staggered
+// departures). Pattern 5 is the uniform light-traffic pattern: 300 veh/h
+// west-east and 90 veh/h south-north, constant.
+//
+// Groups (each contributes 4 forward + 4 reverse ODs on a 6x6 grid). As in
+// the paper's Fig. 6 (OD pairs like "F1 1-12" crossing the network), the
+// entry and exit corridors are laterally shifted, so every route carries
+// turning traffic through shared lanes (head-of-line blocking):
+//   F1: vertical-ish (north terminal col c_i -> south terminal col c_{i+1})
+//   F2: horizontal-ish (west row r_i -> east row r_{i+1})
+//   F3: L-shaped west -> south (and reverse south -> west)
+//   F4: L-shaped north -> east (and reverse east -> north)
+// Pattern 1 = F1+F2 (the training pattern), 2 = F2+F3, 3 = F1+F4, 4 = F3+F4.
+#pragma once
+
+#include <vector>
+
+#include "src/scenarios/grid.hpp"
+#include "src/sim/flow.hpp"
+
+namespace tsc::scenario {
+
+enum class FlowPattern { kPattern1 = 1, kPattern2, kPattern3, kPattern4, kPattern5 };
+
+struct FlowPatternConfig {
+  double peak_veh_per_hour = 500.0;  ///< per-OD peak (patterns 1-4)
+  double light_we_rate = 300.0;      ///< pattern 5 west-east rate
+  double light_sn_rate = 90.0;       ///< pattern 5 south-north rate
+  /// Multiplies every knot time; < 1 compresses the schedule so short
+  /// episodes still see the ramp/overlap/recovery structure.
+  double time_scale = 1.0;
+};
+
+/// Builds the OD flow set for `pattern` on `grid`. The grid must have at
+/// least 4 rows and 4 columns (corridor selection uses spread positions).
+std::vector<sim::FlowSpec> make_flow_pattern(const GridScenario& grid,
+                                             FlowPattern pattern,
+                                             const FlowPatternConfig& config = {});
+
+/// Human-readable name ("Pattern 3").
+const char* flow_pattern_name(FlowPattern pattern);
+
+}  // namespace tsc::scenario

@@ -1,0 +1,156 @@
+#include "src/scenarios/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc::scenario {
+namespace {
+
+enum class Heading { kNorth, kEast, kSouth, kWest };
+
+Heading heading_of(const sim::RoadNetwork& net, const sim::Link& link) {
+  const auto& a = net.node(link.from);
+  const auto& b = net.node(link.to);
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  if (std::abs(dx) >= std::abs(dy)) return dx >= 0.0 ? Heading::kEast : Heading::kWest;
+  return dy >= 0.0 ? Heading::kNorth : Heading::kSouth;
+}
+
+/// Turn type when entering with heading `in` and leaving with heading `out`.
+/// Same heading: through. 90 deg clockwise: right. 90 deg ccw: left.
+sim::Turn classify_turn(Heading in, Heading out) {
+  const int delta = (static_cast<int>(out) - static_cast<int>(in) + 4) % 4;
+  switch (delta) {
+    case 0: return sim::Turn::kThrough;
+    case 1: return sim::Turn::kRight;  // N->E etc. (clockwise)
+    case 3: return sim::Turn::kLeft;
+    default: throw std::logic_error("classify_turn: U-turn not permitted");
+  }
+}
+
+bool is_vertical(Heading h) { return h == Heading::kNorth || h == Heading::kSouth; }
+
+}  // namespace
+
+GridScenario::GridScenario(const GridConfig& config) : config_(config) {
+  if (config_.rows == 0 || config_.cols == 0)
+    throw std::invalid_argument("GridScenario: empty grid");
+  build();
+}
+
+void GridScenario::build() {
+  const std::size_t rows = config_.rows, cols = config_.cols;
+  const double s = config_.spacing;
+
+  interior_.resize(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      interior_[r * cols + c] = net_.add_node(
+          sim::NodeType::kSignalized, static_cast<double>(c) * s,
+          -static_cast<double>(r) * s,
+          "I(" + std::to_string(r) + "," + std::to_string(c) + ")");
+
+  west_.resize(rows);
+  east_.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    west_[r] = net_.add_node(sim::NodeType::kBoundary, -s,
+                             -static_cast<double>(r) * s, "W" + std::to_string(r));
+    east_[r] = net_.add_node(sim::NodeType::kBoundary, static_cast<double>(cols) * s,
+                             -static_cast<double>(r) * s, "E" + std::to_string(r));
+  }
+  north_.resize(cols);
+  south_.resize(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    north_[c] = net_.add_node(sim::NodeType::kBoundary, static_cast<double>(c) * s, s,
+                              "N" + std::to_string(c));
+    south_[c] = net_.add_node(sim::NodeType::kBoundary, static_cast<double>(c) * s,
+                              -static_cast<double>(rows) * s, "S" + std::to_string(c));
+  }
+
+  auto connect = [&](sim::NodeId a, sim::NodeId b, std::uint32_t lanes) {
+    const sim::LinkId ab = net_.add_link(a, b, s, lanes, config_.speed);
+    const sim::LinkId ba = net_.add_link(b, a, s, lanes, config_.speed);
+    link_map_[{a, b}] = ab;
+    link_map_[{b, a}] = ba;
+  };
+
+  // Horizontal arterials (west-east) and vertical avenues (north-south).
+  for (std::size_t r = 0; r < rows; ++r) {
+    connect(west_[r], intersection(r, 0), config_.arterial_lanes);
+    for (std::size_t c = 0; c + 1 < cols; ++c)
+      connect(intersection(r, c), intersection(r, c + 1), config_.arterial_lanes);
+    connect(intersection(r, cols - 1), east_[r], config_.arterial_lanes);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    connect(north_[c], intersection(0, c), config_.avenue_lanes);
+    for (std::size_t r = 0; r + 1 < rows; ++r)
+      connect(intersection(r, c), intersection(r + 1, c), config_.avenue_lanes);
+    connect(intersection(rows - 1, c), south_[c], config_.avenue_lanes);
+  }
+
+  // Movements + four-phase plans at every interior node.
+  for (sim::NodeId node_id : interior_) {
+    const sim::Node& node = net_.node(node_id);
+    std::vector<sim::MovementId> ns_through_right, ns_left, ew_through_right, ew_left;
+    for (sim::LinkId in_id : node.in_links) {
+      const sim::Link in_link = net_.link(in_id);
+      const Heading in_heading = heading_of(net_, in_link);
+      for (sim::LinkId out_id : node.out_links) {
+        const sim::Link out_link = net_.link(out_id);
+        if (out_link.to == in_link.from) continue;  // no U-turns
+        const Heading out_heading = heading_of(net_, out_link);
+        const sim::Turn turn = classify_turn(in_heading, out_heading);
+        // Lane policy: single-lane links share everything; two-lane links
+        // dedicate lane 0 (inner/left) to left turns, lane 1 to through+right.
+        std::vector<std::uint32_t> lanes;
+        if (in_link.lanes == 1) {
+          lanes = {0};
+        } else if (turn == sim::Turn::kLeft) {
+          lanes = {0};
+        } else {
+          lanes = {in_link.lanes - 1};
+        }
+        const sim::MovementId mid = net_.add_movement(in_id, out_id, turn, lanes);
+        const bool vertical = is_vertical(in_heading);
+        if (turn == sim::Turn::kLeft) {
+          (vertical ? ns_left : ew_left).push_back(mid);
+        } else {
+          (vertical ? ns_through_right : ew_through_right).push_back(mid);
+        }
+      }
+    }
+    net_.set_phases(node_id, {ns_through_right, ns_left, ew_through_right, ew_left});
+  }
+
+  net_.finalize();
+}
+
+sim::NodeId GridScenario::intersection(std::size_t row, std::size_t col) const {
+  if (row >= config_.rows || col >= config_.cols)
+    throw std::out_of_range("GridScenario::intersection");
+  return interior_[row * config_.cols + col];
+}
+
+sim::NodeId GridScenario::west_terminal(std::size_t row) const { return west_.at(row); }
+sim::NodeId GridScenario::east_terminal(std::size_t row) const { return east_.at(row); }
+sim::NodeId GridScenario::north_terminal(std::size_t col) const { return north_.at(col); }
+sim::NodeId GridScenario::south_terminal(std::size_t col) const { return south_.at(col); }
+
+sim::LinkId GridScenario::link_between(sim::NodeId a, sim::NodeId b) const {
+  const auto it = link_map_.find({a, b});
+  if (it == link_map_.end()) throw std::invalid_argument("link_between: not adjacent");
+  return it->second;
+}
+
+std::vector<sim::LinkId> GridScenario::route(sim::NodeId from_terminal,
+                                             sim::NodeId to_terminal) const {
+  const sim::Node& from = net_.node(from_terminal);
+  if (from.type != sim::NodeType::kBoundary || from.out_links.empty())
+    throw std::invalid_argument("route: source is not a boundary terminal");
+  auto r = net_.shortest_route(from.out_links.front(), to_terminal);
+  if (r.empty()) throw std::invalid_argument("route: unreachable terminal");
+  return r;
+}
+
+}  // namespace tsc::scenario

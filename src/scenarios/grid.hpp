@@ -1,0 +1,65 @@
+// Synthetic N x M signalized grid (paper section VI-A).
+//
+// Geometry follows the paper: 200 m spacing; horizontal (west-east) streets
+// are two-lane arterials where the left lane is left-turn only and the right
+// lane serves through + right; vertical (north-south) avenues have a single
+// shared lane for all three movements (head-of-line blocking). Every
+// interior node runs the four-phase plan of Fig. 3:
+//   phase 0: north-south through + right     phase 1: north-south left
+//   phase 2: west-east through + right       phase 3: west-east left
+// Boundary terminals ring the grid and source/sink all traffic.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace tsc::scenario {
+
+struct GridConfig {
+  std::size_t rows = 6;
+  std::size_t cols = 6;
+  double spacing = 200.0;          ///< meters between intersections
+  std::uint32_t arterial_lanes = 2;///< west-east streets
+  std::uint32_t avenue_lanes = 1;  ///< north-south avenues
+  double speed = 13.89;            ///< m/s (50 km/h)
+};
+
+class GridScenario {
+ public:
+  explicit GridScenario(const GridConfig& config);
+
+  const sim::RoadNetwork& net() const { return net_; }
+  const GridConfig& config() const { return config_; }
+  std::size_t rows() const { return config_.rows; }
+  std::size_t cols() const { return config_.cols; }
+
+  /// Interior intersection at grid position (row, col); row 0 is north.
+  sim::NodeId intersection(std::size_t row, std::size_t col) const;
+  /// Boundary terminals.
+  sim::NodeId west_terminal(std::size_t row) const;
+  sim::NodeId east_terminal(std::size_t row) const;
+  sim::NodeId north_terminal(std::size_t col) const;
+  sim::NodeId south_terminal(std::size_t col) const;
+
+  /// Directed link from node `a` to adjacent node `b`; throws if absent.
+  sim::LinkId link_between(sim::NodeId a, sim::NodeId b) const;
+
+  /// Route along the shortest path from a boundary terminal's outgoing link
+  /// to another boundary terminal; throws if unreachable.
+  std::vector<sim::LinkId> route(sim::NodeId from_terminal,
+                                 sim::NodeId to_terminal) const;
+
+ private:
+  void build();
+
+  GridConfig config_;
+  sim::RoadNetwork net_;
+  std::vector<sim::NodeId> interior_;  // rows*cols
+  std::vector<sim::NodeId> west_, east_, north_, south_;
+  std::map<std::pair<sim::NodeId, sim::NodeId>, sim::LinkId> link_map_;
+};
+
+}  // namespace tsc::scenario

@@ -1,0 +1,228 @@
+#include "src/scenarios/monaco.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace tsc::scenario {
+namespace {
+
+struct Edge {
+  std::size_t a, b;  // interior node indices
+};
+
+/// Connectivity check over an undirected adjacency list.
+bool connected(std::size_t n, const std::vector<std::set<std::size_t>>& adj) {
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack = {0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace
+
+MonacoScenario::MonacoScenario(const MonacoConfig& config) : config_(config) {
+  if (config_.grid_rows < 2 || config_.grid_cols < 2)
+    throw std::invalid_argument("MonacoScenario: grid too small");
+  build();
+}
+
+void MonacoScenario::build() {
+  Rng rng(config_.seed);
+  const std::size_t rows = config_.grid_rows, cols = config_.grid_cols;
+  const std::size_t n = rows * cols;
+  const double s = config_.spacing;
+
+  // Jittered node positions.
+  std::vector<std::pair<double, double>> pos(n);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      pos[r * cols + c] = {
+          static_cast<double>(c) * s + rng.uniform(-config_.jitter, config_.jitter),
+          -static_cast<double>(r) * s + rng.uniform(-config_.jitter, config_.jitter)};
+    }
+  }
+
+  // Backbone edges (grid adjacency), then drop a fraction while keeping the
+  // graph connected and every node at degree >= 2.
+  std::vector<Edge> edges;
+  auto idx = [&](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({idx(r, c), idx(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({idx(r, c), idx(r + 1, c)});
+    }
+  std::vector<std::set<std::size_t>> adj(n);
+  for (const Edge& e : edges) {
+    adj[e.a].insert(e.b);
+    adj[e.b].insert(e.a);
+  }
+  const auto target_drop =
+      static_cast<std::size_t>(config_.drop_fraction * static_cast<double>(edges.size()));
+  // Shuffle candidate order deterministically.
+  std::vector<std::size_t> order(edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform_int(i)]);
+  std::set<std::size_t> dropped;
+  for (std::size_t cand : order) {
+    if (dropped.size() >= target_drop) break;
+    const Edge& e = edges[cand];
+    if (adj[e.a].size() <= 2 || adj[e.b].size() <= 2) continue;
+    adj[e.a].erase(e.b);
+    adj[e.b].erase(e.a);
+    if (connected(n, adj)) {
+      dropped.insert(cand);
+    } else {
+      adj[e.a].insert(e.b);
+      adj[e.b].insert(e.a);
+    }
+  }
+
+  // Create nodes.
+  interior_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    interior_[i] = net_.add_node(sim::NodeType::kSignalized, pos[i].first,
+                                 pos[i].second, "M" + std::to_string(i));
+
+  // Terminals on the perimeter: every second perimeter node gets one.
+  std::vector<std::pair<std::size_t, std::pair<double, double>>> perimeter;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (r != 0 && r != rows - 1 && c != 0 && c != cols - 1) continue;
+      double dx = 0.0, dy = 0.0;
+      if (r == 0) dy += s;
+      if (r == rows - 1) dy -= s;
+      if (c == 0) dx -= s;
+      if (c == cols - 1) dx += s;
+      perimeter.push_back({idx(r, c), {pos[idx(r, c)].first + dx,
+                                       pos[idx(r, c)].second + dy}});
+    }
+  std::map<std::size_t, sim::NodeId> terminal_of;  // interior idx -> terminal
+  for (std::size_t i = 0; i < perimeter.size(); i += 2) {
+    const auto& [node_idx, tpos] = perimeter[i];
+    const sim::NodeId t = net_.add_node(sim::NodeType::kBoundary, tpos.first,
+                                        tpos.second, "T" + std::to_string(i / 2));
+    terminals_.push_back(t);
+    terminal_of[node_idx] = t;
+  }
+
+  // Links: heterogeneous lane counts per street (same both directions).
+  auto connect = [&](sim::NodeId a, sim::NodeId b, std::uint32_t lanes) {
+    const auto& na = net_.node(a);
+    const auto& nb = net_.node(b);
+    const double len = std::max(
+        50.0, std::hypot(nb.x - na.x, nb.y - na.y));
+    net_.add_link(a, b, len, lanes, config_.speed);
+    net_.add_link(b, a, len, lanes, config_.speed);
+  };
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v : adj[u])
+      if (u < v) connect(interior_[u], interior_[v],
+                         rng.bernoulli(0.4) ? 2u : 1u);
+  for (const auto& [node_idx, t] : terminal_of)
+    connect(interior_[node_idx], t, rng.bernoulli(0.3) ? 2u : 1u);
+
+  // Movements: every in-link to every out-link except U-turns; turn type by
+  // heading change; two-lane approaches dedicate lane 0 to left turns.
+  for (sim::NodeId node_id : interior_) {
+    const sim::Node& node = net_.node(node_id);
+    std::vector<std::vector<sim::MovementId>> phases;
+    for (sim::LinkId in_id : node.in_links) {
+      const sim::Link in_link = net_.link(in_id);
+      const auto& from = net_.node(in_link.from);
+      const double in_angle = std::atan2(node.y - from.y, node.x - from.x);
+      std::vector<sim::MovementId> approach_movements;
+      for (sim::LinkId out_id : node.out_links) {
+        const sim::Link out_link = net_.link(out_id);
+        if (out_link.to == in_link.from) continue;  // no U-turn
+        const auto& to = net_.node(out_link.to);
+        const double out_angle = std::atan2(to.y - node.y, to.x - node.x);
+        double delta = out_angle - in_angle;
+        while (delta > std::numbers::pi) delta -= 2.0 * std::numbers::pi;
+        while (delta < -std::numbers::pi) delta += 2.0 * std::numbers::pi;
+        sim::Turn turn = sim::Turn::kThrough;
+        if (delta > std::numbers::pi / 4.0) turn = sim::Turn::kLeft;
+        else if (delta < -std::numbers::pi / 4.0) turn = sim::Turn::kRight;
+        std::vector<std::uint32_t> lanes;
+        if (in_link.lanes == 1) {
+          lanes = {0};
+        } else if (turn == sim::Turn::kLeft) {
+          lanes = {0};
+        } else {
+          lanes = {in_link.lanes - 1};
+        }
+        approach_movements.push_back(net_.add_movement(in_id, out_id, turn, lanes));
+      }
+      if (!approach_movements.empty()) phases.push_back(std::move(approach_movements));
+    }
+    // Split phasing: one phase per approach -> 2-4 phases by node degree.
+    net_.set_phases(node_id, std::move(phases));
+  }
+
+  net_.finalize();
+}
+
+std::vector<sim::FlowSpec> MonacoScenario::make_flows(double peak_veh_per_hour,
+                                                      double time_scale,
+                                                      std::size_t num_od_pairs,
+                                                      std::uint64_t seed) const {
+  if (terminals_.size() < 2)
+    throw std::logic_error("MonacoScenario: not enough terminals");
+  Rng rng(seed);
+  auto scale = [&](std::vector<sim::RateKnot> knots) {
+    for (auto& k : knots) k.t_seconds *= time_scale;
+    return knots;
+  };
+  const auto fwd = scale({{0.0, 0.0}, {600.0, peak_veh_per_hour},
+                          {1500.0, peak_veh_per_hour}});
+  const auto rev = scale({{600.0, 0.0}, {1500.0, peak_veh_per_hour},
+                          {2100.0, peak_veh_per_hour}});
+  std::vector<sim::FlowSpec> flows;
+  std::set<std::pair<sim::NodeId, sim::NodeId>> used;
+  std::size_t attempts = 0;
+  while (flows.size() < 2 * num_od_pairs && attempts < 500) {
+    ++attempts;
+    const sim::NodeId a = terminals_[rng.uniform_int(terminals_.size())];
+    const sim::NodeId b = terminals_[rng.uniform_int(terminals_.size())];
+    if (a == b || used.count({a, b})) continue;
+    const auto& na = net_.node(a);
+    const auto route_ab = net_.shortest_route(na.out_links.front(), b);
+    const auto& nb = net_.node(b);
+    const auto route_ba = net_.shortest_route(nb.out_links.front(), a);
+    if (route_ab.empty() || route_ba.empty() || route_ab.size() < 3) continue;
+    used.insert({a, b});
+    used.insert({b, a});
+    sim::FlowSpec f1;
+    f1.route = route_ab;
+    f1.profile = fwd;
+    flows.push_back(std::move(f1));
+    sim::FlowSpec f2;
+    f2.route = route_ba;
+    f2.profile = rev;
+    flows.push_back(std::move(f2));
+  }
+  if (flows.size() < 2 * num_od_pairs)
+    throw std::runtime_error("MonacoScenario: could not find enough OD routes");
+  return flows;
+}
+
+}  // namespace tsc::scenario

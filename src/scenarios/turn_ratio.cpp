@@ -1,0 +1,65 @@
+#include "src/scenarios/turn_ratio.hpp"
+
+#include <stdexcept>
+
+namespace tsc::scenario {
+
+std::vector<sim::LinkId> sample_turn_route(const sim::RoadNetwork& net,
+                                           sim::LinkId entry_link,
+                                           const TurnRatios& ratios, Rng& rng,
+                                           std::size_t max_hops) {
+  std::vector<sim::LinkId> route = {entry_link};
+  sim::LinkId current = entry_link;
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    const sim::Link& link = net.link(current);
+    if (net.node(link.to).type == sim::NodeType::kBoundary) return route;
+    const auto& movements = link.out_movements;
+    if (movements.empty()) return {};  // dead end
+    std::vector<double> weights(movements.size());
+    double total = 0.0;
+    for (std::size_t m = 0; m < movements.size(); ++m) {
+      weights[m] = ratios.weight(net.movement(movements[m]).turn);
+      total += weights[m];
+    }
+    std::size_t pick;
+    if (total <= 0.0) {
+      pick = rng.uniform_int(movements.size());  // all-zero ratios: uniform
+    } else {
+      pick = rng.categorical(weights);
+    }
+    current = net.movement(movements[pick]).to_link;
+    route.push_back(current);
+  }
+  return {};  // wandered too long without exiting
+}
+
+std::vector<sim::FlowSpec> make_turn_ratio_flows(
+    const sim::RoadNetwork& net, const std::vector<sim::LinkId>& entry_links,
+    const std::vector<sim::RateKnot>& rate_profile, const TurnRatios& ratios,
+    std::size_t samples_per_entry, std::uint64_t seed) {
+  if (samples_per_entry == 0)
+    throw std::invalid_argument("make_turn_ratio_flows: zero samples");
+  Rng rng(seed);
+  std::vector<sim::FlowSpec> flows;
+  for (sim::LinkId entry : entry_links) {
+    std::size_t produced = 0;
+    std::size_t attempts = 0;
+    while (produced < samples_per_entry) {
+      if (++attempts > samples_per_entry * 50)
+        throw std::runtime_error(
+            "make_turn_ratio_flows: entry link cannot reach a boundary");
+      auto route = sample_turn_route(net, entry, ratios, rng);
+      if (route.empty()) continue;
+      sim::FlowSpec f;
+      f.route = std::move(route);
+      f.profile = rate_profile;
+      for (auto& knot : f.profile)
+        knot.rate_veh_per_hour /= static_cast<double>(samples_per_entry);
+      flows.push_back(std::move(f));
+      ++produced;
+    }
+  }
+  return flows;
+}
+
+}  // namespace tsc::scenario

@@ -1,0 +1,50 @@
+// Turn-ratio demand: instead of fixed origin-destination routes, vehicles
+// enter at a boundary and turn randomly at each intersection according to
+// per-turn-type ratios (the classic "10% left / 80% through / 10% right"
+// demand spec of traffic engineering). Because the simulator executes
+// fixed routes, this generator SAMPLES a route ensemble per entry and
+// splits the entry rate across the samples - statistically equivalent at
+// the link-flow level for memoryless turning.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/flow.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::scenario {
+
+struct TurnRatios {
+  double left = 0.1;
+  double through = 0.8;
+  double right = 0.1;
+
+  double weight(sim::Turn turn) const {
+    switch (turn) {
+      case sim::Turn::kLeft: return left;
+      case sim::Turn::kThrough: return through;
+      case sim::Turn::kRight: return right;
+    }
+    return 0.0;
+  }
+};
+
+/// Samples one random-walk route from `entry_link` to any boundary exit,
+/// choosing movements by turn-type weight. Returns an empty vector if no
+/// boundary is reached within `max_hops` (possible in pathological
+/// networks; callers should resample).
+std::vector<sim::LinkId> sample_turn_route(const sim::RoadNetwork& net,
+                                           sim::LinkId entry_link,
+                                           const TurnRatios& ratios, Rng& rng,
+                                           std::size_t max_hops = 64);
+
+/// Builds `samples_per_entry` sampled routes for each entry link, splitting
+/// `rate_profile` evenly across the samples of one entry. Throws if an
+/// entry cannot reach a boundary.
+std::vector<sim::FlowSpec> make_turn_ratio_flows(
+    const sim::RoadNetwork& net, const std::vector<sim::LinkId>& entry_links,
+    const std::vector<sim::RateKnot>& rate_profile, const TurnRatios& ratios,
+    std::size_t samples_per_entry, std::uint64_t seed);
+
+}  // namespace tsc::scenario

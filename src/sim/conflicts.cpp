@@ -1,0 +1,93 @@
+#include "src/sim/conflicts.hpp"
+
+#include <cmath>
+
+namespace tsc::sim {
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+/// Entry/exit points of a movement on a circle of radius r around the
+/// node, placed along the incoming/outgoing link directions.
+struct Segment {
+  Point a, b;
+};
+
+Segment movement_segment(const RoadNetwork& net, const Movement& m) {
+  const Node& node = net.node(m.node);
+  const Link& in = net.link(m.from_link);
+  const Link& out = net.link(m.to_link);
+  const Node& from = net.node(in.from);
+  const Node& to = net.node(out.to);
+  // Unit vectors toward the upstream origin and downstream destination.
+  const double r = 10.0;  // nominal intersection radius (m)
+  auto unit = [](double dx, double dy) {
+    const double len = std::hypot(dx, dy);
+    return Point{dx / (len > 1e-9 ? len : 1.0), dy / (len > 1e-9 ? len : 1.0)};
+  };
+  const Point u_in = unit(from.x - node.x, from.y - node.y);
+  const Point u_out = unit(to.x - node.x, to.y - node.y);
+  // Entry point sits slightly to the right of the approach axis (right-hand
+  // traffic): offset by the perpendicular so opposing throughs do not
+  // falsely intersect head-on.
+  const double lane_offset = 2.0;
+  const Point perp_in{-u_in.y, u_in.x};
+  const Point perp_out{-u_out.y, u_out.x};
+  Segment s;
+  s.a = {node.x + r * u_in.x + lane_offset * perp_in.x,
+         node.y + r * u_in.y + lane_offset * perp_in.y};
+  s.b = {node.x + r * u_out.x - lane_offset * perp_out.x,
+         node.y + r * u_out.y - lane_offset * perp_out.y};
+  return s;
+}
+
+double cross(const Point& o, const Point& p, const Point& q) {
+  return (p.x - o.x) * (q.y - o.y) - (p.y - o.y) * (q.x - o.x);
+}
+
+/// Proper segment intersection (shared endpoints do not count).
+bool segments_intersect(const Segment& s1, const Segment& s2) {
+  const double d1 = cross(s2.a, s2.b, s1.a);
+  const double d2 = cross(s2.a, s2.b, s1.b);
+  const double d3 = cross(s1.a, s1.b, s2.a);
+  const double d4 = cross(s1.a, s1.b, s2.b);
+  return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+         ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0));
+}
+
+}  // namespace
+
+bool movements_conflict(const RoadNetwork& net, MovementId a, MovementId b) {
+  if (a == b) return false;
+  const Movement& ma = net.movement(a);
+  const Movement& mb = net.movement(b);
+  if (ma.node != mb.node) return false;
+  // Same approach (lane fan-out) or same exit (merge): compatible.
+  if (ma.from_link == mb.from_link || ma.to_link == mb.to_link) return false;
+  return segments_intersect(movement_segment(net, ma),
+                            movement_segment(net, mb));
+}
+
+std::vector<std::pair<MovementId, MovementId>> phase_conflicts(
+    const RoadNetwork& net, NodeId node) {
+  std::vector<std::pair<MovementId, MovementId>> out;
+  for (const auto& phase : net.node(node).phases) {
+    for (std::size_t i = 0; i < phase.size(); ++i)
+      for (std::size_t j = i + 1; j < phase.size(); ++j)
+        if (movements_conflict(net, phase[i], phase[j]))
+          out.push_back({phase[i], phase[j]});
+  }
+  return out;
+}
+
+std::vector<ConflictViolation> audit_phase_conflicts(const RoadNetwork& net) {
+  std::vector<ConflictViolation> out;
+  for (NodeId node : net.signalized_nodes())
+    for (const auto& [a, b] : phase_conflicts(net, node))
+      out.push_back({node, a, b});
+  return out;
+}
+
+}  // namespace tsc::sim

@@ -1,0 +1,38 @@
+// Movement conflict analysis: detects whether two turning movements cross
+// paths inside an intersection, and audits phase tables for conflicting
+// green pairs. Used to validate generated scenarios (a phase that greens
+// two crossing movements would be a safety violation in the real world,
+// even though the queue-level simulator cannot collide vehicles).
+//
+// Geometry: each movement is approximated by the straight segment from its
+// entry point (where the incoming link meets the node) to its exit point
+// (where the outgoing link leaves it). Two movements conflict if these
+// segments properly intersect; movements sharing the incoming link (lane
+// fan-out) or the outgoing link (merge) are considered compatible, as is
+// standard in signal phasing (merges are yields, not crossings).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace tsc::sim {
+
+/// True if the two movements (at the same node) cross paths.
+bool movements_conflict(const RoadNetwork& net, MovementId a, MovementId b);
+
+/// All conflicting movement pairs that some phase of `node` greens
+/// simultaneously. Empty means the node's phase table is conflict-free.
+std::vector<std::pair<MovementId, MovementId>> phase_conflicts(
+    const RoadNetwork& net, NodeId node);
+
+/// Audits every signalized node; returns (node, movement pair) violations.
+struct ConflictViolation {
+  NodeId node;
+  MovementId first;
+  MovementId second;
+};
+std::vector<ConflictViolation> audit_phase_conflicts(const RoadNetwork& net);
+
+}  // namespace tsc::sim

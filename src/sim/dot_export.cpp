@@ -1,0 +1,71 @@
+#include "src/sim/dot_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/simulator.hpp"
+
+namespace tsc::sim {
+namespace {
+
+const char* node_shape(NodeType type) {
+  switch (type) {
+    case NodeType::kSignalized: return "box";
+    case NodeType::kUnsignalized: return "diamond";
+    case NodeType::kBoundary: return "circle";
+  }
+  return "circle";
+}
+
+void emit_header(std::ostringstream& os, const RoadNetwork& net) {
+  os << "digraph road_network {\n"
+     << "  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=8];\n";
+  for (const Node& n : net.nodes()) {
+    os << "  n" << n.id << " [shape=" << node_shape(n.type) << ", label=\""
+       << (n.name.empty() ? std::to_string(n.id) : n.name) << "\", pos=\""
+       << n.x / 25.0 << ',' << n.y / 25.0 << "!\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const RoadNetwork& net) {
+  std::ostringstream os;
+  emit_header(os, net);
+  for (const Link& l : net.links()) {
+    os << "  n" << l.from << " -> n" << l.to << " [label=\"" << l.lanes << '@'
+       << static_cast<int>(l.length) << "m\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Simulator& sim) {
+  const RoadNetwork& net = sim.network();
+  std::ostringstream os;
+  emit_header(os, net);
+  for (const Link& l : net.links()) {
+    const double utilization =
+        std::min(1.0, static_cast<double>(sim.link_queue(l.id)) /
+                          std::max(1u, sim.link_capacity(l.id)));
+    const int red = static_cast<int>(utilization * 255.0);
+    char color[16];
+    std::snprintf(color, sizeof(color), "#%02X0000", red);
+    os << "  n" << l.from << " -> n" << l.to << " [label=\""
+       << sim.link_queue(l.id) << '/' << sim.link_capacity(l.id)
+       << "\", color=\"" << color << "\", penwidth="
+       << 1.0 + 3.0 * utilization << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const RoadNetwork& net, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_dot: cannot open " + path);
+  out << to_dot(net);
+  if (!out) throw std::runtime_error("write_dot: write failed for " + path);
+}
+
+}  // namespace tsc::sim

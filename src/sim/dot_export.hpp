@@ -1,0 +1,25 @@
+// Graphviz DOT export of a road network (and optionally live congestion)
+// for quick visual inspection of generated scenarios.
+#pragma once
+
+#include <string>
+
+#include "src/sim/network.hpp"
+
+namespace tsc::sim {
+
+class Simulator;
+
+/// Renders the static topology: signalized nodes as boxes, boundary
+/// terminals as circles, links as directed edges labelled "lanes@length".
+std::string to_dot(const RoadNetwork& net);
+
+/// Same, with live queue counts: edge color intensity scales with the
+/// current queue on each link (red = at capacity).
+std::string to_dot(const Simulator& sim);
+
+/// Writes to_dot(...) output to a file. Throws std::runtime_error on I/O
+/// failure.
+void write_dot(const RoadNetwork& net, const std::string& path);
+
+}  // namespace tsc::sim

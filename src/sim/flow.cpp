@@ -1,0 +1,58 @@
+#include "src/sim/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsc::sim {
+
+double FlowSpec::rate_at(double t) const {
+  if (profile.empty()) return 0.0;
+  if (t < profile.front().t_seconds || t > profile.back().t_seconds) return 0.0;
+  for (std::size_t i = 0; i + 1 < profile.size(); ++i) {
+    const RateKnot& a = profile[i];
+    const RateKnot& b = profile[i + 1];
+    if (t >= a.t_seconds && t <= b.t_seconds) {
+      const double span = b.t_seconds - a.t_seconds;
+      if (span <= 0.0) return b.rate_veh_per_hour;
+      const double frac = (t - a.t_seconds) / span;
+      return a.rate_veh_per_hour + frac * (b.rate_veh_per_hour - a.rate_veh_per_hour);
+    }
+  }
+  return profile.back().rate_veh_per_hour;
+}
+
+double FlowSpec::expected_vehicles(double horizon) const {
+  // Trapezoid integration at 1 s resolution.
+  double total = 0.0;
+  for (double t = 0.0; t < horizon; t += 1.0)
+    total += 0.5 * (rate_at(t) + rate_at(std::min(t + 1.0, horizon))) / 3600.0;
+  return total;
+}
+
+namespace profiles {
+
+std::vector<RateKnot> ramp_hold(double start, double ramp, double end, double peak) {
+  assert(ramp >= 0.0 && end >= start + ramp);
+  return {{start, 0.0}, {start + ramp, peak}, {end, peak}};
+}
+
+std::vector<RateKnot> constant(double start, double end, double rate) {
+  assert(end > start);
+  return {{start, rate}, {end, rate}};
+}
+
+}  // namespace profiles
+
+std::vector<std::size_t> FlowSampler::sample_arrivals(double t, double dt,
+                                                      Rng& rng) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const double rate = flows_[i].rate_at(t);
+    if (rate <= 0.0) continue;
+    const double p = rate / 3600.0 * dt;
+    if (rng.bernoulli(std::min(p, 1.0))) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace tsc::sim

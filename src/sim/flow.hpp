@@ -1,0 +1,64 @@
+// Time-varying origin-destination traffic demand.
+//
+// A FlowSpec fixes a route (link sequence) and a piecewise-linear rate
+// profile in vehicles/hour. The simulator samples Bernoulli arrivals per
+// tick from the instantaneous rate, reproducing the paper's staggered,
+// ramped OD flows (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::sim {
+
+/// One knot of a rate profile: `rate_veh_per_hour` at time `t_seconds`.
+/// Between knots the rate is linearly interpolated; outside the knot range
+/// it is 0 before the first knot and 0 after the last (flows end).
+struct RateKnot {
+  double t_seconds = 0.0;
+  double rate_veh_per_hour = 0.0;
+};
+
+struct FlowSpec {
+  std::vector<LinkId> route;  ///< consecutive links; front() is the entry link
+  std::vector<RateKnot> profile;
+
+  /// Instantaneous rate (veh/h) at time t.
+  double rate_at(double t) const;
+
+  /// Integrated expected vehicle count over [0, horizon] seconds.
+  double expected_vehicles(double horizon) const;
+};
+
+/// Convenience builders for the paper's flow shapes.
+namespace profiles {
+
+/// Ramp 0 -> peak over [start, start+ramp], hold until `end`, then stop.
+std::vector<RateKnot> ramp_hold(double start, double ramp, double end, double peak);
+
+/// Constant `rate` over [start, end].
+std::vector<RateKnot> constant(double start, double end, double rate);
+
+}  // namespace profiles
+
+/// Samples arrivals for a set of flows, tick by tick. Deterministic given
+/// the seed sequence from the owning simulator's Rng.
+class FlowSampler {
+ public:
+  explicit FlowSampler(std::vector<FlowSpec> flows) : flows_(std::move(flows)) {}
+
+  const std::vector<FlowSpec>& flows() const { return flows_; }
+
+  /// Returns indices of flows that emit a vehicle during [t, t+dt).
+  /// Rates are assumed small relative to 1/dt (at most one arrival per flow
+  /// per tick; at 975 veh/h and dt=1 s the per-tick probability is 0.27).
+  std::vector<std::size_t> sample_arrivals(double t, double dt, Rng& rng) const;
+
+ private:
+  std::vector<FlowSpec> flows_;
+};
+
+}  // namespace tsc::sim

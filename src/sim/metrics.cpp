@@ -1,0 +1,76 @@
+#include "src/sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "src/util/csv.hpp"
+
+namespace tsc::sim {
+
+void TraceRecorder::record(const Simulator& sim) {
+  if (sim.now() + 1e-9 < next_sample_) return;
+  TraceSample sample;
+  sample.time = sim.now();
+  sample.halting = sim.network_halting();
+  sample.avg_wait = sim.network_avg_wait();
+  sample.active = sim.vehicles_active();
+  sample.finished = sim.vehicles_finished();
+  for (const auto node : sim.network().signalized_nodes())
+    sample.max_head_wait =
+        std::max(sample.max_head_wait, sim.intersection_max_head_wait(node));
+  samples_.push_back(sample);
+  next_sample_ = sim.now() + interval_;
+}
+
+void TraceRecorder::clear() {
+  samples_.clear();
+  next_sample_ = 0.0;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.write_header(
+      {"time", "halting", "avg_wait", "active", "finished", "max_head_wait"});
+  for (const TraceSample& s : samples_)
+    csv.write_row(s.time, s.halting, s.avg_wait, s.active, s.finished,
+                  s.max_head_wait);
+}
+
+double TraceRecorder::congestion_onset(std::uint32_t threshold) const {
+  for (const TraceSample& s : samples_)
+    if (s.halting > threshold) return s.time;
+  return -1.0;
+}
+
+double TraceRecorder::congestion_recovery(std::uint32_t threshold,
+                                          double since) const {
+  bool was_congested = false;
+  for (const TraceSample& s : samples_) {
+    if (s.time < since) continue;
+    if (s.halting > threshold) was_congested = true;
+    else if (was_congested) return s.time;
+  }
+  return -1.0;
+}
+
+EmissionsEstimate estimate_emissions(const Simulator& sim,
+                                     const EmissionsConfig& config) {
+  EmissionsEstimate out;
+  const auto& net = sim.network();
+  const auto& flows = sim.flows();
+  for (const Vehicle& v : sim.vehicles()) {
+    if (v.entered < 0.0) continue;  // never entered: backlog burns nothing
+    out.idle_seconds += v.wait_total;
+    const auto& route = flows[v.flow].route;
+    // Links fully traversed: those before the current hop; the current one
+    // counts as traversed when the vehicle has finished.
+    const std::size_t traversed = v.finished ? route.size() : v.hop;
+    for (std::size_t h = 0; h < traversed; ++h)
+      out.distance_meters += net.link(route[h]).length;
+  }
+  out.fuel_liters = out.idle_seconds * config.idle_fuel_per_second +
+                    out.distance_meters * config.cruise_fuel_per_meter;
+  out.co2_kg = out.fuel_liters * config.co2_kg_per_liter;
+  return out;
+}
+
+}  // namespace tsc::sim

@@ -1,0 +1,72 @@
+// Episode-level measurement utilities on top of the simulator:
+//   * TraceRecorder - fixed-interval time series of network state (queue
+//     totals, waits, throughput) exportable to CSV for plotting;
+//   * emissions/fuel estimation - the idling-vs-moving model commonly used
+//     in TSC evaluations (stopped vehicles burn idle fuel; travel distance
+//     burns cruise fuel), derived entirely from simulator bookkeeping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace tsc::sim {
+
+/// One sampled instant of network state.
+struct TraceSample {
+  double time = 0.0;
+  std::uint32_t halting = 0;        ///< queued vehicles network-wide
+  double avg_wait = 0.0;            ///< paper's avg waiting metric
+  std::size_t active = 0;           ///< vehicles in the network
+  std::size_t finished = 0;         ///< cumulative completions
+  double max_head_wait = 0.0;       ///< worst head-vehicle wait anywhere
+};
+
+/// Samples the simulator every `interval` seconds of simulated time.
+/// Call record() after each simulator advance; it samples when due.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(double interval = 5.0) : interval_(interval) {}
+
+  void record(const Simulator& sim);
+  const std::vector<TraceSample>& samples() const { return samples_; }
+  void clear();
+
+  /// Writes "time,halting,avg_wait,active,finished,max_head_wait" rows.
+  void write_csv(const std::string& path) const;
+
+  /// Time at which network-wide halting first exceeded `threshold`
+  /// vehicles, or -1 if it never did (congestion-onset detector).
+  double congestion_onset(std::uint32_t threshold) const;
+  /// First time AFTER `since` at which halting fell back below `threshold`,
+  /// or -1 (congestion-recovery detector).
+  double congestion_recovery(std::uint32_t threshold, double since) const;
+
+ private:
+  double interval_;
+  double next_sample_ = 0.0;
+  std::vector<TraceSample> samples_;
+};
+
+/// Fuel/emissions estimate for a finished (or charged) episode.
+struct EmissionsConfig {
+  double idle_fuel_per_second = 0.00035;   ///< liters/s while halted
+  double cruise_fuel_per_meter = 0.00008;  ///< liters/m while moving
+  double co2_kg_per_liter = 2.31;          ///< kg CO2 per liter of fuel
+};
+
+struct EmissionsEstimate {
+  double fuel_liters = 0.0;
+  double co2_kg = 0.0;
+  double idle_seconds = 0.0;     ///< total halted vehicle-seconds
+  double distance_meters = 0.0;  ///< total distance traveled
+};
+
+/// Estimates fleet fuel/CO2 from the simulator's per-vehicle bookkeeping:
+/// idle time is each vehicle's accumulated waiting; distance is the length
+/// of every link the vehicle has fully or partially traversed.
+EmissionsEstimate estimate_emissions(const Simulator& sim,
+                                     const EmissionsConfig& config = {});
+
+}  // namespace tsc::sim

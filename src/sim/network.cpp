@@ -1,0 +1,187 @@
+#include "src/sim/network.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace tsc::sim {
+
+void RoadNetwork::require_not_finalized() const {
+  if (finalized_) throw std::logic_error("RoadNetwork: already finalized");
+}
+
+NodeId RoadNetwork::add_node(NodeType type, double x, double y, std::string name) {
+  require_not_finalized();
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.type = type;
+  n.x = x;
+  n.y = y;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+LinkId RoadNetwork::add_link(NodeId from, NodeId to, double length,
+                             std::uint32_t lanes, double speed, std::string name) {
+  require_not_finalized();
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw std::invalid_argument("add_link: unknown node");
+  if (from == to) throw std::invalid_argument("add_link: self-loop");
+  if (length <= 0.0 || speed <= 0.0 || lanes == 0)
+    throw std::invalid_argument("add_link: bad geometry");
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.from = from;
+  l.to = to;
+  l.length = length;
+  l.lanes = lanes;
+  l.speed = speed;
+  l.name = std::move(name);
+  links_.push_back(std::move(l));
+  nodes_[from].out_links.push_back(links_.back().id);
+  nodes_[to].in_links.push_back(links_.back().id);
+  return links_.back().id;
+}
+
+MovementId RoadNetwork::add_movement(LinkId from_link, LinkId to_link, Turn turn,
+                                     std::vector<std::uint32_t> allowed_lanes) {
+  require_not_finalized();
+  if (from_link >= links_.size() || to_link >= links_.size())
+    throw std::invalid_argument("add_movement: unknown link");
+  const Link& in = links_[from_link];
+  const Link& out = links_[to_link];
+  if (in.to != out.from)
+    throw std::invalid_argument("add_movement: links do not share a node");
+  if (allowed_lanes.empty())
+    throw std::invalid_argument("add_movement: no lanes");
+  for (std::uint32_t lane : allowed_lanes)
+    if (lane >= in.lanes) throw std::invalid_argument("add_movement: lane out of range");
+  if (find_movement(from_link, to_link) != kInvalidId)
+    throw std::invalid_argument("add_movement: duplicate movement");
+  Movement m;
+  m.id = static_cast<MovementId>(movements_.size());
+  m.from_link = from_link;
+  m.to_link = to_link;
+  m.turn = turn;
+  m.allowed_lanes = std::move(allowed_lanes);
+  m.node = in.to;
+  movements_.push_back(std::move(m));
+  links_[from_link].out_movements.push_back(movements_.back().id);
+  return movements_.back().id;
+}
+
+void RoadNetwork::set_phases(NodeId node, std::vector<std::vector<MovementId>> phases) {
+  require_not_finalized();
+  if (node >= nodes_.size()) throw std::invalid_argument("set_phases: unknown node");
+  nodes_[node].phases = std::move(phases);
+}
+
+void RoadNetwork::finalize() {
+  require_not_finalized();
+  for (const Node& n : nodes_) {
+    if (n.type == NodeType::kSignalized) {
+      if (n.phases.empty())
+        throw std::invalid_argument("finalize: signalized node '" + n.name +
+                                    "' has no phases");
+      std::set<MovementId> covered;
+      for (const auto& phase : n.phases) {
+        if (phase.empty()) throw std::invalid_argument("finalize: empty phase");
+        for (MovementId m : phase) {
+          if (m >= movements_.size())
+            throw std::invalid_argument("finalize: phase references unknown movement");
+          if (movements_[m].node != n.id)
+            throw std::invalid_argument(
+                "finalize: phase references movement at another node");
+          covered.insert(m);
+        }
+      }
+      // Every movement at the node must be reachable in some phase, or
+      // vehicles wanting it would deadlock forever.
+      for (LinkId lid : n.in_links)
+        for (MovementId m : links_[lid].out_movements)
+          if (!covered.count(m))
+            throw std::invalid_argument("finalize: movement " + std::to_string(m) +
+                                        " at node '" + n.name +
+                                        "' not covered by any phase");
+    } else if (!n.phases.empty()) {
+      throw std::invalid_argument("finalize: non-signalized node '" + n.name +
+                                  "' has phases");
+    }
+  }
+  finalized_ = true;
+}
+
+std::vector<NodeId> RoadNetwork::signalized_nodes() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.type == NodeType::kSignalized) out.push_back(n.id);
+  return out;
+}
+
+MovementId RoadNetwork::find_movement(LinkId from_link, LinkId to_link) const {
+  if (from_link >= links_.size()) return kInvalidId;
+  for (MovementId m : links_[from_link].out_movements)
+    if (movements_[m].to_link == to_link) return m;
+  return kInvalidId;
+}
+
+std::vector<LinkId> RoadNetwork::shortest_route(LinkId from_link, NodeId dest) const {
+  if (from_link >= links_.size() || dest >= nodes_.size()) return {};
+  // Dijkstra over links: cost to have *traversed* a link.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(links_.size(), kInf);
+  std::vector<LinkId> prev(links_.size(), kInvalidId);
+  using Entry = std::pair<double, LinkId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[from_link] = links_[from_link].free_flow_time();
+  pq.push({dist[from_link], from_link});
+  while (!pq.empty()) {
+    auto [d, lid] = pq.top();
+    pq.pop();
+    if (d > dist[lid]) continue;
+    if (links_[lid].to == dest) {
+      std::vector<LinkId> route;
+      for (LinkId cur = lid; cur != kInvalidId; cur = prev[cur]) route.push_back(cur);
+      std::reverse(route.begin(), route.end());
+      return route;
+    }
+    for (MovementId mid : links_[lid].out_movements) {
+      const LinkId next = movements_[mid].to_link;
+      const double nd = d + links_[next].free_flow_time();
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        prev[next] = lid;
+        pq.push({nd, next});
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<NodeId> RoadNetwork::neighbor_signalized(NodeId id) const {
+  std::set<NodeId> out;
+  const Node& n = nodes_.at(id);
+  for (LinkId lid : n.in_links) {
+    const NodeId other = links_[lid].from;
+    if (other != id && nodes_[other].type == NodeType::kSignalized) out.insert(other);
+  }
+  for (LinkId lid : n.out_links) {
+    const NodeId other = links_[lid].to;
+    if (other != id && nodes_[other].type == NodeType::kSignalized) out.insert(other);
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<NodeId> RoadNetwork::upstream_signalized(NodeId id) const {
+  std::set<NodeId> out;
+  const Node& n = nodes_.at(id);
+  for (LinkId lid : n.in_links) {
+    const NodeId other = links_[lid].from;
+    if (other != id && nodes_[other].type == NodeType::kSignalized) out.insert(other);
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace tsc::sim

@@ -1,0 +1,124 @@
+// Road network model: nodes (intersections / boundary terminals), directed
+// links with lanes, turning movements with lane permissions, and signal
+// phase sets. This is the static description; dynamics live in simulator.hpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tsc::sim {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using MovementId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
+
+enum class NodeType {
+  kSignalized,    ///< Interior intersection controlled by an RL agent.
+  kUnsignalized,  ///< Interior junction, movements always permitted.
+  kBoundary,      ///< Source/sink terminal; vehicles enter and leave here.
+};
+
+enum class Turn { kLeft, kThrough, kRight };
+
+struct Node {
+  NodeId id = kInvalidId;
+  NodeType type = NodeType::kBoundary;
+  double x = 0.0;
+  double y = 0.0;
+  std::string name;
+  std::vector<LinkId> in_links;
+  std::vector<LinkId> out_links;
+  /// Signal phases; phases[p] is the set of movements green in phase p.
+  /// Empty for non-signalized nodes.
+  std::vector<std::vector<MovementId>> phases;
+};
+
+struct Link {
+  LinkId id = kInvalidId;
+  NodeId from = kInvalidId;
+  NodeId to = kInvalidId;
+  double length = 200.0;      ///< meters
+  std::uint32_t lanes = 1;
+  double speed = 13.89;       ///< free-flow speed, m/s (default 50 km/h)
+  std::string name;
+  /// Movements leaving this link (computed by finalize()).
+  std::vector<MovementId> out_movements;
+
+  double free_flow_time() const { return length / speed; }
+};
+
+/// A permitted turn: vehicles travelling `from_link` may continue onto
+/// `to_link` using any lane in `allowed_lanes` (indices on `from_link`).
+/// A lane listed by several movements is a shared lane (head-of-line
+/// blocking applies).
+struct Movement {
+  MovementId id = kInvalidId;
+  LinkId from_link = kInvalidId;
+  LinkId to_link = kInvalidId;
+  Turn turn = Turn::kThrough;
+  std::vector<std::uint32_t> allowed_lanes;
+  /// Node the movement crosses (== link[from_link].to).
+  NodeId node = kInvalidId;
+};
+
+/// Immutable after finalize(). Built by scenario generators.
+class RoadNetwork {
+ public:
+  NodeId add_node(NodeType type, double x, double y, std::string name = {});
+  LinkId add_link(NodeId from, NodeId to, double length, std::uint32_t lanes,
+                  double speed, std::string name = {});
+  MovementId add_movement(LinkId from_link, LinkId to_link, Turn turn,
+                          std::vector<std::uint32_t> allowed_lanes);
+  /// Registers the phase table for a signalized node. Each phase is a list
+  /// of movement ids at that node.
+  void set_phases(NodeId node, std::vector<std::vector<MovementId>> phases);
+
+  /// Validates the topology and freezes the network. Throws
+  /// std::invalid_argument on inconsistencies (dangling ids, movements whose
+  /// links do not share a node, lane indices out of range, signalized nodes
+  /// without phases, phases referencing foreign movements).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  std::size_t num_movements() const { return movements_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+  const Movement& movement(MovementId id) const { return movements_.at(id); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<Movement>& movements() const { return movements_; }
+
+  /// Ids of all signalized nodes, ascending.
+  std::vector<NodeId> signalized_nodes() const;
+
+  /// Movement from `from_link` to `to_link`, or kInvalidId if absent.
+  MovementId find_movement(LinkId from_link, LinkId to_link) const;
+
+  /// Shortest path (by free-flow time) as a link sequence from `from_link`
+  /// (inclusive) to any link ending at `dest`; empty if unreachable.
+  std::vector<LinkId> shortest_route(LinkId from_link, NodeId dest) const;
+
+  /// Signalized 1-hop neighbors of a signalized node: nodes with a direct
+  /// link to or from `id`, ascending, excluding `id` itself.
+  std::vector<NodeId> neighbor_signalized(NodeId id) const;
+
+  /// Upstream signalized neighbors: nodes with a link INTO `id`.
+  std::vector<NodeId> upstream_signalized(NodeId id) const;
+
+ private:
+  void require_not_finalized() const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<Movement> movements_;
+  bool finalized_ = false;
+};
+
+}  // namespace tsc::sim

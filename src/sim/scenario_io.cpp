@@ -1,0 +1,212 @@
+#include "src/sim/scenario_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsc::sim {
+namespace {
+
+const char* type_name(NodeType type) {
+  switch (type) {
+    case NodeType::kSignalized: return "signalized";
+    case NodeType::kUnsignalized: return "unsignalized";
+    case NodeType::kBoundary: return "boundary";
+  }
+  return "?";
+}
+
+const char* turn_name(Turn turn) {
+  switch (turn) {
+    case Turn::kLeft: return "left";
+    case Turn::kThrough: return "through";
+    case Turn::kRight: return "right";
+  }
+  return "?";
+}
+
+NodeType parse_type(const std::string& s, std::size_t line) {
+  if (s == "signalized") return NodeType::kSignalized;
+  if (s == "unsignalized") return NodeType::kUnsignalized;
+  if (s == "boundary") return NodeType::kBoundary;
+  throw std::runtime_error("scenario line " + std::to_string(line) +
+                           ": unknown node type '" + s + "'");
+}
+
+Turn parse_turn(const std::string& s, std::size_t line) {
+  if (s == "left") return Turn::kLeft;
+  if (s == "through") return Turn::kThrough;
+  if (s == "right") return Turn::kRight;
+  throw std::runtime_error("scenario line " + std::to_string(line) +
+                           ": unknown turn '" + s + "'");
+}
+
+/// Splits "a,b,c" into numeric tokens.
+template <typename T, typename Parse>
+std::vector<T> parse_list(const std::string& s, std::size_t line, Parse parse) {
+  std::vector<T> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty())
+      throw std::runtime_error("scenario line " + std::to_string(line) +
+                               ": empty list element in '" + s + "'");
+    out.push_back(parse(item));
+  }
+  if (out.empty())
+    throw std::runtime_error("scenario line " + std::to_string(line) +
+                             ": empty list");
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& s) {
+  return static_cast<std::uint32_t>(std::stoul(s));
+}
+
+}  // namespace
+
+void write_scenario(const RoadNetwork& net, const std::vector<FlowSpec>& flows,
+                    std::ostream& out) {
+  out << "# tsc scenario file\n";
+  for (const Node& n : net.nodes()) {
+    out << "node " << type_name(n.type) << ' ' << n.x << ' ' << n.y;
+    if (!n.name.empty()) out << ' ' << n.name;
+    out << '\n';
+  }
+  for (const Link& l : net.links()) {
+    out << "link " << l.from << ' ' << l.to << ' ' << l.length << ' ' << l.lanes
+        << ' ' << l.speed;
+    if (!l.name.empty()) out << ' ' << l.name;
+    out << '\n';
+  }
+  for (const Movement& m : net.movements()) {
+    out << "movement " << m.from_link << ' ' << m.to_link << ' '
+        << turn_name(m.turn) << ' ';
+    for (std::size_t i = 0; i < m.allowed_lanes.size(); ++i) {
+      if (i) out << ',';
+      out << m.allowed_lanes[i];
+    }
+    out << '\n';
+  }
+  for (const Node& n : net.nodes()) {
+    if (n.phases.empty()) continue;
+    out << "phases " << n.id;
+    for (const auto& phase : n.phases) {
+      out << ' ';
+      for (std::size_t i = 0; i < phase.size(); ++i) {
+        if (i) out << ',';
+        out << phase[i];
+      }
+    }
+    out << '\n';
+  }
+  for (const FlowSpec& f : flows) {
+    out << "flow ";
+    for (std::size_t i = 0; i < f.route.size(); ++i) {
+      if (i) out << ',';
+      out << f.route[i];
+    }
+    out << ' ';
+    for (std::size_t i = 0; i < f.profile.size(); ++i) {
+      if (i) out << ',';
+      out << f.profile[i].t_seconds << ':' << f.profile[i].rate_veh_per_hour;
+    }
+    out << '\n';
+  }
+}
+
+void save_scenario(const RoadNetwork& net, const std::vector<FlowSpec>& flows,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_scenario: cannot open " + path);
+  write_scenario(net, flows, out);
+  if (!out) throw std::runtime_error("save_scenario: write failed for " + path);
+}
+
+Scenario read_scenario(std::istream& in) {
+  Scenario scenario;
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& message) -> std::runtime_error {
+    return std::runtime_error("scenario line " + std::to_string(line_no) + ": " +
+                              message);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+
+    try {
+      if (keyword == "node") {
+        std::string type;
+        double x = 0.0, y = 0.0;
+        std::string name;
+        if (!(ls >> type >> x >> y)) throw fail("expected: node <type> <x> <y>");
+        ls >> name;  // optional
+        scenario.net.add_node(parse_type(type, line_no), x, y, name);
+      } else if (keyword == "link") {
+        NodeId from = 0, to = 0;
+        double length = 0.0, speed = 0.0;
+        std::uint32_t lanes = 0;
+        std::string name;
+        if (!(ls >> from >> to >> length >> lanes >> speed))
+          throw fail("expected: link <from> <to> <length> <lanes> <speed>");
+        ls >> name;
+        scenario.net.add_link(from, to, length, lanes, speed, name);
+      } else if (keyword == "movement") {
+        LinkId from = 0, to = 0;
+        std::string turn, lanes;
+        if (!(ls >> from >> to >> turn >> lanes))
+          throw fail("expected: movement <from_link> <to_link> <turn> <lanes>");
+        scenario.net.add_movement(from, to, parse_turn(turn, line_no),
+                                  parse_list<std::uint32_t>(lanes, line_no,
+                                                            parse_u32));
+      } else if (keyword == "phases") {
+        NodeId node = 0;
+        if (!(ls >> node)) throw fail("expected: phases <node> <groups...>");
+        std::vector<std::vector<MovementId>> phases;
+        std::string group;
+        while (ls >> group)
+          phases.push_back(parse_list<MovementId>(group, line_no, parse_u32));
+        if (phases.empty()) throw fail("phases needs at least one group");
+        scenario.net.set_phases(node, std::move(phases));
+      } else if (keyword == "flow") {
+        std::string route, profile;
+        if (!(ls >> route >> profile))
+          throw fail("expected: flow <route> <profile>");
+        FlowSpec f;
+        f.route = parse_list<LinkId>(route, line_no, parse_u32);
+        f.profile = parse_list<RateKnot>(profile, line_no, [&](const std::string& knot) {
+          const auto colon = knot.find(':');
+          if (colon == std::string::npos)
+            throw fail("profile knot '" + knot + "' is not t:rate");
+          RateKnot k;
+          k.t_seconds = std::stod(knot.substr(0, colon));
+          k.rate_veh_per_hour = std::stod(knot.substr(colon + 1));
+          return k;
+        });
+        scenario.flows.push_back(std::move(f));
+      } else {
+        throw fail("unknown keyword '" + keyword + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      // Re-wrap builder validation errors with the line number.
+      throw fail(e.what());
+    }
+  }
+  scenario.net.finalize();
+  return scenario;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_scenario: cannot open " + path);
+  return read_scenario(in);
+}
+
+}  // namespace tsc::sim

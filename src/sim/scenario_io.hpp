@@ -1,0 +1,40 @@
+// Plain-text scenario serialization: save and load a road network together
+// with its demand (flow specs) so scenarios can be versioned, shared, and
+// edited outside C++.
+//
+// Format (line-oriented, '#' comments, whitespace-separated):
+//   node <type> <x> <y> [name]             type: signalized|unsignalized|boundary
+//   link <from> <to> <length> <lanes> <speed> [name]
+//   movement <from_link> <to_link> <turn> <lane>[,<lane>...]   turn: left|through|right
+//   phases <node> <m>[,<m>...] [<m>[,<m>...] ...]   one group per phase
+//   flow <link>[,<link>...] <t>:<rate>[,<t>:<rate>...]
+// Entity ids are assigned in file order (the writer emits them in id
+// order), so indices in later lines refer to earlier lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/flow.hpp"
+#include "src/sim/network.hpp"
+
+namespace tsc::sim {
+
+struct Scenario {
+  RoadNetwork net;  ///< finalized on load
+  std::vector<FlowSpec> flows;
+};
+
+/// Serializes the network and flows to the text format above.
+void write_scenario(const RoadNetwork& net, const std::vector<FlowSpec>& flows,
+                    std::ostream& out);
+void save_scenario(const RoadNetwork& net, const std::vector<FlowSpec>& flows,
+                   const std::string& path);
+
+/// Parses and finalizes a scenario. Throws std::runtime_error with a
+/// line-numbered message on any syntax or consistency error.
+Scenario read_scenario(std::istream& in);
+Scenario load_scenario(const std::string& path);
+
+}  // namespace tsc::sim

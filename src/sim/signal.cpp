@@ -1,0 +1,52 @@
+#include "src/sim/signal.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tsc::sim {
+
+SignalController::SignalController(NodeId node, std::size_t num_phases,
+                                   double yellow_time)
+    : node_(node), num_phases_(num_phases), yellow_time_(yellow_time) {
+  if (num_phases == 0) throw std::invalid_argument("SignalController: no phases");
+  if (yellow_time < 0.0) throw std::invalid_argument("SignalController: negative yellow");
+}
+
+void SignalController::request_phase(std::size_t p) {
+  if (p >= num_phases_) throw std::out_of_range("request_phase: bad phase index");
+  if (in_yellow()) {
+    // A switch is in flight; retarget the pending phase.
+    pending_phase_ = p;
+    return;
+  }
+  if (p == phase_) return;  // extend current green
+  pending_phase_ = p;
+  yellow_remaining_ = yellow_time_;
+  if (yellow_time_ == 0.0) {
+    phase_ = pending_phase_;
+    green_elapsed_ = 0.0;
+  }
+}
+
+void SignalController::tick(double dt) {
+  assert(dt > 0.0);
+  if (in_yellow()) {
+    yellow_remaining_ -= dt;
+    if (yellow_remaining_ <= 1e-9) {
+      yellow_remaining_ = 0.0;
+      phase_ = pending_phase_;
+      green_elapsed_ = 0.0;
+    }
+  } else {
+    green_elapsed_ += dt;
+  }
+}
+
+void SignalController::reset(std::size_t initial_phase) {
+  if (initial_phase >= num_phases_) throw std::out_of_range("reset: bad phase index");
+  phase_ = pending_phase_ = initial_phase;
+  yellow_remaining_ = 0.0;
+  green_elapsed_ = 0.0;
+}
+
+}  // namespace tsc::sim

@@ -1,0 +1,53 @@
+// Per-intersection signal state machine with a safety yellow interlock.
+//
+// An agent requests a phase; if it differs from the active one the
+// controller first runs an all-red/yellow clearance interval during which no
+// movement discharges, then activates the new phase. Requesting the active
+// phase extends the green.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace tsc::sim {
+
+class SignalController {
+ public:
+  /// `num_phases` from the node's phase table; `yellow_time` in seconds.
+  SignalController(NodeId node, std::size_t num_phases, double yellow_time);
+
+  /// Requests phase `p` (the agent action). Starts the yellow interlock if
+  /// `p` differs from the active phase and no switch is already pending.
+  void request_phase(std::size_t p);
+
+  /// Advances time by dt seconds, completing a pending switch when the
+  /// yellow interval elapses.
+  void tick(double dt);
+
+  /// Active phase index. During yellow this is the *outgoing* phase.
+  std::size_t phase() const { return phase_; }
+
+  /// True while the clearance interval runs (no discharge permitted).
+  bool in_yellow() const { return yellow_remaining_ > 0.0; }
+
+  /// Seconds the active phase has been green (resets on switch).
+  double green_elapsed() const { return green_elapsed_; }
+
+  std::size_t num_phases() const { return num_phases_; }
+  NodeId node() const { return node_; }
+
+  void reset(std::size_t initial_phase = 0);
+
+ private:
+  NodeId node_;
+  std::size_t num_phases_;
+  double yellow_time_;
+  std::size_t phase_ = 0;
+  std::size_t pending_phase_ = 0;
+  double yellow_remaining_ = 0.0;
+  double green_elapsed_ = 0.0;
+};
+
+}  // namespace tsc::sim

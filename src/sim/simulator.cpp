@@ -1,0 +1,346 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc::sim {
+
+Simulator::Simulator(const RoadNetwork* net, std::vector<FlowSpec> flows,
+                     SimConfig config, std::uint64_t seed)
+    : net_(net), config_(config), sampler_(std::move(flows)), rng_(seed) {
+  if (net_ == nullptr || !net_->finalized())
+    throw std::invalid_argument("Simulator: network must be finalized");
+  validate_flows();
+
+  link_states_.resize(net_->num_links());
+  for (LinkId l = 0; l < net_->num_links(); ++l)
+    link_states_[l].lanes.resize(net_->link(l).lanes);
+
+  signal_index_.assign(net_->num_nodes(), -1);
+  phase_green_.resize(net_->num_nodes());
+  for (const Node& n : net_->nodes()) {
+    if (n.type != NodeType::kSignalized) continue;
+    signal_index_[n.id] = static_cast<std::int32_t>(signals_.size());
+    signals_.emplace_back(n.id, n.phases.size(), config_.yellow_time);
+    phase_green_[n.id] = n.phases;
+    for (auto& phase : phase_green_[n.id]) std::sort(phase.begin(), phase.end());
+  }
+}
+
+void Simulator::validate_flows() const {
+  for (const FlowSpec& f : sampler_.flows()) {
+    if (f.route.empty()) throw std::invalid_argument("flow: empty route");
+    for (std::size_t i = 0; i + 1 < f.route.size(); ++i) {
+      if (net_->find_movement(f.route[i], f.route[i + 1]) == kInvalidId)
+        throw std::invalid_argument("flow: route hop without movement");
+    }
+    const Link& last = net_->link(f.route.back());
+    if (net_->node(last.to).type != NodeType::kBoundary)
+      throw std::invalid_argument("flow: route must end at a boundary node");
+  }
+}
+
+void Simulator::reset(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  now_ = 0.0;
+  vehicles_.clear();
+  finished_count_ = 0;
+  finished_tt_sum_ = 0.0;
+  for (LinkState& ls : link_states_) {
+    ls.approaching.clear();
+    ls.backlog.clear();
+    ls.count = 0;
+    for (LaneState& lane : ls.lanes) {
+      lane.queue.clear();
+      lane.credit = 0.0;
+    }
+  }
+  for (SignalController& s : signals_) s.reset();
+}
+
+void Simulator::set_phase(NodeId node, std::size_t phase) {
+  const std::int32_t idx = signal_index_.at(node);
+  if (idx < 0) throw std::invalid_argument("set_phase: node not signalized");
+  signals_[static_cast<std::size_t>(idx)].request_phase(phase);
+}
+
+const SignalController& Simulator::signal(NodeId node) const {
+  const std::int32_t idx = signal_index_.at(node);
+  if (idx < 0) throw std::invalid_argument("signal: node not signalized");
+  return signals_[static_cast<std::size_t>(idx)];
+}
+
+void Simulator::step() {
+  spawn_and_insert();
+  process_arrivals();
+  for (const Node& n : net_->nodes())
+    if (n.type != NodeType::kBoundary) discharge_node(n);
+  accrue_waits();
+  for (SignalController& s : signals_) s.tick(config_.tick);
+  now_ += config_.tick;
+}
+
+void Simulator::step_seconds(double seconds) {
+  const auto ticks = static_cast<std::size_t>(std::ceil(seconds / config_.tick - 1e-9));
+  for (std::size_t i = 0; i < ticks; ++i) step();
+}
+
+LinkId Simulator::next_link_of(const Vehicle& v) const {
+  const auto& route = sampler_.flows()[v.flow].route;
+  if (v.hop + 1 >= route.size()) return kInvalidId;
+  return route[v.hop + 1];
+}
+
+void Simulator::spawn_and_insert() {
+  // Drain backlogs first so earlier arrivals keep priority.
+  for (LinkId l = 0; l < net_->num_links(); ++l) {
+    LinkState& ls = link_states_[l];
+    while (!ls.backlog.empty() && ls.count < link_capacity(l)) {
+      const std::uint32_t veh = ls.backlog.front();
+      ls.backlog.pop_front();
+      vehicles_[veh].entered = now_;
+      ls.approaching.push_back({veh, now_ + net_->link(l).free_flow_time()});
+      ++ls.count;
+    }
+  }
+  for (std::size_t flow_idx : sampler_.sample_arrivals(now_, config_.tick, rng_)) {
+    Vehicle v;
+    v.id = static_cast<std::uint32_t>(vehicles_.size());
+    v.flow = static_cast<std::uint32_t>(flow_idx);
+    v.depart_scheduled = now_;
+    vehicles_.push_back(v);
+    insert_vehicle(v.id);
+  }
+}
+
+void Simulator::insert_vehicle(std::uint32_t veh_idx) {
+  Vehicle& v = vehicles_[veh_idx];
+  const LinkId entry = sampler_.flows()[v.flow].route.front();
+  LinkState& ls = link_states_[entry];
+  if (ls.count < link_capacity(entry) && ls.backlog.empty()) {
+    v.entered = now_;
+    ls.approaching.push_back({veh_idx, now_ + net_->link(entry).free_flow_time()});
+    ++ls.count;
+  } else {
+    ls.backlog.push_back(veh_idx);
+  }
+}
+
+void Simulator::process_arrivals() {
+  for (LinkId l = 0; l < net_->num_links(); ++l) {
+    LinkState& ls = link_states_[l];
+    while (!ls.approaching.empty() && ls.approaching.front().arrival <= now_ + 1e-9) {
+      const std::uint32_t veh_idx = ls.approaching.front().vehicle;
+      ls.approaching.pop_front();
+      Vehicle& v = vehicles_[veh_idx];
+      const LinkId next = next_link_of(v);
+      if (next == kInvalidId) {
+        // Final link: the head node is a boundary, so the vehicle exits.
+        v.finished = true;
+        v.exit_time = now_;
+        ++finished_count_;
+        finished_tt_sum_ += v.exit_time - v.depart_scheduled;
+        assert(ls.count > 0);
+        --ls.count;
+        continue;
+      }
+      const MovementId mid = net_->find_movement(l, next);
+      assert(mid != kInvalidId);
+      const Movement& m = net_->movement(mid);
+      // Join the shortest permitted lane.
+      std::uint32_t best_lane = m.allowed_lanes.front();
+      std::size_t best_len = ls.lanes[best_lane].queue.size();
+      for (std::uint32_t lane : m.allowed_lanes) {
+        if (ls.lanes[lane].queue.size() < best_len) {
+          best_len = ls.lanes[lane].queue.size();
+          best_lane = lane;
+        }
+      }
+      v.wait_current = 0.0;
+      ls.lanes[best_lane].queue.push_back(veh_idx);
+    }
+  }
+}
+
+bool Simulator::movement_green(const Node& node, MovementId m) const {
+  if (node.type == NodeType::kUnsignalized) return true;
+  const SignalController& sig =
+      signals_[static_cast<std::size_t>(signal_index_[node.id])];
+  if (sig.in_yellow()) return false;
+  const auto& green = phase_green_[node.id][sig.phase()];
+  return std::binary_search(green.begin(), green.end(), m);
+}
+
+void Simulator::discharge_node(const Node& node) {
+  for (LinkId lid : node.in_links) {
+    const Link& link = net_->link(lid);
+    for (std::uint32_t lane = 0; lane < link.lanes; ++lane)
+      discharge_lane(lid, lane, node);
+  }
+}
+
+void Simulator::discharge_lane(LinkId link_id, std::uint32_t lane_idx,
+                               const Node& node) {
+  LinkState& ls = link_states_[link_id];
+  LaneState& lane = ls.lanes[lane_idx];
+  // Saturation-flow budget accrues only while a queue is present. The cap
+  // to one banked vehicle is applied after discharging so the fractional
+  // remainder carries over during sustained green (exact 1/headway rate),
+  // while a blocked or empty lane cannot hoard green time.
+  if (lane.queue.empty()) {
+    lane.credit = 0.0;
+    return;
+  }
+  lane.credit += config_.tick / config_.sat_headway;
+  while (!lane.queue.empty() && lane.credit >= 1.0 - 1e-9) {
+    const std::uint32_t veh_idx = lane.queue.front();
+    Vehicle& v = vehicles_[veh_idx];
+    const LinkId next = next_link_of(v);
+    assert(next != kInvalidId && "queued vehicle must have a next link");
+    const MovementId mid = net_->find_movement(link_id, next);
+    assert(mid != kInvalidId);
+    if (!movement_green(node, mid)) break;  // red head blocks the lane (HoL)
+    LinkState& next_ls = link_states_[next];
+    if (next_ls.count >= link_capacity(next)) break;  // spillback
+    lane.queue.pop_front();
+    lane.credit -= 1.0;
+    assert(ls.count > 0);
+    --ls.count;
+    v.hop += 1;
+    v.wait_current = 0.0;
+    next_ls.approaching.push_back({veh_idx, now_ + net_->link(next).free_flow_time()});
+    ++next_ls.count;
+  }
+  lane.credit = std::min(lane.credit, 1.0);
+}
+
+void Simulator::accrue_waits() {
+  for (LinkState& ls : link_states_) {
+    for (LaneState& lane : ls.lanes) {
+      for (std::uint32_t veh_idx : lane.queue) {
+        vehicles_[veh_idx].wait_current += config_.tick;
+        vehicles_[veh_idx].wait_total += config_.tick;
+      }
+    }
+  }
+}
+
+std::uint32_t Simulator::link_capacity(LinkId link) const {
+  const Link& l = net_->link(link);
+  const auto per_lane = static_cast<std::uint32_t>(l.length / config_.vehicle_gap);
+  return std::max(1u, per_lane) * l.lanes;
+}
+
+std::uint32_t Simulator::link_count(LinkId link) const {
+  return link_states_.at(link).count;
+}
+
+std::uint32_t Simulator::link_queue(LinkId link) const {
+  std::uint32_t total = 0;
+  for (const LaneState& lane : link_states_.at(link).lanes)
+    total += static_cast<std::uint32_t>(lane.queue.size());
+  return total;
+}
+
+std::uint32_t Simulator::lane_queue(LinkId link, std::uint32_t lane) const {
+  return static_cast<std::uint32_t>(link_states_.at(link).lanes.at(lane).queue.size());
+}
+
+double Simulator::lane_head_wait(LinkId link, std::uint32_t lane) const {
+  const auto& q = link_states_.at(link).lanes.at(lane).queue;
+  return q.empty() ? 0.0 : vehicles_[q.front()].wait_current;
+}
+
+std::uint32_t Simulator::detector_queue(LinkId link) const {
+  const Link& l = net_->link(link);
+  const auto cap = static_cast<std::uint32_t>(config_.detector_range /
+                                              config_.vehicle_gap) * l.lanes;
+  return std::min(link_queue(link), cap);
+}
+
+std::uint32_t Simulator::detector_count(LinkId link) const {
+  const Link& l = net_->link(link);
+  const auto cap = static_cast<std::uint32_t>(config_.detector_range /
+                                              config_.vehicle_gap) * l.lanes;
+  return std::min(link_count(link), cap);
+}
+
+double Simulator::detector_head_wait(LinkId link) const {
+  double best = 0.0;
+  const Link& l = net_->link(link);
+  for (std::uint32_t lane = 0; lane < l.lanes; ++lane)
+    best = std::max(best, lane_head_wait(link, lane));
+  return best;
+}
+
+double Simulator::link_pressure(LinkId link) const {
+  const Link& in = net_->link(link);
+  const double in_per_lane =
+      static_cast<double>(detector_count(link)) / static_cast<double>(in.lanes);
+  double out_sum = 0.0;
+  std::size_t out_count = 0;
+  for (MovementId mid : in.out_movements) {
+    const Link& out = net_->link(net_->movement(mid).to_link);
+    out_sum += static_cast<double>(detector_count(out.id)) /
+               static_cast<double>(out.lanes);
+    ++out_count;
+  }
+  if (out_count == 0) return in_per_lane;
+  return in_per_lane - out_sum / static_cast<double>(out_count);
+}
+
+double Simulator::intersection_pressure(NodeId node) const {
+  const Node& n = net_->node(node);
+  double p = 0.0;
+  for (LinkId l : n.in_links) p += link_count(l);
+  for (LinkId l : n.out_links) p -= link_count(l);
+  return p;
+}
+
+std::uint32_t Simulator::intersection_halting(NodeId node) const {
+  std::uint32_t total = 0;
+  for (LinkId l : net_->node(node).in_links) total += link_queue(l);
+  return total;
+}
+
+double Simulator::intersection_max_head_wait(NodeId node) const {
+  double best = 0.0;
+  for (LinkId l : net_->node(node).in_links)
+    best = std::max(best, detector_head_wait(l));
+  return best;
+}
+
+double Simulator::network_avg_wait() const {
+  const auto nodes = net_->signalized_nodes();
+  if (nodes.empty()) return 0.0;
+  double sum = 0.0;
+  for (NodeId n : nodes) sum += intersection_max_head_wait(n);
+  return sum / static_cast<double>(nodes.size());
+}
+
+std::uint32_t Simulator::network_halting() const {
+  std::uint32_t total = 0;
+  for (LinkId l = 0; l < net_->num_links(); ++l) total += link_queue(l);
+  return total;
+}
+
+std::size_t Simulator::vehicles_active() const {
+  return vehicles_.size() - finished_count_;
+}
+
+double Simulator::average_travel_time() const {
+  if (vehicles_.empty()) return 0.0;
+  double total = finished_tt_sum_;
+  for (const Vehicle& v : vehicles_)
+    if (!v.finished) total += now_ - v.depart_scheduled;
+  return total / static_cast<double>(vehicles_.size());
+}
+
+double Simulator::average_travel_time_finished() const {
+  if (finished_count_ == 0) return 0.0;
+  return finished_tt_sum_ / static_cast<double>(finished_count_);
+}
+
+}  // namespace tsc::sim

@@ -1,0 +1,167 @@
+// Discrete-time link-queue traffic simulator.
+//
+// Model (per 1 s tick):
+//   * Vehicles spawn from time-varying OD flows onto their route's first
+//     link, entering a per-link backlog if the link is full (spillback at
+//     the network boundary).
+//   * A vehicle entering a link travels its free-flow time, then joins the
+//     shortest per-lane FIFO queue among the lanes permitting its next
+//     movement. Lanes shared by several movements exhibit head-of-line
+//     blocking: a red-movement leader blocks everything behind it.
+//   * Queues discharge at the saturation flow rate (one vehicle per
+//     `sat_headway` seconds per lane) when the head vehicle's movement is
+//     green and the downstream link has storage; otherwise they spill back.
+//   * Signalized nodes run a yellow clearance interval on phase switches
+//     during which nothing discharges.
+//
+// Observables mirror roadside sensing: detector counts are capped at the
+// vehicles within `detector_range` of the stopline; head-vehicle waiting
+// time is measured at the stopline (paper Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/sim/flow.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/signal.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::sim {
+
+struct SimConfig {
+  double tick = 1.0;            ///< seconds per simulation tick
+  double yellow_time = 2.0;     ///< clearance interval on phase switch (s)
+  double sat_headway = 2.0;     ///< discharge headway per lane (s/veh)
+  double vehicle_gap = 7.5;     ///< storage length per vehicle (m)
+  double detector_range = 50.0; ///< sensor coverage from the stopline (m)
+};
+
+struct Vehicle {
+  std::uint32_t id = 0;
+  std::uint32_t flow = 0;       ///< index into flows(): defines the route
+  std::uint32_t hop = 0;        ///< current index into the route
+  double depart_scheduled = 0;  ///< when the flow emitted the vehicle
+  double entered = -1.0;        ///< actual network entry (-1: still in backlog)
+  double exit_time = -1.0;      ///< network exit (-1: still active)
+  double wait_current = 0.0;    ///< time stopped in the current queue
+  double wait_total = 0.0;      ///< lifetime stopped time
+  bool finished = false;
+};
+
+class Simulator {
+ public:
+  /// `net` must outlive the simulator and be finalized. Flow routes must be
+  /// movement-consistent (each consecutive link pair has a movement) and end
+  /// on a link whose head node is a boundary.
+  Simulator(const RoadNetwork* net, std::vector<FlowSpec> flows, SimConfig config,
+            std::uint64_t seed);
+
+  /// Clears all vehicles and signal state; reseeds arrivals.
+  void reset(std::uint64_t seed);
+
+  double now() const { return now_; }
+  const RoadNetwork& network() const { return *net_; }
+  const SimConfig& config() const { return config_; }
+  const std::vector<FlowSpec>& flows() const { return sampler_.flows(); }
+
+  /// Agent action: request a phase at a signalized node.
+  void set_phase(NodeId node, std::size_t phase);
+  const SignalController& signal(NodeId node) const;
+
+  /// Advances one tick.
+  void step();
+  /// Advances ceil(seconds / tick) ticks.
+  void step_seconds(double seconds);
+
+  // ---- observable state (sensor view, detector-capped) ----
+  /// Queued vehicles on a link visible to the detector (capped at range).
+  std::uint32_t detector_queue(LinkId link) const;
+  /// Vehicles on the link visible to the detector (queued + approaching
+  /// within range), capped at range capacity.
+  std::uint32_t detector_count(LinkId link) const;
+  /// Stopline waiting time of the head vehicle, maximized over lanes (s).
+  double detector_head_wait(LinkId link) const;
+  /// Per-lane head wait (0 if the lane is empty).
+  double lane_head_wait(LinkId link, std::uint32_t lane) const;
+  std::uint32_t lane_queue(LinkId link, std::uint32_t lane) const;
+  /// Sensor-view link pressure: per-lane detector count on `link` minus the
+  /// mean per-lane detector count over its movement target links.
+  double link_pressure(LinkId link) const;
+
+  // ---- ground-truth state ----
+  /// All vehicles currently on the link (approaching + queued).
+  std::uint32_t link_count(LinkId link) const;
+  /// Queued (halted) vehicles on the link.
+  std::uint32_t link_queue(LinkId link) const;
+  std::uint32_t link_capacity(LinkId link) const;
+  /// Sum of in-link counts minus sum of out-link counts.
+  double intersection_pressure(NodeId node) const;
+  /// Halted vehicles over all incoming links (reward term, Eq. 6).
+  std::uint32_t intersection_halting(NodeId node) const;
+  /// Max head-vehicle wait over all incoming lanes (reward term, Eq. 6).
+  double intersection_max_head_wait(NodeId node) const;
+  /// Mean over signalized nodes of intersection_max_head_wait (the paper's
+  /// "average waiting time" metric).
+  double network_avg_wait() const;
+  /// Total queued vehicles network-wide.
+  std::uint32_t network_halting() const;
+
+  // ---- episode metrics ----
+  std::size_t vehicles_spawned() const { return vehicles_.size(); }
+  std::size_t vehicles_finished() const { return finished_count_; }
+  std::size_t vehicles_active() const;
+  /// Mean travel time; unfinished vehicles (including backlog) are charged
+  /// up to now(), making oversaturation visible.
+  double average_travel_time() const;
+  /// Mean travel time over finished vehicles only.
+  double average_travel_time_finished() const;
+  const std::vector<Vehicle>& vehicles() const { return vehicles_; }
+
+ private:
+  struct ApproachEntry {
+    std::uint32_t vehicle;
+    double arrival;
+  };
+  struct LaneState {
+    std::deque<std::uint32_t> queue;
+    double credit = 0.0;  ///< saturation-flow discharge budget (vehicles)
+  };
+  struct LinkState {
+    std::deque<ApproachEntry> approaching;
+    std::vector<LaneState> lanes;
+    std::uint32_t count = 0;  ///< approaching + queued
+    std::deque<std::uint32_t> backlog;  ///< spawned but not yet inserted
+  };
+
+  void validate_flows() const;
+  void spawn_and_insert();
+  void insert_vehicle(std::uint32_t veh_idx);
+  void process_arrivals();
+  void discharge_node(const Node& node);
+  void discharge_lane(LinkId link_id, std::uint32_t lane_idx, const Node& node);
+  bool movement_green(const Node& node, MovementId m) const;
+  void accrue_waits();
+  /// Next link on the vehicle's route, or kInvalidId if on the last hop.
+  LinkId next_link_of(const Vehicle& v) const;
+
+  const RoadNetwork* net_;
+  SimConfig config_;
+  FlowSampler sampler_;
+  Rng rng_;
+  double now_ = 0.0;
+
+  std::vector<Vehicle> vehicles_;
+  std::vector<LinkState> link_states_;
+  std::vector<SignalController> signals_;       // dense over nodes (sparse use)
+  std::vector<std::int32_t> signal_index_;      // node id -> index or -1
+  /// Per node: per phase: bitmask over node-local movements? We store a flat
+  /// set: phase_green_[node][phase] is a sorted vector of MovementId.
+  std::vector<std::vector<std::vector<MovementId>>> phase_green_;
+  std::size_t finished_count_ = 0;
+  double finished_tt_sum_ = 0.0;
+};
+
+}  // namespace tsc::sim

@@ -1,0 +1,36 @@
+#include "src/util/csv.hpp"
+
+#include <stdexcept>
+
+namespace tsc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  write_raw_row(columns);
+}
+
+void CsvWriter::write_raw_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace tsc

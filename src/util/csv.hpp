@@ -1,0 +1,47 @@
+// Minimal CSV writer for experiment outputs (training curves, tables).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tsc {
+
+/// Writes rows of mixed string/number cells to a file. Values containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& columns);
+
+  /// Appends one row; each cell is formatted with operator<<.
+  template <typename... Cells>
+  void write_row(const Cells&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(format_cell(cells)), ...);
+    write_raw_row(row);
+  }
+
+  void write_raw_row(const std::vector<std::string>& cells);
+
+  void flush();
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace tsc

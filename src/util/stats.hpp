@@ -1,0 +1,61 @@
+// Small statistics helpers used by metrics collection and training logs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tsc {
+
+/// Streaming mean/variance via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential moving average, seeded from the first sample.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  void add(double x);
+  bool empty() const { return !seeded_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double stddev_of(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+/// Returns 0 for empty input.
+double percentile_of(std::vector<double> xs, double p);
+
+/// Normalizes a vector to zero mean / unit std in place (no-op on empty or
+/// constant input other than centering).
+void normalize_in_place(std::vector<double>& xs);
+
+}  // namespace tsc

@@ -1,0 +1,54 @@
+// Finite-difference gradient checking utilities for autodiff tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/nn/tape.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace tsc::test {
+
+/// Builds a scalar loss from leaf values and compares the tape gradient of
+/// every input element against central finite differences.
+///
+/// `build` receives a fresh tape and leaf Vars for each input tensor and
+/// must return a scalar node. Returns the max absolute error observed.
+inline double max_grad_error(
+    std::vector<nn::Tensor> inputs,
+    const std::function<nn::Var(nn::Tape&, const std::vector<nn::Var>&)>& build,
+    double eps = 1e-5) {
+  // Analytic gradients.
+  std::vector<nn::Tensor> analytic;
+  {
+    nn::Tape tape;
+    std::vector<nn::Var> leaves;
+    for (const auto& in : inputs) leaves.push_back(tape.leaf(in));
+    nn::Var loss = build(tape, leaves);
+    tape.backward(loss);
+    for (nn::Var v : leaves) analytic.push_back(tape.grad(v));
+  }
+  auto eval = [&](const std::vector<nn::Tensor>& ins) {
+    nn::Tape tape;
+    std::vector<nn::Var> leaves;
+    for (const auto& in : ins) leaves.push_back(tape.constant(in));
+    return tape.value(build(tape, leaves))[0];
+  };
+  double max_err = 0.0;
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    for (std::size_t i = 0; i < inputs[t].size(); ++i) {
+      const double saved = inputs[t][i];
+      inputs[t][i] = saved + eps;
+      const double up = eval(inputs);
+      inputs[t][i] = saved - eps;
+      const double down = eval(inputs);
+      inputs[t][i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      max_err = std::max(max_err, std::abs(numeric - analytic[t][i]));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace tsc::test

@@ -1,0 +1,90 @@
+// Hand-built miniature networks for simulator tests.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/flow.hpp"
+#include "src/sim/network.hpp"
+
+namespace tsc::test {
+
+/// B0 --L0--> M --L1--> B1 with an unsignalized middle node (through only).
+struct Chain {
+  sim::RoadNetwork net;
+  sim::NodeId b0, mid, b1;
+  sim::LinkId l0, l1;
+
+  explicit Chain(double length = 200.0, std::uint32_t lanes = 1,
+                 double speed = 10.0) {
+    b0 = net.add_node(sim::NodeType::kBoundary, -length, 0, "B0");
+    mid = net.add_node(sim::NodeType::kUnsignalized, 0, 0, "M");
+    b1 = net.add_node(sim::NodeType::kBoundary, length, 0, "B1");
+    l0 = net.add_link(b0, mid, length, lanes, speed, "L0");
+    l1 = net.add_link(mid, b1, length, lanes, speed, "L1");
+    std::vector<std::uint32_t> all_lanes;
+    for (std::uint32_t i = 0; i < lanes; ++i) all_lanes.push_back(i);
+    net.add_movement(l0, l1, sim::Turn::kThrough, all_lanes);
+    net.finalize();
+  }
+
+  sim::FlowSpec flow(std::vector<sim::RateKnot> profile) const {
+    sim::FlowSpec f;
+    f.route = {l0, l1};
+    f.profile = std::move(profile);
+    return f;
+  }
+};
+
+/// A single signalized 4-way crossing with through movements only.
+/// Phase 0: north-south green; phase 1: west-east green.
+/// Node layout: terminals N/E/S/W around signalized C.
+struct Cross {
+  sim::RoadNetwork net;
+  sim::NodeId center;
+  sim::NodeId n, e, s, w;
+  sim::LinkId n_in, s_out;  // north terminal -> center -> south terminal
+  sim::LinkId s_in, n_out;
+  sim::LinkId w_in, e_out;
+  sim::LinkId e_in, w_out;
+  sim::MovementId m_ns, m_sn, m_we, m_ew;
+
+  explicit Cross(double length = 200.0, double speed = 10.0,
+                 std::uint32_t lanes = 1) {
+    center = net.add_node(sim::NodeType::kSignalized, 0, 0, "C");
+    n = net.add_node(sim::NodeType::kBoundary, 0, length, "N");
+    s = net.add_node(sim::NodeType::kBoundary, 0, -length, "S");
+    w = net.add_node(sim::NodeType::kBoundary, -length, 0, "W");
+    e = net.add_node(sim::NodeType::kBoundary, length, 0, "E");
+    n_in = net.add_link(n, center, length, lanes, speed, "n_in");
+    s_out = net.add_link(center, s, length, lanes, speed, "s_out");
+    s_in = net.add_link(s, center, length, lanes, speed, "s_in");
+    n_out = net.add_link(center, n, length, lanes, speed, "n_out");
+    w_in = net.add_link(w, center, length, lanes, speed, "w_in");
+    e_out = net.add_link(center, e, length, lanes, speed, "e_out");
+    e_in = net.add_link(e, center, length, lanes, speed, "e_in");
+    w_out = net.add_link(center, w, length, lanes, speed, "w_out");
+    std::vector<std::uint32_t> all_lanes;
+    for (std::uint32_t i = 0; i < lanes; ++i) all_lanes.push_back(i);
+    m_ns = net.add_movement(n_in, s_out, sim::Turn::kThrough, all_lanes);
+    m_sn = net.add_movement(s_in, n_out, sim::Turn::kThrough, all_lanes);
+    m_we = net.add_movement(w_in, e_out, sim::Turn::kThrough, all_lanes);
+    m_ew = net.add_movement(e_in, w_out, sim::Turn::kThrough, all_lanes);
+    net.set_phases(center, {{m_ns, m_sn}, {m_we, m_ew}});
+    net.finalize();
+  }
+
+  sim::FlowSpec flow_ns(std::vector<sim::RateKnot> profile) const {
+    sim::FlowSpec f;
+    f.route = {n_in, s_out};
+    f.profile = std::move(profile);
+    return f;
+  }
+  sim::FlowSpec flow_we(std::vector<sim::RateKnot> profile) const {
+    sim::FlowSpec f;
+    f.route = {w_in, e_out};
+    f.profile = std::move(profile);
+    return f;
+  }
+};
+
+}  // namespace tsc::test

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/colight.hpp"
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/ma2c.hpp"
+#include "src/baselines/single_agent.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+
+namespace tsc::baselines {
+namespace {
+
+struct Fixture {
+  scenario::GridScenario grid;
+  env::TscEnv environment;
+
+  Fixture()
+      : grid(make_grid()),
+        environment(&grid.net(), make_flows(grid), make_env_config(), 1) {}
+
+  static scenario::GridScenario make_grid() {
+    scenario::GridConfig config;
+    config.rows = 2;
+    config.cols = 2;
+    return scenario::GridScenario(config);
+  }
+  static std::vector<sim::FlowSpec> make_flows(const scenario::GridScenario& g) {
+    std::vector<sim::FlowSpec> flows;
+    for (std::size_t r = 0; r < 2; ++r) {
+      sim::FlowSpec f;
+      f.route = g.route(g.west_terminal(r), g.east_terminal(r));
+      f.profile = {{0.0, 500.0}, {200.0, 500.0}};
+      flows.push_back(f);
+    }
+    sim::FlowSpec f;
+    f.route = g.route(g.north_terminal(0), g.south_terminal(0));
+    f.profile = {{0.0, 400.0}, {200.0, 400.0}};
+    flows.push_back(f);
+    return flows;
+  }
+  static env::EnvConfig make_env_config() {
+    env::EnvConfig config;
+    config.episode_seconds = 100.0;
+    return config;
+  }
+};
+
+TEST(FixedTime, CyclesThroughAllPhases) {
+  Fixture f;
+  FixedTimeController controller(5.0);
+  f.environment.reset(1);
+  controller.begin_episode(f.environment);
+  std::vector<std::vector<std::size_t>> seen;
+  for (int i = 0; i < 8; ++i) seen.push_back(controller.act(f.environment));
+  // 5 s greens with 5 s decisions: phase advances every step, wraps at 4.
+  for (std::size_t a = 0; a < f.environment.num_agents(); ++a) {
+    EXPECT_EQ(seen[0][a], 0u);
+    EXPECT_EQ(seen[1][a], 1u);
+    EXPECT_EQ(seen[3][a], 3u);
+    EXPECT_EQ(seen[4][a], 0u);  // wrap
+  }
+  EXPECT_EQ(controller.name(), "Fixedtime");
+}
+
+TEST(FixedTime, LongerGreenHoldsPhase) {
+  Fixture f;
+  FixedTimeController controller(10.0);
+  f.environment.reset(1);
+  controller.begin_episode(f.environment);
+  const auto a0 = controller.act(f.environment);
+  const auto a1 = controller.act(f.environment);
+  const auto a2 = controller.act(f.environment);
+  EXPECT_EQ(a0[0], a1[0]);  // held 10 s across two 5 s decisions
+  EXPECT_NE(a1[0], a2[0]);
+}
+
+TEST(FixedTime, StaggerOffsetsAgents) {
+  Fixture f;
+  FixedTimeController controller(5.0, /*offset_stagger=*/true);
+  f.environment.reset(1);
+  controller.begin_episode(f.environment);
+  const auto actions = controller.act(f.environment);
+  EXPECT_EQ(actions[0], 0u);
+  EXPECT_EQ(actions[1], 1u);
+}
+
+TEST(SingleAgent, TrainsAndEvaluatesDeterministically) {
+  Fixture f;
+  SingleAgentConfig config;
+  config.hidden = 16;
+  config.ppo.epochs = 1;
+  SingleAgentPpoTrainer trainer(&f.environment, config);
+  const auto stats = trainer.train_episode();
+  EXPECT_GT(stats.travel_time, 0.0);
+  EXPECT_EQ(trainer.episodes_trained(), 1u);
+  const auto e1 = trainer.eval_episode(7);
+  const auto e2 = trainer.eval_episode(7);
+  EXPECT_DOUBLE_EQ(e1.travel_time, e2.travel_time);
+  auto controller = trainer.make_controller();
+  EXPECT_EQ(controller->name(), "SingleAgent");
+  const auto via_controller = env::run_episode(f.environment, *controller, 7);
+  EXPECT_DOUBLE_EQ(via_controller.travel_time, e1.travel_time);
+}
+
+TEST(SingleAgent, LearningMovesReward) {
+  Fixture f;
+  SingleAgentConfig config;
+  config.hidden = 16;
+  config.ppo.epochs = 2;
+  config.ppo.lr = 1e-3;
+  SingleAgentPpoTrainer trainer(&f.environment, config);
+  double first = 0.0, last = 0.0;
+  const int episodes = 16;
+  for (int e = 0; e < episodes; ++e) {
+    const auto stats = trainer.train_episode();
+    if (e < 4) first += stats.mean_reward;
+    if (e >= episodes - 4) last += stats.mean_reward;
+  }
+  // Directional check with slack: on a 100 s toy episode individual
+  // episodes are noisy, but sustained collapse would fail this.
+  EXPECT_GT(last / 4.0, first / 4.0 - 0.2);
+}
+
+TEST(Ma2c, IndependentAgentsTrainAndEvaluate) {
+  Fixture f;
+  Ma2cConfig config;
+  config.hidden = 16;
+  Ma2cTrainer trainer(&f.environment, config);
+  const auto stats = trainer.train_episode();
+  EXPECT_GT(stats.travel_time, 0.0);
+  EXPECT_EQ(trainer.episodes_trained(), 1u);
+  auto controller = trainer.make_controller();
+  EXPECT_EQ(controller->name(), "MA2C");
+  const auto e1 = env::run_episode(f.environment, *controller, 11);
+  const auto e2 = env::run_episode(f.environment, *controller, 11);
+  EXPECT_DOUBLE_EQ(e1.travel_time, e2.travel_time);
+}
+
+TEST(Ma2c, CommOverheadCountsNeighborPayload) {
+  Fixture f;
+  Ma2cTrainer trainer(&f.environment, Ma2cConfig{});
+  // 2x2 grid: 2 hop1 slots x (obs_dim + max_phases fingerprints) x 32 bits.
+  const std::size_t expected =
+      2 * (f.environment.obs_dim() + f.environment.config().max_phases) * 32;
+  EXPECT_EQ(trainer.comm_bits_per_step(), expected);
+}
+
+TEST(CoLight, TrainsWithReplayAndTargetNet) {
+  Fixture f;
+  CoLightConfig config;
+  config.embed_dim = 16;
+  config.batch_size = 16;
+  config.target_update_steps = 20;
+  CoLightTrainer trainer(&f.environment, config);
+  const auto stats = trainer.train_episode();
+  EXPECT_GT(stats.travel_time, 0.0);
+  EXPECT_EQ(trainer.episodes_trained(), 1u);
+  auto controller = trainer.make_controller();
+  EXPECT_EQ(controller->name(), "CoLight");
+  const auto e1 = env::run_episode(f.environment, *controller, 13);
+  const auto e2 = env::run_episode(f.environment, *controller, 13);
+  EXPECT_DOUBLE_EQ(e1.travel_time, e2.travel_time);
+}
+
+TEST(CoLight, EpsilonDecaysAcrossEpisodes) {
+  Fixture f;
+  CoLightConfig config;
+  config.embed_dim = 8;
+  config.epsilon_start = 1.0;
+  config.epsilon_end = 0.0;
+  config.epsilon_decay_episodes = 2;
+  config.updates_per_step = 0;  // pure exploration runs, no learning cost
+  CoLightTrainer trainer(&f.environment, config);
+  trainer.train_episode();
+  trainer.train_episode();
+  // After the decay horizon the policy is fully greedy: two evals agree.
+  const auto e1 = trainer.eval_episode(5);
+  const auto e2 = trainer.eval_episode(5);
+  EXPECT_DOUBLE_EQ(e1.travel_time, e2.travel_time);
+}
+
+TEST(CoLight, CommOverheadCountsNeighborObs) {
+  Fixture f;
+  CoLightTrainer trainer(&f.environment, CoLightConfig{});
+  EXPECT_EQ(trainer.comm_bits_per_step(), 2 * f.environment.obs_dim() * 32);
+}
+
+TEST(CommOverhead, PairUpLightOrderOfMagnitudeBelowBaselines) {
+  // The Table IV relationship must hold structurally: one 32-bit message
+  // vs. full neighbor payloads.
+  Fixture f;
+  Ma2cTrainer ma2c(&f.environment, Ma2cConfig{});
+  CoLightTrainer colight(&f.environment, CoLightConfig{});
+  EXPECT_GT(ma2c.comm_bits_per_step(), 10u * 32u);
+  EXPECT_GT(colight.comm_bits_per_step(), 10u * 32u);
+}
+
+}  // namespace
+}  // namespace tsc::baselines

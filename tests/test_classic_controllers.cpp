@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/actuated.hpp"
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/max_pressure.hpp"
+#include "src/scenarios/grid.hpp"
+
+namespace tsc::baselines {
+namespace {
+
+/// 2x2 grid loaded only west->east: WE phases should win any
+/// pressure/demand comparison once queues form.
+struct DirectionalFixture {
+  scenario::GridScenario grid;
+  env::TscEnv environment;
+
+  DirectionalFixture()
+      : grid(make_grid()), environment(&grid.net(), make_flows(grid), config(), 1) {}
+
+  static scenario::GridScenario make_grid() {
+    scenario::GridConfig grid_config;
+    grid_config.rows = 2;
+    grid_config.cols = 2;
+    return scenario::GridScenario(grid_config);
+  }
+  static std::vector<sim::FlowSpec> make_flows(const scenario::GridScenario& g) {
+    std::vector<sim::FlowSpec> flows;
+    for (std::size_t r = 0; r < 2; ++r) {
+      sim::FlowSpec f;
+      f.route = g.route(g.west_terminal(r), g.east_terminal(r));
+      f.profile = {{0.0, 900.0}, {300.0, 900.0}};
+      flows.push_back(f);
+    }
+    return flows;
+  }
+  static env::EnvConfig config() {
+    env::EnvConfig env_config;
+    env_config.episode_seconds = 300.0;
+    return env_config;
+  }
+
+  /// Hold everything at NS green (phase 0) so WE queues build.
+  void build_we_queues(std::size_t steps = 15) {
+    environment.reset(3);
+    std::vector<std::size_t> actions(environment.num_agents(), 0);
+    for (std::size_t s = 0; s < steps; ++s) environment.step(actions);
+  }
+};
+
+TEST(MaxPressure, PhasePressureReflectsQueues) {
+  DirectionalFixture f;
+  f.build_we_queues();
+  for (std::size_t i = 0; i < f.environment.num_agents(); ++i) {
+    // Grid phases: 0/1 NS through+right / NS left, 2/3 WE.
+    const double we = MaxPressureController::phase_pressure(f.environment, i, 2);
+    const double ns = MaxPressureController::phase_pressure(f.environment, i, 0);
+    EXPECT_GE(we, ns);
+  }
+}
+
+TEST(MaxPressure, PicksTheCongestedDirection) {
+  DirectionalFixture f;
+  f.build_we_queues();
+  MaxPressureController controller(0.0);  // no min-green: pure argmax
+  controller.begin_episode(f.environment);
+  const auto actions = controller.act(f.environment);
+  // At least the entry-column intersections must select a WE phase.
+  std::size_t we_selected = 0;
+  for (std::size_t i = 0; i < actions.size(); ++i)
+    if (actions[i] == 2 || actions[i] == 3) ++we_selected;
+  EXPECT_GE(we_selected, 2u);
+}
+
+TEST(MaxPressure, MinGreenHoldsPhase) {
+  DirectionalFixture f;
+  f.environment.reset(3);
+  MaxPressureController controller(10.0);  // two decision steps
+  controller.begin_episode(f.environment);
+  const auto a0 = controller.act(f.environment);
+  f.build_we_queues(5);  // state now strongly favors WE
+  const auto a1 = controller.act(f.environment);
+  EXPECT_EQ(a0, a1);  // still inside min green
+}
+
+TEST(MaxPressure, OutperformsFixedTimeOnDirectionalLoad) {
+  DirectionalFixture f;
+  MaxPressureController max_pressure;
+  const auto mp = env::run_episode(f.environment, max_pressure, 5);
+  FixedTimeController fixed_time;
+  const auto ft = env::run_episode(f.environment, fixed_time, 5);
+  EXPECT_LT(mp.travel_time, ft.travel_time);
+}
+
+TEST(Actuated, PhaseDemandCountsQueuedVehicles) {
+  DirectionalFixture f;
+  f.build_we_queues();
+  // WE queues form at the entry (west-column) intersections first; the
+  // starved downstream ones may still read zero. Demand must show up on
+  // the WE phase somewhere and match the simulator's queues exactly.
+  std::uint32_t total_we = 0, total_ns = 0;
+  for (std::size_t i = 0; i < f.environment.num_agents(); ++i) {
+    total_we += ActuatedController::phase_demand(f.environment, i, 2);
+    total_ns += ActuatedController::phase_demand(f.environment, i, 0);
+  }
+  EXPECT_GT(total_we, 5u);
+  EXPECT_EQ(total_ns, 0u);  // nothing flows north-south in this fixture
+}
+
+TEST(Actuated, GapsOutToPhaseWithDemand) {
+  DirectionalFixture f;
+  f.build_we_queues();
+  ActuatedConfig config;
+  config.min_green = 5.0;
+  config.max_green = 30.0;
+  ActuatedController controller(config);
+  controller.begin_episode(f.environment);
+  // First decision: phase 0, no NS demand but min green holds it once.
+  auto actions = controller.act(f.environment);
+  EXPECT_EQ(actions[0], 0u);
+  f.environment.step(actions);
+  // Min green served and phase 0 has no demand: advance toward WE phases.
+  actions = controller.act(f.environment);
+  EXPECT_NE(actions[0], 0u);
+}
+
+TEST(Actuated, MaxGreenForcesRotation) {
+  DirectionalFixture f;
+  f.environment.reset(3);
+  ActuatedConfig config;
+  config.min_green = 5.0;
+  config.max_green = 10.0;  // two decision steps
+  ActuatedController controller(config);
+  controller.begin_episode(f.environment);
+  std::vector<std::size_t> last;
+  std::size_t changes = 0;
+  for (int s = 0; s < 12; ++s) {
+    const auto actions = controller.act(f.environment);
+    if (!last.empty() && actions != last) ++changes;
+    last = actions;
+    f.environment.step(actions);
+  }
+  EXPECT_GE(changes, 3u);  // keeps cycling even with continuous WE demand
+}
+
+TEST(Actuated, HoldsGreenWhileDemandPersists) {
+  DirectionalFixture f;
+  f.build_we_queues();
+  ActuatedConfig config;
+  config.min_green = 5.0;
+  config.max_green = 60.0;
+  ActuatedController controller(config);
+  controller.begin_episode(f.environment);
+  // Drive to the WE phase first.
+  std::vector<std::size_t> actions;
+  for (int s = 0; s < 4; ++s) {
+    actions = controller.act(f.environment);
+    f.environment.step(actions);
+  }
+  // With heavy continuous WE demand the controller should now be holding a
+  // WE phase across consecutive decisions (no gap-out).
+  const auto a1 = controller.act(f.environment);
+  f.environment.step(a1);
+  const auto a2 = controller.act(f.environment);
+  std::size_t held = 0;
+  for (std::size_t i = 0; i < a1.size(); ++i)
+    if (a1[i] == a2[i] && (a1[i] == 2 || a1[i] == 3)) ++held;
+  EXPECT_GE(held, 1u);
+}
+
+TEST(Actuated, NamesAndInterfaces) {
+  ActuatedController actuated;
+  MaxPressureController max_pressure;
+  EXPECT_EQ(actuated.name(), "Actuated");
+  EXPECT_EQ(max_pressure.name(), "MaxPressure");
+}
+
+}  // namespace
+}  // namespace tsc::baselines

@@ -1,0 +1,125 @@
+// Tests for the movement-conflict auditor and the IDQN baseline.
+#include <gtest/gtest.h>
+
+#include "sim_fixtures.hpp"
+#include "src/baselines/idqn.hpp"
+#include "src/scenarios/grid.hpp"
+#include "src/scenarios/monaco.hpp"
+#include "src/sim/conflicts.hpp"
+
+namespace tsc {
+namespace {
+
+TEST(Conflicts, CrossingThroughMovementsConflict) {
+  test::Cross cross;
+  // North-south through vs west-east through cross at the center.
+  EXPECT_TRUE(sim::movements_conflict(cross.net, cross.m_ns, cross.m_we));
+  EXPECT_TRUE(sim::movements_conflict(cross.net, cross.m_sn, cross.m_ew));
+}
+
+TEST(Conflicts, OpposingThroughMovementsCompatible) {
+  test::Cross cross;
+  // NS and SN throughs run on opposite sides of the road: no crossing.
+  EXPECT_FALSE(sim::movements_conflict(cross.net, cross.m_ns, cross.m_sn));
+  EXPECT_FALSE(sim::movements_conflict(cross.net, cross.m_we, cross.m_ew));
+}
+
+TEST(Conflicts, SelfAndSameLinkCompatible) {
+  test::Cross cross;
+  EXPECT_FALSE(sim::movements_conflict(cross.net, cross.m_ns, cross.m_ns));
+}
+
+TEST(Conflicts, CrossPhaseTableIsConflictFree) {
+  test::Cross cross;
+  EXPECT_TRUE(sim::phase_conflicts(cross.net, cross.center).empty());
+  EXPECT_TRUE(sim::audit_phase_conflicts(cross.net).empty());
+}
+
+TEST(Conflicts, BadPhaseTableDetected) {
+  // Build a crossing whose single phase greens both crossing throughs.
+  sim::RoadNetwork net;
+  const auto c = net.add_node(sim::NodeType::kSignalized, 0, 0, "C");
+  const auto n = net.add_node(sim::NodeType::kBoundary, 0, 200, "N");
+  const auto s = net.add_node(sim::NodeType::kBoundary, 0, -200, "S");
+  const auto w = net.add_node(sim::NodeType::kBoundary, -200, 0, "W");
+  const auto e = net.add_node(sim::NodeType::kBoundary, 200, 0, "E");
+  const auto n_in = net.add_link(n, c, 200, 1, 10);
+  const auto s_out = net.add_link(c, s, 200, 1, 10);
+  const auto w_in = net.add_link(w, c, 200, 1, 10);
+  const auto e_out = net.add_link(c, e, 200, 1, 10);
+  const auto m1 = net.add_movement(n_in, s_out, sim::Turn::kThrough, {0});
+  const auto m2 = net.add_movement(w_in, e_out, sim::Turn::kThrough, {0});
+  net.set_phases(c, {{m1, m2}});  // both crossing movements green together
+  net.finalize();
+  const auto violations = sim::audit_phase_conflicts(net);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].node, c);
+}
+
+TEST(Conflicts, GeneratedScenariosAreConflictFree) {
+  // The paper's four-phase grid plan must not green crossing movements.
+  scenario::GridScenario grid(scenario::GridConfig{});
+  EXPECT_TRUE(sim::audit_phase_conflicts(grid.net()).empty());
+  // Monaco's split phasing greens one approach at a time: also clean.
+  scenario::MonacoScenario monaco;
+  EXPECT_TRUE(sim::audit_phase_conflicts(monaco.net()).empty());
+}
+
+// ---------------------------------------------------------------------------
+
+struct IdqnFixture {
+  scenario::GridScenario grid;
+  env::TscEnv environment;
+
+  IdqnFixture() : grid(make_grid()), environment(&grid.net(), flows(grid), config(), 1) {}
+
+  static scenario::GridScenario make_grid() {
+    scenario::GridConfig grid_config;
+    grid_config.rows = 2;
+    grid_config.cols = 2;
+    return scenario::GridScenario(grid_config);
+  }
+  static std::vector<sim::FlowSpec> flows(const scenario::GridScenario& g) {
+    std::vector<sim::FlowSpec> out;
+    sim::FlowSpec f;
+    f.route = g.route(g.west_terminal(0), g.east_terminal(0));
+    f.profile = {{0.0, 600.0}, {200.0, 600.0}};
+    out.push_back(f);
+    return out;
+  }
+  static env::EnvConfig config() {
+    env::EnvConfig env_config;
+    env_config.episode_seconds = 80.0;
+    return env_config;
+  }
+};
+
+TEST(Idqn, TrainsIndependentNetworks) {
+  IdqnFixture f;
+  baselines::IdqnConfig config;
+  config.hidden = 16;
+  config.batch_size = 8;
+  baselines::IdqnTrainer trainer(&f.environment, config);
+  const auto stats = trainer.train_episode();
+  EXPECT_GT(stats.travel_time, 0.0);
+  EXPECT_EQ(trainer.episodes_trained(), 1u);
+  EXPECT_EQ(trainer.comm_bits_per_step(), 0u);
+}
+
+TEST(Idqn, GreedyEvalDeterministic) {
+  IdqnFixture f;
+  baselines::IdqnConfig config;
+  config.hidden = 16;
+  baselines::IdqnTrainer trainer(&f.environment, config);
+  trainer.train_episode();
+  const auto e1 = trainer.eval_episode(5);
+  const auto e2 = trainer.eval_episode(5);
+  EXPECT_DOUBLE_EQ(e1.travel_time, e2.travel_time);
+  auto controller = trainer.make_controller();
+  EXPECT_EQ(controller->name(), "IDQN");
+  const auto via_controller = env::run_episode(f.environment, *controller, 5);
+  EXPECT_DOUBLE_EQ(via_controller.travel_time, e1.travel_time);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/actor.hpp"
+#include "src/core/critic.hpp"
+#include "src/core/trainer.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+#include "src/scenarios/monaco.hpp"
+
+namespace tsc::core {
+namespace {
+
+using nn::Tape;
+using nn::Tensor;
+using nn::Var;
+
+TEST(CoordinatedActor, OutputShapesAndMasking) {
+  Rng rng(1);
+  CoordinatedActor actor(10, 1, 16, 6, rng);
+  EXPECT_EQ(actor.input_dim(), 11u);
+  Tape tape;
+  Var input = tape.constant(Tensor::zeros(3, 11));
+  Var h = tape.constant(Tensor::zeros(3, 16));
+  Var c = tape.constant(Tensor::zeros(3, 16));
+  auto out = actor.forward(tape, input, h, c, {6, 4, 2});
+  EXPECT_EQ(tape.value(out.logits).rows(), 3u);
+  EXPECT_EQ(tape.value(out.logits).cols(), 6u);
+  EXPECT_EQ(tape.value(out.message).cols(), 1u);
+  EXPECT_EQ(tape.value(out.state.h).cols(), 16u);
+  // Masked rows: probabilities of invalid phases must vanish.
+  Var probs = tape.softmax_rows(out.logits);
+  EXPECT_NEAR(tape.value(probs).at(1, 4), 0.0, 1e-12);
+  EXPECT_NEAR(tape.value(probs).at(1, 5), 0.0, 1e-12);
+  EXPECT_NEAR(tape.value(probs).at(2, 2), 0.0, 1e-12);
+  double row2 = 0.0;
+  for (std::size_t p = 0; p < 2; ++p) row2 += tape.value(probs).at(2, p);
+  EXPECT_NEAR(row2, 1.0, 1e-9);
+}
+
+TEST(CoordinatedActor, MessageInputChangesBehavior) {
+  Rng rng(2);
+  CoordinatedActor actor(4, 1, 16, 4, rng);
+  Tensor base = Tensor::zeros(1, 5);
+  Tensor with_msg = base;
+  with_msg.at(0, 4) = 1.0;  // incoming message slot
+  Tape t1, t2;
+  auto o1 = actor.forward(t1, t1.constant(base), t1.constant(Tensor::zeros(1, 16)),
+                          t1.constant(Tensor::zeros(1, 16)), {4});
+  auto o2 = actor.forward(t2, t2.constant(with_msg),
+                          t2.constant(Tensor::zeros(1, 16)),
+                          t2.constant(Tensor::zeros(1, 16)), {4});
+  double diff = 0.0;
+  for (std::size_t i = 0; i < 4; ++i)
+    diff += std::abs(t1.value(o1.logits).at(0, i) - t2.value(o2.logits).at(0, i));
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(CentralizedCritic, ValueShapeAndStateEvolution) {
+  Rng rng(3);
+  CentralizedCritic critic(20, 16, rng);
+  Tape tape;
+  Var input = tape.constant(Tensor::full(2, 20, 0.5));
+  Var h = tape.constant(Tensor::zeros(2, 16));
+  Var c = tape.constant(Tensor::zeros(2, 16));
+  auto out = critic.forward(tape, input, h, c);
+  EXPECT_EQ(tape.value(out.value).rows(), 2u);
+  EXPECT_EQ(tape.value(out.value).cols(), 1u);
+  EXPECT_GT(tape.value(out.state.h).norm(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+
+struct TrainerFixture {
+  scenario::GridScenario grid;
+  env::TscEnv environment;
+
+  TrainerFixture()
+      : grid(make_grid()),
+        environment(&grid.net(), make_flows(grid), make_env_config(), 1) {}
+
+  static scenario::GridScenario make_grid() {
+    scenario::GridConfig config;
+    config.rows = 2;
+    config.cols = 2;
+    return scenario::GridScenario(config);
+  }
+  static std::vector<sim::FlowSpec> make_flows(const scenario::GridScenario& g) {
+    // Simple crossing flows that congest quickly on a 2x2 grid.
+    std::vector<sim::FlowSpec> flows;
+    for (std::size_t r = 0; r < 2; ++r) {
+      sim::FlowSpec f;
+      f.route = g.route(g.west_terminal(r), g.east_terminal(r));
+      f.profile = {{0.0, 500.0}, {200.0, 500.0}};
+      flows.push_back(f);
+    }
+    for (std::size_t c = 0; c < 2; ++c) {
+      sim::FlowSpec f;
+      f.route = g.route(g.north_terminal(c), g.south_terminal(c));
+      f.profile = {{0.0, 400.0}, {200.0, 400.0}};
+      flows.push_back(f);
+    }
+    return flows;
+  }
+  static env::EnvConfig make_env_config() {
+    env::EnvConfig config;
+    config.episode_seconds = 100.0;
+    return config;
+  }
+
+  PairUpConfig fast_config() {
+    PairUpConfig config;
+    config.hidden = 16;
+    config.ppo.epochs = 1;
+    config.ppo.minibatch = 32;
+    return config;
+  }
+};
+
+TEST(PairUpLightTrainer, CriticInputDimIncludesPaddedNeighbors) {
+  TrainerFixture f;
+  PairUpLightTrainer trainer(&f.environment, f.fast_config());
+  // 2x2 grid: hop1 max 2, hop2 max 1 -> obs + (2+1)*2 features.
+  EXPECT_EQ(trainer.critic_input_dim(), f.environment.obs_dim() + 3 * 2);
+  EXPECT_EQ(trainer.num_models(), 1u);  // parameter sharing
+}
+
+TEST(PairUpLightTrainer, TrainEpisodeRunsAndCountsUp) {
+  TrainerFixture f;
+  PairUpLightTrainer trainer(&f.environment, f.fast_config());
+  const auto stats = trainer.train_episode();
+  EXPECT_EQ(trainer.episodes_trained(), 1u);
+  EXPECT_GT(stats.travel_time, 0.0);
+  EXPECT_GT(stats.vehicles_spawned, 0u);
+  trainer.train_episode();
+  EXPECT_EQ(trainer.episodes_trained(), 2u);
+}
+
+TEST(PairUpLightTrainer, DeterministicGivenSeeds) {
+  TrainerFixture f1, f2;
+  PairUpConfig config;
+  config.hidden = 16;
+  config.ppo.epochs = 1;
+  PairUpLightTrainer t1(&f1.environment, config);
+  PairUpLightTrainer t2(&f2.environment, config);
+  const auto s1 = t1.train_episode();
+  const auto s2 = t2.train_episode();
+  EXPECT_DOUBLE_EQ(s1.travel_time, s2.travel_time);
+  EXPECT_DOUBLE_EQ(s1.mean_reward, s2.mean_reward);
+  const auto e1 = t1.eval_episode(77);
+  const auto e2 = t2.eval_episode(77);
+  EXPECT_DOUBLE_EQ(e1.travel_time, e2.travel_time);
+}
+
+TEST(PairUpLightTrainer, EvalDoesNotLearn) {
+  TrainerFixture f;
+  PairUpLightTrainer trainer(&f.environment, f.fast_config());
+  trainer.train_episode();
+  const auto e1 = trainer.eval_episode(5);
+  EXPECT_EQ(trainer.episodes_trained(), 1u);
+  const auto e2 = trainer.eval_episode(5);
+  EXPECT_DOUBLE_EQ(e1.travel_time, e2.travel_time);  // greedy + same seed
+}
+
+TEST(PairUpLightTrainer, LearningImprovesOverEpisodes) {
+  TrainerFixture f;
+  PairUpConfig config = f.fast_config();
+  config.ppo.epochs = 2;
+  PairUpLightTrainer trainer(&f.environment, config);
+  double first = 0.0, last = 0.0;
+  const int episodes = 12;
+  for (int e = 0; e < episodes; ++e) {
+    const auto stats = trainer.train_episode();
+    if (e < 3) first += stats.mean_reward;
+    if (e >= episodes - 3) last += stats.mean_reward;
+  }
+  // Mean reward (negative congestion) should move up as training proceeds.
+  EXPECT_GT(last / 3.0, first / 3.0 - 0.05);
+}
+
+TEST(PairUpLightTrainer, ControllerMatchesEvalEpisode) {
+  TrainerFixture f;
+  PairUpLightTrainer trainer(&f.environment, f.fast_config());
+  trainer.train_episode();
+  auto controller = trainer.make_controller();
+  EXPECT_EQ(controller->name(), "PairUpLight");
+  const auto via_controller = env::run_episode(f.environment, *controller, 123);
+  const auto via_eval = trainer.eval_episode(123);
+  EXPECT_DOUBLE_EQ(via_controller.travel_time, via_eval.travel_time);
+}
+
+TEST(PairUpLightTrainer, NoCommAblationRunsAndIsNamed) {
+  TrainerFixture f;
+  PairUpConfig config = f.fast_config();
+  config.comm_enabled = false;
+  PairUpLightTrainer trainer(&f.environment, config);
+  trainer.train_episode();
+  auto controller = trainer.make_controller();
+  EXPECT_EQ(controller->name(), "PairUpLight-NoComm");
+  const auto stats = env::run_episode(f.environment, *controller, 9);
+  EXPECT_GT(stats.travel_time, 0.0);
+}
+
+TEST(PairUpLightTrainer, MessageBandwidthConfigurable) {
+  TrainerFixture f;
+  PairUpConfig config = f.fast_config();
+  config.msg_dim = 2;
+  PairUpLightTrainer trainer(&f.environment, config);
+  EXPECT_EQ(trainer.comm_bits_per_step(), 64u);
+  trainer.train_episode();  // runs with the wider message
+  PairUpConfig one = f.fast_config();
+  PairUpLightTrainer trainer1(&f.environment, one);
+  EXPECT_EQ(trainer1.comm_bits_per_step(), 32u);
+}
+
+TEST(PairUpLightTrainer, PaperEpsilonGreedyModeRuns) {
+  TrainerFixture f;
+  PairUpConfig config = f.fast_config();
+  config.ppo.sample_actions = false;  // Algorithm 1's epsilon-greedy argmax
+  PairUpLightTrainer trainer(&f.environment, config);
+  const auto stats = trainer.train_episode();
+  EXPECT_GT(stats.travel_time, 0.0);
+}
+
+TEST(PairUpLightTrainer, HeterogeneousNoSharing) {
+  scenario::MonacoConfig monaco_config;
+  monaco_config.grid_rows = 3;
+  monaco_config.grid_cols = 3;  // small heterogeneous net for speed
+  scenario::MonacoScenario monaco(monaco_config);
+  env::EnvConfig env_config;
+  env_config.episode_seconds = 60.0;
+  env::TscEnv environment(&monaco.net(), monaco.make_flows(600.0, 0.05, 3, 13),
+                          env_config, 1);
+  PairUpConfig config;
+  config.hidden = 12;
+  config.parameter_sharing = false;
+  config.ppo.epochs = 1;
+  PairUpLightTrainer trainer(&environment, config);
+  EXPECT_EQ(trainer.num_models(), environment.num_agents());
+  const auto stats = trainer.train_episode();
+  EXPECT_GT(stats.travel_time, 0.0);
+  const auto eval = trainer.eval_episode(3);
+  EXPECT_GT(eval.travel_time, 0.0);
+}
+
+}  // namespace
+}  // namespace tsc::core

@@ -1,0 +1,221 @@
+// Tests for PairUpLight's ablation knobs, checkpointing, protocol
+// inspection, and the sensor-failure injection used by the robustness bench.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "src/core/trainer.hpp"
+#include "src/scenarios/grid.hpp"
+
+namespace tsc::core {
+namespace {
+
+struct Fixture {
+  scenario::GridScenario grid;
+  env::TscEnv environment;
+
+  explicit Fixture(env::EnvConfig env_config = make_env_config())
+      : grid(make_grid()),
+        environment(&grid.net(), make_flows(grid), env_config, 1) {}
+
+  static scenario::GridScenario make_grid() {
+    scenario::GridConfig config;
+    config.rows = 2;
+    config.cols = 2;
+    return scenario::GridScenario(config);
+  }
+  static std::vector<sim::FlowSpec> make_flows(const scenario::GridScenario& g) {
+    std::vector<sim::FlowSpec> flows;
+    for (std::size_t r = 0; r < 2; ++r) {
+      sim::FlowSpec f;
+      f.route = g.route(g.west_terminal(r), g.east_terminal(r));
+      f.profile = {{0.0, 600.0}, {200.0, 600.0}};
+      flows.push_back(f);
+    }
+    sim::FlowSpec f;
+    f.route = g.route(g.north_terminal(1), g.south_terminal(1));
+    f.profile = {{0.0, 400.0}, {200.0, 400.0}};
+    flows.push_back(f);
+    return flows;
+  }
+  static env::EnvConfig make_env_config() {
+    env::EnvConfig config;
+    config.episode_seconds = 100.0;
+    return config;
+  }
+
+  static PairUpConfig fast_config() {
+    PairUpConfig config;
+    config.hidden = 16;
+    config.ppo.epochs = 1;
+    return config;
+  }
+};
+
+class PairingStrategyTest : public ::testing::TestWithParam<PairingStrategy> {};
+
+TEST_P(PairingStrategyTest, TrainsAndPairsWithinUpstreamSet) {
+  Fixture f;
+  PairUpConfig config = Fixture::fast_config();
+  config.pairing = GetParam();
+  PairUpLightTrainer trainer(&f.environment, config);
+  const auto stats = trainer.train_episode();
+  EXPECT_GT(stats.travel_time, 0.0);
+  const auto& partners = trainer.last_partners();
+  ASSERT_EQ(partners.size(), f.environment.num_agents());
+  for (std::size_t i = 0; i < partners.size(); ++i) {
+    const auto& ups = f.environment.agent(i).upstream;
+    EXPECT_TRUE(partners[i] == i ||
+                std::count(ups.begin(), ups.end(), partners[i]) > 0);
+    if (GetParam() == PairingStrategy::kSelf) EXPECT_EQ(partners[i], i);
+    if (GetParam() == PairingStrategy::kFixedUpstream && !ups.empty())
+      EXPECT_EQ(partners[i], ups.front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PairingStrategyTest,
+    ::testing::Values(PairingStrategy::kMostCongestedUpstream,
+                      PairingStrategy::kSelf, PairingStrategy::kRandomNeighbor,
+                      PairingStrategy::kFixedUpstream),
+    [](const auto& info) {
+      switch (info.param) {
+        case PairingStrategy::kMostCongestedUpstream: return "MostCongested";
+        case PairingStrategy::kSelf: return "Self";
+        case PairingStrategy::kRandomNeighbor: return "Random";
+        case PairingStrategy::kFixedUpstream: return "Fixed";
+      }
+      return "?";
+    });
+
+TEST(CriticHops, InputDimShrinksWithFewerRings) {
+  Fixture f;
+  PairUpConfig two = Fixture::fast_config();
+  PairUpConfig one = Fixture::fast_config();
+  one.critic_hops = 1;
+  PairUpConfig zero = Fixture::fast_config();
+  zero.critic_hops = 0;
+  PairUpLightTrainer t2(&f.environment, two);
+  PairUpLightTrainer t1(&f.environment, one);
+  PairUpLightTrainer t0(&f.environment, zero);
+  EXPECT_GT(t2.critic_input_dim(), t1.critic_input_dim());
+  EXPECT_GT(t1.critic_input_dim(), t0.critic_input_dim());
+  EXPECT_EQ(t0.critic_input_dim(), f.environment.obs_dim());
+  // All variants must train.
+  t0.train_episode();
+  t1.train_episode();
+}
+
+TEST(Checkpoint, RoundTripRestoresPolicy) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast_config());
+  trainer.train_episode();
+  const auto before = trainer.eval_episode(42);
+
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "pairup_ckpt_test").string();
+  trainer.save_checkpoint(prefix);
+  // Keep training: the policy drifts away.
+  for (int e = 0; e < 3; ++e) trainer.train_episode();
+  trainer.load_checkpoint(prefix);
+  const auto after = trainer.eval_episode(42);
+  EXPECT_DOUBLE_EQ(before.travel_time, after.travel_time);
+  for (const char* suffix : {"_actor0.bin", "_critic0.bin"})
+    std::remove((prefix + suffix).c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast_config());
+  EXPECT_THROW(trainer.load_checkpoint("/nonexistent/prefix"), std::runtime_error);
+}
+
+TEST(MessageProtocol, MessagesAreLogisticBounded) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast_config());
+  trainer.train_episode();
+  const auto& messages = trainer.last_messages();
+  ASSERT_EQ(messages.size(), f.environment.num_agents());
+  for (const auto& msg : messages) {
+    ASSERT_EQ(msg.size(), 1u);
+    EXPECT_GT(msg[0], 0.0);
+    EXPECT_LT(msg[0], 1.0);  // Logistic(N(m, sigma)) lands strictly in (0,1)
+  }
+}
+
+TEST(MessageProtocol, EvalMessagesAreDeterministic) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast_config());
+  trainer.train_episode();
+  trainer.eval_episode(9);
+  const auto m1 = trainer.last_messages();
+  trainer.eval_episode(9);
+  const auto m2 = trainer.last_messages();
+  for (std::size_t i = 0; i < m1.size(); ++i)
+    EXPECT_DOUBLE_EQ(m1[i][0], m2[i][0]);  // no regularizer noise in eval
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(SensorFaults, DropoutOneBlanksTrafficObservations) {
+  env::EnvConfig config = Fixture::make_env_config();
+  config.sensor_dropout = 1.0;
+  Fixture f(config);
+  f.environment.reset(5);
+  std::vector<std::size_t> actions(f.environment.num_agents(), 0);
+  for (int s = 0; s < 10; ++s) f.environment.step(actions);
+  // Queues exist in truth but every observed in-link slot reads zero.
+  for (std::size_t i = 0; i < f.environment.num_agents(); ++i) {
+    const auto obs = f.environment.local_obs(i);
+    for (std::size_t k = 0; k < 2 * config.max_in_links; ++k)
+      EXPECT_DOUBLE_EQ(obs[k], 0.0);
+  }
+  EXPECT_GT(f.environment.simulator().network_halting(), 0u);
+}
+
+TEST(SensorFaults, NoiseChangesObsButNotDynamics) {
+  env::EnvConfig noisy_config = Fixture::make_env_config();
+  noisy_config.sensor_noise_std = 0.5;
+  Fixture noisy(noisy_config);
+  Fixture clean;
+  noisy.environment.reset(5);
+  clean.environment.reset(5);
+  std::vector<std::size_t> actions(clean.environment.num_agents(), 0);
+  std::vector<double> r_noisy, r_clean;
+  for (int s = 0; s < 10; ++s) {
+    r_noisy = noisy.environment.step(actions);
+    r_clean = clean.environment.step(actions);
+  }
+  // Same actions, same seed: identical dynamics and rewards...
+  for (std::size_t i = 0; i < r_clean.size(); ++i)
+    EXPECT_DOUBLE_EQ(r_noisy[i], r_clean[i]);
+  // ...but different observations.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < clean.environment.num_agents(); ++i) {
+    const auto on = noisy.environment.local_obs(i);
+    const auto oc = clean.environment.local_obs(i);
+    for (std::size_t k = 0; k < on.size(); ++k) diff += std::abs(on[k] - oc[k]);
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(SensorFaults, FaultsResampleEachStep) {
+  env::EnvConfig config = Fixture::make_env_config();
+  config.sensor_dropout = 0.5;
+  config.sensor_noise_std = 0.3;
+  Fixture f(config);
+  f.environment.reset(7);
+  std::vector<std::size_t> actions(f.environment.num_agents(), 0);
+  for (int s = 0; s < 8; ++s) f.environment.step(actions);
+  const auto o1 = f.environment.local_obs(0);
+  f.environment.step(actions);
+  const auto o2 = f.environment.local_obs(0);
+  double diff = 0.0;
+  for (std::size_t k = 0; k < o1.size(); ++k) diff += std::abs(o1[k] - o2[k]);
+  EXPECT_GT(diff, 0.0);
+}
+
+}  // namespace
+}  // namespace tsc::core

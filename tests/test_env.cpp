@@ -1,0 +1,214 @@
+#include "src/env/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/baselines/fixed_time.hpp"
+#include "src/env/controller.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+
+namespace tsc::env {
+namespace {
+
+scenario::GridScenario make_grid(std::size_t rows = 4, std::size_t cols = 4) {
+  scenario::GridConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  return scenario::GridScenario(config);
+}
+
+std::vector<sim::FlowSpec> light_flows(const scenario::GridScenario& grid) {
+  scenario::FlowPatternConfig config;
+  config.time_scale = 0.1;
+  return scenario::make_flow_pattern(grid, scenario::FlowPattern::kPattern5, config);
+}
+
+TEST(TscEnv, AgentRosterMatchesSignalizedNodes) {
+  auto grid = make_grid();
+  TscEnv env(&grid.net(), light_flows(grid), EnvConfig{}, 1);
+  EXPECT_EQ(env.num_agents(), 16u);
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    EXPECT_EQ(env.agent(i).num_phases, 4u);
+    EXPECT_EQ(grid.net().node(env.agent(i).node).type, sim::NodeType::kSignalized);
+  }
+}
+
+TEST(TscEnv, ObsDimAndContent) {
+  auto grid = make_grid();
+  EnvConfig config;
+  TscEnv env(&grid.net(), light_flows(grid), config, 1);
+  // 2 per in-link slot + phase one-hot + green elapsed.
+  EXPECT_EQ(env.obs_dim(), 2 * config.max_in_links + config.max_phases + 1);
+  const auto obs = env.local_obs(0);
+  ASSERT_EQ(obs.size(), env.obs_dim());
+  // Initially: zero pressure/wait, phase 0 one-hot set.
+  for (std::size_t i = 0; i < 2 * config.max_in_links; ++i)
+    EXPECT_DOUBLE_EQ(obs[i], 0.0);
+  EXPECT_DOUBLE_EQ(obs[2 * config.max_in_links], 1.0);
+  for (std::size_t p = 1; p < config.max_phases; ++p)
+    EXPECT_DOUBLE_EQ(obs[2 * config.max_in_links + p], 0.0);
+}
+
+TEST(TscEnv, NeighborGraphHop1Hop2) {
+  auto grid = make_grid();  // 4x4 interior lattice
+  TscEnv env(&grid.net(), light_flows(grid), EnvConfig{}, 1);
+  // Find the agent at interior position (1,1): neighbors (0,1),(2,1),(1,0),(1,2).
+  std::size_t center = 0;
+  for (std::size_t i = 0; i < env.num_agents(); ++i)
+    if (env.agent(i).node == grid.intersection(1, 1)) center = i;
+  const auto& spec = env.agent(center);
+  EXPECT_EQ(spec.hop1.size(), 4u);
+  EXPECT_EQ(spec.upstream.size(), 4u);
+  // hop2 of (1,1): manhattan-distance-2 lattice nodes within the 4x4 grid:
+  // (0,0),(0,2),(2,0),(2,2),(3,1),(1,3) = 6.
+  EXPECT_EQ(spec.hop2.size(), 6u);
+  // hop1 and hop2 are disjoint and exclude self.
+  for (auto nb : spec.hop2) {
+    EXPECT_NE(nb, center);
+    EXPECT_EQ(std::count(spec.hop1.begin(), spec.hop1.end(), nb), 0);
+  }
+  // Corner agent has 2 hop1 neighbors.
+  std::size_t corner = 0;
+  for (std::size_t i = 0; i < env.num_agents(); ++i)
+    if (env.agent(i).node == grid.intersection(0, 0)) corner = i;
+  EXPECT_EQ(env.agent(corner).hop1.size(), 2u);
+  EXPECT_EQ(env.agent(corner).hop2.size(), 3u);  // (0,2),(2,0),(1,1)
+}
+
+TEST(TscEnv, StepAppliesActionsAndAdvancesTime) {
+  auto grid = make_grid();
+  EnvConfig config;
+  config.action_duration = 5.0;
+  config.episode_seconds = 50.0;
+  TscEnv env(&grid.net(), light_flows(grid), config, 1);
+  env.reset(7);
+  std::vector<std::size_t> actions(env.num_agents(), 2);
+  const auto rewards = env.step(actions);
+  EXPECT_EQ(rewards.size(), env.num_agents());
+  EXPECT_DOUBLE_EQ(env.now(), 5.0);
+  // Yellow (2 s) has elapsed within the 5 s action, so phase 2 is active.
+  EXPECT_EQ(env.simulator().signal(env.agent(0).node).phase(), 2u);
+  for (int i = 0; i < 9; ++i) env.step(actions);
+  EXPECT_TRUE(env.done());
+  EXPECT_EQ(env.steps_taken(), 10u);
+}
+
+TEST(TscEnv, StepValidatesActions) {
+  auto grid = make_grid();
+  TscEnv env(&grid.net(), light_flows(grid), EnvConfig{}, 1);
+  env.reset(1);
+  std::vector<std::size_t> too_few(3, 0);
+  EXPECT_THROW(env.step(too_few), std::invalid_argument);
+  std::vector<std::size_t> bad_phase(env.num_agents(), 9);
+  EXPECT_THROW(env.step(bad_phase), std::out_of_range);
+}
+
+TEST(TscEnv, RewardIsEquationSix) {
+  auto grid = make_grid();
+  // Heavy flows so queues certainly form.
+  scenario::FlowPatternConfig flow_config;
+  flow_config.time_scale = 0.05;
+  auto flows = scenario::make_flow_pattern(grid, scenario::FlowPattern::kPattern1,
+                                           flow_config);
+  EnvConfig config;
+  config.reward_scale = 1.0;  // raw Eq. 6 for the check
+  TscEnv env(&grid.net(), flows, config, 1);
+  env.reset(3);
+  std::vector<std::size_t> actions(env.num_agents(), 0);
+  std::vector<double> rewards;
+  for (int i = 0; i < 20; ++i) rewards = env.step(actions);
+  for (std::size_t a = 0; a < env.num_agents(); ++a) {
+    const auto node = env.agent(a).node;
+    const double expected =
+        -(static_cast<double>(env.simulator().intersection_halting(node)) +
+          env.simulator().intersection_max_head_wait(node));
+    EXPECT_DOUBLE_EQ(rewards[a], expected);
+  }
+  // Congestion formed somewhere, so some reward is negative.
+  EXPECT_LT(*std::min_element(rewards.begin(), rewards.end()), 0.0);
+}
+
+TEST(TscEnv, MostCongestedUpstreamPrefersCongestedNeighbor) {
+  auto grid = make_grid();
+  // Southbound-only column flow: congestion builds north of each node.
+  scenario::FlowPatternConfig flow_config;
+  flow_config.time_scale = 0.02;  // peak almost immediately
+  auto flows = scenario::make_flow_pattern(grid, scenario::FlowPattern::kPattern1,
+                                           flow_config);
+  TscEnv env(&grid.net(), flows, EnvConfig{}, 1);
+  env.reset(5);
+  std::vector<std::size_t> actions(env.num_agents(), 0);
+  for (int i = 0; i < 30; ++i) env.step(actions);
+  // Property: the partner is always self or an upstream neighbor, and its
+  // congestion is >= the agent's own.
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    const std::size_t partner = env.most_congested_upstream(i);
+    const auto& ups = env.agent(i).upstream;
+    EXPECT_TRUE(partner == i ||
+                std::count(ups.begin(), ups.end(), partner) > 0);
+    EXPECT_GE(env.congestion_score(partner), env.congestion_score(i));
+  }
+  // At least one congested agent must have picked a non-self partner.
+  std::size_t non_self = 0;
+  for (std::size_t i = 0; i < env.num_agents(); ++i)
+    if (env.most_congested_upstream(i) != i) ++non_self;
+  EXPECT_GT(non_self, 0u);
+}
+
+TEST(TscEnv, EpisodeMetricsAccumulate) {
+  auto grid = make_grid();
+  EnvConfig config;
+  config.episode_seconds = 100.0;
+  TscEnv env(&grid.net(), light_flows(grid), config, 1);
+  env.reset(9);
+  std::vector<std::size_t> actions(env.num_agents(), 0);
+  while (!env.done()) env.step(actions);
+  EXPECT_EQ(env.wait_history().size(), 20u);
+  EXPECT_GE(env.episode_avg_wait(), 0.0);
+  EXPECT_GT(env.average_travel_time(), 0.0);
+}
+
+TEST(TscEnv, ResetRestartsCleanly) {
+  auto grid = make_grid();
+  EnvConfig config;
+  config.episode_seconds = 50.0;
+  TscEnv env(&grid.net(), light_flows(grid), config, 1);
+  env.reset(11);
+  std::vector<std::size_t> actions(env.num_agents(), 1);
+  while (!env.done()) env.step(actions);
+  const double tt1 = env.average_travel_time();
+  env.reset(11);
+  EXPECT_FALSE(env.done());
+  EXPECT_EQ(env.steps_taken(), 0u);
+  EXPECT_TRUE(env.wait_history().empty());
+  while (!env.done()) env.step(actions);
+  EXPECT_DOUBLE_EQ(env.average_travel_time(), tt1);  // same seed, same run
+}
+
+TEST(TscEnv, RejectsOversizedNodes) {
+  auto grid = make_grid();
+  EnvConfig config;
+  config.max_phases = 2;  // grid nodes have 4 phases
+  EXPECT_THROW(TscEnv(&grid.net(), light_flows(grid), config, 1),
+               std::invalid_argument);
+}
+
+TEST(RunEpisode, CollectsStats) {
+  auto grid = make_grid();
+  EnvConfig config;
+  config.episode_seconds = 100.0;
+  TscEnv env(&grid.net(), light_flows(grid), config, 1);
+  baselines::FixedTimeController controller;
+  const auto stats = run_episode(env, controller, 21);
+  EXPECT_GT(stats.travel_time, 0.0);
+  EXPECT_GT(stats.vehicles_spawned, 0u);
+  EXPECT_LE(stats.vehicles_finished, stats.vehicles_spawned);
+  // Same controller, same seed -> identical stats.
+  const auto stats2 = run_episode(env, controller, 21);
+  EXPECT_DOUBLE_EQ(stats.travel_time, stats2.travel_time);
+}
+
+}  // namespace
+}  // namespace tsc::env

@@ -1,0 +1,293 @@
+#include "src/nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "grad_check.hpp"
+#include "src/nn/gat.hpp"
+#include "src/nn/module.hpp"
+#include "src/nn/optim.hpp"
+#include "src/nn/serialize.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::nn {
+namespace {
+
+TEST(OrthogonalInit, ColumnsAreOrthonormal) {
+  Rng rng(5);
+  Tensor w = Tensor::zeros(16, 8);
+  orthogonal_init(w, rng, 1.0);
+  // Columns of a [rows >= cols] matrix should be orthonormal.
+  for (std::size_t c1 = 0; c1 < 8; ++c1) {
+    for (std::size_t c2 = c1; c2 < 8; ++c2) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < 16; ++r) dot += w.at(r, c1) * w.at(r, c2);
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(OrthogonalInit, GainScalesNorm) {
+  Rng rng(6);
+  Tensor w = Tensor::zeros(8, 8);
+  orthogonal_init(w, rng, 2.0);
+  double col_norm_sq = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) col_norm_sq += w.at(r, 0) * w.at(r, 0);
+  EXPECT_NEAR(std::sqrt(col_norm_sq), 2.0, 1e-9);
+}
+
+TEST(OrthogonalInit, WideMatrixRowsOrthonormal) {
+  Rng rng(7);
+  Tensor w = Tensor::zeros(4, 10);
+  orthogonal_init(w, rng, 1.0);
+  for (std::size_t r1 = 0; r1 < 4; ++r1) {
+    double norm_sq = 0.0;
+    for (std::size_t c = 0; c < 10; ++c) norm_sq += w.at(r1, c) * w.at(r1, c);
+    EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+  }
+}
+
+TEST(XavierInit, WithinBound) {
+  Rng rng(8);
+  Tensor w = Tensor::zeros(10, 20);
+  xavier_init(w, rng);
+  const double bound = std::sqrt(6.0 / 30.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -bound);
+    EXPECT_LE(w[i], bound);
+  }
+}
+
+TEST(Linear, OutputShapeAndBias) {
+  Rng rng(9);
+  Linear layer(3, 2, rng);
+  layer.bias.value[0] = 5.0;
+  Tape tape;
+  Var x = tape.constant(Tensor::zeros(4, 3));
+  Var y = layer.forward(tape, x);
+  EXPECT_EQ(tape.value(y).rows(), 4u);
+  EXPECT_EQ(tape.value(y).cols(), 2u);
+  // Zero input -> output equals bias.
+  EXPECT_DOUBLE_EQ(tape.value(y).at(2, 0), 5.0);
+}
+
+TEST(Linear, GradientMatchesFiniteDifference) {
+  Rng rng(10);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::zeros(2, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+
+  // Analytic parameter gradients.
+  layer.zero_grad();
+  {
+    Tape tape;
+    Var xv = tape.constant(x);
+    tape.backward(tape.sum(tape.square(layer.forward(tape, xv))));
+  }
+  // Finite differences on one weight and one bias entry.
+  auto loss_value = [&]() {
+    Tape tape;
+    Var xv = tape.constant(x);
+    return tape.value(tape.sum(tape.square(layer.forward(tape, xv))))[0];
+  };
+  const double eps = 1e-6;
+  for (std::size_t idx : {std::size_t{0}, std::size_t{5}}) {
+    const double saved = layer.weight.value[idx];
+    layer.weight.value[idx] = saved + eps;
+    const double up = loss_value();
+    layer.weight.value[idx] = saved - eps;
+    const double down = loss_value();
+    layer.weight.value[idx] = saved;
+    EXPECT_NEAR((up - down) / (2 * eps), layer.weight.grad[idx], 1e-5);
+  }
+  const double saved = layer.bias.value[1];
+  layer.bias.value[1] = saved + eps;
+  const double up = loss_value();
+  layer.bias.value[1] = saved - eps;
+  const double down = loss_value();
+  layer.bias.value[1] = saved;
+  EXPECT_NEAR((up - down) / (2 * eps), layer.bias.grad[1], 1e-5);
+}
+
+TEST(Mlp, ParameterCountAndShapes) {
+  Rng rng(11);
+  Mlp mlp({5, 8, 3}, rng);
+  // (5*8 + 8) + (8*3 + 3) = 48 + 27
+  EXPECT_EQ(mlp.num_weights(), 75u);
+  Tape tape;
+  Var x = tape.constant(Tensor::zeros(2, 5));
+  EXPECT_EQ(tape.value(mlp.forward(tape, x)).cols(), 3u);
+}
+
+TEST(Lstm, ShapesAndStateEvolution) {
+  Rng rng(12);
+  LstmCell cell(3, 5, rng);
+  Tape tape;
+  auto state = cell.zero_state(tape, 2);
+  Var x = tape.constant(Tensor::full(2, 3, 1.0));
+  auto next = cell.forward(tape, x, state.h, state.c);
+  EXPECT_EQ(tape.value(next.h).rows(), 2u);
+  EXPECT_EQ(tape.value(next.h).cols(), 5u);
+  // State must change from zero on nonzero input.
+  EXPECT_GT(tape.value(next.h).norm(), 0.0);
+  // h is bounded by tanh.
+  for (std::size_t i = 0; i < tape.value(next.h).size(); ++i)
+    EXPECT_LE(std::abs(tape.value(next.h)[i]), 1.0);
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  Rng rng(13);
+  LstmCell cell(2, 4, rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(cell.bias.value[i], 0.0);      // input gate
+    EXPECT_DOUBLE_EQ(cell.bias.value[4 + i], 1.0);  // forget gate
+  }
+}
+
+TEST(Lstm, GradientFlowsToAllParameters) {
+  Rng rng(14);
+  LstmCell cell(3, 4, rng);
+  cell.zero_grad();
+  Tape tape;
+  auto state = cell.zero_state(tape, 1);
+  Var x = tape.constant(Tensor::full(1, 3, 0.5));
+  auto s1 = cell.forward(tape, x, state.h, state.c);
+  auto s2 = cell.forward(tape, x, s1.h, s1.c);  // two steps -> recurrent path
+  tape.backward(tape.sum(tape.square(s2.h)));
+  for (Parameter* p : cell.parameters()) {
+    EXPECT_GT(p->grad.norm(), 0.0) << p->name;
+  }
+}
+
+TEST(Module, CopyAndSoftUpdate) {
+  Rng rng(15);
+  Linear a(3, 3, rng), b(3, 3, rng);
+  EXPECT_NE(a.weight.value[0], b.weight.value[0]);
+  b.copy_weights_from(a);
+  EXPECT_DOUBLE_EQ(a.weight.value[0], b.weight.value[0]);
+
+  Linear c(3, 3, rng);
+  const double before = b.weight.value[0];
+  b.soft_update_from(c, 0.25);
+  EXPECT_NEAR(b.weight.value[0], 0.75 * before + 0.25 * c.weight.value[0], 1e-12);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  Parameter w(Tensor::vector({5.0, -3.0}), "w");
+  Adam::Config config;
+  config.lr = 0.1;
+  Adam opt({&w}, config);
+  for (int i = 0; i < 300; ++i) {
+    w.zero_grad();
+    Tape tape;
+    Var wv = tape.param(w);
+    tape.backward(tape.sum(tape.square(wv)));
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 0.0, 1e-2);
+  EXPECT_NEAR(w.value[1], 0.0, 1e-2);
+  EXPECT_EQ(opt.steps_taken(), 300u);
+}
+
+TEST(Sgd, StepsDownhill) {
+  Parameter w(Tensor::vector({1.0}), "w");
+  Sgd opt({&w}, 0.5);
+  w.grad[0] = 2.0;  // d/dw of w^2 at w=1
+  opt.step();
+  EXPECT_DOUBLE_EQ(w.value[0], 0.0);
+}
+
+TEST(ClipGradNorm, ScalesWhenAboveThreshold) {
+  Parameter w(Tensor::vector({3.0, 4.0}), "w");
+  w.grad[0] = 3.0;
+  w.grad[1] = 4.0;  // norm 5
+  const double pre = clip_grad_norm({&w}, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(std::hypot(w.grad[0], w.grad[1]), 1.0, 1e-12);
+  // Below threshold: untouched.
+  w.grad[0] = 0.1;
+  w.grad[1] = 0.0;
+  clip_grad_norm({&w}, 1.0);
+  EXPECT_DOUBLE_EQ(w.grad[0], 0.1);
+}
+
+TEST(Serialize, RoundTripRestoresWeights) {
+  Rng rng(16);
+  Mlp original({4, 6, 2}, rng);
+  Mlp restored({4, 6, 2}, rng);  // different random init
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsc_weights_test.bin").string();
+  save_weights(original, path);
+  load_weights(restored, path);
+  auto po = original.parameters();
+  auto pr = restored.parameters();
+  ASSERT_EQ(po.size(), pr.size());
+  for (std::size_t i = 0; i < po.size(); ++i)
+    for (std::size_t j = 0; j < po[i]->value.size(); ++j)
+      EXPECT_DOUBLE_EQ(po[i]->value[j], pr[i]->value[j]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  Rng rng(17);
+  Mlp small({2, 3, 1}, rng);
+  Mlp big({4, 6, 2}, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsc_weights_mismatch.bin").string();
+  save_weights(small, path);
+  EXPECT_THROW(load_weights(big, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Gat, AttentionIgnoresMaskedEntities) {
+  Rng rng(18);
+  GatLayer gat(4, 4, 3, rng);
+  Tape tape;
+  Tensor entities = Tensor::zeros(3, 4);
+  for (std::size_t i = 0; i < entities.size(); ++i) entities[i] = rng.normal();
+  Var e = tape.constant(entities);
+  gat.forward(tape, e, {true, true, false});
+  const auto& att = gat.last_attention();
+  ASSERT_EQ(att.size(), 3u);
+  EXPECT_NEAR(att[0] + att[1], 1.0, 1e-9);
+  EXPECT_NEAR(att[2], 0.0, 1e-12);
+}
+
+TEST(Gat, ChangingNeighborChangesOutput) {
+  Rng rng(19);
+  GatLayer gat(3, 4, 2, rng);
+  Tensor base = Tensor::matrix(2, 3, {1, 0, 0, 0, 1, 0});
+  Tensor changed = base;
+  changed.at(1, 2) = 5.0;
+  Tape t1, t2;
+  Var o1 = gat.forward(t1, t1.constant(base), {true, true});
+  Var o2 = gat.forward(t2, t2.constant(changed), {true, true});
+  double diff = 0.0;
+  for (std::size_t i = 0; i < t1.value(o1).size(); ++i)
+    diff += std::abs(t1.value(o1)[i] - t2.value(o2)[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Gat, GradientFlowsToAllParameters) {
+  Rng rng(20);
+  GatLayer gat(3, 4, 3, rng);
+  gat.zero_grad();
+  Tape tape;
+  Tensor entities = Tensor::zeros(3, 3);
+  for (std::size_t i = 0; i < entities.size(); ++i) entities[i] = rng.normal();
+  Var out = gat.forward(tape, tape.constant(entities), {true, true, true});
+  tape.backward(tape.sum(tape.square(out)));
+  std::size_t with_grad = 0;
+  for (Parameter* p : gat.parameters())
+    if (p->grad.norm() > 0.0) ++with_grad;
+  // All four sub-layers (query/key/value/out) must receive gradient; the
+  // relu on the output can zero a few individual entries but not whole
+  // parameter tensors in practice.
+  EXPECT_GE(with_grad, 7u);  // 4 weights + >=3 biases
+}
+
+}  // namespace
+}  // namespace tsc::nn

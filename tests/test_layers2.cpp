@@ -1,0 +1,119 @@
+// Tests for LayerNorm and Dropout.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad_check.hpp"
+#include "src/nn/layers.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::nn {
+namespace {
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm norm(4);
+  Tape tape;
+  Var x = tape.constant(Tensor::matrix(2, 4, {1, 2, 3, 4, 10, 10, 10, 30}));
+  const Tensor& y = tape.value(norm.forward(tape, x));
+  for (std::size_t r = 0; r < 2; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) mean += y.at(r, c);
+    mean /= 4.0;
+    for (std::size_t c = 0; c < 4; ++c)
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var / 4.0, 1.0, 1e-3);  // eps slightly shrinks the variance
+  }
+}
+
+TEST(LayerNorm, GainAndBiasApply) {
+  LayerNorm norm(2);
+  norm.gain.value.at(0, 0) = 3.0;
+  norm.gain.value.at(0, 1) = 3.0;
+  norm.bias.value[0] = 10.0;
+  norm.bias.value[1] = 10.0;
+  Tape tape;
+  Var x = tape.constant(Tensor::matrix(1, 2, {-1, 1}));
+  const Tensor& y = tape.value(norm.forward(tape, x));
+  // normalized = {-1, 1} (unit variance already): y = 3*n + 10.
+  EXPECT_NEAR(y.at(0, 0), 7.0, 1e-3);
+  EXPECT_NEAR(y.at(0, 1), 13.0, 1e-3);
+}
+
+TEST(LayerNorm, GradientMatchesFiniteDifference) {
+  Rng rng(41);
+  Tensor x = Tensor::zeros(3, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+  LayerNorm norm(5);
+  // Randomize gain so the gradient isn't trivially symmetric.
+  for (std::size_t i = 0; i < 5; ++i) norm.gain.value[i] = 0.5 + 0.2 * (i + 1);
+  const double err = test::max_grad_error(
+      {x}, [&](Tape& t, const std::vector<Var>& in) {
+        Var y = norm.forward(t, in[0]);
+        // Weighted reduction to catch transposition errors.
+        Tensor w = Tensor::zeros(3, 5);
+        for (std::size_t i = 0; i < w.size(); ++i)
+          w[i] = 0.1 * static_cast<double>(i + 1);
+        return t.sum(t.mul(y, t.constant(std::move(w))));
+      });
+  EXPECT_LT(err, 1e-5);
+}
+
+TEST(LayerNorm, ParameterGradientsFlow) {
+  Rng rng(42);
+  LayerNorm norm(3);
+  norm.zero_grad();
+  Tape tape;
+  Tensor x = Tensor::matrix(2, 3, {1, -2, 0.5, 3, 0, -1});
+  tape.backward(tape.sum(tape.square(norm.forward(tape, tape.constant(x)))));
+  EXPECT_GT(norm.gain.grad.norm(), 0.0);
+  EXPECT_GT(norm.bias.grad.norm(), 0.0);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(43);
+  Dropout dropout(0.5, rng);
+  dropout.eval();
+  Tape tape;
+  Var x = tape.constant(Tensor::matrix(1, 4, {1, 2, 3, 4}));
+  Var y = dropout.forward(tape, x);
+  EXPECT_EQ(y.idx, x.idx);  // passthrough, no new node
+}
+
+TEST(Dropout, TrainModeZeroesAndRescales) {
+  Rng rng(44);
+  Dropout dropout(0.5, rng);
+  Tape tape;
+  Var x = tape.constant(Tensor::full(1, 1000, 1.0));
+  const Tensor& y = tape.value(dropout.forward(tape, x));
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0) ++zeros;
+    else EXPECT_DOUBLE_EQ(y[i], 2.0);  // 1 / (1 - 0.5)
+  }
+  EXPECT_NEAR(static_cast<double>(zeros), 500.0, 60.0);
+}
+
+TEST(Dropout, ExpectationPreserved) {
+  Rng rng(45);
+  Dropout dropout(0.3, rng);
+  double total = 0.0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    Tape tape;
+    Var x = tape.constant(Tensor::full(1, 100, 1.0));
+    total += tape.value(dropout.forward(tape, x)).sum() / 100.0;
+  }
+  EXPECT_NEAR(total / trials, 1.0, 0.03);
+}
+
+TEST(Dropout, ZeroRateIsIdentityEvenInTraining) {
+  Rng rng(46);
+  Dropout dropout(0.0, rng);
+  Tape tape;
+  Var x = tape.constant(Tensor::full(2, 3, 5.0));
+  EXPECT_EQ(dropout.forward(tape, x).idx, x.idx);
+}
+
+}  // namespace
+}  // namespace tsc::nn

@@ -1,0 +1,218 @@
+// Tests for the measurement tooling (trace recorder, emissions model, DOT
+// export), the Huber op, and the running observation normalizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "grad_check.hpp"
+#include "sim_fixtures.hpp"
+#include "src/nn/tape.hpp"
+#include "src/rl/normalizer.hpp"
+#include "src/sim/dot_export.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc {
+namespace {
+
+using test::Cross;
+
+TEST(TraceRecorder, SamplesAtInterval) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 900.0}, {100.0, 900.0}});
+  sim::Simulator sim(&cross.net, {f}, sim::SimConfig{}, 3);
+  sim::TraceRecorder trace(10.0);
+  trace.record(sim);  // t = 0
+  for (int i = 0; i < 100; ++i) {
+    sim.step();
+    trace.record(sim);
+  }
+  // One sample at t=0 plus one every 10 s.
+  EXPECT_EQ(trace.samples().size(), 11u);
+  EXPECT_DOUBLE_EQ(trace.samples()[0].time, 0.0);
+  EXPECT_NEAR(trace.samples()[1].time, 10.0, 1.0);
+  // Queues grow over a red light: later samples show more halting.
+  EXPECT_GT(trace.samples().back().halting, trace.samples()[1].halting);
+}
+
+TEST(TraceRecorder, CongestionOnsetAndRecovery) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 1200.0}, {60.0, 1200.0}});  // ends at 60 s
+  sim::Simulator sim(&cross.net, {f}, sim::SimConfig{}, 5);
+  sim::TraceRecorder trace(5.0);
+  for (int i = 0; i < 200; ++i) {
+    if (i == 80) sim.set_phase(cross.center, 1);  // release WE at t=80
+    sim.step();
+    trace.record(sim);
+  }
+  const double onset = trace.congestion_onset(5);
+  ASSERT_GT(onset, 0.0);
+  const double recovery = trace.congestion_recovery(5, onset);
+  ASSERT_GT(recovery, onset);
+  EXPECT_GT(recovery, 80.0);  // cannot recover before the green
+}
+
+TEST(TraceRecorder, CsvAndClear) {
+  Cross cross;
+  sim::Simulator sim(&cross.net, {}, sim::SimConfig{}, 1);
+  sim::TraceRecorder trace(1.0);
+  trace.record(sim);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsc_trace_test.csv").string();
+  trace.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time,halting,avg_wait,active,finished,max_head_wait");
+  std::remove(path.c_str());
+  trace.clear();
+  EXPECT_TRUE(trace.samples().empty());
+}
+
+TEST(Emissions, ZeroWithoutTraffic) {
+  Cross cross;
+  sim::Simulator sim(&cross.net, {}, sim::SimConfig{}, 1);
+  sim.step_seconds(50.0);
+  const auto e = sim::estimate_emissions(sim);
+  EXPECT_DOUBLE_EQ(e.fuel_liters, 0.0);
+  EXPECT_DOUBLE_EQ(e.co2_kg, 0.0);
+}
+
+TEST(Emissions, IdlingAddsFuelWithoutDistance) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 3600.0}, {3.0, 0.0}});  // a few vehicles
+  sim::Simulator sim(&cross.net, {f}, sim::SimConfig{}, 7);
+  sim.step_seconds(150.0);  // red forever: vehicles idle on w_in
+  const auto e = sim::estimate_emissions(sim);
+  EXPECT_GT(e.idle_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(e.distance_meters, 0.0);  // nobody completed a link
+  EXPECT_GT(e.fuel_liters, 0.0);
+  EXPECT_NEAR(e.co2_kg, e.fuel_liters * 2.31, 1e-9);
+}
+
+TEST(Emissions, CompletedTripsAddDistance) {
+  Cross cross;
+  auto f = cross.flow_ns({{0.0, 3600.0}, {3.0, 0.0}});
+  sim::Simulator sim(&cross.net, {f}, sim::SimConfig{}, 9);
+  sim.step_seconds(150.0);  // NS is green in phase 0: trips complete
+  ASSERT_GT(sim.vehicles_finished(), 0u);
+  const auto e = sim::estimate_emissions(sim);
+  // Each finished vehicle traversed two 200 m links.
+  EXPECT_GE(e.distance_meters, 400.0 * sim.vehicles_finished());
+}
+
+TEST(DotExport, ContainsNodesAndEdges) {
+  Cross cross;
+  const std::string dot = sim::to_dot(cross.net);
+  EXPECT_NE(dot.find("digraph road_network"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);     // signalized
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);  // boundary
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("1@200m"), std::string::npos);
+}
+
+TEST(DotExport, LiveViewShowsQueues) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 1800.0}, {60.0, 1800.0}});
+  sim::Simulator sim(&cross.net, {f}, sim::SimConfig{}, 11);
+  sim.step_seconds(60.0);
+  const std::string dot = sim::to_dot(sim);
+  // Some edge label shows a non-zero queue over capacity.
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);
+  EXPECT_NE(dot.find("/26"), std::string::npos);  // 200 m / 7.5 m capacity
+}
+
+TEST(DotExport, WriteDotCreatesFile) {
+  Cross cross;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsc_dot_test.dot").string();
+  sim::write_dot(cross.net, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+  EXPECT_THROW(sim::write_dot(cross.net, "/no_such_dir/x.dot"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Huber, ValuesQuadraticInsideLinearOutside) {
+  nn::Tape tape;
+  nn::Var x = tape.constant(nn::Tensor::vector({0.5, -0.5, 3.0, -3.0}));
+  const auto& h = tape.value(tape.huber(x, 1.0));
+  EXPECT_DOUBLE_EQ(h[0], 0.125);
+  EXPECT_DOUBLE_EQ(h[1], 0.125);
+  EXPECT_DOUBLE_EQ(h[2], 2.5);  // 1*(3 - 0.5)
+  EXPECT_DOUBLE_EQ(h[3], 2.5);
+}
+
+TEST(Huber, GradientMatchesFiniteDifference) {
+  Rng rng(31);
+  nn::Tensor x = nn::Tensor::zeros(3, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 2.0 * rng.normal();
+  const double err = test::max_grad_error(
+      {x}, [](nn::Tape& t, const std::vector<nn::Var>& in) {
+        return t.sum(t.huber(in[0], 1.0));
+      });
+  EXPECT_LT(err, 2e-6);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Normalizer, IdentityUntilTwoSamples) {
+  rl::RunningNormalizer norm(2);
+  const std::vector<double> obs = {3.0, -1.0};
+  EXPECT_EQ(norm.normalize(obs), obs);
+  norm.update(obs);
+  EXPECT_EQ(norm.normalize(obs), obs);
+}
+
+TEST(Normalizer, CentersAndScales) {
+  rl::RunningNormalizer norm(1);
+  Rng rng(33);
+  for (int i = 0; i < 10000; ++i) norm.update({rng.normal(5.0, 2.0)});
+  EXPECT_NEAR(norm.mean(0), 5.0, 0.1);
+  EXPECT_NEAR(norm.stddev(0), 2.0, 0.1);
+  const auto out = norm.normalize({5.0});
+  EXPECT_NEAR(out[0], 0.0, 0.05);
+  const auto out2 = norm.normalize({9.0});
+  EXPECT_NEAR(out2[0], 2.0, 0.1);
+}
+
+TEST(Normalizer, ClipsExtremes) {
+  rl::RunningNormalizer norm(1, /*clip=*/3.0);
+  for (int i = 0; i < 100; ++i) norm.update({static_cast<double>(i % 2)});
+  const auto out = norm.normalize({1000.0});
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(Normalizer, FreezeStopsUpdates) {
+  rl::RunningNormalizer norm(1);
+  norm.update({1.0});
+  norm.update({2.0});
+  norm.freeze();
+  const double mean_before = norm.mean(0);
+  norm.update({100.0});
+  EXPECT_DOUBLE_EQ(norm.mean(0), mean_before);
+  EXPECT_EQ(norm.count(), 2u);
+  norm.unfreeze();
+  norm.update({100.0});
+  EXPECT_GT(norm.mean(0), mean_before);
+}
+
+TEST(Normalizer, UpdateAndNormalizeCombined) {
+  rl::RunningNormalizer norm(2);
+  norm.update({0.0, 0.0});
+  norm.update({2.0, 4.0});
+  const auto out = norm.update_and_normalize({1.0, 2.0});
+  EXPECT_EQ(norm.count(), 3u);
+  // {1,2} is exactly the running mean after the third update.
+  EXPECT_NEAR(out[0], 0.0, 1e-9);
+  EXPECT_NEAR(out[1], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tsc

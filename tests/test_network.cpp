@@ -1,0 +1,144 @@
+#include "src/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_fixtures.hpp"
+
+namespace tsc::sim {
+namespace {
+
+TEST(RoadNetwork, AddNodeAndLinkBookkeeping) {
+  RoadNetwork net;
+  const NodeId a = net.add_node(NodeType::kBoundary, 0, 0, "A");
+  const NodeId b = net.add_node(NodeType::kBoundary, 100, 0, "B");
+  const LinkId l = net.add_link(a, b, 100, 2, 10, "ab");
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_EQ(net.num_links(), 1u);
+  EXPECT_EQ(net.link(l).from, a);
+  EXPECT_EQ(net.link(l).to, b);
+  EXPECT_EQ(net.link(l).lanes, 2u);
+  ASSERT_EQ(net.node(a).out_links.size(), 1u);
+  EXPECT_EQ(net.node(a).out_links[0], l);
+  ASSERT_EQ(net.node(b).in_links.size(), 1u);
+  EXPECT_EQ(net.node(b).in_links[0], l);
+  EXPECT_DOUBLE_EQ(net.link(l).free_flow_time(), 10.0);
+}
+
+TEST(RoadNetwork, RejectsBadLinks) {
+  RoadNetwork net;
+  const NodeId a = net.add_node(NodeType::kBoundary, 0, 0);
+  const NodeId b = net.add_node(NodeType::kBoundary, 1, 0);
+  EXPECT_THROW(net.add_link(a, a, 100, 1, 10), std::invalid_argument);  // self-loop
+  EXPECT_THROW(net.add_link(a, 99, 100, 1, 10), std::invalid_argument); // unknown
+  EXPECT_THROW(net.add_link(a, b, -5, 1, 10), std::invalid_argument);   // length
+  EXPECT_THROW(net.add_link(a, b, 100, 0, 10), std::invalid_argument);  // lanes
+  EXPECT_THROW(net.add_link(a, b, 100, 1, 0), std::invalid_argument);   // speed
+}
+
+TEST(RoadNetwork, RejectsBadMovements) {
+  RoadNetwork net;
+  const NodeId a = net.add_node(NodeType::kBoundary, 0, 0);
+  const NodeId b = net.add_node(NodeType::kUnsignalized, 1, 0);
+  const NodeId c = net.add_node(NodeType::kBoundary, 2, 0);
+  const NodeId d = net.add_node(NodeType::kBoundary, 3, 0);
+  const LinkId ab = net.add_link(a, b, 100, 2, 10);
+  const LinkId bc = net.add_link(b, c, 100, 1, 10);
+  const LinkId cd = net.add_link(c, d, 100, 1, 10);
+  // Links not sharing a node.
+  EXPECT_THROW(net.add_movement(ab, cd, Turn::kThrough, {0}), std::invalid_argument);
+  // Lane out of range on the 2-lane approach.
+  EXPECT_THROW(net.add_movement(ab, bc, Turn::kThrough, {2}), std::invalid_argument);
+  // Empty lane list.
+  EXPECT_THROW(net.add_movement(ab, bc, Turn::kThrough, {}), std::invalid_argument);
+  // Valid, then duplicate.
+  net.add_movement(ab, bc, Turn::kThrough, {0, 1});
+  EXPECT_THROW(net.add_movement(ab, bc, Turn::kThrough, {0}), std::invalid_argument);
+}
+
+TEST(RoadNetwork, FinalizeRequiresPhasesOnSignalizedNodes) {
+  RoadNetwork net;
+  const NodeId a = net.add_node(NodeType::kBoundary, 0, 0);
+  const NodeId b = net.add_node(NodeType::kSignalized, 1, 0);
+  const NodeId c = net.add_node(NodeType::kBoundary, 2, 0);
+  const LinkId ab = net.add_link(a, b, 100, 1, 10);
+  const LinkId bc = net.add_link(b, c, 100, 1, 10);
+  net.add_movement(ab, bc, Turn::kThrough, {0});
+  EXPECT_THROW(net.finalize(), std::invalid_argument);  // no phases
+}
+
+TEST(RoadNetwork, FinalizeRejectsUncoveredMovement) {
+  RoadNetwork net;
+  const NodeId a = net.add_node(NodeType::kBoundary, 0, 0);
+  const NodeId b = net.add_node(NodeType::kSignalized, 1, 0);
+  const NodeId c = net.add_node(NodeType::kBoundary, 2, 0);
+  const NodeId d = net.add_node(NodeType::kBoundary, 1, 1);
+  const LinkId ab = net.add_link(a, b, 100, 1, 10);
+  const LinkId bc = net.add_link(b, c, 100, 1, 10);
+  const LinkId bd = net.add_link(b, d, 100, 1, 10);
+  const MovementId m1 = net.add_movement(ab, bc, Turn::kThrough, {0});
+  net.add_movement(ab, bd, Turn::kLeft, {0});  // never appears in a phase
+  net.set_phases(b, {{m1}});
+  EXPECT_THROW(net.finalize(), std::invalid_argument);
+}
+
+TEST(RoadNetwork, FinalizeFreezesBuilders) {
+  test::Chain chain;
+  EXPECT_TRUE(chain.net.finalized());
+  // Note: modifying after finalize throws.
+  EXPECT_THROW(chain.net.add_node(NodeType::kBoundary, 0, 0), std::logic_error);
+}
+
+TEST(RoadNetwork, FindMovement) {
+  test::Chain chain;
+  EXPECT_NE(chain.net.find_movement(chain.l0, chain.l1), kInvalidId);
+  EXPECT_EQ(chain.net.find_movement(chain.l1, chain.l0), kInvalidId);
+}
+
+TEST(RoadNetwork, ShortestRouteStraightLine) {
+  test::Cross cross;
+  const auto route = cross.net.shortest_route(cross.n_in, cross.s);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route[0], cross.n_in);
+  EXPECT_EQ(route[1], cross.s_out);
+}
+
+TEST(RoadNetwork, ShortestRouteUnreachableReturnsEmpty) {
+  test::Cross cross;
+  // No movement from n_in to n_out (no U-turn), so N cannot reach N.
+  EXPECT_TRUE(cross.net.shortest_route(cross.n_in, cross.n).empty());
+}
+
+TEST(RoadNetwork, SignalizedNodesAndNeighbors) {
+  test::Cross cross;
+  const auto sig = cross.net.signalized_nodes();
+  ASSERT_EQ(sig.size(), 1u);
+  EXPECT_EQ(sig[0], cross.center);
+  EXPECT_TRUE(cross.net.neighbor_signalized(cross.center).empty());
+  EXPECT_TRUE(cross.net.upstream_signalized(cross.center).empty());
+}
+
+TEST(RoadNetwork, ShortestRoutePrefersFasterPath) {
+  // Two parallel routes A->B: direct slow link vs two fast links via M.
+  RoadNetwork net;
+  const NodeId a = net.add_node(NodeType::kBoundary, 0, 0);
+  const NodeId m = net.add_node(NodeType::kUnsignalized, 1, 0);
+  const NodeId b = net.add_node(NodeType::kBoundary, 2, 0);
+  const NodeId start = net.add_node(NodeType::kBoundary, -1, 0);
+  const NodeId j = net.add_node(NodeType::kUnsignalized, -0.5, 0);
+  const LinkId entry = net.add_link(start, j, 100, 1, 10);
+  const LinkId slow = net.add_link(j, b, 100, 1, 1);     // 100 s
+  const LinkId fast1 = net.add_link(j, m, 100, 1, 20);   // 5 s
+  const LinkId fast2 = net.add_link(m, b, 100, 1, 20);   // 5 s
+  (void)a;
+  net.add_movement(entry, slow, Turn::kLeft, {0});
+  net.add_movement(entry, fast1, Turn::kThrough, {0});
+  net.add_movement(fast1, fast2, Turn::kThrough, {0});
+  net.finalize();
+  const auto route = net.shortest_route(entry, b);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route[1], fast1);
+  EXPECT_EQ(route[2], fast2);
+}
+
+}  // namespace
+}  // namespace tsc::sim

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/tape.hpp"
+#include "src/rl/gae.hpp"
+#include "src/rl/ppo.hpp"
+#include "src/rl/replay.hpp"
+#include "src/rl/rollout.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::rl {
+namespace {
+
+TEST(Gae, HandComputedTwoSteps) {
+  // gamma=0.9, lambda=0.8, rewards={1,2}, values={0.5,0.4}, bootstrap=0.3.
+  const auto out = compute_gae({1.0, 2.0}, {0.5, 0.4}, 0.3, 0.9, 0.8);
+  const double delta1 = 2.0 + 0.9 * 0.3 - 0.4;          // 1.87
+  const double delta0 = 1.0 + 0.9 * 0.4 - 0.5;          // 0.86
+  const double adv1 = delta1;
+  const double adv0 = delta0 + 0.9 * 0.8 * adv1;
+  EXPECT_NEAR(out.advantages[1], adv1, 1e-12);
+  EXPECT_NEAR(out.advantages[0], adv0, 1e-12);
+  EXPECT_NEAR(out.returns[0], adv0 + 0.5, 1e-12);
+  EXPECT_NEAR(out.returns[1], adv1 + 0.4, 1e-12);
+}
+
+TEST(Gae, LambdaZeroIsOneStepTd) {
+  const auto out = compute_gae({1.0, 1.0, 1.0}, {2.0, 3.0, 4.0}, 5.0, 0.9, 0.0);
+  EXPECT_NEAR(out.advantages[0], 1.0 + 0.9 * 3.0 - 2.0, 1e-12);
+  EXPECT_NEAR(out.advantages[1], 1.0 + 0.9 * 4.0 - 3.0, 1e-12);
+  EXPECT_NEAR(out.advantages[2], 1.0 + 0.9 * 5.0 - 4.0, 1e-12);
+}
+
+TEST(Gae, LambdaOneIsMonteCarloMinusValue) {
+  const std::vector<double> r = {1.0, 2.0, 3.0};
+  const std::vector<double> v = {0.5, 0.5, 0.5};
+  const double boot = 2.0;
+  const auto out = compute_gae(r, v, boot, 0.9, 1.0);
+  // Return-to-go: G2 = 3 + .9*2 = 4.8; G1 = 2 + .9*4.8; G0 = 1 + .9*G1.
+  const double g2 = 3.0 + 0.9 * boot;
+  const double g1 = 2.0 + 0.9 * g2;
+  const double g0 = 1.0 + 0.9 * g1;
+  EXPECT_NEAR(out.advantages[0], g0 - 0.5, 1e-12);
+  EXPECT_NEAR(out.advantages[1], g1 - 0.5, 1e-12);
+  EXPECT_NEAR(out.advantages[2], g2 - 0.5, 1e-12);
+  EXPECT_NEAR(out.returns[2], g2, 1e-12);
+}
+
+TEST(Gae, EmptyTrajectory) {
+  const auto out = compute_gae({}, {}, 0.0, 0.9, 0.95);
+  EXPECT_TRUE(out.advantages.empty());
+  EXPECT_TRUE(out.returns.empty());
+}
+
+TEST(EpsilonSchedule, LinearDecay) {
+  PpoConfig config;
+  config.epsilon_start = 1.0;
+  config.epsilon_end = 0.1;
+  config.epsilon_decay_episodes = 10;
+  EXPECT_DOUBLE_EQ(epsilon_at(0, config), 1.0);
+  EXPECT_NEAR(epsilon_at(5, config), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(epsilon_at(10, config), 0.1);
+  EXPECT_DOUBLE_EQ(epsilon_at(100, config), 0.1);
+  config.epsilon_decay_episodes = 0;
+  EXPECT_DOUBLE_EQ(epsilon_at(0, config), 0.1);
+}
+
+TEST(PolicyEntropy, UniformIsLogN) {
+  nn::Tape tape;
+  nn::Var logits = tape.constant(nn::Tensor::zeros(3, 4));
+  const double h = tape.value(policy_entropy(tape, logits))[0];
+  EXPECT_NEAR(h, std::log(4.0), 1e-10);
+}
+
+TEST(PolicyEntropy, PeakedIsNearZero) {
+  nn::Tape tape;
+  nn::Tensor t = nn::Tensor::zeros(1, 3);
+  t.at(0, 0) = 50.0;
+  nn::Var logits = tape.constant(std::move(t));
+  EXPECT_NEAR(tape.value(policy_entropy(tape, logits))[0], 0.0, 1e-9);
+}
+
+TEST(PpoLoss, ZeroWhenPolicyUnchangedAndValueExact) {
+  // ratio = 1 everywhere, advantage mean-zero, values == returns, no
+  // entropy coefficient -> loss = -mean(adv) = 0.
+  PpoConfig config;
+  config.entropy_coef = 0.0;
+  config.value_coef = 0.5;
+  nn::Tape tape;
+  const std::vector<double> old_logp = {-1.0, -2.0};
+  const std::vector<double> adv = {1.0, -1.0};
+  const std::vector<double> ret = {3.0, 4.0};
+  nn::Var new_logp = tape.constant(nn::Tensor::matrix(2, 1, {-1.0, -2.0}));
+  nn::Var values = tape.constant(nn::Tensor::matrix(2, 1, {3.0, 4.0}));
+  nn::Var entropy = tape.constant(nn::Tensor::vector({0.7}));
+  nn::Var loss =
+      ppo_total_loss(tape, new_logp, entropy, values, old_logp, adv, ret, config);
+  EXPECT_NEAR(tape.value(loss)[0], 0.0, 1e-12);
+}
+
+TEST(PpoLoss, ClipsLargeRatios) {
+  // A huge positive log-ratio with positive advantage must be clipped to
+  // (1+eps)*adv, not rewarded unboundedly.
+  PpoConfig config;
+  config.clip_eps = 0.2;
+  config.entropy_coef = 0.0;
+  config.value_coef = 0.0;
+  nn::Tape tape;
+  nn::Var new_logp = tape.constant(nn::Tensor::matrix(1, 1, {5.0}));
+  nn::Var values = tape.constant(nn::Tensor::matrix(1, 1, {0.0}));
+  nn::Var entropy = tape.constant(nn::Tensor::vector({0.0}));
+  nn::Var loss = ppo_total_loss(tape, new_logp, entropy, values, {0.0}, {2.0},
+                                {0.0}, config);
+  // min(e^5 * 2, 1.2 * 2) = 2.4 -> loss = -2.4.
+  EXPECT_NEAR(tape.value(loss)[0], -2.4, 1e-9);
+}
+
+TEST(PpoLoss, PessimisticOnNegativeAdvantage) {
+  // For negative advantage the unclipped (more negative) branch is taken
+  // when the ratio grows: min picks the worse objective.
+  PpoConfig config;
+  config.clip_eps = 0.2;
+  config.entropy_coef = 0.0;
+  config.value_coef = 0.0;
+  nn::Tape tape;
+  nn::Var new_logp = tape.constant(nn::Tensor::matrix(1, 1, {1.0}));
+  nn::Var values = tape.constant(nn::Tensor::matrix(1, 1, {0.0}));
+  nn::Var entropy = tape.constant(nn::Tensor::vector({0.0}));
+  nn::Var loss = ppo_total_loss(tape, new_logp, entropy, values, {0.0}, {-1.0},
+                                {0.0}, config);
+  // min(e^1 * -1, 1.2 * -1) = -e -> loss = e.
+  EXPECT_NEAR(tape.value(loss)[0], std::exp(1.0), 1e-9);
+}
+
+TEST(PpoLoss, EntropyBonusLowersLoss) {
+  PpoConfig config;
+  config.entropy_coef = 0.5;
+  config.value_coef = 0.0;
+  nn::Tape t1, t2;
+  auto mk = [&](nn::Tape& tape, double h) {
+    nn::Var new_logp = tape.constant(nn::Tensor::matrix(1, 1, {0.0}));
+    nn::Var values = tape.constant(nn::Tensor::matrix(1, 1, {0.0}));
+    nn::Var entropy = tape.constant(nn::Tensor::vector({h}));
+    return tape.value(ppo_total_loss(tape, new_logp, entropy, values, {0.0},
+                                     {0.0}, {0.0}, config))[0];
+  };
+  EXPECT_LT(mk(t1, 1.0), mk(t2, 0.0));
+}
+
+TEST(Rollout, FinishAgentFillsAdvantages) {
+  RolloutBuffer buffer(2);
+  for (int t = 0; t < 3; ++t) {
+    Sample s;
+    s.reward = 1.0;
+    s.value = 0.0;
+    buffer.add(0, s);
+    buffer.add(1, s);
+  }
+  buffer.finish_agent(0, 0.0, 1.0, 1.0);
+  buffer.finish_agent(1, 0.0, 0.0, 0.0);  // gamma 0: adv = r - v
+  const auto& a0 = buffer.agent_samples(0);
+  EXPECT_NEAR(a0[0].ret, 3.0, 1e-12);
+  EXPECT_NEAR(a0[2].ret, 1.0, 1e-12);
+  const auto& a1 = buffer.agent_samples(1);
+  EXPECT_NEAR(a1[0].advantage, 1.0, 1e-12);
+}
+
+TEST(Rollout, FlattenNormalizesAdvantages) {
+  RolloutBuffer buffer(1);
+  for (double r : {1.0, 2.0, 3.0, 4.0}) {
+    Sample s;
+    s.reward = r;
+    s.value = 0.0;
+    buffer.add(0, s);
+  }
+  buffer.finish_agent(0, 0.0, 0.0, 0.0);  // adv = rewards
+  auto flat = buffer.flatten(true);
+  ASSERT_EQ(flat.size(), 4u);
+  double mean = 0.0, var = 0.0;
+  for (auto* s : flat) mean += s->advantage;
+  mean /= 4.0;
+  for (auto* s : flat) var += (s->advantage - mean) * (s->advantage - mean);
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-12);
+}
+
+TEST(Rollout, LastAndClear) {
+  RolloutBuffer buffer(1);
+  Sample s;
+  s.action = 3;
+  buffer.add(0, s);
+  buffer.last(0).reward = 7.0;
+  EXPECT_DOUBLE_EQ(buffer.agent_samples(0)[0].reward, 7.0);
+  buffer.clear();
+  EXPECT_EQ(buffer.total_samples(), 0u);
+}
+
+TEST(Replay, RingOverwritesOldest) {
+  ReplayBuffer<int> buffer(3);
+  for (int i = 0; i < 5; ++i) buffer.push(i);
+  EXPECT_EQ(buffer.size(), 3u);
+  Rng rng(1);
+  // Only values 2,3,4 remain.
+  for (int i = 0; i < 50; ++i) {
+    const int v = *buffer.sample(1, rng)[0];
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(Replay, SampleSizeAndClear) {
+  ReplayBuffer<int> buffer(10);
+  buffer.push(42);
+  Rng rng(2);
+  const auto batch = buffer.sample(4, rng);
+  EXPECT_EQ(batch.size(), 4u);
+  for (auto* p : batch) EXPECT_EQ(*p, 42);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+}
+
+}  // namespace
+}  // namespace tsc::rl

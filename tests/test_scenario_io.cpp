@@ -1,0 +1,132 @@
+#include "src/sim/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim_fixtures.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tsc::sim {
+namespace {
+
+TEST(ScenarioIo, RoundTripPreservesCross) {
+  test::Cross cross;
+  std::vector<FlowSpec> flows = {
+      cross.flow_ns({{0.0, 500.0}, {100.0, 500.0}}),
+      cross.flow_we({{50.0, 0.0}, {150.0, 700.0}}),
+  };
+  std::ostringstream out;
+  write_scenario(cross.net, flows, out);
+  std::istringstream in(out.str());
+  const Scenario loaded = read_scenario(in);
+
+  EXPECT_EQ(loaded.net.num_nodes(), cross.net.num_nodes());
+  EXPECT_EQ(loaded.net.num_links(), cross.net.num_links());
+  EXPECT_EQ(loaded.net.num_movements(), cross.net.num_movements());
+  EXPECT_TRUE(loaded.net.finalized());
+  ASSERT_EQ(loaded.flows.size(), 2u);
+  EXPECT_EQ(loaded.flows[0].route, flows[0].route);
+  EXPECT_DOUBLE_EQ(loaded.flows[1].rate_at(150.0), 700.0);
+  // Node metadata survives.
+  EXPECT_EQ(loaded.net.node(cross.center).type, NodeType::kSignalized);
+  EXPECT_EQ(loaded.net.node(cross.center).name, "C");
+  EXPECT_EQ(loaded.net.node(cross.center).phases.size(), 2u);
+}
+
+TEST(ScenarioIo, RoundTripPreservesFullGrid) {
+  scenario::GridScenario grid(scenario::GridConfig{});
+  auto flows = scenario::make_flow_pattern(grid, scenario::FlowPattern::kPattern1);
+  std::ostringstream out;
+  write_scenario(grid.net(), flows, out);
+  std::istringstream in(out.str());
+  const Scenario loaded = read_scenario(in);
+  EXPECT_EQ(loaded.net.num_nodes(), grid.net().num_nodes());
+  EXPECT_EQ(loaded.net.num_links(), grid.net().num_links());
+  EXPECT_EQ(loaded.net.num_movements(), grid.net().num_movements());
+  EXPECT_EQ(loaded.flows.size(), flows.size());
+  // Loaded scenario simulates identically to the original given a seed.
+  Simulator a(&grid.net(), flows, SimConfig{}, 9);
+  Simulator b(&loaded.net, loaded.flows, SimConfig{}, 9);
+  a.step_seconds(120.0);
+  b.step_seconds(120.0);
+  EXPECT_EQ(a.vehicles_spawned(), b.vehicles_spawned());
+  EXPECT_DOUBLE_EQ(a.average_travel_time(), b.average_travel_time());
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "node boundary 0 0 A\n"
+      "node boundary 100 0 B  # trailing comment\n"
+      "link 0 1 100 1 10\n");
+  const Scenario s = read_scenario(in);
+  EXPECT_EQ(s.net.num_nodes(), 2u);
+  EXPECT_EQ(s.net.num_links(), 1u);
+  EXPECT_EQ(s.net.node(1).name, "B");
+}
+
+TEST(ScenarioIo, ErrorsCarryLineNumbers) {
+  {
+    std::istringstream in("node boundary 0 0\nfrobnicate 1 2 3\n");
+    try {
+      read_scenario(in);
+      FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in("node weird 0 0\n");
+    EXPECT_THROW(read_scenario(in), std::runtime_error);
+  }
+  {
+    // Builder-level validation error is re-wrapped with the line number.
+    std::istringstream in("node boundary 0 0\nlink 0 7 100 1 10\n");
+    try {
+      read_scenario(in);
+      FAIL() << "expected validation error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+  }
+}
+
+TEST(ScenarioIo, BadFlowProfileRejected) {
+  std::istringstream in(
+      "node boundary 0 0\n"
+      "node boundary 100 0\n"
+      "link 0 1 100 1 10\n"
+      "flow 0 nocolon\n");
+  EXPECT_THROW(read_scenario(in), std::runtime_error);
+}
+
+TEST(ScenarioIo, FinalizeErrorsSurface) {
+  // Signalized node without phases fails at finalize.
+  std::istringstream in(
+      "node boundary 0 0\n"
+      "node signalized 100 0\n"
+      "node boundary 200 0\n"
+      "link 0 1 100 1 10\n"
+      "link 1 2 100 1 10\n"
+      "movement 0 1 through 0\n");
+  EXPECT_THROW(read_scenario(in), std::invalid_argument);
+}
+
+TEST(ScenarioIo, FileRoundTrip) {
+  test::Chain chain;
+  const std::string path = "/tmp/tsc_scenario_test.txt";
+  save_scenario(chain.net, {chain.flow({{0.0, 300.0}, {60.0, 300.0}})}, path);
+  const Scenario loaded = load_scenario(path);
+  EXPECT_EQ(loaded.net.num_links(), 2u);
+  EXPECT_EQ(loaded.flows.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario("/no/such/file.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsc::sim

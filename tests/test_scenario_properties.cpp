@@ -1,0 +1,191 @@
+// Property sweeps over the scenario generators: structural invariants that
+// must hold for every grid geometry and every Monaco seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+#include "src/scenarios/monaco.hpp"
+#include "src/sim/conflicts.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tsc::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Grid sweep.
+
+struct GridCase {
+  std::size_t rows, cols;
+  std::uint32_t arterial_lanes, avenue_lanes;
+};
+
+std::string grid_case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  const GridCase& c = info.param;
+  return std::to_string(c.rows) + "x" + std::to_string(c.cols) + "_a" +
+         std::to_string(c.arterial_lanes) + "v" + std::to_string(c.avenue_lanes);
+}
+
+class GridSweep : public ::testing::TestWithParam<GridCase> {
+ protected:
+  GridScenario build() const {
+    GridConfig config;
+    config.rows = GetParam().rows;
+    config.cols = GetParam().cols;
+    config.arterial_lanes = GetParam().arterial_lanes;
+    config.avenue_lanes = GetParam().avenue_lanes;
+    return GridScenario(config);
+  }
+};
+
+TEST_P(GridSweep, NodeAndLinkCountFormulas) {
+  const auto grid = build();
+  const std::size_t r = GetParam().rows, c = GetParam().cols;
+  EXPECT_EQ(grid.net().num_nodes(), r * c + 2 * r + 2 * c);
+  // Horizontal segments: r rows x (c+1); vertical: c cols x (r+1); both
+  // directions.
+  EXPECT_EQ(grid.net().num_links(), 2 * (r * (c + 1) + c * (r + 1)));
+  EXPECT_EQ(grid.net().signalized_nodes().size(), r * c);
+}
+
+TEST_P(GridSweep, PhasesPartitionMovementsEverywhere) {
+  const auto grid = build();
+  for (auto node_id : grid.net().signalized_nodes()) {
+    const auto& node = grid.net().node(node_id);
+    std::size_t at_node = 0;
+    for (auto lid : node.in_links)
+      at_node += grid.net().link(lid).out_movements.size();
+    std::set<sim::MovementId> covered;
+    for (const auto& phase : node.phases)
+      covered.insert(phase.begin(), phase.end());
+    EXPECT_EQ(covered.size(), at_node);
+    EXPECT_EQ(node.phases.size(), 4u);
+  }
+}
+
+TEST_P(GridSweep, PhaseTablesAreConflictFree) {
+  const auto grid = build();
+  EXPECT_TRUE(sim::audit_phase_conflicts(grid.net()).empty());
+}
+
+TEST_P(GridSweep, AllStraightCorridorsRoutable) {
+  const auto grid = build();
+  for (std::size_t row = 0; row < GetParam().rows; ++row) {
+    const auto route = grid.route(grid.west_terminal(row), grid.east_terminal(row));
+    EXPECT_EQ(route.size(), GetParam().cols + 1);
+  }
+  for (std::size_t col = 0; col < GetParam().cols; ++col) {
+    const auto route =
+        grid.route(grid.north_terminal(col), grid.south_terminal(col));
+    EXPECT_EQ(route.size(), GetParam().rows + 1);
+  }
+}
+
+TEST_P(GridSweep, ShortSimulationRunsClean) {
+  const auto grid = build();
+  // Uniform entry demand on every western row.
+  std::vector<sim::FlowSpec> flows;
+  for (std::size_t row = 0; row < GetParam().rows; ++row) {
+    sim::FlowSpec f;
+    f.route = grid.route(grid.west_terminal(row), grid.east_terminal(row));
+    f.profile = {{0.0, 400.0}, {120.0, 400.0}};
+    flows.push_back(f);
+  }
+  sim::Simulator sim(&grid.net(), flows, sim::SimConfig{}, 3);
+  sim.step_seconds(120.0);
+  EXPECT_GT(sim.vehicles_spawned(), 0u);
+  for (sim::LinkId l = 0; l < grid.net().num_links(); ++l)
+    EXPECT_LE(sim.link_count(l), sim.link_capacity(l));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GridSweep,
+                         ::testing::Values(GridCase{2, 3, 2, 1},
+                                           GridCase{3, 2, 1, 1},
+                                           GridCase{4, 4, 2, 2},
+                                           GridCase{5, 3, 3, 1},
+                                           GridCase{6, 6, 2, 1}),
+                         grid_case_name);
+
+// ---------------------------------------------------------------------------
+// Monaco seed sweep.
+
+class MonacoSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonacoSweep, StructuralInvariantsAcrossSeeds) {
+  MonacoConfig config;
+  config.seed = GetParam();
+  MonacoScenario monaco(config);
+  // Always exactly 30 signalized intersections.
+  EXPECT_EQ(monaco.net().signalized_nodes().size(), 30u);
+  // Degree >= 2 everywhere and no dead-end approaches.
+  for (auto node_id : monaco.net().signalized_nodes()) {
+    const auto& node = monaco.net().node(node_id);
+    EXPECT_GE(node.out_links.size(), 2u);
+    for (auto lid : node.in_links)
+      EXPECT_FALSE(monaco.net().link(lid).out_movements.empty());
+  }
+  // Split phasing is conflict-free by construction.
+  EXPECT_TRUE(sim::audit_phase_conflicts(monaco.net()).empty());
+  // Terminals exist and flows are buildable + simulable.
+  EXPECT_GE(monaco.terminals().size(), 4u);
+  const auto flows = monaco.make_flows(600.0, 0.05, 4, GetParam() + 1);
+  sim::Simulator sim(&monaco.net(), flows, sim::SimConfig{}, 5);
+  sim.step_seconds(60.0);
+  EXPECT_GT(sim.vehicles_spawned(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonacoSweep, ::testing::Values(1, 7, 13, 42, 99),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Flow-pattern property: every pattern's every route starts and ends at
+// boundary terminals and has a positive expected vehicle count.
+
+class PatternSweep : public ::testing::TestWithParam<FlowPattern> {};
+
+TEST_P(PatternSweep, RoutesTerminateAtBoundaries) {
+  GridScenario grid{GridConfig{}};
+  const auto flows = make_flow_pattern(grid, GetParam());
+  for (const auto& f : flows) {
+    const auto& first = grid.net().link(f.route.front());
+    const auto& last = grid.net().link(f.route.back());
+    EXPECT_EQ(grid.net().node(first.from).type, sim::NodeType::kBoundary);
+    EXPECT_EQ(grid.net().node(last.to).type, sim::NodeType::kBoundary);
+    EXPECT_GT(f.expected_vehicles(3600.0), 1.0);
+  }
+}
+
+TEST_P(PatternSweep, CongestedPatternsContainTurningRoutes) {
+  if (GetParam() == FlowPattern::kPattern5) GTEST_SKIP() << "uniform pattern";
+  GridScenario grid{GridConfig{}};
+  const auto flows = make_flow_pattern(grid, GetParam());
+  std::size_t turning_routes = 0;
+  for (const auto& f : flows) {
+    for (std::size_t i = 0; i + 1 < f.route.size(); ++i) {
+      const auto mid = grid.net().find_movement(f.route[i], f.route[i + 1]);
+      if (grid.net().movement(mid).turn != sim::Turn::kThrough) {
+        ++turning_routes;
+        break;
+      }
+    }
+  }
+  // The Fig. 6-style OD structure guarantees turning traffic.
+  EXPECT_GE(turning_routes, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternSweep,
+                         ::testing::Values(FlowPattern::kPattern1,
+                                           FlowPattern::kPattern2,
+                                           FlowPattern::kPattern3,
+                                           FlowPattern::kPattern4,
+                                           FlowPattern::kPattern5),
+                         [](const auto& info) {
+                           return std::string("P") +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+}  // namespace
+}  // namespace tsc::scenario

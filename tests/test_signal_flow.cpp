@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/flow.hpp"
+#include "src/sim/signal.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::sim {
+namespace {
+
+TEST(SignalController, StartsGreenOnPhaseZero) {
+  SignalController sig(0, 4, 2.0);
+  EXPECT_EQ(sig.phase(), 0u);
+  EXPECT_FALSE(sig.in_yellow());
+}
+
+TEST(SignalController, SamePhaseRequestExtendsGreen) {
+  SignalController sig(0, 4, 2.0);
+  sig.tick(5.0);
+  EXPECT_DOUBLE_EQ(sig.green_elapsed(), 5.0);
+  sig.request_phase(0);
+  EXPECT_FALSE(sig.in_yellow());
+  sig.tick(5.0);
+  EXPECT_DOUBLE_EQ(sig.green_elapsed(), 10.0);
+}
+
+TEST(SignalController, SwitchRunsYellowInterlock) {
+  SignalController sig(0, 4, 2.0);
+  sig.request_phase(2);
+  EXPECT_TRUE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 0u);  // still the outgoing phase
+  sig.tick(1.0);
+  EXPECT_TRUE(sig.in_yellow());
+  sig.tick(1.0);
+  EXPECT_FALSE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 2u);
+  EXPECT_DOUBLE_EQ(sig.green_elapsed(), 0.0);
+}
+
+TEST(SignalController, RetargetDuringYellow) {
+  SignalController sig(0, 4, 2.0);
+  sig.request_phase(1);
+  sig.tick(1.0);
+  sig.request_phase(3);  // change of mind mid-yellow
+  sig.tick(1.0);
+  EXPECT_EQ(sig.phase(), 3u);
+}
+
+TEST(SignalController, ZeroYellowSwitchesImmediately) {
+  SignalController sig(0, 2, 0.0);
+  sig.request_phase(1);
+  EXPECT_FALSE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 1u);
+}
+
+TEST(SignalController, RejectsBadInputs) {
+  EXPECT_THROW(SignalController(0, 0, 2.0), std::invalid_argument);
+  EXPECT_THROW(SignalController(0, 2, -1.0), std::invalid_argument);
+  SignalController sig(0, 2, 2.0);
+  EXPECT_THROW(sig.request_phase(2), std::out_of_range);
+  EXPECT_THROW(sig.reset(5), std::out_of_range);
+}
+
+TEST(SignalController, ResetRestoresInitialState) {
+  SignalController sig(0, 4, 2.0);
+  sig.request_phase(3);
+  sig.tick(1.0);
+  sig.reset(1);
+  EXPECT_EQ(sig.phase(), 1u);
+  EXPECT_FALSE(sig.in_yellow());
+  EXPECT_DOUBLE_EQ(sig.green_elapsed(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(FlowSpec, PiecewiseLinearInterpolation) {
+  FlowSpec f;
+  f.profile = {{0.0, 0.0}, {100.0, 600.0}, {200.0, 600.0}};
+  EXPECT_DOUBLE_EQ(f.rate_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(50.0), 300.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(100.0), 600.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(150.0), 600.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(250.0), 0.0);  // past the last knot: flow ended
+  EXPECT_DOUBLE_EQ(f.rate_at(-1.0), 0.0);
+}
+
+TEST(FlowSpec, EmptyProfileIsZero) {
+  FlowSpec f;
+  EXPECT_DOUBLE_EQ(f.rate_at(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.expected_vehicles(100.0), 0.0);
+}
+
+TEST(FlowSpec, ExpectedVehiclesIntegratesProfile) {
+  FlowSpec f;
+  f.profile = {{0.0, 3600.0}, {100.0, 3600.0}};  // 1 veh/s for 100 s
+  EXPECT_NEAR(f.expected_vehicles(100.0), 100.0, 1.0);
+  EXPECT_NEAR(f.expected_vehicles(50.0), 50.0, 1.0);
+}
+
+TEST(FlowProfiles, RampHoldShape) {
+  const auto knots = profiles::ramp_hold(10.0, 90.0, 300.0, 500.0);
+  FlowSpec f;
+  f.profile = knots;
+  EXPECT_DOUBLE_EQ(f.rate_at(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(55.0), 250.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(100.0), 500.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(300.0), 500.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(301.0), 0.0);
+}
+
+TEST(FlowProfiles, ConstantShape) {
+  const auto knots = profiles::constant(0.0, 50.0, 120.0);
+  FlowSpec f;
+  f.profile = knots;
+  EXPECT_DOUBLE_EQ(f.rate_at(0.0), 120.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(25.0), 120.0);
+  EXPECT_DOUBLE_EQ(f.rate_at(50.0), 120.0);
+}
+
+TEST(FlowSampler, ArrivalFrequencyMatchesRate) {
+  FlowSpec f;
+  f.route = {0};
+  f.profile = {{0.0, 1800.0}, {10000.0, 1800.0}};  // 0.5 veh/s
+  FlowSampler sampler({f});
+  Rng rng(77);
+  std::size_t arrivals = 0;
+  for (double t = 0.0; t < 10000.0; t += 1.0)
+    arrivals += sampler.sample_arrivals(t, 1.0, rng).size();
+  EXPECT_NEAR(static_cast<double>(arrivals), 5000.0, 150.0);
+}
+
+TEST(FlowSampler, NoArrivalsOutsideProfile) {
+  FlowSpec f;
+  f.route = {0};
+  f.profile = {{100.0, 3600.0}, {200.0, 3600.0}};
+  FlowSampler sampler({f});
+  Rng rng(78);
+  for (double t = 0.0; t < 99.0; t += 1.0)
+    EXPECT_TRUE(sampler.sample_arrivals(t, 1.0, rng).empty());
+  for (double t = 300.0; t < 400.0; t += 1.0)
+    EXPECT_TRUE(sampler.sample_arrivals(t, 1.0, rng).empty());
+}
+
+TEST(FlowSampler, MultipleFlowsReportIndices) {
+  FlowSpec a, b;
+  a.route = {0};
+  a.profile = {{0.0, 3600.0 * 0.9}, {1000.0, 3600.0 * 0.9}};
+  b.route = {1};
+  b.profile = {};  // never emits
+  FlowSampler sampler({a, b});
+  Rng rng(79);
+  bool saw_a = false;
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    for (std::size_t idx : sampler.sample_arrivals(t, 1.0, rng)) {
+      EXPECT_EQ(idx, 0u);
+      saw_a = true;
+    }
+  }
+  EXPECT_TRUE(saw_a);
+}
+
+}  // namespace
+}  // namespace tsc::sim

@@ -1,0 +1,349 @@
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim_fixtures.hpp"
+
+namespace tsc::sim {
+namespace {
+
+using test::Chain;
+using test::Cross;
+
+SimConfig default_config() { return SimConfig{}; }
+
+TEST(Simulator, RequiresFinalizedNetwork) {
+  RoadNetwork net;
+  net.add_node(NodeType::kBoundary, 0, 0);
+  EXPECT_THROW(Simulator(&net, {}, default_config(), 1), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsInvalidRoutes) {
+  Chain chain;
+  {
+    FlowSpec f;  // empty route
+    EXPECT_THROW(Simulator(&chain.net, {f}, default_config(), 1),
+                 std::invalid_argument);
+  }
+  {
+    FlowSpec f;  // hop without a movement (l1 -> l0 has none)
+    f.route = {chain.l1, chain.l0};
+    EXPECT_THROW(Simulator(&chain.net, {f}, default_config(), 1),
+                 std::invalid_argument);
+  }
+  {
+    FlowSpec f;  // route ending at an interior node
+    f.route = {chain.l0};
+    EXPECT_THROW(Simulator(&chain.net, {f}, default_config(), 1),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Simulator, FreeFlowTravelTimeOnEmptyRoad) {
+  // 200 m links at 10 m/s through an unsignalized node: ~40 s + one
+  // discharge headway at the middle queue.
+  Chain chain(200.0, 1, 10.0);
+  auto f = chain.flow({{0.0, 3600.0}, {1.0, 0.0}});  // ~1 vehicle at t=0
+  Simulator sim(&chain.net, {f}, default_config(), 3);
+  sim.step_seconds(120.0);
+  ASSERT_GE(sim.vehicles_finished(), 1u);
+  const double tt = sim.average_travel_time_finished();
+  EXPECT_GE(tt, 40.0);
+  EXPECT_LE(tt, 46.0);  // free flow + queue service, no congestion
+}
+
+TEST(Simulator, VehicleConservation) {
+  Cross cross;
+  auto f1 = cross.flow_ns({{0.0, 800.0}, {300.0, 800.0}});
+  auto f2 = cross.flow_we({{0.0, 800.0}, {300.0, 800.0}});
+  Simulator sim(&cross.net, {f1, f2}, default_config(), 5);
+  for (int i = 0; i < 400; ++i) {
+    sim.step();
+    std::uint32_t on_network = 0;
+    for (LinkId l = 0; l < cross.net.num_links(); ++l)
+      on_network += sim.link_count(l);
+    // spawned == finished + on_network + backlog(not entered)
+    std::size_t backlog = 0;
+    for (const Vehicle& v : sim.vehicles())
+      if (!v.finished && v.entered < 0.0) ++backlog;
+    EXPECT_EQ(sim.vehicles_spawned(),
+              sim.vehicles_finished() + on_network + backlog);
+  }
+  EXPECT_GT(sim.vehicles_spawned(), 50u);
+}
+
+TEST(Simulator, RedLightBlocksDischarge) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 1200.0}, {60.0, 1200.0}});
+  Simulator sim(&cross.net, {f}, default_config(), 7);
+  // Phase 0 = NS green, so WE traffic must queue.
+  sim.step_seconds(60.0);
+  EXPECT_GT(sim.link_queue(cross.w_in), 0u);
+  EXPECT_EQ(sim.link_count(cross.e_out), 0u);
+  EXPECT_EQ(sim.vehicles_finished(), 0u);
+}
+
+TEST(Simulator, GreenDischargesAtSaturationRate) {
+  Cross cross;
+  // Load a long queue while red, then release and count the discharge rate.
+  auto f = cross.flow_we({{0.0, 1800.0}, {80.0, 1800.0}});
+  SimConfig config;
+  config.sat_headway = 2.0;
+  Simulator sim(&cross.net, {f}, config, 9);
+  sim.step_seconds(80.0);  // builds a queue on red
+  ASSERT_GT(sim.link_queue(cross.w_in), 10u);
+  sim.set_phase(cross.center, 1);  // WE green (after 2 s yellow)
+  sim.step_seconds(42.0);          // 40 s effective green
+  // Vehicles that crossed the stopline are either finished or on e_out.
+  const std::uint32_t crossed = static_cast<std::uint32_t>(
+      sim.vehicles_finished() + sim.link_count(cross.e_out));
+  // Saturation flow = 1 veh / 2 s -> ~20 vehicles in 40 s of green.
+  EXPECT_GE(crossed, 15u);
+  EXPECT_LE(crossed, 22u);
+}
+
+TEST(Simulator, YellowBlocksDischargeDuringSwitch) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 1800.0}, {40.0, 1800.0}});
+  Simulator sim(&cross.net, {f}, default_config(), 11);
+  sim.step_seconds(40.0);
+  ASSERT_GT(sim.link_queue(cross.w_in), 0u);
+  EXPECT_EQ(sim.link_count(cross.e_out), 0u);
+  sim.set_phase(cross.center, 1);
+  sim.step();  // yellow tick 1
+  EXPECT_TRUE(sim.signal(cross.center).in_yellow());
+  EXPECT_EQ(sim.link_count(cross.e_out), 0u);  // nothing crosses on yellow
+  sim.step();  // yellow tick 2 -> phase switches at end of tick
+  EXPECT_EQ(sim.link_count(cross.e_out), 0u);
+  sim.step_seconds(5.0);  // green: discharge resumes
+  EXPECT_FALSE(sim.signal(cross.center).in_yellow());
+  EXPECT_GT(sim.link_count(cross.e_out), 0u);
+}
+
+TEST(Simulator, SharedLaneHeadOfLineBlocking) {
+  // Network where left-turn and through share a single lane; the leader
+  // wants the red left movement and must block the through follower.
+  RoadNetwork net;
+  const NodeId b0 = net.add_node(NodeType::kBoundary, -200, 0, "B0");
+  const NodeId c = net.add_node(NodeType::kSignalized, 0, 0, "C");
+  const NodeId east = net.add_node(NodeType::kBoundary, 200, 0, "E");
+  const NodeId north = net.add_node(NodeType::kBoundary, 0, 200, "N");
+  const LinkId in = net.add_link(b0, c, 200, 1, 10, "in");
+  const LinkId out_e = net.add_link(c, east, 200, 1, 10, "out_e");
+  const LinkId out_n = net.add_link(c, north, 200, 1, 10, "out_n");
+  const MovementId through = net.add_movement(in, out_e, Turn::kThrough, {0});
+  const MovementId left = net.add_movement(in, out_n, Turn::kLeft, {0});
+  net.set_phases(c, {{through}, {left}});
+  net.finalize();
+
+  // First vehicle turns left, the rest go straight. Phase 0 = through green.
+  FlowSpec f_left;
+  f_left.route = {in, out_n};
+  f_left.profile = {{0.0, 3600.0}, {1.0, 0.0}};  // one leader at t~0
+  FlowSpec f_through;
+  f_through.route = {in, out_e};
+  f_through.profile = {{5.0, 1800.0}, {60.0, 1800.0}};
+  Simulator sim(&net, {f_left, f_through}, default_config(), 13);
+  sim.step_seconds(90.0);
+  // The left-turner (red in phase 0) blocks every through vehicle behind it.
+  EXPECT_EQ(sim.vehicles_finished(), 0u);
+  EXPECT_GT(sim.link_queue(in), 5u);
+  // Give the left phase green: the leader clears, then the lane unblocks
+  // back on phase 0.
+  sim.set_phase(c, 1);
+  sim.step_seconds(10.0);
+  sim.set_phase(c, 0);
+  sim.step_seconds(60.0);
+  EXPECT_GT(sim.vehicles_finished(), 10u);
+}
+
+TEST(Simulator, SpillbackBlocksUpstreamDischarge) {
+  // Short downstream link with tiny storage, held red at its far end: once
+  // full, the upstream junction cannot discharge into it even though the
+  // upstream junction itself is unsignalized (always green).
+  RoadNetwork net;
+  const NodeId b0 = net.add_node(NodeType::kBoundary, -200, 0);
+  const NodeId j1 = net.add_node(NodeType::kUnsignalized, 0, 0);
+  const NodeId j2 = net.add_node(NodeType::kSignalized, 30, 0, "J2");
+  const NodeId b1 = net.add_node(NodeType::kBoundary, 230, 0);
+  const NodeId b2 = net.add_node(NodeType::kBoundary, 30, 200, "B2");
+  const LinkId l_in = net.add_link(b0, j1, 200, 1, 10);
+  const LinkId l_short = net.add_link(j1, j2, 30, 1, 10);  // capacity 4
+  const LinkId l_out = net.add_link(j2, b1, 200, 1, 10);
+  const LinkId l_side = net.add_link(b2, j2, 200, 1, 10);  // competing approach
+  net.add_movement(l_in, l_short, Turn::kThrough, {0});
+  const MovementId m_exit = net.add_movement(l_short, l_out, Turn::kThrough, {0});
+  const MovementId m_side = net.add_movement(l_side, l_out, Turn::kRight, {0});
+  net.set_phases(j2, {{m_side}, {m_exit}});  // phase 0 keeps the exit red
+  net.finalize();
+
+  FlowSpec f;
+  f.route = {l_in, l_short, l_out};
+  f.profile = {{0.0, 1500.0}, {120.0, 1500.0}};
+  Simulator sim(&net, {f}, default_config(), 15);
+  sim.step_seconds(120.0);  // exit red: l_short fills, then spills back
+  // Short link saturates at its storage capacity (30 m / 7.5 m = 4).
+  EXPECT_EQ(sim.link_count(l_short), 4u);
+  EXPECT_GT(sim.link_queue(l_in), 10u);
+  EXPECT_EQ(sim.vehicles_finished(), 0u);
+  // Release the exit: the corridor drains.
+  sim.set_phase(j2, 1);
+  sim.step_seconds(200.0);
+  EXPECT_GT(sim.vehicles_finished(), 20u);
+}
+
+TEST(Simulator, DetectorCapsAtRange) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 1800.0}, {200.0, 1800.0}});
+  SimConfig config;
+  config.detector_range = 50.0;  // 50 / 7.5 -> 6 vehicles visible
+  Simulator sim(&cross.net, {f}, config, 17);
+  sim.step_seconds(200.0);  // WE is red; long queue forms
+  EXPECT_GT(sim.link_queue(cross.w_in), 6u);
+  EXPECT_EQ(sim.detector_queue(cross.w_in), 6u);
+  EXPECT_EQ(sim.detector_count(cross.w_in), 6u);
+  EXPECT_GT(sim.detector_head_wait(cross.w_in), 100.0);
+}
+
+TEST(Simulator, PressureSignsReflectImbalance) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 1200.0}, {100.0, 1200.0}});
+  Simulator sim(&cross.net, {f}, default_config(), 19);
+  sim.step_seconds(100.0);
+  // Queue on w_in, empty e_out: positive link pressure and intersection
+  // pressure.
+  EXPECT_GT(sim.link_pressure(cross.w_in), 0.0);
+  EXPECT_GT(sim.intersection_pressure(cross.center), 0.0);
+  EXPECT_EQ(sim.intersection_halting(cross.center), sim.link_queue(cross.w_in));
+}
+
+TEST(Simulator, WaitingTimeAccrual) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 3600.0}, {2.0, 0.0}});  // ~1-2 vehicles
+  Simulator sim(&cross.net, {f}, default_config(), 21);
+  sim.step_seconds(100.0);  // red the whole time
+  if (sim.link_queue(cross.w_in) > 0) {
+    // Head vehicle arrived after ~20 s travel; has waited since.
+    EXPECT_GT(sim.lane_head_wait(cross.w_in, 0), 60.0);
+    EXPECT_GT(sim.intersection_max_head_wait(cross.center), 60.0);
+    EXPECT_GT(sim.network_avg_wait(), 60.0);
+  }
+}
+
+TEST(Simulator, AverageTravelTimeChargesUnfinished) {
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 3600.0}, {2.0, 0.0}});
+  Simulator sim(&cross.net, {f}, default_config(), 23);
+  sim.step_seconds(200.0);
+  ASSERT_GT(sim.vehicles_spawned(), 0u);
+  EXPECT_EQ(sim.vehicles_finished(), 0u);  // red forever
+  EXPECT_DOUBLE_EQ(sim.average_travel_time_finished(), 0.0);
+  EXPECT_GT(sim.average_travel_time(), 150.0);  // charged to now
+}
+
+TEST(Simulator, BacklogInsertsWhenSpaceFrees) {
+  // Tiny entry link: most vehicles start in the backlog, then trickle in.
+  RoadNetwork net;
+  const NodeId b0 = net.add_node(NodeType::kBoundary, -30, 0);
+  const NodeId j = net.add_node(NodeType::kUnsignalized, 0, 0);
+  const NodeId b1 = net.add_node(NodeType::kBoundary, 200, 0);
+  const LinkId l_in = net.add_link(b0, j, 30, 1, 10);  // capacity 4
+  const LinkId l_out = net.add_link(j, b1, 200, 1, 10);
+  net.add_movement(l_in, l_out, Turn::kThrough, {0});
+  net.finalize();
+  FlowSpec f;
+  f.route = {l_in, l_out};
+  // Exactly one spawn per tick (p = 1) for 15 s: deterministic burst.
+  f.profile = {{0.0, 3600.0}, {15.0, 3600.0}};
+  Simulator sim(&net, {f}, default_config(), 25);
+  sim.step_seconds(16.0);
+  EXPECT_LE(sim.link_count(l_in), 4u);
+  const std::size_t spawned = sim.vehicles_spawned();
+  ASSERT_GE(spawned, 15u);
+  sim.step_seconds(120.0);
+  EXPECT_EQ(sim.vehicles_finished(), spawned);  // everyone eventually passes
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  Cross cross;
+  auto f1 = cross.flow_ns({{0.0, 700.0}, {200.0, 700.0}});
+  auto f2 = cross.flow_we({{0.0, 700.0}, {200.0, 700.0}});
+  Simulator a(&cross.net, {f1, f2}, default_config(), 99);
+  Simulator b(&cross.net, {f1, f2}, default_config(), 99);
+  for (int i = 0; i < 200; ++i) {
+    if (i == 50) {
+      a.set_phase(cross.center, 1);
+      b.set_phase(cross.center, 1);
+    }
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.vehicles_spawned(), b.vehicles_spawned());
+  EXPECT_EQ(a.vehicles_finished(), b.vehicles_finished());
+  EXPECT_DOUBLE_EQ(a.average_travel_time(), b.average_travel_time());
+}
+
+TEST(Simulator, ResetClearsAllState) {
+  Cross cross;
+  auto f = cross.flow_ns({{0.0, 900.0}, {100.0, 900.0}});
+  Simulator sim(&cross.net, {f}, default_config(), 27);
+  sim.set_phase(cross.center, 1);
+  sim.step_seconds(100.0);
+  ASSERT_GT(sim.vehicles_spawned(), 0u);
+  sim.reset(27);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.vehicles_spawned(), 0u);
+  EXPECT_EQ(sim.vehicles_finished(), 0u);
+  EXPECT_EQ(sim.network_halting(), 0u);
+  EXPECT_EQ(sim.signal(cross.center).phase(), 0u);
+  for (LinkId l = 0; l < cross.net.num_links(); ++l)
+    EXPECT_EQ(sim.link_count(l), 0u);
+}
+
+TEST(Simulator, ResetReproducesIdenticalRun) {
+  Cross cross;
+  auto f = cross.flow_ns({{0.0, 900.0}, {100.0, 900.0}});
+  Simulator sim(&cross.net, {f}, default_config(), 31);
+  sim.step_seconds(100.0);
+  const auto spawned_first = sim.vehicles_spawned();
+  const auto tt_first = sim.average_travel_time();
+  sim.reset(31);
+  sim.step_seconds(100.0);
+  EXPECT_EQ(sim.vehicles_spawned(), spawned_first);
+  EXPECT_DOUBLE_EQ(sim.average_travel_time(), tt_first);
+}
+
+TEST(Simulator, SetPhaseRejectsNonSignalized) {
+  Chain chain;
+  Simulator sim(&chain.net, {}, default_config(), 1);
+  EXPECT_THROW(sim.set_phase(chain.mid, 0), std::invalid_argument);
+  EXPECT_THROW(sim.signal(chain.b0), std::invalid_argument);
+}
+
+TEST(Simulator, MultiLaneSplitsQueues) {
+  Cross cross(200.0, 10.0, /*lanes=*/2);
+  auto f = cross.flow_we({{0.0, 1800.0}, {60.0, 1800.0}});
+  Simulator sim(&cross.net, {f}, default_config(), 33);
+  sim.step_seconds(60.0);  // red for WE
+  const std::uint32_t lane0 = sim.lane_queue(cross.w_in, 0);
+  const std::uint32_t lane1 = sim.lane_queue(cross.w_in, 1);
+  EXPECT_GT(lane0 + lane1, 10u);
+  // Shortest-lane assignment keeps the two lanes balanced within 1.
+  EXPECT_LE(lane0 > lane1 ? lane0 - lane1 : lane1 - lane0, 1u);
+}
+
+TEST(Simulator, StepSecondsMatchesRepeatedTicks) {
+  Cross cross;
+  auto f = cross.flow_ns({{0.0, 700.0}, {100.0, 700.0}});
+  Simulator a(&cross.net, {f}, default_config(), 35);
+  Simulator b(&cross.net, {f}, default_config(), 35);
+  a.step_seconds(50.0);
+  for (int i = 0; i < 50; ++i) b.step();
+  EXPECT_DOUBLE_EQ(a.now(), b.now());
+  EXPECT_EQ(a.vehicles_spawned(), b.vehicles_spawned());
+}
+
+}  // namespace
+}  // namespace tsc::sim

@@ -1,0 +1,126 @@
+#include "src/nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace tsc::nn {
+namespace {
+
+TEST(Tensor, ZerosShapes) {
+  Tensor v = Tensor::zeros(5);
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.rows(), 1u);
+  EXPECT_EQ(v.cols(), 5u);
+
+  Tensor m = Tensor::zeros(3, 4);
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0);
+}
+
+TEST(Tensor, MatrixRowMajorIndexing) {
+  Tensor m = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(0, 2), 3.0);
+  EXPECT_EQ(m.at(1, 0), 4.0);
+  EXPECT_EQ(m.at(1, 2), 6.0);
+  m.at(1, 1) = 50.0;
+  EXPECT_EQ(m[4], 50.0);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor m = Tensor::full(2, 2, 3.5);
+  EXPECT_EQ(m.sum(), 14.0);
+  m.fill(-1.0);
+  EXPECT_EQ(m.sum(), -4.0);
+}
+
+TEST(Tensor, ZerosLikeCopiesShape) {
+  Tensor m = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor z = Tensor::zeros_like(m);
+  EXPECT_TRUE(z.same_shape(m));
+  EXPECT_EQ(z.sum(), 0.0);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a = Tensor::vector({1, 2, 3});
+  Tensor b = Tensor::vector({10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[0], 11.0);
+  EXPECT_EQ(a[2], 33.0);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0);
+  a *= 2.0;
+  EXPECT_EQ(a[0], 2.0);
+}
+
+TEST(Tensor, SumAndNorm) {
+  Tensor a = Tensor::vector({3, 4});
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Tensor, ToStringMentionsShape) {
+  Tensor m = Tensor::zeros(2, 3);
+  EXPECT_NE(m.to_string().find("2x3"), std::string::npos);
+}
+
+TEST(Matmul, HandComputed) {
+  // [1 2; 3 4] @ [5 6; 7 8] = [19 22; 43 50]
+  Tensor a = Tensor::matrix(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::matrix(2, 2, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matmul, RectangularShapes) {
+  Tensor a = Tensor::matrix(2, 3, {1, 0, 2, 0, 1, 1});
+  Tensor b = Tensor::matrix(3, 1, {1, 2, 3});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 5.0);
+}
+
+TEST(Matmul, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(11);
+  const std::size_t m = 4, k = 3, n = 5;
+  Tensor a = Tensor::zeros(m, k);
+  Tensor b = Tensor::zeros(k, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+
+  // a @ b via matmul_nt with b^T and matmul_tn with a^T.
+  Tensor bt = Tensor::zeros(n, k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < n; ++j) bt.at(j, i) = b.at(i, j);
+  Tensor at = Tensor::zeros(k, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j) at.at(j, i) = a.at(i, j);
+
+  const Tensor direct = matmul(a, b);
+  const Tensor via_nt = matmul_nt(a, bt);
+  const Tensor via_tn = matmul_tn(at, b);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_nt[i], 1e-12);
+    EXPECT_NEAR(direct[i], via_tn[i], 1e-12);
+  }
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Tensor a = Tensor::matrix(2, 2, {1, 2, 3, 4});
+  Tensor eye = Tensor::matrix(2, 2, {1, 0, 0, 1});
+  const Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(c[i], a[i]);
+}
+
+}  // namespace
+}  // namespace tsc::nn

@@ -1,0 +1,145 @@
+#include "src/core/training_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/single_agent.hpp"
+#include "src/core/trainer.hpp"
+#include "src/scenarios/grid.hpp"
+
+namespace tsc::core {
+namespace {
+
+struct Fixture {
+  scenario::GridScenario grid;
+  env::TscEnv environment;
+
+  Fixture() : grid(make_grid()), environment(&grid.net(), flows(grid), config(), 1) {}
+
+  static scenario::GridScenario make_grid() {
+    scenario::GridConfig grid_config;
+    grid_config.rows = 2;
+    grid_config.cols = 2;
+    return scenario::GridScenario(grid_config);
+  }
+  static std::vector<sim::FlowSpec> flows(const scenario::GridScenario& g) {
+    std::vector<sim::FlowSpec> out;
+    for (std::size_t r = 0; r < 2; ++r) {
+      sim::FlowSpec f;
+      f.route = g.route(g.west_terminal(r), g.east_terminal(r));
+      f.profile = {{0.0, 500.0}, {200.0, 500.0}};
+      out.push_back(f);
+    }
+    return out;
+  }
+  static env::EnvConfig config() {
+    env::EnvConfig env_config;
+    env_config.episode_seconds = 80.0;
+    return env_config;
+  }
+  static PairUpConfig fast() {
+    PairUpConfig c;
+    c.hidden = 12;
+    c.ppo.epochs = 1;
+    return c;
+  }
+};
+
+TEST(TrainingLoop, RecordsTrainAndEvalHistory) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast());
+  TrainingLoopConfig config;
+  config.episodes = 6;
+  config.eval_every = 3;
+  const auto result = run_training_loop(trainer, config);
+  EXPECT_EQ(result.train_history.size(), 6u);
+  EXPECT_EQ(result.eval_history.size(), 2u);  // after ep 3 and ep 6
+  EXPECT_EQ(result.eval_history[0].first, 2u);
+  EXPECT_EQ(result.eval_history[1].first, 5u);
+  EXPECT_LT(result.best_eval_wait, 1e18);
+}
+
+TEST(TrainingLoop, NoEvalWhenDisabled) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast());
+  TrainingLoopConfig config;
+  config.episodes = 3;
+  config.eval_every = 0;
+  const auto result = run_training_loop(trainer, config);
+  EXPECT_TRUE(result.eval_history.empty());
+}
+
+TEST(TrainingLoop, WritesCsvLog) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast());
+  TrainingLoopConfig config;
+  config.episodes = 2;
+  config.eval_every = 2;
+  config.log_csv =
+      (std::filesystem::temp_directory_path() / "tsc_loop_log.csv").string();
+  run_training_loop(trainer, config);
+  std::ifstream in(config.log_csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "episode,kind,avg_wait,travel_time,mean_reward");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3u);  // 2 train + 1 eval
+  std::remove(config.log_csv.c_str());
+}
+
+TEST(TrainingLoop, SavesBestCheckpoint) {
+  Fixture f;
+  PairUpLightTrainer trainer(&f.environment, Fixture::fast());
+  TrainingLoopConfig config;
+  config.episodes = 4;
+  config.eval_every = 2;
+  config.best_checkpoint_prefix =
+      (std::filesystem::temp_directory_path() / "tsc_loop_best").string();
+  const auto result = run_training_loop(trainer, config);
+  const std::string actor_file = config.best_checkpoint_prefix + "_actor0.bin";
+  EXPECT_TRUE(std::filesystem::exists(actor_file));
+  // The checkpointed policy reproduces the best eval when loaded back.
+  PairUpLightTrainer restored(&f.environment, Fixture::fast());
+  restored.load_checkpoint(config.best_checkpoint_prefix);
+  const auto replay = restored.eval_episode(config.eval_seed);
+  EXPECT_DOUBLE_EQ(replay.avg_wait, result.best_eval_wait);
+  std::remove(actor_file.c_str());
+  std::remove((config.best_checkpoint_prefix + "_critic0.bin").c_str());
+}
+
+TEST(TrainingLoop, WorksWithOtherTrainers) {
+  Fixture f;
+  baselines::SingleAgentConfig single_config;
+  single_config.hidden = 12;
+  single_config.ppo.epochs = 1;
+  baselines::SingleAgentPpoTrainer trainer(&f.environment, single_config);
+  TrainingLoopConfig config;
+  config.episodes = 3;
+  config.eval_every = 3;
+  const auto result = run_training_loop(trainer, config);
+  EXPECT_EQ(result.train_history.size(), 3u);
+  EXPECT_EQ(result.eval_history.size(), 1u);
+}
+
+TEST(RunEpisodes, AggregatesAcrossSeeds) {
+  Fixture f;
+  baselines::FixedTimeController controller;
+  const auto agg = env::run_episodes(f.environment, controller, {1, 2, 3, 4});
+  EXPECT_EQ(agg.runs, 4u);
+  EXPECT_GT(agg.mean.travel_time, 0.0);
+  EXPECT_GE(agg.stddev.travel_time, 0.0);
+  // Aggregate of identical seeds has zero spread.
+  const auto same = env::run_episodes(f.environment, controller, {7, 7, 7});
+  EXPECT_DOUBLE_EQ(same.stddev.travel_time, 0.0);
+  EXPECT_DOUBLE_EQ(same.stddev.avg_wait, 0.0);
+  EXPECT_THROW(env::run_episodes(f.environment, controller, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsc::core

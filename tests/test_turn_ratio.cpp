@@ -1,0 +1,121 @@
+#include "src/scenarios/turn_ratio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/scenarios/grid.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tsc::scenario {
+namespace {
+
+GridScenario small_grid() {
+  GridConfig config;
+  config.rows = 4;
+  config.cols = 4;
+  return GridScenario(config);
+}
+
+sim::LinkId west_entry(const GridScenario& grid, std::size_t row) {
+  return grid.link_between(grid.west_terminal(row), grid.intersection(row, 0));
+}
+
+TEST(TurnRatio, SampledRoutesAreMovementConsistent) {
+  auto grid = small_grid();
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto route = sample_turn_route(grid.net(), west_entry(grid, 1),
+                                         TurnRatios{}, rng);
+    ASSERT_FALSE(route.empty());
+    for (std::size_t i = 0; i + 1 < route.size(); ++i)
+      EXPECT_NE(grid.net().find_movement(route[i], route[i + 1]), sim::kInvalidId);
+    // Ends at a boundary node.
+    EXPECT_EQ(grid.net().node(grid.net().link(route.back()).to).type,
+              sim::NodeType::kBoundary);
+  }
+}
+
+TEST(TurnRatio, ThroughHeavyRatiosGoMostlyStraight) {
+  auto grid = small_grid();
+  Rng rng(5);
+  TurnRatios ratios;
+  ratios.left = 0.0;
+  ratios.through = 1.0;
+  ratios.right = 0.0;
+  // Pure through: route crosses the grid in a straight line (4 interior
+  // links + exit).
+  const auto route =
+      sample_turn_route(grid.net(), west_entry(grid, 2), ratios, rng);
+  ASSERT_EQ(route.size(), 5u);
+  // Straight exit: the east terminal of the same row.
+  EXPECT_EQ(grid.net().link(route.back()).to, grid.east_terminal(2));
+}
+
+TEST(TurnRatio, TurnFrequenciesTrackRatios) {
+  auto grid = small_grid();
+  Rng rng(7);
+  TurnRatios ratios;
+  ratios.left = 0.3;
+  ratios.through = 0.4;
+  ratios.right = 0.3;
+  std::map<sim::Turn, int> counts;
+  int total = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto route =
+        sample_turn_route(grid.net(), west_entry(grid, 1), ratios, rng);
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      const auto mid = grid.net().find_movement(route[i], route[i + 1]);
+      ++counts[grid.net().movement(mid).turn];
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(counts[sim::Turn::kThrough]) / total, 0.4, 0.06);
+  EXPECT_NEAR(static_cast<double>(counts[sim::Turn::kLeft]) / total, 0.3, 0.06);
+  EXPECT_NEAR(static_cast<double>(counts[sim::Turn::kRight]) / total, 0.3, 0.06);
+}
+
+TEST(TurnRatio, FlowEnsembleSplitsRate) {
+  auto grid = small_grid();
+  const std::vector<sim::RateKnot> profile = {{0.0, 600.0}, {300.0, 600.0}};
+  const auto flows = make_turn_ratio_flows(
+      grid.net(), {west_entry(grid, 0), west_entry(grid, 3)}, profile,
+      TurnRatios{}, /*samples_per_entry=*/4, /*seed=*/9);
+  EXPECT_EQ(flows.size(), 8u);
+  // Each sample carries rate/4; total per entry = 600.
+  for (const auto& f : flows) EXPECT_DOUBLE_EQ(f.rate_at(100.0), 150.0);
+}
+
+TEST(TurnRatio, EnsembleIsSimulable) {
+  auto grid = small_grid();
+  const std::vector<sim::RateKnot> profile = {{0.0, 600.0}, {200.0, 600.0}};
+  std::vector<sim::LinkId> entries;
+  for (std::size_t r = 0; r < 4; ++r) entries.push_back(west_entry(grid, r));
+  const auto flows =
+      make_turn_ratio_flows(grid.net(), entries, profile, TurnRatios{}, 3, 11);
+  sim::Simulator sim(&grid.net(), flows, sim::SimConfig{}, 13);
+  sim.step_seconds(120.0);
+  EXPECT_GT(sim.vehicles_spawned(), 10u);
+}
+
+TEST(TurnRatio, ZeroSamplesRejected) {
+  auto grid = small_grid();
+  EXPECT_THROW(make_turn_ratio_flows(grid.net(), {west_entry(grid, 0)},
+                                     {{0.0, 100.0}, {10.0, 100.0}}, TurnRatios{},
+                                     0, 1),
+               std::invalid_argument);
+}
+
+TEST(TurnRatio, DeterministicForSeed) {
+  auto grid = small_grid();
+  const std::vector<sim::RateKnot> profile = {{0.0, 300.0}, {100.0, 300.0}};
+  const auto a = make_turn_ratio_flows(grid.net(), {west_entry(grid, 1)}, profile,
+                                       TurnRatios{}, 5, 42);
+  const auto b = make_turn_ratio_flows(grid.net(), {west_entry(grid, 1)}, profile,
+                                       TurnRatios{}, 5, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].route, b[i].route);
+}
+
+}  // namespace
+}  // namespace tsc::scenario

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/csv.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace tsc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedCoverage) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.uniform_int(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LogisticSymmetricZeroMean) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.logistic());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  // Logistic(0,1) stddev = pi/sqrt(3) = 1.8138.
+  EXPECT_NEAR(stats.stddev(), 1.8138, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(10);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalThrowsOnAllZero) {
+  Rng rng(11);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(w), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalHandlesZeroPrefix) {
+  Rng rng(12);
+  std::vector<double> w = {0.0, 0.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(w), 2u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(14);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  RunningStats stats;
+  const std::vector<double> xs = {1.5, -2.0, 4.0, 0.0, 3.5};
+  for (double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_NEAR(stats.mean(), 1.4, 1e-12);
+  double var = 0.0;
+  for (double x : xs) var += (x - 1.4) * (x - 1.4);
+  var /= 5.0;
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.sum(), 7.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a, b, combined;
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal();
+    a.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.normal(3.0, 0.5);
+    b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-10);
+}
+
+TEST(RunningStats, EmptyAndReset) {
+  RunningStats stats;
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.add(5.0);
+  stats.reset();
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(Ema, SeedsFromFirstSample) {
+  Ema ema(0.5);
+  EXPECT_TRUE(ema.empty());
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+  ema.add(0.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+}
+
+TEST(VectorStats, MeanStdPercentile) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+}
+
+TEST(VectorStats, NormalizeInPlace) {
+  std::vector<double> xs = {2, 4, 6, 8};
+  normalize_in_place(xs);
+  EXPECT_NEAR(mean_of(xs), 0.0, 1e-12);
+  double var = 0.0;
+  for (double x : xs) var += x * x;
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-12);
+  // Constant input: centered, not divided.
+  std::vector<double> c = {5, 5, 5};
+  normalize_in_place(c);
+  for (double x : c) EXPECT_NEAR(x, 0.0, 1e-12);
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsc_csv_test.csv").string();
+  {
+    CsvWriter csv(path);
+    csv.write_header({"name", "value"});
+    csv.write_row("plain", 1.5);
+    csv.write_row("with,comma", 2);
+    csv.write_row("with\"quote", 3);
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with\"\"quote\",3");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,142 @@
+// Command-line scenario runner: load a scenario file, drive it with a
+// chosen controller, and report metrics (optionally time-series CSV, DOT
+// topology, and emissions).
+//
+// usage: tsc_run <scenario-file> [options]
+//   --controller NAME   fixedtime | actuated | maxpressure | pairuplight
+//                       (default fixedtime; pairuplight trains first)
+//   --seconds N         episode length in simulated seconds (default 600)
+//   --seed S            simulation seed (default 1)
+//   --train N           training episodes for pairuplight (default 20)
+//   --trace FILE        write a 10 s-interval time series CSV
+//   --dot FILE          write the network topology as Graphviz DOT
+//   --emissions         print the fleet fuel/CO2 estimate
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/baselines/actuated.hpp"
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/max_pressure.hpp"
+#include "src/core/trainer.hpp"
+#include "src/env/controller.hpp"
+#include "src/sim/dot_export.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/sim/scenario_io.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario-file> [--controller NAME] [--seconds N] "
+               "[--seed S] [--train N] [--trace FILE] [--dot FILE] "
+               "[--emissions]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsc;
+  if (argc < 2) usage(argv[0]);
+
+  std::string scenario_path = argv[1];
+  std::string controller_name = "fixedtime";
+  std::string trace_path, dot_path;
+  double seconds = 600.0;
+  std::uint64_t seed = 1;
+  std::size_t train_episodes = 20;
+  bool emissions = false;
+
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--controller")) controller_name = next();
+    else if (!std::strcmp(argv[i], "--seconds")) seconds = std::atof(next());
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--train")) train_episodes = std::atoll(next());
+    else if (!std::strcmp(argv[i], "--trace")) trace_path = next();
+    else if (!std::strcmp(argv[i], "--dot")) dot_path = next();
+    else if (!std::strcmp(argv[i], "--emissions")) emissions = true;
+    else usage(argv[0]);
+  }
+
+  sim::Scenario scenario;
+  try {
+    scenario = sim::load_scenario(scenario_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("loaded %s: %zu nodes, %zu links, %zu movements, %zu flows\n",
+              scenario_path.c_str(), scenario.net.num_nodes(),
+              scenario.net.num_links(), scenario.net.num_movements(),
+              scenario.flows.size());
+  if (!dot_path.empty()) {
+    sim::write_dot(scenario.net, dot_path);
+    std::printf("topology written to %s\n", dot_path.c_str());
+  }
+
+  env::EnvConfig env_config;
+  env_config.episode_seconds = seconds;
+  env::TscEnv environment(&scenario.net, scenario.flows, env_config, seed);
+
+  std::unique_ptr<env::Controller> controller;
+  std::unique_ptr<core::PairUpLightTrainer> trainer;
+  if (controller_name == "fixedtime") {
+    controller = std::make_unique<baselines::FixedTimeController>();
+  } else if (controller_name == "actuated") {
+    controller = std::make_unique<baselines::ActuatedController>();
+  } else if (controller_name == "maxpressure") {
+    controller = std::make_unique<baselines::MaxPressureController>();
+  } else if (controller_name == "pairuplight") {
+    core::PairUpConfig config;
+    // Heterogeneous scenario files may have differing phase sets.
+    std::size_t first = environment.agent(0).num_phases;
+    for (std::size_t i = 1; i < environment.num_agents(); ++i)
+      if (environment.agent(i).num_phases != first) config.parameter_sharing = false;
+    trainer = std::make_unique<core::PairUpLightTrainer>(&environment, config);
+    std::printf("training PairUpLight for %zu episodes...\n", train_episodes);
+    for (std::size_t e = 0; e < train_episodes; ++e) {
+      const auto stats = trainer->train_episode();
+      std::printf("  episode %3zu: avg wait %7.2f s\n", e, stats.avg_wait);
+    }
+    controller = trainer->make_controller();
+  } else {
+    std::fprintf(stderr, "error: unknown controller '%s'\n",
+                 controller_name.c_str());
+    return 1;
+  }
+
+  // Run the episode (with optional tracing).
+  environment.reset(seed);
+  controller->begin_episode(environment);
+  sim::TraceRecorder trace(10.0);
+  while (!environment.done()) {
+    environment.step(controller->act(environment));
+    trace.record(environment.simulator());
+  }
+
+  std::printf(
+      "\n%s on %s:\n  travel time %8.1f s | avg wait %6.2f s | trips %zu/%zu\n",
+      controller->name().c_str(), scenario_path.c_str(),
+      environment.average_travel_time(), environment.episode_avg_wait(),
+      environment.simulator().vehicles_finished(),
+      environment.simulator().vehicles_spawned());
+  if (!trace_path.empty()) {
+    trace.write_csv(trace_path);
+    std::printf("  time series written to %s\n", trace_path.c_str());
+  }
+  if (emissions) {
+    const auto e = sim::estimate_emissions(environment.simulator());
+    std::printf("  fuel %.2f L | CO2 %.1f kg | idle %.0f veh-s | %.1f veh-km\n",
+                e.fuel_liters, e.co2_kg, e.idle_seconds,
+                e.distance_meters / 1000.0);
+  }
+  return 0;
+}
