@@ -25,8 +25,7 @@ int main() {
   std::vector<std::vector<double>> rows;
   std::vector<std::string> names;
   for (std::size_t hops : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
-    core::PairUpConfig pairup_config;
-    pairup_config.seed = config.seed;
+    core::PairUpConfig pairup_config = bench::make_pairup_config(config);
     pairup_config.critic_hops = hops;
     core::PairUpLightTrainer trainer(environment.get(), pairup_config);
     std::vector<double> waits;

@@ -38,8 +38,7 @@ int main() {
   std::vector<std::vector<double>> rows;
   std::vector<std::string> names;
   for (const Variant& variant : variants) {
-    core::PairUpConfig pairup_config;
-    pairup_config.seed = config.seed;
+    core::PairUpConfig pairup_config = bench::make_pairup_config(config);
     pairup_config.pairing = variant.strategy;
     core::PairUpLightTrainer trainer(environment.get(), pairup_config);
     std::vector<double> waits;

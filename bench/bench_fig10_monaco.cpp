@@ -41,9 +41,8 @@ int main() {
   std::printf("fixed-time reference: avg wait %.2f s, travel time %.1f s\n\n",
               fixed_stats.avg_wait, fixed_stats.travel_time);
 
-  core::PairUpConfig pairup_config;
+  core::PairUpConfig pairup_config = bench::make_pairup_config(config);
   pairup_config.parameter_sharing = false;  // heterogeneous phase sets
-  pairup_config.seed = config.seed;
   core::PairUpLightTrainer pairup(&environment, pairup_config);
 
   baselines::Ma2cConfig ma2c_config;

@@ -23,14 +23,12 @@ int main() {
       "messages (%zu episodes)\n\n",
       config.episodes);
 
-  core::PairUpConfig one_config;
+  core::PairUpConfig one_config = bench::make_pairup_config(config);
   one_config.msg_dim = 1;
-  one_config.seed = config.seed;
   core::PairUpLightTrainer one(environment.get(), one_config);
 
-  core::PairUpConfig two_config;
-  two_config.msg_dim = 2;
-  two_config.seed = config.seed;  // same seed: only the bandwidth differs
+  core::PairUpConfig two_config = bench::make_pairup_config(config);
+  two_config.msg_dim = 2;  // same seed: only the bandwidth differs
   core::PairUpLightTrainer two(environment.get(), two_config);
 
   std::printf("bandwidth: %zu bits vs %zu bits per step\n\n",

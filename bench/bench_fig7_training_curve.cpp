@@ -41,8 +41,7 @@ int main() {
       "references: fixed-time avg wait %.2f s, single-agent avg wait %.2f s\n\n",
       config.episodes, fixed_stats.avg_wait, single_stats.avg_wait);
 
-  core::PairUpConfig pairup_config;
-  pairup_config.seed = config.seed;
+  core::PairUpConfig pairup_config = bench::make_pairup_config(config);
   core::PairUpLightTrainer trainer(environment.get(), pairup_config);
 
   std::vector<double> waits;

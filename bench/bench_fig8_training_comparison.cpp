@@ -22,8 +22,7 @@ int main() {
   auto environment =
       bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
 
-  core::PairUpConfig pairup_config;
-  pairup_config.seed = config.seed;
+  core::PairUpConfig pairup_config = bench::make_pairup_config(config);
   core::PairUpLightTrainer pairup(environment.get(), pairup_config);
 
   core::PairUpConfig nocomm_config = pairup_config;

@@ -33,6 +33,59 @@ void BM_TensorMatmul(benchmark::State& state) {
 }
 BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128);
 
+// The three matmul variants at the shapes the RL stack actually runs:
+// [batch, in] x [in, hidden] forwards (36 agents on the 6x6 grid, 128-row
+// PPO minibatches) and their backward-pass transposes. Args: {m, k, n} for
+// an [m,k] x [k,n] product (the _tn/_nt variants transpose their stored
+// operand to match).
+void BM_TensorMatmulRect(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::zeros(m, k), b = nn::Tensor::zeros(k, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (auto _ : state) {
+    auto c = nn::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * m * k * n);
+}
+BENCHMARK(BM_TensorMatmulRect)->Args({36, 18, 64})->Args({128, 64, 64});
+
+void BM_TensorMatmulNt(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::zeros(m, k), b = nn::Tensor::zeros(n, k);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (auto _ : state) {
+    auto c = nn::matmul_nt(a, b);  // a * b^T: grad wrt layer input
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * m * k * n);
+}
+BENCHMARK(BM_TensorMatmulNt)->Args({36, 64, 18})->Args({128, 64, 64});
+
+void BM_TensorMatmulTn(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::zeros(k, m), b = nn::Tensor::zeros(k, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (auto _ : state) {
+    auto c = nn::matmul_tn(a, b);  // a^T * b: grad wrt layer weights
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * m * k * n);
+}
+BENCHMARK(BM_TensorMatmulTn)->Args({18, 36, 64})->Args({64, 128, 64});
+
 void BM_MlpForwardBackward(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   Rng rng(2);

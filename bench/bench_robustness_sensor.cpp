@@ -30,8 +30,7 @@ int main() {
 
   // Train PairUpLight on clean sensors.
   auto train_env = bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
-  core::PairUpConfig pairup_config;
-  pairup_config.seed = config.seed;
+  core::PairUpConfig pairup_config = bench::make_pairup_config(config);
   core::PairUpLightTrainer pairup(train_env.get(), pairup_config);
   for (std::size_t e = 0; e < config.episodes; ++e) pairup.train_episode();
   auto pairup_controller = pairup.make_controller();

@@ -1,0 +1,119 @@
+// Rollout-collection throughput: environment steps per second for
+// num_envs in {1, 2, 4, 8} on the paper's 6x6 grid.
+//
+// Measures collect_rollouts() only (the parallelized phase; the PPO update
+// stays serial), reporting steps/sec, wall time per episode, and speedup
+// over the serial collector. Results land on stdout and in
+// BENCH_rollout.json for machine consumption. Parallel speedup is bounded
+// by the machine: hardware_concurrency is printed alongside so a 1-core
+// box showing ~1x is interpretable.
+//
+// Knobs: PAIRUP_EPISODES (collection rounds per worker count, default 3),
+// PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "src/core/trainer.hpp"
+#include "src/util/log.hpp"
+
+namespace {
+
+using namespace tsc;
+
+struct Row {
+  std::size_t num_envs = 0;
+  std::size_t env_steps = 0;
+  double wall_seconds = 0.0;
+  double steps_per_sec = 0.0;
+  double wall_per_episode = 0.0;
+  double speedup = 1.0;
+};
+
+void write_json(const std::string& path, const bench::HarnessConfig& config,
+                const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_warn("bench_rollout_throughput: cannot write ", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"rollout_throughput\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"grid\": [%zu, %zu],\n", config.grid_rows, config.grid_cols);
+  std::fprintf(f, "  \"episode_seconds\": %g,\n", config.episode_seconds);
+  std::fprintf(f, "  \"rounds\": %zu,\n", config.episodes);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"num_envs\": %zu, \"env_steps\": %zu, "
+                 "\"wall_seconds\": %.6f, \"env_steps_per_sec\": %.2f, "
+                 "\"wall_seconds_per_episode\": %.6f, "
+                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 r.num_envs, r.env_steps, r.wall_seconds, r.steps_per_sec,
+                 r.wall_per_episode, r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::HarnessConfig defaults;
+  defaults.episodes = 3;  // collection rounds per worker count
+  const bench::HarnessConfig config = bench::load_config(defaults);
+  auto grid = bench::make_grid(config);
+
+  std::printf(
+      "Rollout collection throughput, %zux%zu grid, %g s episodes, "
+      "%zu rounds per configuration\n"
+      "hardware_concurrency: %u\n\n",
+      config.grid_rows, config.grid_cols, config.episode_seconds,
+      config.episodes, std::thread::hardware_concurrency());
+  bench::print_header("collector", {"steps/sec", "s/episode", "speedup"});
+
+  std::vector<Row> rows;
+  for (std::size_t num_envs : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                               std::size_t{8}}) {
+    // Fresh env + trainer per configuration: identical initial weights and
+    // a warm tape, so rounds differ only in collector parallelism.
+    auto environment =
+        bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
+    core::PairUpConfig pairup_config = bench::make_pairup_config(config);
+    pairup_config.num_envs = num_envs;
+    core::PairUpLightTrainer trainer(environment.get(), pairup_config);
+
+    Row row;
+    row.num_envs = num_envs;
+    std::size_t episodes = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < config.episodes; ++r) {
+      const auto collected =
+          trainer.collect_rollouts(config.seed + 1000 + r);
+      row.env_steps += collected.env_steps;
+      episodes += num_envs;
+    }
+    row.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    row.steps_per_sec =
+        static_cast<double>(row.env_steps) / row.wall_seconds;
+    row.wall_per_episode = row.wall_seconds / static_cast<double>(episodes);
+    row.speedup =
+        rows.empty() ? 1.0 : row.steps_per_sec / rows.front().steps_per_sec;
+    rows.push_back(row);
+
+    bench::print_row("num_envs=" + std::to_string(num_envs),
+                     {row.steps_per_sec, row.wall_per_episode, row.speedup});
+  }
+
+  write_json("BENCH_rollout.json", config, rows);
+  return 0;
+}

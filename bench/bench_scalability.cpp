@@ -47,8 +47,7 @@ int main() {
         ticks / std::chrono::duration<double>(clock::now() - t0).count();
 
     // Training episode wall time.
-    core::PairUpConfig pairup_config;
-    pairup_config.seed = sized.seed;
+    core::PairUpConfig pairup_config = bench::make_pairup_config(sized);
     core::PairUpLightTrainer trainer(environment.get(), pairup_config);
     const auto t1 = clock::now();
     for (std::size_t e = 0; e < sized.episodes; ++e) trainer.train_episode();

@@ -34,8 +34,7 @@ int main() {
       config.episode_seconds);
 
   // ---- train all RL methods on pattern 1 ----
-  core::PairUpConfig pairup_config;
-  pairup_config.seed = config.seed;
+  core::PairUpConfig pairup_config = bench::make_pairup_config(config);
   core::PairUpLightTrainer pairup(environment.get(), pairup_config);
 
   baselines::SingleAgentConfig single_config;

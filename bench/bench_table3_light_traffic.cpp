@@ -28,8 +28,7 @@ int main() {
       "trained and evaluated on Pattern 5; %zu episodes\n\n",
       config.episodes);
 
-  core::PairUpConfig pairup_config;
-  pairup_config.seed = config.seed;
+  core::PairUpConfig pairup_config = bench::make_pairup_config(config);
   core::PairUpLightTrainer pairup(environment.get(), pairup_config);
   baselines::SingleAgentConfig single_config;
   single_config.seed = config.seed + 1;

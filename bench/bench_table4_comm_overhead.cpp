@@ -22,7 +22,8 @@ int main() {
   auto environment =
       bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
 
-  core::PairUpLightTrainer pairup(environment.get(), core::PairUpConfig{});
+  core::PairUpLightTrainer pairup(environment.get(),
+                                  bench::make_pairup_config(config));
   baselines::Ma2cTrainer ma2c(environment.get(), baselines::Ma2cConfig{});
   baselines::CoLightTrainer colight(environment.get(), baselines::CoLightConfig{});
 

@@ -29,7 +29,15 @@ HarnessConfig load_config(HarnessConfig defaults) {
   config.episode_seconds =
       env_double("PAIRUP_EPISODE_SECONDS", config.episode_seconds);
   config.seed = env_size("PAIRUP_SEED", config.seed);
+  config.num_envs = std::max<std::size_t>(1, env_size("PAIRUP_NUM_ENVS", config.num_envs));
   return config;
+}
+
+core::PairUpConfig make_pairup_config(const HarnessConfig& config) {
+  core::PairUpConfig pairup;
+  pairup.seed = config.seed;
+  pairup.num_envs = config.num_envs;
+  return pairup;
 }
 
 std::unique_ptr<scenario::GridScenario> make_grid(const HarnessConfig& config) {

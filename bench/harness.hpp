@@ -9,6 +9,8 @@
 //   PAIRUP_TIME_SCALE   flow-schedule compression (default 1/6)
 //   PAIRUP_EPISODE_SECONDS  simulated seconds per episode (default 600)
 //   PAIRUP_SEED         base seed (default 1)
+//   PAIRUP_NUM_ENVS     parallel rollout environments per training step
+//                       (default 1 = serial; see core/rollout_engine.hpp)
 // Set PAIRUP_TIME_SCALE=1 PAIRUP_EPISODE_SECONDS=3600 PAIRUP_EPISODES=1000
 // to replicate the paper's full protocol.
 #pragma once
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/trainer.hpp"
 #include "src/env/controller.hpp"
 #include "src/env/env.hpp"
 #include "src/scenarios/flow_patterns.hpp"
@@ -32,10 +35,15 @@ struct HarnessConfig {
   std::uint64_t seed = 1;
   std::size_t grid_rows = 6;
   std::size_t grid_cols = 6;
+  std::size_t num_envs = 1;        ///< parallel rollout envs per train step
 };
 
 /// Reads the PAIRUP_* environment overrides on top of `defaults`.
 HarnessConfig load_config(HarnessConfig defaults);
+
+/// PairUpLight trainer config wired to the harness knobs (seed + num_envs).
+/// Benches tweak the returned struct further as each experiment needs.
+core::PairUpConfig make_pairup_config(const HarnessConfig& config);
 
 /// The paper's evaluation grid (6x6 by default).
 std::unique_ptr<scenario::GridScenario> make_grid(const HarnessConfig& config);

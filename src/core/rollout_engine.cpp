@@ -1,0 +1,287 @@
+#include "src/core/rollout_engine.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsc::core {
+
+using tsc::nn::Tape;
+using tsc::nn::Tensor;
+using tsc::nn::Var;
+
+namespace detail {
+
+Tensor pack_rows(const std::vector<std::vector<double>>& rows, std::size_t width) {
+  Tensor t = Tensor::zeros(rows.size(), width);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == width);
+    for (std::size_t c = 0; c < width; ++c) t.at(r, c) = rows[r][c];
+  }
+  return t;
+}
+
+std::vector<double> extract_row(const Tensor& t, std::size_t r) {
+  std::vector<double> out(t.cols());
+  for (std::size_t c = 0; c < t.cols(); ++c) out[c] = t.at(r, c);
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::extract_row;
+using detail::pack_rows;
+
+std::vector<double> actor_input(const RolloutContext& ctx, std::size_t agent,
+                                std::size_t partner,
+                                const std::vector<AgentState>& states) {
+  std::vector<double> input = ctx.env->local_obs(agent);
+  if (ctx.config->comm_enabled) {
+    const auto& msg = states[partner].msg_out;
+    input.insert(input.end(), msg.begin(), msg.end());
+  } else {
+    input.insert(input.end(), ctx.config->msg_dim, 0.0);
+  }
+  return input;
+}
+
+std::vector<double> critic_input(const RolloutContext& ctx, std::size_t agent) {
+  std::vector<double> input = ctx.env->local_obs(agent);
+  const env::AgentSpec& spec = ctx.env->agent(agent);
+  const std::size_t feat = env::TscEnv::kNeighborFeatDim;
+  for (std::size_t slot = 0; slot < ctx.hop1_slots; ++slot) {
+    if (slot < spec.hop1.size()) {
+      const auto f = ctx.env->neighbor_feat(spec.hop1[slot]);
+      input.insert(input.end(), f.begin(), f.end());
+    } else {
+      input.insert(input.end(), feat, 0.0);  // padding (paper section V-B)
+    }
+  }
+  for (std::size_t slot = 0; slot < ctx.hop2_slots; ++slot) {
+    if (slot < spec.hop2.size()) {
+      const auto f = ctx.env->neighbor_feat(spec.hop2[slot]);
+      input.insert(input.end(), f.begin(), f.end());
+    } else {
+      input.insert(input.end(), feat, 0.0);
+    }
+  }
+  assert(input.size() == ctx.critic_input_dim);
+  return input;
+}
+
+}  // namespace
+
+void reset_agent_states(const RolloutContext& ctx, std::vector<AgentState>& states) {
+  states.assign(ctx.env->num_agents(), AgentState{});
+  for (AgentState& s : states) {
+    s.h_a.assign(ctx.config->hidden, 0.0);
+    s.c_a.assign(ctx.config->hidden, 0.0);
+    s.h_v.assign(ctx.config->hidden, 0.0);
+    s.c_v.assign(ctx.config->hidden, 0.0);
+    s.msg_out.assign(ctx.config->msg_dim, 0.0);
+  }
+}
+
+std::size_t pick_partner(RolloutContext& ctx, std::size_t agent) {
+  const auto& upstream = ctx.env->agent(agent).upstream;
+  switch (ctx.config->pairing) {
+    case PairingStrategy::kMostCongestedUpstream:
+      return ctx.env->most_congested_upstream(agent);
+    case PairingStrategy::kSelf:
+      return agent;
+    case PairingStrategy::kRandomNeighbor:
+      if (upstream.empty()) return agent;
+      return upstream[ctx.rng->uniform_int(upstream.size())];
+    case PairingStrategy::kFixedUpstream:
+      return upstream.empty() ? agent : upstream.front();
+  }
+  return agent;
+}
+
+StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
+                         bool explore, rl::RolloutBuffer* buffer,
+                         Rng* sample_rng) {
+  const std::size_t n = ctx.env->num_agents();
+  StepDecision decision;
+  decision.actions.resize(n);
+  decision.log_probs.resize(n);
+  decision.values.resize(n);
+
+  // Gather inputs before any state mutation (messages are the previous
+  // step's outputs for everyone, matching Algorithm 1's synchronous sweep).
+  std::vector<std::vector<double>> a_inputs(n), v_inputs(n);
+  ctx.last_partners->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*ctx.last_partners)[i] = pick_partner(ctx, i);
+    a_inputs[i] = actor_input(ctx, i, (*ctx.last_partners)[i], states);
+    v_inputs[i] = critic_input(ctx, i);
+  }
+
+  // Group agents by model so shared mode runs one batched forward.
+  std::vector<std::vector<std::size_t>> groups(ctx.actors.size());
+  for (std::size_t i = 0; i < n; ++i) groups[ctx.model_of(i)].push_back(i);
+
+  for (std::size_t m = 0; m < groups.size(); ++m) {
+    const auto& members = groups[m];
+    if (members.empty()) continue;
+    const std::size_t batch = members.size();
+
+    Tape& tape = *ctx.tape;
+    tape.reset();
+    std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
+        vi_rows(batch), hv_rows(batch), cv_rows(batch);
+    std::vector<std::size_t> phase_counts(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t i = members[b];
+      in_rows[b] = a_inputs[i];
+      ha_rows[b] = states[i].h_a;
+      ca_rows[b] = states[i].c_a;
+      vi_rows[b] = v_inputs[i];
+      hv_rows[b] = states[i].h_v;
+      cv_rows[b] = states[i].c_v;
+      phase_counts[b] = ctx.env->agent(i).num_phases;
+    }
+    CoordinatedActor& actor = *ctx.actors[m];
+    CentralizedCritic& critic = *ctx.critics[m];
+
+    Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
+    Var h_a = tape.constant(pack_rows(ha_rows, ctx.config->hidden));
+    Var c_a = tape.constant(pack_rows(ca_rows, ctx.config->hidden));
+    auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+    Var probs = tape.softmax_rows(actor_out.logits);
+    Var logp = tape.log_softmax_rows(actor_out.logits);
+
+    Var v_input = tape.constant(pack_rows(vi_rows, ctx.critic_input_dim));
+    Var h_v = tape.constant(pack_rows(hv_rows, ctx.config->hidden));
+    Var c_v = tape.constant(pack_rows(cv_rows, ctx.config->hidden));
+    auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+
+    const Tensor& probs_t = tape.value(probs);
+    const Tensor& logp_t = tape.value(logp);
+    const Tensor& msg_t = tape.value(actor_out.message);
+    const Tensor& ha_t = tape.value(actor_out.state.h);
+    const Tensor& ca_t = tape.value(actor_out.state.c);
+    const Tensor& hv_t = tape.value(critic_out.state.h);
+    const Tensor& cv_t = tape.value(critic_out.state.c);
+    const Tensor& val_t = tape.value(critic_out.value);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t i = members[b];
+      const std::size_t num_phases = phase_counts[b];
+
+      // Action selection.
+      std::size_t action;
+      if (!explore) {
+        if (sample_rng != nullptr) {
+          // Stochastic evaluation: draw from the learned policy with the
+          // caller's deterministic stream.
+          std::vector<double> w(num_phases);
+          for (std::size_t p = 0; p < num_phases; ++p) w[p] = probs_t.at(b, p);
+          action = sample_rng->categorical(w);
+        } else {
+          action = 0;
+          for (std::size_t p = 1; p < num_phases; ++p)
+            if (probs_t.at(b, p) > probs_t.at(b, action)) action = p;
+        }
+      } else if (ctx.config->ppo.sample_actions) {
+        std::vector<double> w(num_phases);
+        for (std::size_t p = 0; p < num_phases; ++p) w[p] = probs_t.at(b, p);
+        action = ctx.rng->categorical(w);
+      } else {
+        // Paper Algorithm 1: epsilon-greedy over the policy's argmax.
+        if (ctx.rng->bernoulli(ctx.epsilon)) {
+          action = ctx.rng->uniform_int(num_phases);
+        } else {
+          action = 0;
+          for (std::size_t p = 1; p < num_phases; ++p)
+            if (probs_t.at(b, p) > probs_t.at(b, action)) action = p;
+        }
+      }
+
+      decision.actions[i] = action;
+      decision.log_probs[i] = logp_t.at(b, action);
+      decision.values[i] = val_t.at(b, 0);
+
+      if (buffer != nullptr) {
+        rl::Sample sample;
+        sample.obs = a_inputs[i];
+        sample.critic_obs = v_inputs[i];
+        sample.h_actor = states[i].h_a;
+        sample.c_actor = states[i].c_a;
+        sample.h_critic = states[i].h_v;
+        sample.c_critic = states[i].c_v;
+        sample.action = action;
+        sample.phase_count = num_phases;
+        sample.log_prob = decision.log_probs[i];
+        sample.value = decision.values[i];
+        buffer->add(i, std::move(sample));
+      }
+
+      // Advance recurrent state and regularize the outgoing message:
+      // m_hat = Logistic(N(m, sigma)); noiseless at evaluation time.
+      states[i].h_a = extract_row(ha_t, b);
+      states[i].c_a = extract_row(ca_t, b);
+      states[i].h_v = extract_row(hv_t, b);
+      states[i].c_v = extract_row(cv_t, b);
+      for (std::size_t k = 0; k < ctx.config->msg_dim; ++k) {
+        const double raw = msg_t.at(b, k);
+        const double noisy =
+            explore ? ctx.rng->normal(raw, ctx.config->msg_sigma) : raw;
+        states[i].msg_out[k] = 1.0 / (1.0 + std::exp(-noisy));
+      }
+    }
+  }
+  ctx.last_messages->resize(n);
+  for (std::size_t i = 0; i < n; ++i) (*ctx.last_messages)[i] = states[i].msg_out;
+  return decision;
+}
+
+env::EpisodeStats run_rollout_episode(RolloutContext& ctx, std::uint64_t seed,
+                                      bool train_mode, rl::RolloutBuffer* buffer) {
+  env::TscEnv& env = *ctx.env;
+  assert(!train_mode || buffer != nullptr);
+  env.reset(seed);
+  std::vector<AgentState> states;
+  reset_agent_states(ctx, states);
+  rl::RolloutBuffer* buffer_ptr = train_mode ? buffer : nullptr;
+
+  Rng eval_rng(seed ^ env::kEvalSampleSalt);
+  Rng* sample_rng =
+      (!train_mode && !ctx.config->greedy_eval) ? &eval_rng : nullptr;
+
+  double reward_sum = 0.0;
+  std::size_t reward_count = 0;
+  while (!env.done()) {
+    StepDecision decision =
+        decide_step(ctx, states, train_mode, buffer_ptr, sample_rng);
+    const auto rewards = env.step(decision.actions);
+    for (std::size_t i = 0; i < rewards.size(); ++i) {
+      reward_sum += rewards[i];
+      ++reward_count;
+    }
+    if (buffer_ptr != nullptr) {
+      for (std::size_t i = 0; i < rewards.size(); ++i)
+        buffer_ptr->last(i).reward = rewards[i];
+    }
+  }
+
+  if (train_mode) {
+    // Bootstrap V(s_T) per agent (Algorithm 1 line 24).
+    StepDecision boot = decide_step(ctx, states, /*explore=*/false, nullptr);
+    for (std::size_t i = 0; i < env.num_agents(); ++i)
+      buffer->finish_agent(i, boot.values[i], ctx.config->ppo.gamma,
+                           ctx.config->ppo.lambda);
+  }
+
+  env::EpisodeStats stats;
+  stats.avg_wait = env.episode_avg_wait();
+  stats.travel_time = env.average_travel_time();
+  stats.mean_reward =
+      reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
+  stats.vehicles_finished = env.simulator().vehicles_finished();
+  stats.vehicles_spawned = env.simulator().vehicles_spawned();
+  return stats;
+}
+
+}  // namespace tsc::core

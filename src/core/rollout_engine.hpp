@@ -1,0 +1,128 @@
+// Episode-rollout engine shared by the serial trainer path and the parallel
+// rollout workers.
+//
+// Everything one episode touches is passed through RolloutContext, so the
+// identical code drives both (a) the trainer's own environment and networks
+// (the num_envs = 1 serial path, bit-identical to the historical trainer)
+// and (b) a worker's environment replica plus frozen network copies on a
+// thread-pool thread. Nothing in here uses global or trainer state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/actor.hpp"
+#include "src/core/critic.hpp"
+#include "src/env/controller.hpp"
+#include "src/env/env.hpp"
+#include "src/nn/tape.hpp"
+#include "src/rl/ppo.hpp"
+#include "src/rl/rollout.hpp"
+#include "src/util/rng.hpp"
+
+namespace tsc::core {
+
+/// Who an agent listens to (ablation of the paper's section V-B design;
+/// the paper's choice is kMostCongestedUpstream).
+enum class PairingStrategy {
+  kMostCongestedUpstream,  ///< paper: congestion-first upstream neighbor
+  kSelf,                   ///< listen to own previous message only
+  kRandomNeighbor,         ///< uniformly random upstream neighbor per step
+  kFixedUpstream,          ///< first upstream neighbor, never re-paired
+};
+
+struct PairUpConfig {
+  rl::PpoConfig ppo;
+  std::size_t hidden = 64;
+  std::size_t msg_dim = 1;      ///< communication bandwidth (Fig. 11: 1 vs 2)
+  double msg_sigma = 0.1;       ///< regularizer noise std during training
+  bool comm_enabled = true;     ///< false = no-communication ablation (Fig. 8)
+  PairingStrategy pairing = PairingStrategy::kMostCongestedUpstream;
+  /// Evaluation action rule. PPO learns a stochastic policy, so by default
+  /// evaluation SAMPLES from it (with a deterministic per-episode stream);
+  /// a barely-trained policy's argmax can freeze a phase and gridlock.
+  /// Set true to evaluate the argmax policy instead.
+  bool greedy_eval = false;
+  /// Neighbor rings fed to the centralized critic: 0 = local only,
+  /// 1 = +one-hop, 2 = +two-hop (the paper's design).
+  std::size_t critic_hops = 2;
+  /// One shared actor/critic for all agents (homogeneous grids) or one per
+  /// agent (heterogeneous networks, paper section VI-D).
+  bool parameter_sharing = true;
+  /// Parallel rollout collection: number of environment replicas collecting
+  /// episodes concurrently per training step. 1 = the exact historical
+  /// serial path (no threads, bit-identical trajectories); K > 1 collects K
+  /// full episodes per PPO update on K worker threads. Results are
+  /// deterministic for a fixed K but differ across K (different episode
+  /// seeds and batch composition).
+  std::size_t num_envs = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Per-agent recurrent + message runtime state.
+struct AgentState {
+  std::vector<double> h_a, c_a;      ///< actor LSTM state
+  std::vector<double> h_v, c_v;      ///< critic LSTM state
+  std::vector<double> msg_out;       ///< last regularized outgoing message
+};
+
+/// One decision for every agent.
+struct StepDecision {
+  std::vector<std::size_t> actions;
+  std::vector<double> log_probs;
+  std::vector<double> values;
+};
+
+/// The mutable collaborators of one episode. All pointers are non-owning;
+/// none of them may be shared with a concurrently running context (the Rng
+/// in particular - see util/rng.hpp).
+struct RolloutContext {
+  env::TscEnv* env = nullptr;
+  const PairUpConfig* config = nullptr;
+  std::vector<CoordinatedActor*> actors;      ///< one, or one per agent
+  std::vector<CentralizedCritic*> critics;
+  std::size_t hop1_slots = 0;
+  std::size_t hop2_slots = 0;
+  std::size_t critic_input_dim = 0;
+  Rng* rng = nullptr;           ///< exploration stream (training noise)
+  double epsilon = 0.0;         ///< epsilon-greedy value for this episode
+  nn::Tape* tape = nullptr;     ///< reusable scratch tape (reset per forward)
+  /// Outputs recorded at the last decision (protocol inspection).
+  std::vector<std::vector<double>>* last_messages = nullptr;
+  std::vector<std::size_t>* last_partners = nullptr;
+
+  std::size_t model_of(std::size_t agent) const {
+    return config->parameter_sharing ? 0 : agent;
+  }
+};
+
+/// Zero-initializes one AgentState per environment agent.
+void reset_agent_states(const RolloutContext& ctx, std::vector<AgentState>& states);
+
+/// Communication partner of `agent` under the configured strategy.
+std::size_t pick_partner(RolloutContext& ctx, std::size_t agent);
+
+/// One decision for every agent; fills per-agent outputs. When `explore` is
+/// set, actions follow the configured exploration rule and messages get
+/// regularizer noise; otherwise greedy + noiseless. `sample_rng`: when
+/// non-null and not exploring, actions are sampled from the policy with
+/// this stream (stochastic evaluation); when null, non-exploring decisions
+/// take the argmax.
+StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
+                         bool explore, rl::RolloutBuffer* buffer,
+                         Rng* sample_rng = nullptr);
+
+/// One full episode on ctx.env (reset with `seed`). In train mode the
+/// rollout is recorded into `buffer` (required non-null), the terminal
+/// value is bootstrapped, and GAE is run per agent; in eval mode `buffer`
+/// is ignored and actions are greedy/sampled per config.greedy_eval.
+env::EpisodeStats run_rollout_episode(RolloutContext& ctx, std::uint64_t seed,
+                                      bool train_mode, rl::RolloutBuffer* buffer);
+
+namespace detail {
+/// Packs per-agent vectors into a [rows.size(), width] tensor.
+nn::Tensor pack_rows(const std::vector<std::vector<double>>& rows, std::size_t width);
+std::vector<double> extract_row(const nn::Tensor& t, std::size_t r);
+}  // namespace detail
+
+}  // namespace tsc::core

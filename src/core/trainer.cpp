@@ -12,25 +12,7 @@ using tsc::nn::Tape;
 using tsc::nn::Tensor;
 using tsc::nn::Var;
 
-namespace {
-
-/// Packs per-agent vectors into a [rows.size(), width] tensor.
-Tensor pack_rows(const std::vector<std::vector<double>>& rows, std::size_t width) {
-  Tensor t = Tensor::zeros(rows.size(), width);
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    assert(rows[r].size() == width);
-    for (std::size_t c = 0; c < width; ++c) t.at(r, c) = rows[r][c];
-  }
-  return t;
-}
-
-std::vector<double> extract_row(const Tensor& t, std::size_t r) {
-  std::vector<double> out(t.cols());
-  for (std::size_t c = 0; c < t.cols(); ++c) out[c] = t.at(r, c);
-  return out;
-}
-
-}  // namespace
+using detail::pack_rows;
 
 PairUpLightTrainer::PairUpLightTrainer(env::TscEnv* env, PairUpConfig config)
     : env_(env), config_(config), rng_(config.seed), episode_seed_(config.seed * 7919) {
@@ -58,211 +40,62 @@ PairUpLightTrainer::PairUpLightTrainer(env::TscEnv* env, PairUpConfig config)
     adam_config.lr = config_.ppo.lr;
     optims_.push_back(std::make_unique<nn::Adam>(std::move(params), adam_config));
   }
-}
 
-void PairUpLightTrainer::reset_states(std::vector<AgentState>& states) const {
-  states.assign(env_->num_agents(), AgentState{});
-  for (AgentState& s : states) {
-    s.h_a.assign(config_.hidden, 0.0);
-    s.c_a.assign(config_.hidden, 0.0);
-    s.h_v.assign(config_.hidden, 0.0);
-    s.c_v.assign(config_.hidden, 0.0);
-    s.msg_out.assign(config_.msg_dim, 0.0);
-  }
-}
-
-std::size_t PairUpLightTrainer::pick_partner(std::size_t agent) {
-  const auto& upstream = env_->agent(agent).upstream;
-  switch (config_.pairing) {
-    case PairingStrategy::kMostCongestedUpstream:
-      return env_->most_congested_upstream(agent);
-    case PairingStrategy::kSelf:
-      return agent;
-    case PairingStrategy::kRandomNeighbor:
-      if (upstream.empty()) return agent;
-      return upstream[rng_.uniform_int(upstream.size())];
-    case PairingStrategy::kFixedUpstream:
-      return upstream.empty() ? agent : upstream.front();
-  }
-  return agent;
-}
-
-std::vector<double> PairUpLightTrainer::actor_input(
-    std::size_t agent, std::size_t partner,
-    const std::vector<AgentState>& states) const {
-  std::vector<double> input = env_->local_obs(agent);
-  if (config_.comm_enabled) {
-    const auto& msg = states[partner].msg_out;
-    input.insert(input.end(), msg.begin(), msg.end());
-  } else {
-    input.insert(input.end(), config_.msg_dim, 0.0);
-  }
-  return input;
-}
-
-std::vector<double> PairUpLightTrainer::critic_input(std::size_t agent) const {
-  std::vector<double> input = env_->local_obs(agent);
-  const env::AgentSpec& spec = env_->agent(agent);
-  const std::size_t feat = env::TscEnv::kNeighborFeatDim;
-  for (std::size_t slot = 0; slot < hop1_slots_; ++slot) {
-    if (slot < spec.hop1.size()) {
-      const auto f = env_->neighbor_feat(spec.hop1[slot]);
-      input.insert(input.end(), f.begin(), f.end());
-    } else {
-      input.insert(input.end(), feat, 0.0);  // padding (paper section V-B)
+  if (config_.num_envs > 1) {
+    // Worker networks exist only as copy targets: their weights are synced
+    // from the live models before every collection round, so the init
+    // stream here is a throwaway and must NOT touch rng_ (num_envs must
+    // not perturb the serial training stream).
+    Rng init_rng(config_.seed ^ 0x9E3779B97F4A7C15ULL);
+    std::vector<std::unique_ptr<RolloutWorker>> workers;
+    workers.reserve(config_.num_envs);
+    for (std::size_t w = 0; w < config_.num_envs; ++w) {
+      auto worker = std::make_unique<RolloutWorker>();
+      worker->env = env_->clone(config_.seed + w);
+      for (std::size_t m = 0; m < num_models; ++m) {
+        worker->actors.push_back(std::make_unique<CoordinatedActor>(
+            env_->obs_dim(), config_.msg_dim, config_.hidden, max_phases, init_rng));
+        worker->critics.push_back(std::make_unique<CentralizedCritic>(
+            critic_input_dim_, config_.hidden, init_rng));
+      }
+      workers.push_back(std::move(worker));
     }
+    collector_ = std::make_unique<rl::ParallelRolloutCollector<RolloutWorker>>(
+        std::move(workers));
   }
-  for (std::size_t slot = 0; slot < hop2_slots_; ++slot) {
-    if (slot < spec.hop2.size()) {
-      const auto f = env_->neighbor_feat(spec.hop2[slot]);
-      input.insert(input.end(), f.begin(), f.end());
-    } else {
-      input.insert(input.end(), feat, 0.0);
-    }
-  }
-  assert(input.size() == critic_input_dim_);
-  return input;
+}
+
+RolloutContext PairUpLightTrainer::serial_context() {
+  RolloutContext ctx;
+  ctx.env = env_;
+  ctx.config = &config_;
+  for (auto& a : actors_) ctx.actors.push_back(a.get());
+  for (auto& c : critics_) ctx.critics.push_back(c.get());
+  ctx.hop1_slots = hop1_slots_;
+  ctx.hop2_slots = hop2_slots_;
+  ctx.critic_input_dim = critic_input_dim_;
+  ctx.rng = &rng_;
+  ctx.epsilon = current_epsilon();
+  ctx.tape = &scratch_tape_;
+  ctx.last_messages = &last_messages_;
+  ctx.last_partners = &last_partners_;
+  return ctx;
+}
+
+void PairUpLightTrainer::reset_states(std::vector<AgentState>& states) {
+  RolloutContext ctx = serial_context();
+  reset_agent_states(ctx, states);
+}
+
+StepDecision PairUpLightTrainer::decide(std::vector<AgentState>& states,
+                                        bool explore, rl::RolloutBuffer* buffer,
+                                        Rng* sample_rng) {
+  RolloutContext ctx = serial_context();
+  return decide_step(ctx, states, explore, buffer, sample_rng);
 }
 
 double PairUpLightTrainer::current_epsilon() const {
   return rl::epsilon_at(episode_, config_.ppo);
-}
-
-PairUpLightTrainer::StepDecision PairUpLightTrainer::decide(
-    std::vector<AgentState>& states, bool explore, rl::RolloutBuffer* buffer,
-    Rng* sample_rng) {
-  const std::size_t n = env_->num_agents();
-  StepDecision decision;
-  decision.actions.resize(n);
-  decision.log_probs.resize(n);
-  decision.values.resize(n);
-
-  // Gather inputs before any state mutation (messages are the previous
-  // step's outputs for everyone, matching Algorithm 1's synchronous sweep).
-  std::vector<std::vector<double>> a_inputs(n), v_inputs(n);
-  last_partners_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    last_partners_[i] = pick_partner(i);
-    a_inputs[i] = actor_input(i, last_partners_[i], states);
-    v_inputs[i] = critic_input(i);
-  }
-
-  // Group agents by model so shared mode runs one batched forward.
-  std::vector<std::vector<std::size_t>> groups(actors_.size());
-  for (std::size_t i = 0; i < n; ++i) groups[model_of(i)].push_back(i);
-
-  for (std::size_t m = 0; m < groups.size(); ++m) {
-    const auto& members = groups[m];
-    if (members.empty()) continue;
-    const std::size_t batch = members.size();
-
-    Tape tape;
-    std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
-        vi_rows(batch), hv_rows(batch), cv_rows(batch);
-    std::vector<std::size_t> phase_counts(batch);
-    for (std::size_t b = 0; b < batch; ++b) {
-      const std::size_t i = members[b];
-      in_rows[b] = a_inputs[i];
-      ha_rows[b] = states[i].h_a;
-      ca_rows[b] = states[i].c_a;
-      vi_rows[b] = v_inputs[i];
-      hv_rows[b] = states[i].h_v;
-      cv_rows[b] = states[i].c_v;
-      phase_counts[b] = env_->agent(i).num_phases;
-    }
-    CoordinatedActor& actor = *actors_[m];
-    CentralizedCritic& critic = *critics_[m];
-
-    Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
-    Var h_a = tape.constant(pack_rows(ha_rows, config_.hidden));
-    Var c_a = tape.constant(pack_rows(ca_rows, config_.hidden));
-    auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
-    Var probs = tape.softmax_rows(actor_out.logits);
-    Var logp = tape.log_softmax_rows(actor_out.logits);
-
-    Var v_input = tape.constant(pack_rows(vi_rows, critic_input_dim_));
-    Var h_v = tape.constant(pack_rows(hv_rows, config_.hidden));
-    Var c_v = tape.constant(pack_rows(cv_rows, config_.hidden));
-    auto critic_out = critic.forward(tape, v_input, h_v, c_v);
-
-    const Tensor& probs_t = tape.value(probs);
-    const Tensor& logp_t = tape.value(logp);
-    const Tensor& msg_t = tape.value(actor_out.message);
-    const Tensor& ha_t = tape.value(actor_out.state.h);
-    const Tensor& ca_t = tape.value(actor_out.state.c);
-    const Tensor& hv_t = tape.value(critic_out.state.h);
-    const Tensor& cv_t = tape.value(critic_out.state.c);
-    const Tensor& val_t = tape.value(critic_out.value);
-
-    for (std::size_t b = 0; b < batch; ++b) {
-      const std::size_t i = members[b];
-      const std::size_t num_phases = phase_counts[b];
-
-      // Action selection.
-      std::size_t action;
-      if (!explore) {
-        if (sample_rng != nullptr) {
-          // Stochastic evaluation: draw from the learned policy with the
-          // caller's deterministic stream.
-          std::vector<double> w(num_phases);
-          for (std::size_t p = 0; p < num_phases; ++p) w[p] = probs_t.at(b, p);
-          action = sample_rng->categorical(w);
-        } else {
-          action = 0;
-          for (std::size_t p = 1; p < num_phases; ++p)
-            if (probs_t.at(b, p) > probs_t.at(b, action)) action = p;
-        }
-      } else if (config_.ppo.sample_actions) {
-        std::vector<double> w(num_phases);
-        for (std::size_t p = 0; p < num_phases; ++p) w[p] = probs_t.at(b, p);
-        action = rng_.categorical(w);
-      } else {
-        // Paper Algorithm 1: epsilon-greedy over the policy's argmax.
-        if (rng_.bernoulli(current_epsilon())) {
-          action = rng_.uniform_int(num_phases);
-        } else {
-          action = 0;
-          for (std::size_t p = 1; p < num_phases; ++p)
-            if (probs_t.at(b, p) > probs_t.at(b, action)) action = p;
-        }
-      }
-
-      decision.actions[i] = action;
-      decision.log_probs[i] = logp_t.at(b, action);
-      decision.values[i] = val_t.at(b, 0);
-
-      if (buffer != nullptr) {
-        rl::Sample sample;
-        sample.obs = a_inputs[i];
-        sample.critic_obs = v_inputs[i];
-        sample.h_actor = states[i].h_a;
-        sample.c_actor = states[i].c_a;
-        sample.h_critic = states[i].h_v;
-        sample.c_critic = states[i].c_v;
-        sample.action = action;
-        sample.phase_count = num_phases;
-        sample.log_prob = decision.log_probs[i];
-        sample.value = decision.values[i];
-        buffer->add(i, std::move(sample));
-      }
-
-      // Advance recurrent state and regularize the outgoing message:
-      // m_hat = Logistic(N(m, sigma)); noiseless at evaluation time.
-      states[i].h_a = extract_row(ha_t, b);
-      states[i].c_a = extract_row(ca_t, b);
-      states[i].h_v = extract_row(hv_t, b);
-      states[i].c_v = extract_row(cv_t, b);
-      for (std::size_t k = 0; k < config_.msg_dim; ++k) {
-        const double raw = msg_t.at(b, k);
-        const double noisy =
-            explore ? rng_.normal(raw, config_.msg_sigma) : raw;
-        states[i].msg_out[k] = 1.0 / (1.0 + std::exp(-noisy));
-      }
-    }
-  }
-  last_messages_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) last_messages_[i] = states[i].msg_out;
-  return decision;
 }
 
 void PairUpLightTrainer::save_checkpoint(const std::string& prefix) {
@@ -279,57 +112,98 @@ void PairUpLightTrainer::load_checkpoint(const std::string& prefix) {
   }
 }
 
-env::EpisodeStats PairUpLightTrainer::run(bool train_mode, std::uint64_t seed) {
-  env_->reset(seed);
-  std::vector<AgentState> states;
-  reset_states(states);
-  rl::RolloutBuffer buffer(env_->num_agents());
-  rl::RolloutBuffer* buffer_ptr = train_mode ? &buffer : nullptr;
+PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
+    std::uint64_t base_seed) {
+  CollectResult result;
 
-  Rng eval_rng(seed ^ env::kEvalSampleSalt);
-  Rng* sample_rng =
-      (!train_mode && !config_.greedy_eval) ? &eval_rng : nullptr;
+  if (config_.num_envs <= 1) {
+    // Serial path: the engine on the trainer's own env/networks/rng.
+    // Identical RNG consumption order to the historical single-env trainer.
+    result.buffer = rl::RolloutBuffer(env_->num_agents());
+    RolloutContext ctx = serial_context();
+    result.stats = run_rollout_episode(ctx, base_seed, /*train_mode=*/true,
+                                       &result.buffer);
+    result.env_steps = env_->steps_taken();
+    return result;
+  }
 
-  double reward_sum = 0.0;
-  std::size_t reward_count = 0;
-  while (!env_->done()) {
-    StepDecision decision = decide(states, train_mode, buffer_ptr, sample_rng);
-    const auto rewards = env_->step(decision.actions);
-    for (std::size_t i = 0; i < rewards.size(); ++i) {
-      reward_sum += rewards[i];
-      ++reward_count;
-    }
-    if (buffer_ptr != nullptr) {
-      for (std::size_t i = 0; i < rewards.size(); ++i)
-        buffer.last(i).reward = rewards[i];
+  // Parallel path: freeze the current policy into every worker, then run
+  // one full episode per worker on the pool. Weight sync happens on this
+  // thread, so workers only ever read their own copies.
+  const std::size_t k = collector_->num_workers();
+  for (std::size_t w = 0; w < k; ++w) {
+    RolloutWorker& worker = collector_->worker(w);
+    for (std::size_t m = 0; m < actors_.size(); ++m) {
+      worker.actors[m]->copy_weights_from(*actors_[m]);
+      worker.critics[m]->copy_weights_from(*critics_[m]);
     }
   }
 
-  if (train_mode) {
-    // Bootstrap V(s_T) per agent (Algorithm 1 line 24).
-    StepDecision boot = decide(states, /*explore=*/false, nullptr);
-    for (std::size_t i = 0; i < env_->num_agents(); ++i)
-      buffer.finish_agent(i, boot.values[i], config_.ppo.gamma, config_.ppo.lambda);
-    update(buffer);
-    ++episode_;
-  }
+  struct WorkerResult {
+    rl::RolloutBuffer buffer{0};
+    env::EpisodeStats stats;
+    std::size_t env_steps = 0;
+  };
+  const double epsilon = current_epsilon();
+  auto results = collector_->collect(
+      base_seed,
+      [this, epsilon](RolloutWorker& worker, std::uint64_t env_seed, Rng rng) {
+        RolloutContext ctx;
+        ctx.env = worker.env.get();
+        ctx.config = &config_;
+        for (auto& a : worker.actors) ctx.actors.push_back(a.get());
+        for (auto& c : worker.critics) ctx.critics.push_back(c.get());
+        ctx.hop1_slots = hop1_slots_;
+        ctx.hop2_slots = hop2_slots_;
+        ctx.critic_input_dim = critic_input_dim_;
+        ctx.rng = &rng;
+        ctx.epsilon = epsilon;
+        ctx.tape = &worker.tape;
+        ctx.last_messages = &worker.last_messages;
+        ctx.last_partners = &worker.last_partners;
 
-  env::EpisodeStats stats;
-  stats.avg_wait = env_->episode_avg_wait();
-  stats.travel_time = env_->average_travel_time();
-  stats.mean_reward =
-      reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
-  stats.vehicles_finished = env_->simulator().vehicles_finished();
-  stats.vehicles_spawned = env_->simulator().vehicles_spawned();
-  return stats;
+        WorkerResult r;
+        r.buffer = rl::RolloutBuffer(worker.env->num_agents());
+        r.stats = run_rollout_episode(ctx, env_seed, /*train_mode=*/true,
+                                      &r.buffer);
+        r.env_steps = worker.env->steps_taken();
+        return r;
+      });
+
+  std::vector<rl::RolloutBuffer> parts;
+  parts.reserve(results.size());
+  env::EpisodeStats& stats = result.stats;
+  for (WorkerResult& r : results) {
+    parts.push_back(std::move(r.buffer));
+    stats.avg_wait += r.stats.avg_wait;
+    stats.travel_time += r.stats.travel_time;
+    stats.mean_reward += r.stats.mean_reward;
+    stats.vehicles_finished += r.stats.vehicles_finished;
+    stats.vehicles_spawned += r.stats.vehicles_spawned;
+    result.env_steps += r.env_steps;
+  }
+  const double inv_k = 1.0 / static_cast<double>(results.size());
+  stats.avg_wait *= inv_k;
+  stats.travel_time *= inv_k;
+  stats.mean_reward *= inv_k;
+  result.buffer = rl::merge_rollouts(std::move(parts));
+
+  // Protocol-inspection views follow worker 0's episode.
+  last_messages_ = collector_->worker(0).last_messages;
+  last_partners_ = collector_->worker(0).last_partners;
+  return result;
 }
 
 env::EpisodeStats PairUpLightTrainer::train_episode() {
-  return run(/*train_mode=*/true, episode_seed_ + episode_);
+  CollectResult collected = collect_rollouts(episode_seed_ + episode_);
+  update(collected.buffer);
+  ++episode_;
+  return collected.stats;
 }
 
 env::EpisodeStats PairUpLightTrainer::eval_episode(std::uint64_t seed) {
-  return run(/*train_mode=*/false, seed);
+  RolloutContext ctx = serial_context();
+  return run_rollout_episode(ctx, seed, /*train_mode=*/false, nullptr);
 }
 
 void PairUpLightTrainer::update(rl::RolloutBuffer& buffer) {
@@ -357,6 +231,10 @@ void PairUpLightTrainer::update_model(std::size_t model,
 
   std::vector<std::size_t> order(samples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // One tape for the whole update: reset() keeps node storage reserved, so
+  // only the first minibatch of a training run pays the allocation.
+  Tape& tape = scratch_tape_;
 
   const std::size_t minibatch = std::max<std::size_t>(1, config_.ppo.minibatch);
   for (std::size_t epoch = 0; epoch < config_.ppo.epochs; ++epoch) {
@@ -387,7 +265,7 @@ void PairUpLightTrainer::update_model(std::size_t model,
         phase_counts[b] = s.phase_count;
       }
 
-      Tape tape;
+      tape.reset();
       Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
       Var h_a = tape.constant(pack_rows(ha_rows, config_.hidden));
       Var c_a = tape.constant(pack_rows(ca_rows, config_.hidden));
@@ -437,7 +315,7 @@ class PairUpController : public env::Controller {
 
  private:
   PairUpLightTrainer* trainer_;
-  std::vector<PairUpLightTrainer::AgentState> states_;
+  std::vector<AgentState> states_;
   Rng rng_{0};
 };
 

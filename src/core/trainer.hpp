@@ -12,6 +12,13 @@
 // Recurrent PPO uses stored hidden states: the h/c recorded during the
 // rollout are replayed as fixed inputs in the update, so minibatch samples
 // stay independent (see rl/rollout.hpp).
+//
+// Rollout collection is delegated to core/rollout_engine.hpp. With
+// config.num_envs == 1 the trainer runs the engine serially on its own
+// environment and networks (bit-identical to the historical single-env
+// trainer); with num_envs = K > 1 it owns K environment replicas plus
+// frozen network copies and collects K full episodes concurrently on a
+// thread pool before every PPO update (rl/parallel_rollout.hpp).
 #pragma once
 
 #include <memory>
@@ -19,54 +26,43 @@
 
 #include "src/core/actor.hpp"
 #include "src/core/critic.hpp"
+#include "src/core/rollout_engine.hpp"
 #include "src/env/controller.hpp"
 #include "src/env/env.hpp"
 #include "src/nn/optim.hpp"
+#include "src/nn/tape.hpp"
+#include "src/rl/parallel_rollout.hpp"
 #include "src/rl/ppo.hpp"
 #include "src/rl/rollout.hpp"
 
 namespace tsc::core {
-
-/// Who an agent listens to (ablation of the paper's section V-B design;
-/// the paper's choice is kMostCongestedUpstream).
-enum class PairingStrategy {
-  kMostCongestedUpstream,  ///< paper: congestion-first upstream neighbor
-  kSelf,                   ///< listen to own previous message only
-  kRandomNeighbor,         ///< uniformly random upstream neighbor per step
-  kFixedUpstream,          ///< first upstream neighbor, never re-paired
-};
-
-struct PairUpConfig {
-  rl::PpoConfig ppo;
-  std::size_t hidden = 64;
-  std::size_t msg_dim = 1;      ///< communication bandwidth (Fig. 11: 1 vs 2)
-  double msg_sigma = 0.1;       ///< regularizer noise std during training
-  bool comm_enabled = true;     ///< false = no-communication ablation (Fig. 8)
-  PairingStrategy pairing = PairingStrategy::kMostCongestedUpstream;
-  /// Evaluation action rule. PPO learns a stochastic policy, so by default
-  /// evaluation SAMPLES from it (with a deterministic per-episode stream);
-  /// a barely-trained policy's argmax can freeze a phase and gridlock.
-  /// Set true to evaluate the argmax policy instead.
-  bool greedy_eval = false;
-  /// Neighbor rings fed to the centralized critic: 0 = local only,
-  /// 1 = +one-hop, 2 = +two-hop (the paper's design).
-  std::size_t critic_hops = 2;
-  /// One shared actor/critic for all agents (homogeneous grids) or one per
-  /// agent (heterogeneous networks, paper section VI-D).
-  bool parameter_sharing = true;
-  std::uint64_t seed = 1;
-};
 
 class PairUpLightTrainer {
  public:
   /// `env` must outlive the trainer.
   PairUpLightTrainer(env::TscEnv* env, PairUpConfig config);
 
+  /// The rollout phase of one training step: config.num_envs full episodes
+  /// (serial when 1, concurrent otherwise) collected with the CURRENT
+  /// policy weights and this step's exploration epsilon, merged into one
+  /// PPO batch. `stats` averages the per-episode quality metrics and sums
+  /// the vehicle counts; `env_steps` is the total environment steps taken
+  /// (throughput accounting for the benchmarks). Does NOT update weights
+  /// or advance the episode counter.
+  struct CollectResult {
+    rl::RolloutBuffer buffer{0};
+    env::EpisodeStats stats;
+    std::size_t env_steps = 0;
+  };
+  CollectResult collect_rollouts(std::uint64_t base_seed);
+
   /// One training episode: rollout (with exploration + message noise),
-  /// then a PPO update. Episode seeds advance deterministically.
+  /// then a PPO update. Episode seeds advance deterministically. With
+  /// num_envs = K this consumes K episodes' worth of experience per call.
   env::EpisodeStats train_episode();
 
-  /// One greedy episode without learning or exploration noise.
+  /// One greedy episode without learning or exploration noise (always on
+  /// the trainer's own environment, regardless of num_envs).
   env::EpisodeStats eval_episode(std::uint64_t seed);
 
   /// Stateful greedy controller over the trained policy (for the shared
@@ -80,6 +76,8 @@ class PairUpLightTrainer {
   std::size_t num_models() const { return actors_.size(); }
   CoordinatedActor& actor(std::size_t model = 0) { return *actors_.at(model); }
   CentralizedCritic& critic(std::size_t model = 0) { return *critics_.at(model); }
+  /// Environment replicas collecting per training step (config.num_envs).
+  std::size_t num_envs() const { return config_.num_envs; }
 
   /// Bits each agent receives from other intersections per decision step
   /// (Table IV): msg_dim 32-bit values from exactly one neighbor.
@@ -87,6 +85,7 @@ class PairUpLightTrainer {
 
   /// Regularized outgoing messages (one per agent) recorded at the last
   /// decision of train_episode()/eval_episode() - for protocol inspection.
+  /// With num_envs > 1 these come from worker 0's episode.
   const std::vector<std::vector<double>>& last_messages() const {
     return last_messages_;
   }
@@ -102,38 +101,26 @@ class PairUpLightTrainer {
  private:
   friend class PairUpController;
 
-  /// Per-agent recurrent + message runtime state.
-  struct AgentState {
-    std::vector<double> h_a, c_a;      ///< actor LSTM state
-    std::vector<double> h_v, c_v;      ///< critic LSTM state
-    std::vector<double> msg_out;       ///< last regularized outgoing message
+  /// One parallel collection worker: an environment replica plus frozen
+  /// copies of every model, all touched only by the thread running its
+  /// episode (plus the weight sync on the calling thread in between).
+  struct RolloutWorker {
+    std::unique_ptr<env::TscEnv> env;
+    std::vector<std::unique_ptr<CoordinatedActor>> actors;
+    std::vector<std::unique_ptr<CentralizedCritic>> critics;
+    nn::Tape tape;
+    std::vector<std::vector<double>> last_messages;
+    std::vector<std::size_t> last_partners;
   };
 
-  std::size_t model_of(std::size_t agent) const {
-    return config_.parameter_sharing ? 0 : agent;
-  }
-  void reset_states(std::vector<AgentState>& states) const;
-  /// Communication partner of `agent` under the configured strategy.
-  std::size_t pick_partner(std::size_t agent);
-  std::vector<double> actor_input(std::size_t agent, std::size_t partner,
-                                  const std::vector<AgentState>& states) const;
-  std::vector<double> critic_input(std::size_t agent) const;
+  /// Context running the engine on the trainer's own env/networks/rng.
+  RolloutContext serial_context();
 
-  /// One decision for every agent; fills per-agent outputs. When `explore`
-  /// is set, actions follow the configured exploration rule and messages
-  /// get regularizer noise; otherwise greedy + noiseless.
-  struct StepDecision {
-    std::vector<std::size_t> actions;
-    std::vector<double> log_probs;
-    std::vector<double> values;
-  };
-  /// `sample_rng`: when non-null and not exploring, actions are sampled
-  /// from the policy with this stream (stochastic evaluation); when null,
-  /// non-exploring decisions take the argmax.
+  void reset_states(std::vector<AgentState>& states);
+  /// Thin wrapper over decide_step on the serial context (PairUpController).
   StepDecision decide(std::vector<AgentState>& states, bool explore,
                       rl::RolloutBuffer* buffer, Rng* sample_rng = nullptr);
 
-  env::EpisodeStats run(bool train_mode, std::uint64_t seed);
   void update(rl::RolloutBuffer& buffer);
   void update_model(std::size_t model, const std::vector<const rl::Sample*>& samples);
   double current_epsilon() const;
@@ -150,6 +137,11 @@ class PairUpLightTrainer {
   std::uint64_t episode_seed_ = 0;
   std::vector<std::vector<double>> last_messages_;
   std::vector<std::size_t> last_partners_;
+  /// Reusable autodiff tape for serial rollouts and PPO minibatches (reset
+  /// before every forward; reuse keeps node storage warm, see nn/tape.hpp).
+  nn::Tape scratch_tape_;
+  /// Built only when config.num_envs > 1.
+  std::unique_ptr<rl::ParallelRolloutCollector<RolloutWorker>> collector_;
 };
 
 }  // namespace tsc::core

@@ -5,6 +5,7 @@
 // support save_checkpoint).
 #pragma once
 
+#include <chrono>
 #include <limits>
 #include <string>
 #include <utility>
@@ -34,6 +35,10 @@ struct TrainingLoopResult {
   std::vector<std::pair<std::size_t, env::EpisodeStats>> eval_history;
   double best_eval_wait = std::numeric_limits<double>::infinity();
   std::size_t best_episode = 0;
+  /// Wall-clock seconds spent inside train_episode() calls (rollout
+  /// collection + PPO updates) - throughput accounting for the parallel
+  /// rollout benchmarks.
+  double train_seconds = 0.0;
 };
 
 template <typename Trainer>
@@ -47,7 +52,12 @@ TrainingLoopResult run_training_loop(Trainer& trainer,
   }
 
   for (std::size_t e = 0; e < config.episodes; ++e) {
+    const auto train_begin = std::chrono::steady_clock::now();
     const env::EpisodeStats train_stats = trainer.train_episode();
+    result.train_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      train_begin)
+            .count();
     result.train_history.push_back(train_stats);
     if (log)
       log->write_row(e, "train", train_stats.avg_wait, train_stats.travel_time,
@@ -64,7 +74,8 @@ TrainingLoopResult run_training_loop(Trainer& trainer,
       log->write_row(e, "eval", eval_stats.avg_wait, eval_stats.travel_time,
                      eval_stats.mean_reward);
     log_info("training loop: episode ", e, " eval avg wait ", eval_stats.avg_wait,
-             " s");
+             " s (", result.train_seconds / static_cast<double>(e + 1),
+             " s/train episode)");
 
     if (eval_stats.avg_wait < result.best_eval_wait) {
       result.best_eval_wait = eval_stats.avg_wait;

@@ -45,6 +45,10 @@ std::size_t TscEnv::obs_dim() const {
   return 2 * config_.max_in_links + config_.max_phases + 1;
 }
 
+std::unique_ptr<TscEnv> TscEnv::clone(std::uint64_t seed) const {
+  return std::make_unique<TscEnv>(net_, sim_.flows(), config_, seed);
+}
+
 void TscEnv::reset(std::uint64_t seed) {
   sim_.reset(seed);
   episode_seed_ = seed;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulator.hpp"
@@ -64,6 +65,12 @@ class TscEnv {
   static constexpr std::size_t kNeighborFeatDim = 2;
 
   void reset(std::uint64_t seed);
+
+  /// Independent replica of this environment (same network, flows, and
+  /// config), reset with `seed` - for parallel rollout workers. The replica
+  /// shares only the immutable RoadNetwork with the original; stepping one
+  /// never affects the other. The network must outlive the replica.
+  std::unique_ptr<TscEnv> clone(std::uint64_t seed) const;
 
   /// Seed of the current episode (set by reset/set_flows). Controllers use
   /// it to derive deterministic per-episode sampling streams.

@@ -7,8 +7,9 @@
 namespace tsc::nn {
 
 Var Tape::push(Tensor value) {
+  // Gradient buffers are allocated lazily in backward(): forward-only
+  // passes (rollout decisions, evaluation) never pay for them.
   Node n;
-  n.grad = Tensor::zeros_like(value);
   n.value = std::move(value);
   nodes_.push_back(std::move(n));
   return Var{static_cast<std::int32_t>(nodes_.size() - 1)};
@@ -523,12 +524,18 @@ void Tape::backward(Var loss) {
   assert(loss.valid());
   Node& ln = node(loss);
   assert(ln.value.size() == 1 && "backward() requires a scalar loss");
+  for (Node& n : nodes_)
+    if (n.grad.size() != n.value.size()) n.grad = Tensor::zeros_like(n.value);
   ln.grad.fill(1.0);
   for (std::size_t i = static_cast<std::size_t>(loss.idx) + 1; i-- > 0;) {
     if (nodes_[i].back) nodes_[i].back();
   }
 }
 
-void Tape::reset() { nodes_.clear(); }
+void Tape::reset() {
+  peak_nodes_ = std::max(peak_nodes_, nodes_.size());
+  nodes_.clear();
+  nodes_.reserve(peak_nodes_);
+}
 
 }  // namespace tsc::nn

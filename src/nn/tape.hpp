@@ -50,6 +50,9 @@ class Tape {
   Var param(Parameter& p);
 
   const Tensor& value(Var v) const;
+  /// Gradient of node `v`. Only populated by backward(); before the first
+  /// backward() on this pass the buffer is empty (gradient storage is
+  /// allocated lazily so forward-only passes skip it entirely).
   const Tensor& grad(Var v) const;
 
   // ---- arithmetic ----
@@ -112,7 +115,9 @@ class Tape {
   /// accumulates parameter gradients. May be called once per forward pass.
   void backward(Var loss);
 
-  /// Drops all nodes. Parameter tensors are untouched.
+  /// Drops all nodes and pre-reserves storage for the peak node count seen
+  /// so far, so a tape reused across forward passes stops reallocating its
+  /// node vector. Parameter tensors are untouched.
   void reset();
 
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -130,6 +135,7 @@ class Tape {
   const Node& node(Var v) const;
 
   std::vector<Node> nodes_;
+  std::size_t peak_nodes_ = 0;  ///< high-water mark for reset()'s reserve
 };
 
 }  // namespace tsc::nn

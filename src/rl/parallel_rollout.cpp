@@ -1,0 +1,21 @@
+#include "src/rl/parallel_rollout.hpp"
+
+#include <stdexcept>
+
+namespace tsc::rl {
+
+RolloutBuffer merge_rollouts(std::vector<RolloutBuffer> parts) {
+  if (parts.empty()) return RolloutBuffer(0);
+  const std::size_t num_agents = parts.front().num_agents();
+  RolloutBuffer merged(num_agents);
+  for (RolloutBuffer& part : parts) {
+    if (part.num_agents() != num_agents)
+      throw std::invalid_argument("merge_rollouts: mismatched agent rosters");
+    for (std::size_t agent = 0; agent < num_agents; ++agent)
+      for (Sample& s : part.mutable_agent_samples(agent))
+        merged.add(agent, std::move(s));
+  }
+  return merged;
+}
+
+}  // namespace tsc::rl

@@ -1,0 +1,84 @@
+// Parallel rollout collection over environment replicas.
+//
+// On-policy PPO rollout collection is embarrassingly parallel across
+// environment replicas: each worker owns a full environment copy plus
+// frozen copies of the policy parameters, runs one complete episode, and
+// the per-worker RolloutBuffers are merged into a single PPO batch.
+//
+// The collector here is deliberately policy-agnostic: `Worker` is whatever
+// bundle the caller needs on each pool thread (core::PairUpLightTrainer
+// instantiates it with an env replica + frozen actor/critic copies). The
+// collector owns the workers and a reusable util::ThreadPool, derives
+// per-worker seeds deterministically from the round's base seed
+// (independent of thread scheduling), and returns results in worker order -
+// so a run is bit-reproducible for a fixed worker count.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/rl/rollout.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace tsc::rl {
+
+/// Concatenates per-worker episode buffers (identical agent rosters) into
+/// one batch, preserving worker order. Each part must already be finished
+/// (GAE run per episode) - advantages are per-trajectory quantities and
+/// cannot be computed across the merge boundary.
+RolloutBuffer merge_rollouts(std::vector<RolloutBuffer> parts);
+
+template <typename Worker>
+class ParallelRolloutCollector {
+ public:
+  /// Takes ownership of the worker bundles; spawns one pool thread per
+  /// worker. Workers must be mutually independent - nothing a worker
+  /// mutates during collection may be reachable from another worker.
+  explicit ParallelRolloutCollector(std::vector<std::unique_ptr<Worker>> workers)
+      : workers_(std::move(workers)),
+        pool_(workers_.empty() ? 1 : workers_.size()) {}
+
+  std::size_t num_workers() const { return workers_.size(); }
+  Worker& worker(std::size_t i) { return *workers_.at(i); }
+
+  /// Runs `fn(worker, env_seed, rng)` once per worker, concurrently.
+  /// Per-worker seeds and Rng streams derive from `base_seed` on the
+  /// calling thread before dispatch, and each worker receives its Rng BY
+  /// VALUE (Rng is not thread-safe; see util/rng.hpp). Results come back
+  /// in worker order; a worker exception is rethrown here after all
+  /// workers have finished.
+  template <typename Fn>
+  auto collect(std::uint64_t base_seed, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>> {
+    using Result = std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>;
+    Rng seeder(base_seed);
+    std::vector<std::future<Result>> futures;
+    futures.reserve(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const std::uint64_t env_seed = seeder();
+      Rng worker_rng = seeder.split();
+      Worker* worker = workers_[w].get();
+      futures.push_back(pool_.submit([&fn, worker, env_seed, worker_rng]() mutable {
+        return fn(*worker, env_seed, worker_rng);
+      }));
+    }
+    // Wait for every task before get() so that a throwing worker cannot
+    // leave siblings running against captured state we are unwinding past.
+    for (auto& f : futures) f.wait();
+    std::vector<Result> results;
+    results.reserve(futures.size());
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Worker>> workers_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace tsc::rl

@@ -32,7 +32,18 @@ void log_message(LogLevel level, const std::string& message) {
   static const clock::time_point start = clock::now();
   const double elapsed =
       std::chrono::duration<double>(clock::now() - start).count();
-  std::fprintf(stderr, "[%9.3f][%s] %s\n", elapsed, level_name(level), message.c_str());
+  // Assemble the full line first and emit it with a single stream write:
+  // stdio locks per call, so concurrent writers (e.g. rollout workers)
+  // cannot interleave within a line.
+  char prefix[64];
+  const int n = std::snprintf(prefix, sizeof(prefix), "[%9.3f][%s] ", elapsed,
+                              level_name(level));
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + message.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n));
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace tsc

@@ -13,6 +13,8 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Writes a timestamped line to stderr if `level` passes the threshold.
+/// Thread-safe: the whole line goes out in one stream write, so lines from
+/// concurrent writers never interleave mid-line.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

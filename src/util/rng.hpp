@@ -12,7 +12,12 @@ namespace tsc {
 
 /// xoshiro256++ generator with distribution helpers.
 ///
-/// Not thread-safe; give each worker its own instance (use split()).
+/// NOT thread-safe and never to be shared across threads: every draw
+/// mutates the 4-word state, so concurrent use is a data race AND silently
+/// destroys reproducibility. Parallel components must hand each worker its
+/// own instance BY VALUE, derived via split() on the owning thread before
+/// dispatch (this is what rl::ParallelRolloutCollector does at the
+/// collector boundary).
 class Rng {
  public:
   using result_type = std::uint64_t;
