@@ -1,0 +1,131 @@
+// PPO-update throughput: samples processed per second for
+// num_update_shards in {1, 2, 4, 8} on the paper's 6x6 grid.
+//
+// Measures trainer.update() only (the sharded phase; rollout collection is
+// covered by bench_rollout_throughput). Each shard count gets a fresh
+// trainer with identical initial weights and collects the same seeded
+// batch, so rounds differ only in update parallelism - and because sharded
+// gradients are bit-identical to the serial update (core/update_engine.hpp),
+// every configuration performs literally the same weight trajectory.
+// Results land on stdout and in BENCH_ppo_update.json for machine
+// consumption. Parallel speedup is bounded by the machine:
+// hardware_concurrency is printed alongside so a 1-core box showing ~1x is
+// interpretable.
+//
+// Knobs: PAIRUP_EPISODES (update rounds per shard count, default 3),
+// PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "src/core/trainer.hpp"
+#include "src/util/log.hpp"
+
+namespace {
+
+using namespace tsc;
+
+struct Row {
+  std::size_t num_update_shards = 0;
+  std::size_t batch_samples = 0;
+  double wall_seconds = 0.0;
+  double samples_per_sec = 0.0;
+  double wall_per_update = 0.0;
+  double speedup = 1.0;
+};
+
+void write_json(const std::string& path, const bench::HarnessConfig& config,
+                const core::PairUpConfig& pairup, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_warn("bench_ppo_update: cannot write ", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"ppo_update\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"grid\": [%zu, %zu],\n", config.grid_rows, config.grid_cols);
+  std::fprintf(f, "  \"episode_seconds\": %g,\n", config.episode_seconds);
+  std::fprintf(f, "  \"rounds\": %zu,\n", config.episodes);
+  std::fprintf(f, "  \"ppo_epochs\": %zu,\n", pairup.ppo.epochs);
+  std::fprintf(f, "  \"minibatch\": %zu,\n", pairup.ppo.minibatch);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"num_update_shards\": %zu, \"batch_samples\": %zu, "
+                 "\"wall_seconds\": %.6f, \"samples_per_sec\": %.2f, "
+                 "\"wall_seconds_per_update\": %.6f, "
+                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 r.num_update_shards, r.batch_samples, r.wall_seconds,
+                 r.samples_per_sec, r.wall_per_update, r.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::HarnessConfig defaults;
+  defaults.episodes = 3;  // update rounds per shard count
+  const bench::HarnessConfig config = bench::load_config(defaults);
+  auto grid = bench::make_grid(config);
+  core::PairUpConfig pairup_template = bench::make_pairup_config(config);
+
+  std::printf(
+      "PPO update throughput, %zux%zu grid, %g s episodes, "
+      "%zu update rounds per configuration\n"
+      "hardware_concurrency: %u\n\n",
+      config.grid_rows, config.grid_cols, config.episode_seconds,
+      config.episodes, std::thread::hardware_concurrency());
+  bench::print_header("updater", {"samples/sec", "s/update", "speedup"});
+
+  std::vector<Row> rows;
+  for (std::size_t num_shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                 std::size_t{8}}) {
+    // Fresh env + trainer per configuration: identical initial weights and
+    // an identically seeded batch, so rounds differ only in update shards.
+    auto environment =
+        bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
+    core::PairUpConfig pairup_config = pairup_template;
+    pairup_config.num_update_shards = num_shards;
+    core::PairUpLightTrainer trainer(environment.get(), pairup_config);
+
+    const auto collected = trainer.collect_rollouts(config.seed + 1000);
+
+    Row row;
+    row.num_update_shards = num_shards;
+    row.batch_samples = collected.buffer.total_samples();
+    for (std::size_t r = 0; r < config.episodes; ++r) {
+      // Each round updates a fresh copy: update() normalizes advantages in
+      // place, and the copy keeps it outside the timed region.
+      rl::RolloutBuffer batch = collected.buffer;
+      const auto t0 = std::chrono::steady_clock::now();
+      trainer.update(batch);
+      row.wall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+    const double samples_processed =
+        static_cast<double>(row.batch_samples * pairup_config.ppo.epochs *
+                            config.episodes);
+    row.samples_per_sec = samples_processed / row.wall_seconds;
+    row.wall_per_update = row.wall_seconds / static_cast<double>(config.episodes);
+    row.speedup =
+        rows.empty() ? 1.0 : row.samples_per_sec / rows.front().samples_per_sec;
+    rows.push_back(row);
+
+    bench::print_row("num_update_shards=" + std::to_string(num_shards),
+                     {row.samples_per_sec, row.wall_per_update, row.speedup});
+  }
+
+  write_json("BENCH_ppo_update.json", config, pairup_template, rows);
+  return 0;
+}

@@ -30,6 +30,8 @@ HarnessConfig load_config(HarnessConfig defaults) {
       env_double("PAIRUP_EPISODE_SECONDS", config.episode_seconds);
   config.seed = env_size("PAIRUP_SEED", config.seed);
   config.num_envs = std::max<std::size_t>(1, env_size("PAIRUP_NUM_ENVS", config.num_envs));
+  config.num_update_shards = std::max<std::size_t>(
+      1, env_size("PAIRUP_NUM_UPDATE_SHARDS", config.num_update_shards));
   return config;
 }
 
@@ -37,6 +39,7 @@ core::PairUpConfig make_pairup_config(const HarnessConfig& config) {
   core::PairUpConfig pairup;
   pairup.seed = config.seed;
   pairup.num_envs = config.num_envs;
+  pairup.num_update_shards = config.num_update_shards;
   return pairup;
 }
 

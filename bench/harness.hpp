@@ -11,6 +11,9 @@
 //   PAIRUP_SEED         base seed (default 1)
 //   PAIRUP_NUM_ENVS     parallel rollout environments per training step
 //                       (default 1 = serial; see core/rollout_engine.hpp)
+//   PAIRUP_NUM_UPDATE_SHARDS  PPO-update worker threads per minibatch
+//                       (default 1 = serial; gradients are bit-identical
+//                       for every value, see core/update_engine.hpp)
 // Set PAIRUP_TIME_SCALE=1 PAIRUP_EPISODE_SECONDS=3600 PAIRUP_EPISODES=1000
 // to replicate the paper's full protocol.
 #pragma once
@@ -36,6 +39,7 @@ struct HarnessConfig {
   std::size_t grid_rows = 6;
   std::size_t grid_cols = 6;
   std::size_t num_envs = 1;        ///< parallel rollout envs per train step
+  std::size_t num_update_shards = 1;  ///< PPO-update shards per minibatch
 };
 
 /// Reads the PAIRUP_* environment overrides on top of `defaults`.

@@ -56,6 +56,15 @@ struct PairUpConfig {
   /// deterministic for a fixed K but differ across K (different episode
   /// seeds and batch composition).
   std::size_t num_envs = 1;
+  /// Parallel PPO update: number of shards each minibatch's
+  /// forward/backward is split across. 1 = the exact historical serial
+  /// update (single batched pass, no threads); K > 1 computes per-sample
+  /// gradients on K worker threads over the frozen weights and reduces
+  /// them in fixed sample order before the single clip + Adam step.
+  /// Gradients are bit-identical for every value, including 1, so — unlike
+  /// num_envs — training curves can be compared across shard counts (see
+  /// core/update_engine.hpp for the argument and its golden tests).
+  std::size_t num_update_shards = 1;
   std::uint64_t seed = 1;
 };
 

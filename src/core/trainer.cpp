@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
 
 #include "src/nn/serialize.hpp"
 
@@ -11,6 +14,55 @@ namespace tsc::core {
 using tsc::nn::Tape;
 using tsc::nn::Tensor;
 using tsc::nn::Var;
+
+namespace {
+
+// Trainer-state checkpoint (episode counter + RNG stream): magic "TSCT",
+// u64 version, u64 episode, the Rng::State words. Weights/optimizer state
+// live in their own files (nn/serialize.hpp).
+constexpr char kTrainerMagic[4] = {'T', 'S', 'C', 'T'};
+constexpr std::uint64_t kTrainerVersion = 1;
+
+void save_trainer_state(const std::string& path, std::size_t episode,
+                        const Rng::State& rng) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  auto write_u64 = [&out](std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  out.write(kTrainerMagic, sizeof(kTrainerMagic));
+  write_u64(kTrainerVersion);
+  write_u64(episode);
+  for (std::uint64_t word : rng.s) write_u64(word);
+  out.write(reinterpret_cast<const char*>(&rng.cached_normal),
+            sizeof(rng.cached_normal));
+  write_u64(rng.has_cached_normal ? 1 : 0);
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+void load_trainer_state(const std::string& path, std::size_t& episode,
+                        Rng::State& rng) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  auto read_u64 = [&in]() {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kTrainerMagic, 4))
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  if (read_u64() != kTrainerVersion)
+    throw std::runtime_error("load_checkpoint: unsupported version in " + path);
+  episode = static_cast<std::size_t>(read_u64());
+  for (std::uint64_t& word : rng.s) word = read_u64();
+  in.read(reinterpret_cast<char*>(&rng.cached_normal), sizeof(rng.cached_normal));
+  rng.has_cached_normal = read_u64() != 0;
+  if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+}
+
+}  // namespace
 
 using detail::pack_rows;
 
@@ -63,6 +115,9 @@ PairUpLightTrainer::PairUpLightTrainer(env::TscEnv* env, PairUpConfig config)
     collector_ = std::make_unique<rl::ParallelRolloutCollector<RolloutWorker>>(
         std::move(workers));
   }
+
+  if (config_.num_update_shards > 1)
+    updater_ = std::make_unique<ParallelUpdateEngine>(config_.num_update_shards);
 }
 
 RolloutContext PairUpLightTrainer::serial_context() {
@@ -102,14 +157,22 @@ void PairUpLightTrainer::save_checkpoint(const std::string& prefix) {
   for (std::size_t m = 0; m < actors_.size(); ++m) {
     nn::save_weights(*actors_[m], prefix + "_actor" + std::to_string(m) + ".bin");
     nn::save_weights(*critics_[m], prefix + "_critic" + std::to_string(m) + ".bin");
+    nn::save_optimizer_state(*optims_[m],
+                             prefix + "_optim" + std::to_string(m) + ".bin");
   }
+  save_trainer_state(prefix + "_trainer.bin", episode_, rng_.state());
 }
 
 void PairUpLightTrainer::load_checkpoint(const std::string& prefix) {
   for (std::size_t m = 0; m < actors_.size(); ++m) {
     nn::load_weights(*actors_[m], prefix + "_actor" + std::to_string(m) + ".bin");
     nn::load_weights(*critics_[m], prefix + "_critic" + std::to_string(m) + ".bin");
+    nn::load_optimizer_state(*optims_[m],
+                             prefix + "_optim" + std::to_string(m) + ".bin");
   }
+  Rng::State rng_state;
+  load_trainer_state(prefix + "_trainer.bin", episode_, rng_state);
+  rng_.set_state(rng_state);
 }
 
 PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
@@ -222,19 +285,20 @@ void PairUpLightTrainer::update(rl::RolloutBuffer& buffer) {
 void PairUpLightTrainer::update_model(std::size_t model,
                                       const std::vector<const rl::Sample*>& samples) {
   if (samples.empty()) return;
-  CoordinatedActor& actor = *actors_[model];
-  CentralizedCritic& critic = *critics_[model];
-  auto actor_params = actor.parameters();
-  auto critic_params = critic.parameters();
-  std::vector<nn::Parameter*> all_params = actor_params;
-  all_params.insert(all_params.end(), critic_params.begin(), critic_params.end());
+  UpdateContext ctx;
+  ctx.config = &config_;
+  ctx.actor = actors_[model].get();
+  ctx.critic = critics_[model].get();
+  ctx.params = ctx.actor->parameters();
+  auto critic_params = ctx.critic->parameters();
+  ctx.params.insert(ctx.params.end(), critic_params.begin(), critic_params.end());
+  // One tape for the whole update: reset() keeps node storage reserved, so
+  // only the first minibatch of a training run pays the allocation.
+  ctx.tape = &scratch_tape_;
+  ctx.optim = optims_[model].get();
 
   std::vector<std::size_t> order(samples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-
-  // One tape for the whole update: reset() keeps node storage reserved, so
-  // only the first minibatch of a training run pays the allocation.
-  Tape& tape = scratch_tape_;
 
   const std::size_t minibatch = std::max<std::size_t>(1, config_.ppo.minibatch);
   for (std::size_t epoch = 0; epoch < config_.ppo.epochs; ++epoch) {
@@ -244,48 +308,11 @@ void PairUpLightTrainer::update_model(std::size_t model,
 
     for (std::size_t start = 0; start < order.size(); start += minibatch) {
       const std::size_t end = std::min(order.size(), start + minibatch);
-      const std::size_t batch = end - start;
-
-      std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
-          vi_rows(batch), hv_rows(batch), cv_rows(batch);
-      std::vector<std::size_t> actions(batch), phase_counts(batch);
-      std::vector<double> old_logp(batch), advantages(batch), returns(batch);
-      for (std::size_t b = 0; b < batch; ++b) {
-        const rl::Sample& s = *samples[order[start + b]];
-        in_rows[b] = s.obs;
-        ha_rows[b] = s.h_actor;
-        ca_rows[b] = s.c_actor;
-        vi_rows[b] = s.critic_obs;
-        hv_rows[b] = s.h_critic;
-        cv_rows[b] = s.c_critic;
-        actions[b] = s.action;
-        old_logp[b] = s.log_prob;
-        advantages[b] = s.advantage;
-        returns[b] = s.ret;
-        phase_counts[b] = s.phase_count;
+      if (updater_) {
+        updater_->run_minibatch(ctx, samples, order, start, end);
+      } else {
+        serial_minibatch_update(ctx, samples, order, start, end);
       }
-
-      tape.reset();
-      Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
-      Var h_a = tape.constant(pack_rows(ha_rows, config_.hidden));
-      Var c_a = tape.constant(pack_rows(ca_rows, config_.hidden));
-      auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
-      Var logp_all = tape.log_softmax_rows(actor_out.logits);
-      Var new_logp = tape.gather_cols(logp_all, actions);
-      Var entropy = rl::policy_entropy(tape, actor_out.logits);
-
-      Var v_input = tape.constant(pack_rows(vi_rows, critic_input_dim_));
-      Var h_v = tape.constant(pack_rows(hv_rows, config_.hidden));
-      Var c_v = tape.constant(pack_rows(cv_rows, config_.hidden));
-      auto critic_out = critic.forward(tape, v_input, h_v, c_v);
-
-      Var loss = rl::ppo_total_loss(tape, new_logp, entropy, critic_out.value,
-                                    old_logp, advantages, returns, config_.ppo);
-      actor.zero_grad();
-      critic.zero_grad();
-      tape.backward(loss);
-      nn::clip_grad_norm(all_params, config_.ppo.max_grad_norm);
-      optims_[model]->step();
     }
   }
 }

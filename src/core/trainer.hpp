@@ -19,6 +19,12 @@
 // trainer); with num_envs = K > 1 it owns K environment replicas plus
 // frozen network copies and collects K full episodes concurrently on a
 // thread pool before every PPO update (rl/parallel_rollout.hpp).
+//
+// The PPO update is delegated to core/update_engine.hpp the same way:
+// num_update_shards == 1 runs the historical batched minibatch update on
+// the scratch tape; K > 1 shards each minibatch across K worker threads
+// with a deterministic sample-order gradient reduce that keeps weights
+// bit-identical to the serial update at every step.
 #pragma once
 
 #include <memory>
@@ -27,6 +33,7 @@
 #include "src/core/actor.hpp"
 #include "src/core/critic.hpp"
 #include "src/core/rollout_engine.hpp"
+#include "src/core/update_engine.hpp"
 #include "src/env/controller.hpp"
 #include "src/env/env.hpp"
 #include "src/nn/optim.hpp"
@@ -55,6 +62,13 @@ class PairUpLightTrainer {
     std::size_t env_steps = 0;
   };
   CollectResult collect_rollouts(std::uint64_t base_seed);
+
+  /// The update phase of one training step: PPO epochs/minibatches over a
+  /// collected (GAE-finished) buffer. Exposed separately so benchmarks and
+  /// tests can time or drive it without re-collecting rollouts; normalizes
+  /// advantages in place when configured. Does not advance the episode
+  /// counter.
+  void update(rl::RolloutBuffer& buffer);
 
   /// One training episode: rollout (with exploration + message noise),
   /// then a PPO update. Episode seeds advance deterministically. With
@@ -92,9 +106,15 @@ class PairUpLightTrainer {
   /// Pairing partner chosen for each agent at the last decision.
   const std::vector<std::size_t>& last_partners() const { return last_partners_; }
 
-  /// Checkpoints every model to `<prefix>_actor<k>.bin` /
-  /// `<prefix>_critic<k>.bin`. load_checkpoint restores them (the trainer
-  /// must have been constructed with an identical config/environment).
+  /// Checkpoints the full training state: every model's weights
+  /// (`<prefix>_actor<k>.bin` / `<prefix>_critic<k>.bin`), every
+  /// optimizer's Adam moments and step count (`<prefix>_optim<k>.bin`),
+  /// and the trainer's episode counter + RNG stream (`<prefix>_trainer.bin`).
+  /// load_checkpoint restores all of it (the trainer must have been
+  /// constructed with an identical config/environment), so a resumed run
+  /// continues the uninterrupted run step-for-step — weights alone are not
+  /// enough, since Adam's moments/bias correction, the epsilon schedule,
+  /// and the shuffle stream all carry state.
   void save_checkpoint(const std::string& prefix);
   void load_checkpoint(const std::string& prefix);
 
@@ -121,7 +141,6 @@ class PairUpLightTrainer {
   StepDecision decide(std::vector<AgentState>& states, bool explore,
                       rl::RolloutBuffer* buffer, Rng* sample_rng = nullptr);
 
-  void update(rl::RolloutBuffer& buffer);
   void update_model(std::size_t model, const std::vector<const rl::Sample*>& samples);
   double current_epsilon() const;
 
@@ -142,6 +161,8 @@ class PairUpLightTrainer {
   nn::Tape scratch_tape_;
   /// Built only when config.num_envs > 1.
   std::unique_ptr<rl::ParallelRolloutCollector<RolloutWorker>> collector_;
+  /// Built only when config.num_update_shards > 1.
+  std::unique_ptr<ParallelUpdateEngine> updater_;
 };
 
 }  // namespace tsc::core

@@ -1,0 +1,181 @@
+#include "src/core/update_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+
+#include "src/rl/ppo.hpp"
+
+namespace tsc::core {
+
+using tsc::nn::Tape;
+using tsc::nn::Tensor;
+using tsc::nn::Var;
+
+using detail::pack_rows;
+
+double serial_minibatch_update(UpdateContext& ctx,
+                               const std::vector<const rl::Sample*>& samples,
+                               const std::vector<std::size_t>& order,
+                               std::size_t begin, std::size_t end) {
+  assert(begin < end && end <= order.size());
+  CoordinatedActor& actor = *ctx.actor;
+  CentralizedCritic& critic = *ctx.critic;
+  const PairUpConfig& config = *ctx.config;
+  Tape& tape = *ctx.tape;
+  const std::size_t batch = end - begin;
+
+  std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
+      vi_rows(batch), hv_rows(batch), cv_rows(batch);
+  std::vector<std::size_t> actions(batch), phase_counts(batch);
+  std::vector<double> old_logp(batch), advantages(batch), returns(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const rl::Sample& s = *samples[order[begin + b]];
+    in_rows[b] = s.obs;
+    ha_rows[b] = s.h_actor;
+    ca_rows[b] = s.c_actor;
+    vi_rows[b] = s.critic_obs;
+    hv_rows[b] = s.h_critic;
+    cv_rows[b] = s.c_critic;
+    actions[b] = s.action;
+    old_logp[b] = s.log_prob;
+    advantages[b] = s.advantage;
+    returns[b] = s.ret;
+    phase_counts[b] = s.phase_count;
+  }
+
+  tape.reset();
+  Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
+  Var h_a = tape.constant(pack_rows(ha_rows, config.hidden));
+  Var c_a = tape.constant(pack_rows(ca_rows, config.hidden));
+  auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+  Var logp_all = tape.log_softmax_rows(actor_out.logits);
+  Var new_logp = tape.gather_cols(logp_all, actions);
+  Var entropy = rl::policy_entropy(tape, actor_out.logits);
+
+  Var v_input = tape.constant(pack_rows(vi_rows, critic.input_dim()));
+  Var h_v = tape.constant(pack_rows(hv_rows, config.hidden));
+  Var c_v = tape.constant(pack_rows(cv_rows, config.hidden));
+  auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+
+  Var loss = rl::ppo_total_loss(tape, new_logp, entropy, critic_out.value,
+                                old_logp, advantages, returns, config.ppo);
+  actor.zero_grad();
+  critic.zero_grad();
+  tape.backward(loss);
+  nn::clip_grad_norm(ctx.params, config.ppo.max_grad_norm);
+  ctx.optim->step();
+  return tape.value(loss)[0];
+}
+
+double sample_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
+                             CentralizedCritic& critic, const rl::Sample& sample,
+                             std::size_t batch, const rl::PpoConfig& ppo) {
+  tape.reset();
+  // Node creation order mirrors serial_minibatch_update exactly so grads of
+  // multi-consumer nodes accumulate their terms in the same sequence.
+  Var input = tape.constant(Tensor::matrix(1, actor.input_dim(), sample.obs));
+  Var h_a = tape.constant(Tensor::matrix(1, actor.hidden_size(), sample.h_actor));
+  Var c_a = tape.constant(Tensor::matrix(1, actor.hidden_size(), sample.c_actor));
+  auto actor_out = actor.forward(tape, input, h_a, c_a, {sample.phase_count});
+  Var logp_all = tape.log_softmax_rows(actor_out.logits);
+  Var new_logp = tape.gather_cols(logp_all, {sample.action});
+  Var entropy = rl::policy_entropy_scaled(tape, actor_out.logits, batch);
+
+  Var v_input =
+      tape.constant(Tensor::matrix(1, critic.input_dim(), sample.critic_obs));
+  Var h_v = tape.constant(Tensor::matrix(1, critic.hidden_size(), sample.h_critic));
+  Var c_v = tape.constant(Tensor::matrix(1, critic.hidden_size(), sample.c_critic));
+  auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+
+  Var loss = rl::ppo_shard_loss(tape, new_logp, entropy, critic_out.value,
+                                {sample.log_prob}, {sample.advantage},
+                                {sample.ret}, batch, ppo);
+  tape.backward(loss);
+  return tape.value(loss)[0];
+}
+
+ParallelUpdateEngine::ParallelUpdateEngine(std::size_t num_shards)
+    : num_shards_(std::max<std::size_t>(2, num_shards)), pool_(num_shards_) {
+  shard_tapes_.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s)
+    shard_tapes_.push_back(std::make_unique<Tape>());
+}
+
+void ParallelUpdateEngine::ensure_buffers(
+    const std::vector<nn::Parameter*>& params, std::size_t batch) {
+  bool rebuild = reduced_grads_.size() != params.size();
+  for (std::size_t k = 0; !rebuild && k < params.size(); ++k)
+    rebuild = !reduced_grads_[k].same_shape(params[k]->value);
+  if (rebuild) {
+    reduced_grads_.clear();
+    reduced_grads_.reserve(params.size());
+    for (const nn::Parameter* p : params)
+      reduced_grads_.push_back(Tensor::zeros_like(p->value));
+    sample_grads_.clear();
+  }
+  while (sample_grads_.size() < batch) {
+    std::vector<Tensor> slots;
+    slots.reserve(params.size());
+    for (const nn::Parameter* p : params)
+      slots.push_back(Tensor::zeros_like(p->value));
+    sample_grads_.push_back(std::move(slots));
+  }
+  if (sample_losses_.size() < batch) sample_losses_.resize(batch);
+}
+
+double ParallelUpdateEngine::run_minibatch(
+    UpdateContext& ctx, const std::vector<const rl::Sample*>& samples,
+    const std::vector<std::size_t>& order, std::size_t begin, std::size_t end) {
+  assert(begin < end && end <= order.size());
+  const std::size_t batch = end - begin;
+  ensure_buffers(ctx.params, batch);
+
+  // Contiguous shard ranges; each sample slot is touched by exactly one
+  // worker, and the weights are only read until every future resolves.
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_shards_);
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    const std::size_t lo = batch * shard / num_shards_;
+    const std::size_t hi = batch * (shard + 1) / num_shards_;
+    if (lo == hi) continue;
+    futures.push_back(pool_.submit([this, &ctx, &samples, &order, begin, batch,
+                                    shard, lo, hi]() {
+      Tape& tape = *shard_tapes_[shard];
+      nn::Tape::GradRedirects redirects;
+      redirects.reserve(ctx.params.size());
+      for (std::size_t b = lo; b < hi; ++b) {
+        std::vector<Tensor>& slots = sample_grads_[b];
+        redirects.clear();
+        for (std::size_t k = 0; k < ctx.params.size(); ++k) {
+          slots[k].fill(0.0);
+          redirects.emplace_back(ctx.params[k], &slots[k]);
+        }
+        tape.set_grad_redirects(&redirects);
+        const rl::Sample& s = *samples[order[begin + b]];
+        sample_losses_[b] =
+            sample_loss_and_grads(tape, *ctx.actor, *ctx.critic, s, batch,
+                                  ctx.config->ppo);
+      }
+      tape.set_grad_redirects(nullptr);
+    }));
+  }
+  for (auto& f : futures) f.get();  // rethrows worker exceptions
+
+  // Ordered reduce: fold sample slots in global order 0..batch-1 — the
+  // batched update's exact accumulation sequence (see file comment in the
+  // header).
+  for (Tensor& g : reduced_grads_) g.fill(0.0);
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t k = 0; k < ctx.params.size(); ++k)
+      reduced_grads_[k] += sample_grads_[b][k];
+
+  nn::clip_grad_norm(reduced_grads_, ctx.config->ppo.max_grad_norm);
+  ctx.optim->step_with_grads(reduced_grads_);
+
+  double loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) loss += sample_losses_[b];
+  return loss;
+}
+
+}  // namespace tsc::core

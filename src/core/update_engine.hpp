@@ -1,0 +1,111 @@
+// PPO minibatch-update engine shared by the serial trainer path and the
+// sharded parallel update (mirrors core/rollout_engine.hpp for the rollout
+// phase).
+//
+// Everything one minibatch update touches is passed through UpdateContext,
+// so the identical code drives both (a) the trainer's own networks on its
+// scratch tape (the num_update_shards = 1 serial path, bit-identical to the
+// historical trainer) and (b) the ParallelUpdateEngine, which splits the
+// minibatch across thread-pool workers.
+//
+// Determinism of the sharded path. Every cross-row reduction in this stack
+// folds sequentially over batch rows in increasing row order: the weight
+// gradient matmul_tn accumulates over rows p = 0..B-1 per output element,
+// the broadcast-bias backward sums rows r = 0..B-1, and the batch means
+// divide a row-ordered sum. All remaining ops are strictly row-wise, every
+// Parameter is consumed exactly once per forward, and rl::ppo_shard_loss
+// expresses each batch mean as sum()/B with division in the backward pass
+// (Tape::div_scalar). A single sample's graph therefore produces exactly
+// the terms the batched graph adds for that row, so computing per-sample
+// gradients on any shard layout and folding the per-sample slots in global
+// sample order 0..B-1 replays the batched fold's exact left-to-right
+// binary-add sequence: gradients — and hence weight trajectories — are
+// bit-identical for every shard count, including the batched serial path.
+//
+// Workers share the live (frozen-by-barrier) weights read-only: clip + step
+// happen on the calling thread only after every shard completes, and each
+// sample's gradients land in dedicated slot tensors via the tape's
+// grad-redirect list, never in Parameter::grad.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/core/actor.hpp"
+#include "src/core/critic.hpp"
+#include "src/core/rollout_engine.hpp"
+#include "src/nn/optim.hpp"
+#include "src/nn/tape.hpp"
+#include "src/rl/rollout.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace tsc::core {
+
+/// The mutable collaborators of one model's PPO update. All pointers are
+/// non-owning and must outlive the call.
+struct UpdateContext {
+  const PairUpConfig* config = nullptr;
+  CoordinatedActor* actor = nullptr;
+  CentralizedCritic* critic = nullptr;
+  /// actor->parameters() followed by critic->parameters(): the historical
+  /// clip_grad_norm / Adam order, which the sharded reduce reproduces.
+  std::vector<nn::Parameter*> params;
+  nn::Tape* tape = nullptr;  ///< scratch tape for the serial path
+  nn::Adam* optim = nullptr;
+};
+
+/// One minibatch of the historical batched PPO update: a single batched
+/// forward/backward over samples[order[begin..end)], clip_grad_norm over
+/// ctx.params, one Adam step. This is the pre-refactor trainer loop body
+/// moved verbatim; the num_update_shards = 1 golden regression pins it.
+/// Returns the minibatch loss.
+double serial_minibatch_update(UpdateContext& ctx,
+                               const std::vector<const rl::Sample*>& samples,
+                               const std::vector<std::size_t>& order,
+                               std::size_t begin, std::size_t end);
+
+/// Forward/backward for ONE sample as its 1/`batch` share of a minibatch.
+/// Parameter gradients accumulate into the tape's installed grad-redirect
+/// targets (the caller's per-sample slot tensors). Returns the scaled
+/// per-sample loss, so the sum over a minibatch's samples equals that
+/// minibatch's loss up to summation order.
+double sample_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
+                             CentralizedCritic& critic, const rl::Sample& sample,
+                             std::size_t batch, const rl::PpoConfig& ppo);
+
+/// Shards each minibatch's per-sample forward/backward passes across a
+/// reusable thread pool (contiguous sample ranges, one scratch tape per
+/// shard), then reduces the per-sample gradient slots in fixed sample order
+/// on the calling thread before the single clip_grad_norm + Adam step. See
+/// the file comment for why this is bit-identical to the serial update.
+class ParallelUpdateEngine {
+ public:
+  /// `num_shards` >= 2 (use serial_minibatch_update directly for 1).
+  explicit ParallelUpdateEngine(std::size_t num_shards);
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Sharded equivalent of serial_minibatch_update (ctx.tape is unused).
+  /// Returns the sum of the per-sample scaled losses — the same quantity as
+  /// the serial minibatch loss up to FP summation order.
+  double run_minibatch(UpdateContext& ctx,
+                       const std::vector<const rl::Sample*>& samples,
+                       const std::vector<std::size_t>& order,
+                       std::size_t begin, std::size_t end);
+
+ private:
+  void ensure_buffers(const std::vector<nn::Parameter*>& params,
+                      std::size_t batch);
+
+  std::size_t num_shards_;
+  util::ThreadPool pool_;
+  std::vector<std::unique_ptr<nn::Tape>> shard_tapes_;
+  /// sample_grads_[b][k]: sample b's gradient for params[k] (slot tensors).
+  std::vector<std::vector<nn::Tensor>> sample_grads_;
+  std::vector<double> sample_losses_;
+  /// Per-parameter reduction target for the ordered fold.
+  std::vector<nn::Tensor> reduced_grads_;
+};
+
+}  // namespace tsc::core

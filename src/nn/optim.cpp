@@ -1,6 +1,7 @@
 #include "src/nn/optim.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace tsc::nn {
 
@@ -13,6 +14,19 @@ double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
     const double scale = max_norm / norm;
     for (Parameter* p : params)
       for (std::size_t i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+  }
+  return norm;
+}
+
+double clip_grad_norm(std::vector<Tensor>& grads, double max_norm) {
+  double total_sq = 0.0;
+  for (const Tensor& g : grads)
+    for (std::size_t i = 0; i < g.size(); ++i) total_sq += g[i] * g[i];
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Tensor& g : grads)
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] *= scale;
   }
   return norm;
 }
@@ -32,25 +46,55 @@ Adam::Adam(std::vector<Parameter*> params, Config config)
   }
 }
 
+void Adam::apply_param(std::size_t k, const Tensor& grad, double bc1, double bc2) {
+  Parameter& p = *params_[k];
+  Tensor& m = m_[k];
+  Tensor& v = v_[k];
+  for (std::size_t i = 0; i < p.value.size(); ++i) {
+    const double g = grad[i];
+    m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g;
+    v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g;
+    const double m_hat = m[i] / bc1;
+    const double v_hat = v[i] / bc2;
+    p.value[i] -= config_.lr *
+                  (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                   config_.weight_decay * p.value[i]);
+  }
+}
+
 void Adam::step() {
   ++t_;
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
-  for (std::size_t k = 0; k < params_.size(); ++k) {
-    Parameter& p = *params_[k];
-    Tensor& m = m_[k];
-    Tensor& v = v_[k];
-    for (std::size_t i = 0; i < p.value.size(); ++i) {
-      const double g = p.grad[i];
-      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g;
-      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g;
-      const double m_hat = m[i] / bc1;
-      const double v_hat = v[i] / bc2;
-      p.value[i] -= config_.lr *
-                    (m_hat / (std::sqrt(v_hat) + config_.eps) +
-                     config_.weight_decay * p.value[i]);
-    }
-  }
+  for (std::size_t k = 0; k < params_.size(); ++k)
+    apply_param(k, params_[k]->grad, bc1, bc2);
+}
+
+void Adam::step_with_grads(const std::vector<Tensor>& grads) {
+  if (grads.size() != params_.size())
+    throw std::invalid_argument("Adam::step_with_grads: gradient count mismatch");
+  for (std::size_t k = 0; k < params_.size(); ++k)
+    if (!grads[k].same_shape(params_[k]->value))
+      throw std::invalid_argument("Adam::step_with_grads: shape mismatch for " +
+                                  params_[k]->name);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k)
+    apply_param(k, grads[k], bc1, bc2);
+}
+
+void Adam::restore_state(std::vector<Tensor> m, std::vector<Tensor> v,
+                         std::size_t t) {
+  if (m.size() != params_.size() || v.size() != params_.size())
+    throw std::invalid_argument("Adam::restore_state: moment count mismatch");
+  for (std::size_t k = 0; k < params_.size(); ++k)
+    if (!m[k].same_shape(params_[k]->value) || !v[k].same_shape(params_[k]->value))
+      throw std::invalid_argument("Adam::restore_state: shape mismatch for " +
+                                  params_[k]->name);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
 }
 
 }  // namespace tsc::nn

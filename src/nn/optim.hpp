@@ -12,6 +12,13 @@ namespace tsc::nn {
 /// Returns the pre-clip norm.
 double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
 
+/// Same clip over raw gradient tensors held outside the parameters (the
+/// sharded PPO update reduces worker gradients into its own buffers and
+/// clips those). The fold order over tensors matches the Parameter*
+/// overload's order over params, so clipping the same values gives the
+/// same result either way.
+double clip_grad_norm(std::vector<Tensor>& grads, double max_norm);
+
 class Sgd {
  public:
   Sgd(std::vector<Parameter*> params, double lr) : params_(std::move(params)), lr_(lr) {}
@@ -40,11 +47,31 @@ class Adam {
   /// Applies one update from the parameters' current gradients.
   void step();
 
+  /// Applies one update reading gradients positionally from `grads` instead
+  /// of the parameters' own grad tensors; the parameters' grad tensors are
+  /// left untouched. Identical arithmetic to step(). Used by the sharded
+  /// PPO update, which reduces per-sample gradients outside the parameters.
+  /// Throws std::invalid_argument on count or shape mismatch.
+  void step_with_grads(const std::vector<Tensor>& grads);
+
   void set_lr(double lr) { config_.lr = lr; }
   double lr() const { return config_.lr; }
   std::size_t steps_taken() const { return t_; }
 
+  // ---- state access for checkpointing (nn/serialize.cpp) ----
+  std::size_t num_params() const { return params_.size(); }
+  const std::vector<Parameter*>& params() const { return params_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+  /// Restores moments and step count from a checkpoint. Throws
+  /// std::invalid_argument unless `m`/`v` match the parameter list
+  /// pairwise in count and shape.
+  void restore_state(std::vector<Tensor> m, std::vector<Tensor> v,
+                     std::size_t t);
+
  private:
+  void apply_param(std::size_t k, const Tensor& grad, double bc1, double bc2);
+
   std::vector<Parameter*> params_;
   Config config_;
   std::vector<Tensor> m_;

@@ -8,6 +8,8 @@ namespace tsc::nn {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'C', 'W'};
+constexpr char kOptimMagic[4] = {'T', 'S', 'C', 'O'};
+constexpr std::uint64_t kOptimVersion = 1;
 
 void write_u64(std::ofstream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -17,6 +19,16 @@ std::uint64_t read_u64(std::ifstream& in) {
   std::uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
+}
+
+void write_values(std::ofstream& out, const Tensor& t) {
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(double)));
+}
+
+void read_values(std::ifstream& in, Tensor& t) {
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(double)));
 }
 
 }  // namespace
@@ -60,6 +72,65 @@ void load_weights(Module& module, const std::string& path) {
             static_cast<std::streamsize>(p->value.size() * sizeof(double)));
   }
   if (!in) throw std::runtime_error("load_weights: truncated file " + path);
+}
+
+void save_optimizer_state(const Adam& optim, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_optimizer_state: cannot open " + path);
+  out.write(kOptimMagic, sizeof(kOptimMagic));
+  write_u64(out, kOptimVersion);
+  write_u64(out, optim.steps_taken());
+  const auto& m = optim.first_moments();
+  const auto& v = optim.second_moments();
+  write_u64(out, m.size());
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    write_u64(out, m[k].rank());
+    for (std::size_t d : m[k].shape()) write_u64(out, d);
+    write_values(out, m[k]);
+    write_values(out, v[k]);
+  }
+  if (!out)
+    throw std::runtime_error("save_optimizer_state: write failed for " + path);
+}
+
+void load_optimizer_state(Adam& optim, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_optimizer_state: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kOptimMagic, 4))
+    throw std::runtime_error("load_optimizer_state: bad magic in " + path);
+  const std::uint64_t version = read_u64(in);
+  if (version != kOptimVersion)
+    throw std::runtime_error("load_optimizer_state: unsupported version in " + path);
+  const std::uint64_t t = read_u64(in);
+  const std::uint64_t count = read_u64(in);
+  if (count != optim.num_params())
+    throw std::runtime_error("load_optimizer_state: parameter count mismatch in " +
+                             path);
+  std::vector<Tensor> m, v;
+  m.reserve(count);
+  v.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const Parameter& p = *optim.params()[k];
+    const std::uint64_t rank = read_u64(in);
+    if (rank != p.value.rank())
+      throw std::runtime_error("load_optimizer_state: rank mismatch for " + p.name);
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::uint64_t dim = read_u64(in);
+      if (dim != p.value.shape()[d])
+        throw std::runtime_error("load_optimizer_state: shape mismatch for " +
+                                 p.name);
+    }
+    Tensor mk = Tensor::zeros_like(p.value);
+    Tensor vk = Tensor::zeros_like(p.value);
+    read_values(in, mk);
+    read_values(in, vk);
+    m.push_back(std::move(mk));
+    v.push_back(std::move(vk));
+  }
+  if (!in) throw std::runtime_error("load_optimizer_state: truncated file " + path);
+  optim.restore_state(std::move(m), std::move(v), static_cast<std::size_t>(t));
 }
 
 }  // namespace tsc::nn

@@ -1,13 +1,19 @@
-// Checkpointing: save/load a Module's parameters to a simple binary format.
+// Checkpointing: save/load a Module's parameters and an optimizer's state
+// to simple binary formats.
 //
-// Format: magic "TSCW", u64 parameter count, then per parameter:
-//   u64 rank, u64 dims..., f64 values...
-// Parameters are matched positionally (same module architecture required).
+// Weights:   magic "TSCW", u64 parameter count, then per parameter:
+//              u64 rank, u64 dims..., f64 values...
+// Optimizer: magic "TSCO", u64 format version, u64 step count, u64
+//            parameter count, then per parameter:
+//              u64 rank, u64 dims..., f64 first moments..., f64 second
+//              moments...
+// Both match positionally (same module/optimizer architecture required).
 #pragma once
 
 #include <string>
 
 #include "src/nn/module.hpp"
+#include "src/nn/optim.hpp"
 
 namespace tsc::nn {
 
@@ -17,5 +23,16 @@ void save_weights(Module& module, const std::string& path);
 /// Loads parameters saved by save_weights. Throws on I/O failure or if the
 /// stored shapes do not match the module's parameters.
 void load_weights(Module& module, const std::string& path);
+
+/// Writes `optim`'s full state (Adam step count + per-parameter first and
+/// second moments) to `path`. Without this a resumed run silently restarts
+/// the moments and bias correction, so its training curve diverges from the
+/// uninterrupted one. Throws on I/O failure.
+void save_optimizer_state(const Adam& optim, const std::string& path);
+
+/// Restores state saved by save_optimizer_state. Throws on I/O failure, an
+/// unknown format version, or if the stored shapes do not match the
+/// optimizer's parameters (same checks as load_weights).
+void load_optimizer_state(Adam& optim, const std::string& path);
 
 }  // namespace tsc::nn

@@ -32,10 +32,22 @@ Var Tape::leaf(Tensor value) { return push(std::move(value)); }
 Var Tape::param(Parameter& p) {
   Var v = push(p.value);
   node(v).parameter = &p;
+  if (redirects_) {
+    for (const auto& [target, sink] : *redirects_) {
+      if (target == &p) {
+        node(v).grad_sink = sink;
+        break;
+      }
+    }
+  }
   Var vc = v;
   node(v).back = [this, vc]() {
     Node& n = node(vc);
-    n.parameter->grad += n.grad;
+    if (n.grad_sink) {
+      *n.grad_sink += n.grad;
+    } else {
+      n.parameter->grad += n.grad;
+    }
   };
   return v;
 }
@@ -116,6 +128,19 @@ Var Tape::scale(Var a, double c) {
     const Tensor& g = node(v).grad;
     Tensor& ga = node(a).grad;
     for (std::size_t i = 0; i < g.size(); ++i) ga[i] += c * g[i];
+  };
+  return v;
+}
+
+Var Tape::div_scalar(Var a, double d) {
+  assert(d != 0.0);
+  Tensor out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] /= d;
+  Var v = push(std::move(out));
+  node(v).back = [this, v, a, d]() {
+    const Tensor& g = node(v).grad;
+    Tensor& ga = node(a).grad;
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += g[i] / d;
   };
   return v;
 }

@@ -63,6 +63,11 @@ class Tape {
   /// Element-wise multiply (shapes must match).
   Var mul(Var a, Var b);
   Var scale(Var a, double c);
+  /// Element-wise division by scalar `d`; the backward pass divides the
+  /// incoming gradient by `d`. Not the same rounding as scale(a, 1/d):
+  /// division matches mean()'s backward exactly, which the sharded PPO
+  /// update relies on for bit-identical gradients (core/update_engine.cpp).
+  Var div_scalar(Var a, double d);
   Var add_scalar(Var a, double c);
   Var neg(Var a) { return scale(a, -1.0); }
   /// Matrix product: a [m,k] @ b [k,n].
@@ -122,12 +127,27 @@ class Tape {
 
   std::size_t num_nodes() const { return nodes_.size(); }
 
+  /// Parameter-gradient redirect list: while installed, backward()
+  /// accumulates the gradient of each listed Parameter into the paired
+  /// Tensor instead of Parameter::grad (parameters not on the list keep the
+  /// default sink). This is how the sharded PPO update gives every worker
+  /// thread-local accumulation buffers over the shared, frozen weights: the
+  /// parameters themselves are only ever read. The sink is resolved when
+  /// param() records the node, so install the list before the forward pass;
+  /// both the list and its target tensors must outlive that backward().
+  /// Survives reset(); pass nullptr to restore the default behavior.
+  using GradRedirects = std::vector<std::pair<Parameter*, Tensor*>>;
+  void set_grad_redirects(const GradRedirects* redirects) {
+    redirects_ = redirects;
+  }
+
  private:
   struct Node {
     Tensor value;
     Tensor grad;
     std::function<void()> back;  // empty for constants/leaves
     Parameter* parameter = nullptr;
+    Tensor* grad_sink = nullptr;  // overrides parameter->grad when set
   };
 
   Var push(Tensor value);
@@ -136,6 +156,7 @@ class Tape {
 
   std::vector<Node> nodes_;
   std::size_t peak_nodes_ = 0;  ///< high-water mark for reset()'s reserve
+  const GradRedirects* redirects_ = nullptr;
 };
 
 }  // namespace tsc::nn

@@ -38,12 +38,51 @@ nn::Var ppo_total_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
 }
 
 nn::Var policy_entropy(nn::Tape& tape, nn::Var logits) {
+  return policy_entropy_scaled(tape, logits, tape.value(logits).rows());
+}
+
+nn::Var policy_entropy_scaled(nn::Tape& tape, nn::Var logits, std::size_t divisor) {
   nn::Var logp = tape.log_softmax_rows(logits);
   nn::Var p = tape.softmax_rows(logits);
-  const std::size_t rows = tape.value(logits).rows();
-  // H = -mean_rows sum_a p*logp == -sum(p*logp)/rows
+  // H = -mean_rows sum_a p*logp == -sum(p*logp)/divisor
   nn::Var plogp = tape.sum(tape.mul(p, logp));
-  return tape.scale(plogp, -1.0 / static_cast<double>(rows));
+  return tape.scale(plogp, -1.0 / static_cast<double>(divisor));
+}
+
+nn::Var ppo_shard_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
+                       nn::Var values, const std::vector<double>& old_logp,
+                       const std::vector<double>& advantages,
+                       const std::vector<double>& returns, std::size_t divisor,
+                       const PpoConfig& config) {
+  const std::size_t batch = old_logp.size();
+  assert(divisor >= batch && divisor > 0);
+  assert(advantages.size() == batch && returns.size() == batch);
+  assert(tape.value(new_logp).rows() == batch && tape.value(new_logp).cols() == 1);
+  assert(tape.value(values).rows() == batch && tape.value(values).cols() == 1);
+
+  std::vector<double> old_logp_col(old_logp);
+  nn::Var old_logp_node =
+      tape.constant(nn::Tensor::matrix(batch, 1, std::move(old_logp_col)));
+  std::vector<double> adv_col(advantages);
+  nn::Var adv_node = tape.constant(nn::Tensor::matrix(batch, 1, std::move(adv_col)));
+
+  nn::Var ratio = tape.exp(tape.sub(new_logp, old_logp_node));
+  nn::Var unclipped = tape.mul(ratio, adv_node);
+  nn::Var clipped = tape.mul(
+      tape.clamp(ratio, 1.0 - config.clip_eps, 1.0 + config.clip_eps), adv_node);
+  nn::Var policy_objective = tape.div_scalar(
+      tape.sum(tape.min_elem(unclipped, clipped)), static_cast<double>(divisor));
+
+  std::vector<double> ret_col(returns);
+  nn::Var ret_node = tape.constant(nn::Tensor::matrix(batch, 1, std::move(ret_col)));
+  nn::Var value_loss = tape.div_scalar(tape.sum(tape.square(tape.sub(values, ret_node))),
+                                       static_cast<double>(divisor));
+
+  nn::Var loss = tape.add(
+      tape.neg(policy_objective),
+      tape.sub(tape.scale(value_loss, config.value_coef),
+               tape.scale(entropy, config.entropy_coef)));
+  return loss;
 }
 
 double epsilon_at(std::size_t episode, const PpoConfig& config) {

@@ -44,6 +44,26 @@ nn::Var ppo_total_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
 /// -sum_a p log p. Returns a scalar node.
 nn::Var policy_entropy(nn::Tape& tape, nn::Var logits);
 
+/// policy_entropy with an explicit divisor instead of the node's own row
+/// count: identical op sequence, but scaled by -1/divisor. The sharded PPO
+/// update (core/update_engine.cpp) evaluates single-sample graphs that must
+/// contribute gradients as their exact 1/minibatch share of the batched
+/// graph, so it passes the full minibatch size here.
+nn::Var policy_entropy_scaled(nn::Tape& tape, nn::Var logits, std::size_t divisor);
+
+/// The same objective as ppo_total_loss, but with every batch mean written
+/// as sum()/divisor (Tape::div_scalar) so a graph over any subset of a
+/// minibatch contributes its exact share of the full minibatch gradient.
+/// With rows == divisor the two losses are the same objective; the backward
+/// arithmetic is engineered to match ppo_total_loss rounding-for-rounding
+/// (see core/update_engine.cpp for the argument). `entropy` must come from
+/// policy_entropy_scaled with the same divisor.
+nn::Var ppo_shard_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
+                       nn::Var values, const std::vector<double>& old_logp,
+                       const std::vector<double>& advantages,
+                       const std::vector<double>& returns, std::size_t divisor,
+                       const PpoConfig& config);
+
 /// Linear epsilon decay: start -> end over `decay_episodes`.
 double epsilon_at(std::size_t episode, const PpoConfig& config);
 

@@ -82,12 +82,16 @@ double Rng::logistic() {
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {
+  if (weights.empty())
+    throw std::invalid_argument("categorical: empty weight vector");
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    if (!(w >= 0.0))  // negated to also reject NaN
+      throw std::invalid_argument("categorical: negative or NaN weight");
     total += w;
   }
-  if (total <= 0.0) throw std::invalid_argument("categorical: all weights zero");
+  if (!(total > 0.0) || !std::isfinite(total))
+    throw std::invalid_argument("categorical: no strictly positive weight");
   double r = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     r -= weights[i];
@@ -104,5 +108,19 @@ double Rng::exponential(double rate) {
 }
 
 Rng Rng::split() { return Rng((*this)()); }
+
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
 
 }  // namespace tsc

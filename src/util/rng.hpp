@@ -54,7 +54,10 @@ class Rng {
 
   /// Samples an index from an (unnormalized, non-negative) weight vector.
   /// Returns weights.size()-1 if rounding pushes past the end.
-  /// Requires at least one strictly positive weight.
+  /// Throws std::invalid_argument (in every build mode) if the vector is
+  /// empty, any weight is negative or NaN, or no weight is strictly
+  /// positive — each of those would otherwise silently return a biased or
+  /// out-of-range index.
   std::size_t categorical(const std::vector<double>& weights);
 
   /// Exponential inter-arrival sample with the given rate (events/unit time).
@@ -62,6 +65,16 @@ class Rng {
 
   /// Derives an independent generator (for per-agent / per-worker streams).
   Rng split();
+
+  /// Full generator state, including the Box-Muller cache, so a restored
+  /// generator continues the exact draw sequence (checkpoint/resume).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& state);
 
  private:
   std::uint64_t s_[4];

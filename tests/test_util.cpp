@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <stdexcept>
 
 #include "src/util/csv.hpp"
 #include "src/util/rng.hpp"
@@ -103,6 +105,52 @@ TEST(Rng, CategoricalHandlesZeroPrefix) {
   Rng rng(12);
   std::vector<double> w = {0.0, 0.0, 1.0};
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(w), 2u);
+}
+
+TEST(Rng, CategoricalThrowsOnEmpty) {
+  Rng rng(11);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalThrowsOnNegativeWeight) {
+  // Negative weights used to be assert-only, so release builds silently
+  // sampled from a corrupted distribution.
+  Rng rng(11);
+  std::vector<double> w = {0.5, -0.25, 0.75};
+  EXPECT_THROW(rng.categorical(w), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalThrowsOnNanWeight) {
+  Rng rng(11);
+  std::vector<double> w = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(rng.categorical(w), std::invalid_argument);
+  std::vector<double> inf = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(rng.categorical(inf), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalDoesNotConsumeStreamOnThrow) {
+  // A rejected draw must not advance the generator: checkpointed streams
+  // would otherwise desync on recovered errors.
+  Rng rng(14);
+  Rng reference(14);
+  try {
+    rng.categorical({0.0, 0.0});
+  } catch (const std::invalid_argument&) {
+  }
+  EXPECT_EQ(rng(), reference());
+}
+
+TEST(Rng, StateRoundTripResumesStream) {
+  Rng rng(21);
+  rng.normal();  // leave a cached Box-Muller value in flight
+  const Rng::State snapshot = rng.state();
+  std::vector<double> expected = {rng.normal(), rng.uniform(),
+                                  static_cast<double>(rng())};
+  Rng restored(999);  // different seed: state must fully overwrite it
+  restored.set_state(snapshot);
+  EXPECT_DOUBLE_EQ(restored.normal(), expected[0]);
+  EXPECT_DOUBLE_EQ(restored.uniform(), expected[1]);
+  EXPECT_DOUBLE_EQ(static_cast<double>(restored()), expected[2]);
 }
 
 TEST(Rng, ExponentialMeanMatchesRate) {

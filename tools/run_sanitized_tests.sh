@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds and runs the concurrency-sensitive test suites under ThreadSanitizer
+# and then AddressSanitizer+UBSan, using the TSC_SANITIZE cache knob from the
+# root CMakeLists. Each sanitizer gets its own build tree (build-san-<name>)
+# so incremental rebuilds stay cheap; only the two parallel test binaries are
+# built, and ctest is filtered to the suites that exercise threads:
+#
+#   ThreadPool / MergeRollouts / ParallelRollout / TscEnvClone   (rollouts)
+#   ParallelUpdate / OptimizerCheckpoint / TrainerResume         (updates)
+#
+# Usage: tools/run_sanitized_tests.sh [source-dir]
+# Exits non-zero on the first sanitizer failure.
+set -euo pipefail
+
+SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|OptimizerCheckpoint|TrainerResume'
+TARGETS=(test_parallel_rollout test_parallel_update)
+
+run_one() {
+  local san="$1" name="$2"
+  local build_dir="$SRC_DIR/build-san-$name"
+  echo "=== sanitizer: $san (build dir: $build_dir) ==="
+  cmake -B "$build_dir" -S "$SRC_DIR" -DTSC_SANITIZE="$san" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" -j --target "${TARGETS[@]}"
+  (cd "$build_dir" && ctest -R "$FILTER" --output-on-failure)
+  echo "=== sanitizer: $san OK ==="
+}
+
+run_one thread tsan
+run_one "address,undefined" asan-ubsan
+
+echo "All sanitized test runs passed."
