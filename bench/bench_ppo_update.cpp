@@ -1,18 +1,30 @@
-// PPO-update throughput: samples processed per second for
-// num_update_shards in {1, 2, 4, 8} on the paper's 6x6 grid.
+// PPO-update throughput: samples processed per second across the update
+// configuration matrix — serial, per-sample shards and batched shards for
+// num_update_shards in {2, 4, 8} — on the paper's 6x6 grid.
 //
 // Measures trainer.update() only (the sharded phase; rollout collection is
-// covered by bench_rollout_throughput). Each shard count gets a fresh
+// covered by bench_rollout_throughput). Each configuration gets a fresh
 // trainer with identical initial weights and collects the same seeded
-// batch, so rounds differ only in update parallelism - and because sharded
-// gradients are bit-identical to the serial update (core/update_engine.hpp),
-// every configuration performs literally the same weight trajectory.
-// Results land on stdout and in BENCH_ppo_update.json for machine
-// consumption. Parallel speedup is bounded by the machine:
-// hardware_concurrency is printed alongside so a 1-core box showing ~1x is
-// interpretable.
+// batch, so rounds differ only in update layout. Per-sample shards perform
+// literally the same weight trajectory as serial (bit-identical gradients,
+// core/update_engine.hpp); batched shards track it within FP noise
+// (tests/test_update_modes.cpp).
 //
-// Knobs: PAIRUP_EPISODES (update rounds per shard count, default 3),
+// Two distinct speedup sources, worth separating when reading results:
+//   * threads - per-sample vs serial only wins via parallelism, so a 1-core
+//     box shows <= 1x there (hardware_concurrency is printed alongside);
+//   * batching - batched shards replace `minibatch` single-row tapes with
+//     one multi-row tape per shard, so every Linear/LSTM matmul runs at
+//     rows = shard size instead of rows = 1. That cuts per-node tape
+//     overhead and wins even on 1 core (expect >= 2x over per-sample at
+//     minibatch 256).
+// The minibatch is raised to 256 here (vs the training default) so shard
+// slices stay wide enough for the batching effect to dominate.
+//
+// Results land on stdout and in BENCH_ppo_update.json for machine
+// consumption.
+//
+// Knobs: PAIRUP_EPISODES (update rounds per configuration, default 3),
 // PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED.
 #include <chrono>
 #include <cstdio>
@@ -29,6 +41,7 @@ namespace {
 using namespace tsc;
 
 struct Row {
+  core::UpdateMode mode = core::UpdateMode::kSerial;
   std::size_t num_update_shards = 0;
   std::size_t batch_samples = 0;
   double wall_seconds = 0.0;
@@ -57,12 +70,14 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"num_update_shards\": %zu, \"batch_samples\": %zu, "
+                 "    {\"update_mode\": \"%s\", \"num_update_shards\": %zu, "
+                 "\"batch_samples\": %zu, "
                  "\"wall_seconds\": %.6f, \"samples_per_sec\": %.2f, "
                  "\"wall_seconds_per_update\": %.6f, "
                  "\"speedup_vs_serial\": %.3f}%s\n",
-                 r.num_update_shards, r.batch_samples, r.wall_seconds,
-                 r.samples_per_sec, r.wall_per_update, r.speedup,
+                 bench::update_mode_name(r.mode), r.num_update_shards,
+                 r.batch_samples, r.wall_seconds, r.samples_per_sec,
+                 r.wall_per_update, r.speedup,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -74,34 +89,47 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
 
 int main() {
   bench::HarnessConfig defaults;
-  defaults.episodes = 3;  // update rounds per shard count
+  defaults.episodes = 3;  // update rounds per configuration
   const bench::HarnessConfig config = bench::load_config(defaults);
   auto grid = bench::make_grid(config);
   core::PairUpConfig pairup_template = bench::make_pairup_config(config);
+  pairup_template.ppo.minibatch = 256;  // wide shard slices (see file comment)
 
   std::printf(
       "PPO update throughput, %zux%zu grid, %g s episodes, "
-      "%zu update rounds per configuration\n"
+      "%zu update rounds per configuration, minibatch %zu\n"
       "hardware_concurrency: %u\n\n",
       config.grid_rows, config.grid_cols, config.episode_seconds,
-      config.episodes, std::thread::hardware_concurrency());
+      config.episodes, pairup_template.ppo.minibatch,
+      std::thread::hardware_concurrency());
   bench::print_header("updater", {"samples/sec", "s/update", "speedup"});
 
+  struct Config {
+    core::UpdateMode mode;
+    std::size_t num_shards;
+  };
+  std::vector<Config> configs = {{core::UpdateMode::kSerial, 1}};
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}})
+    configs.push_back({core::UpdateMode::kPerSampleShards, shards});
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}})
+    configs.push_back({core::UpdateMode::kBatchedShards, shards});
+
   std::vector<Row> rows;
-  for (std::size_t num_shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
-                                 std::size_t{8}}) {
+  for (const Config& c : configs) {
     // Fresh env + trainer per configuration: identical initial weights and
-    // an identically seeded batch, so rounds differ only in update shards.
+    // an identically seeded batch, so rounds differ only in update layout.
     auto environment =
         bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
     core::PairUpConfig pairup_config = pairup_template;
-    pairup_config.num_update_shards = num_shards;
+    pairup_config.num_update_shards = c.num_shards;
+    pairup_config.update_mode = c.mode;
     core::PairUpLightTrainer trainer(environment.get(), pairup_config);
 
     const auto collected = trainer.collect_rollouts(config.seed + 1000);
 
     Row row;
-    row.num_update_shards = num_shards;
+    row.mode = c.mode;
+    row.num_update_shards = c.num_shards;
     row.batch_samples = collected.buffer.total_samples();
     for (std::size_t r = 0; r < config.episodes; ++r) {
       // Each round updates a fresh copy: update() normalizes advantages in
@@ -122,7 +150,8 @@ int main() {
         rows.empty() ? 1.0 : row.samples_per_sec / rows.front().samples_per_sec;
     rows.push_back(row);
 
-    bench::print_row("num_update_shards=" + std::to_string(num_shards),
+    bench::print_row(std::string(bench::update_mode_name(c.mode)) + " x" +
+                         std::to_string(c.num_shards),
                      {row.samples_per_sec, row.wall_per_update, row.speedup});
   }
 

@@ -20,7 +20,28 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
 }
 
+core::UpdateMode env_update_mode(const char* name, core::UpdateMode fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  if (s == "serial") return core::UpdateMode::kSerial;
+  if (s == "per_sample") return core::UpdateMode::kPerSampleShards;
+  if (s == "batched") return core::UpdateMode::kBatchedShards;
+  log_warn(name, ": unknown update mode \"", s,
+           "\" (want serial | per_sample | batched), keeping default");
+  return fallback;
+}
+
 }  // namespace
+
+const char* update_mode_name(core::UpdateMode mode) {
+  switch (mode) {
+    case core::UpdateMode::kSerial: return "serial";
+    case core::UpdateMode::kPerSampleShards: return "per_sample";
+    case core::UpdateMode::kBatchedShards: return "batched";
+  }
+  return "unknown";
+}
 
 HarnessConfig load_config(HarnessConfig defaults) {
   HarnessConfig config = defaults;
@@ -32,6 +53,7 @@ HarnessConfig load_config(HarnessConfig defaults) {
   config.num_envs = std::max<std::size_t>(1, env_size("PAIRUP_NUM_ENVS", config.num_envs));
   config.num_update_shards = std::max<std::size_t>(
       1, env_size("PAIRUP_NUM_UPDATE_SHARDS", config.num_update_shards));
+  config.update_mode = env_update_mode("PAIRUP_UPDATE_MODE", config.update_mode);
   return config;
 }
 
@@ -40,6 +62,7 @@ core::PairUpConfig make_pairup_config(const HarnessConfig& config) {
   pairup.seed = config.seed;
   pairup.num_envs = config.num_envs;
   pairup.num_update_shards = config.num_update_shards;
+  pairup.update_mode = config.update_mode;
   return pairup;
 }
 

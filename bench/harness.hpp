@@ -14,6 +14,9 @@
 //   PAIRUP_NUM_UPDATE_SHARDS  PPO-update worker threads per minibatch
 //                       (default 1 = serial; gradients are bit-identical
 //                       for every value, see core/update_engine.hpp)
+//   PAIRUP_UPDATE_MODE  sharded-update layout: "serial", "per_sample"
+//                       (default; bit-identical) or "batched" (one batched
+//                       pass per shard, tolerance-bounded)
 // Set PAIRUP_TIME_SCALE=1 PAIRUP_EPISODE_SECONDS=3600 PAIRUP_EPISODES=1000
 // to replicate the paper's full protocol.
 #pragma once
@@ -40,7 +43,12 @@ struct HarnessConfig {
   std::size_t grid_cols = 6;
   std::size_t num_envs = 1;        ///< parallel rollout envs per train step
   std::size_t num_update_shards = 1;  ///< PPO-update shards per minibatch
+  core::UpdateMode update_mode = core::UpdateMode::kPerSampleShards;
 };
+
+/// Human-readable name of an UpdateMode ("serial" / "per_sample" /
+/// "batched"), matching what PAIRUP_UPDATE_MODE accepts.
+const char* update_mode_name(core::UpdateMode mode);
 
 /// Reads the PAIRUP_* environment overrides on top of `defaults`.
 HarnessConfig load_config(HarnessConfig defaults);

@@ -33,6 +33,7 @@ StudyResult run_study(tsc::env::TscEnv& environment,
     result.trace.record(environment.simulator());
   }
   result.stats.travel_time = environment.average_travel_time();
+  result.stats.delay = environment.average_delay();
   result.stats.avg_wait = environment.episode_avg_wait();
   result.stats.vehicles_finished = environment.simulator().vehicles_finished();
   result.stats.vehicles_spawned = environment.simulator().vehicles_spawned();

@@ -169,6 +169,7 @@ env::EpisodeStats Ma2cTrainer::run(bool train_mode, std::uint64_t seed) {
   env::EpisodeStats stats;
   stats.avg_wait = env_->episode_avg_wait();
   stats.travel_time = env_->average_travel_time();
+  stats.delay = env_->average_delay();
   stats.mean_reward =
       reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
   stats.vehicles_finished = env_->simulator().vehicles_finished();

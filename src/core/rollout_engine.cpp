@@ -277,6 +277,7 @@ env::EpisodeStats run_rollout_episode(RolloutContext& ctx, std::uint64_t seed,
   env::EpisodeStats stats;
   stats.avg_wait = env.episode_avg_wait();
   stats.travel_time = env.average_travel_time();
+  stats.delay = env.average_delay();
   stats.mean_reward =
       reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
   stats.vehicles_finished = env.simulator().vehicles_finished();

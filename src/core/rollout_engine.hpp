@@ -31,6 +31,24 @@ enum class PairingStrategy {
   kFixedUpstream,          ///< first upstream neighbor, never re-paired
 };
 
+/// How each PPO minibatch's forward/backward work is laid out across the
+/// update shards (core/update_engine.hpp has the full determinism argument).
+enum class UpdateMode {
+  /// Single batched pass on the calling thread, regardless of
+  /// num_update_shards: the historical golden-tested update.
+  kSerial,
+  /// One single-row tape per sample, sharded across workers; per-sample
+  /// gradient slots are folded in global sample order, so weights are
+  /// BIT-IDENTICAL to kSerial for every shard count.
+  kPerSampleShards,
+  /// One batched forward/backward per worker over its contiguous minibatch
+  /// slice; per-shard gradient slots are folded in shard order. Each weight
+  /// gradient's row fold is re-associated at shard boundaries, so weights
+  /// are tolerance-bounded against kSerial, not bit-identical — but every
+  /// Linear/LSTM op runs at rows = shard size instead of rows = 1.
+  kBatchedShards,
+};
+
 struct PairUpConfig {
   rl::PpoConfig ppo;
   std::size_t hidden = 64;
@@ -65,6 +83,13 @@ struct PairUpConfig {
   /// num_envs — training curves can be compared across shard counts (see
   /// core/update_engine.hpp for the argument and its golden tests).
   std::size_t num_update_shards = 1;
+  /// Work layout of the sharded update (only consulted when
+  /// num_update_shards > 1; a single shard always runs kSerial).
+  /// kPerSampleShards keeps the bit-identical guarantee above;
+  /// kBatchedShards trades it for one batched matmul per worker — weights
+  /// then track the serial run within a pinned tolerance instead of
+  /// exactly (tests/test_update_modes.cpp).
+  UpdateMode update_mode = UpdateMode::kPerSampleShards;
   std::uint64_t seed = 1;
 };
 

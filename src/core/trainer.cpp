@@ -116,8 +116,9 @@ PairUpLightTrainer::PairUpLightTrainer(env::TscEnv* env, PairUpConfig config)
         std::move(workers));
   }
 
-  if (config_.num_update_shards > 1)
-    updater_ = std::make_unique<ParallelUpdateEngine>(config_.num_update_shards);
+  if (config_.num_update_shards > 1 && config_.update_mode != UpdateMode::kSerial)
+    updater_ = std::make_unique<ParallelUpdateEngine>(config_.num_update_shards,
+                                                      config_.update_mode);
 }
 
 RolloutContext PairUpLightTrainer::serial_context() {
@@ -240,6 +241,7 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
     parts.push_back(std::move(r.buffer));
     stats.avg_wait += r.stats.avg_wait;
     stats.travel_time += r.stats.travel_time;
+    stats.delay += r.stats.delay;
     stats.mean_reward += r.stats.mean_reward;
     stats.vehicles_finished += r.stats.vehicles_finished;
     stats.vehicles_spawned += r.stats.vehicles_spawned;
@@ -248,6 +250,7 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
   const double inv_k = 1.0 / static_cast<double>(results.size());
   stats.avg_wait *= inv_k;
   stats.travel_time *= inv_k;
+  stats.delay *= inv_k;
   stats.mean_reward *= inv_k;
   result.buffer = rl::merge_rollouts(std::move(parts));
 

@@ -21,10 +21,13 @@
 // thread pool before every PPO update (rl/parallel_rollout.hpp).
 //
 // The PPO update is delegated to core/update_engine.hpp the same way:
-// num_update_shards == 1 runs the historical batched minibatch update on
-// the scratch tape; K > 1 shards each minibatch across K worker threads
-// with a deterministic sample-order gradient reduce that keeps weights
-// bit-identical to the serial update at every step.
+// num_update_shards == 1 (or update_mode == kSerial) runs the historical
+// batched minibatch update on the scratch tape; K > 1 shards each minibatch
+// across K worker threads. The layout is config.update_mode:
+// kPerSampleShards reduces per-sample gradients in sample order and keeps
+// weights bit-identical to the serial update at every step;
+// kBatchedShards runs one batched pass per shard and tracks the serial
+// weights within a pinned tolerance instead (tests/test_update_modes.cpp).
 #pragma once
 
 #include <memory>
@@ -161,7 +164,8 @@ class PairUpLightTrainer {
   nn::Tape scratch_tape_;
   /// Built only when config.num_envs > 1.
   std::unique_ptr<rl::ParallelRolloutCollector<RolloutWorker>> collector_;
-  /// Built only when config.num_update_shards > 1.
+  /// Built only when config.num_update_shards > 1 and update_mode is not
+  /// kSerial.
   std::unique_ptr<ParallelUpdateEngine> updater_;
 };
 

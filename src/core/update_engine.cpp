@@ -95,15 +95,71 @@ double sample_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
   return tape.value(loss)[0];
 }
 
-ParallelUpdateEngine::ParallelUpdateEngine(std::size_t num_shards)
-    : num_shards_(std::max<std::size_t>(2, num_shards)), pool_(num_shards_) {
+double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
+                            CentralizedCritic& critic,
+                            const std::vector<const rl::Sample*>& samples,
+                            const std::vector<std::size_t>& order,
+                            std::size_t begin, std::size_t end,
+                            std::size_t batch, const PairUpConfig& config) {
+  assert(begin < end && end <= order.size());
+  const std::size_t rows = end - begin;
+
+  std::vector<std::vector<double>> in_rows(rows), ha_rows(rows), ca_rows(rows),
+      vi_rows(rows), hv_rows(rows), cv_rows(rows);
+  std::vector<std::size_t> actions(rows), phase_counts(rows);
+  std::vector<double> old_logp(rows), advantages(rows), returns(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const rl::Sample& s = *samples[order[begin + r]];
+    in_rows[r] = s.obs;
+    ha_rows[r] = s.h_actor;
+    ca_rows[r] = s.c_actor;
+    vi_rows[r] = s.critic_obs;
+    hv_rows[r] = s.h_critic;
+    cv_rows[r] = s.c_critic;
+    actions[r] = s.action;
+    old_logp[r] = s.log_prob;
+    advantages[r] = s.advantage;
+    returns[r] = s.ret;
+    phase_counts[r] = s.phase_count;
+  }
+
+  tape.reset();
+  // Same node layout as serial_minibatch_update but at `rows` rows and with
+  // the GLOBAL batch divisor: the shard contributes its rows/batch share of
+  // the minibatch loss and gradients.
+  Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
+  Var h_a = tape.constant(pack_rows(ha_rows, actor.hidden_size()));
+  Var c_a = tape.constant(pack_rows(ca_rows, actor.hidden_size()));
+  auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+  Var logp_all = tape.log_softmax_rows(actor_out.logits);
+  Var new_logp = tape.gather_cols(logp_all, actions);
+  Var entropy = rl::policy_entropy_scaled(tape, actor_out.logits, batch);
+
+  Var v_input = tape.constant(pack_rows(vi_rows, critic.input_dim()));
+  Var h_v = tape.constant(pack_rows(hv_rows, critic.hidden_size()));
+  Var c_v = tape.constant(pack_rows(cv_rows, critic.hidden_size()));
+  auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+
+  Var loss = rl::ppo_shard_loss(tape, new_logp, entropy, critic_out.value,
+                                old_logp, advantages, returns, batch,
+                                config.ppo);
+  tape.backward(loss);
+  return tape.value(loss)[0];
+}
+
+ParallelUpdateEngine::ParallelUpdateEngine(std::size_t num_shards,
+                                           UpdateMode mode)
+    : num_shards_(std::max<std::size_t>(2, num_shards)),
+      mode_(mode),
+      pool_(num_shards_) {
+  assert(mode_ != UpdateMode::kSerial);
   shard_tapes_.reserve(num_shards_);
   for (std::size_t s = 0; s < num_shards_; ++s)
     shard_tapes_.push_back(std::make_unique<Tape>());
 }
 
 void ParallelUpdateEngine::ensure_buffers(
-    const std::vector<nn::Parameter*>& params, std::size_t batch) {
+    const std::vector<nn::Parameter*>& params, std::size_t num_slots) {
   bool rebuild = reduced_grads_.size() != params.size();
   for (std::size_t k = 0; !rebuild && k < params.size(); ++k)
     rebuild = !reduced_grads_[k].same_shape(params[k]->value);
@@ -112,16 +168,16 @@ void ParallelUpdateEngine::ensure_buffers(
     reduced_grads_.reserve(params.size());
     for (const nn::Parameter* p : params)
       reduced_grads_.push_back(Tensor::zeros_like(p->value));
-    sample_grads_.clear();
+    slot_grads_.clear();
   }
-  while (sample_grads_.size() < batch) {
+  while (slot_grads_.size() < num_slots) {
     std::vector<Tensor> slots;
     slots.reserve(params.size());
     for (const nn::Parameter* p : params)
       slots.push_back(Tensor::zeros_like(p->value));
-    sample_grads_.push_back(std::move(slots));
+    slot_grads_.push_back(std::move(slots));
   }
-  if (sample_losses_.size() < batch) sample_losses_.resize(batch);
+  if (slot_losses_.size() < num_slots) slot_losses_.resize(num_slots);
 }
 
 double ParallelUpdateEngine::run_minibatch(
@@ -129,52 +185,78 @@ double ParallelUpdateEngine::run_minibatch(
     const std::vector<std::size_t>& order, std::size_t begin, std::size_t end) {
   assert(begin < end && end <= order.size());
   const std::size_t batch = end - begin;
-  ensure_buffers(ctx.params, batch);
+  const bool per_sample = mode_ == UpdateMode::kPerSampleShards;
+  const std::size_t num_slots = per_sample ? batch : num_shards_;
+  ensure_buffers(ctx.params, num_slots);
 
-  // Contiguous shard ranges; each sample slot is touched by exactly one
+  // Contiguous shard ranges; each gradient slot is touched by exactly one
   // worker, and the weights are only read until every future resolves.
   std::vector<std::future<void>> futures;
   futures.reserve(num_shards_);
   for (std::size_t shard = 0; shard < num_shards_; ++shard) {
     const std::size_t lo = batch * shard / num_shards_;
     const std::size_t hi = batch * (shard + 1) / num_shards_;
-    if (lo == hi) continue;
+    if (lo == hi) {
+      if (!per_sample) slot_losses_[shard] = 0.0;
+      continue;
+    }
     futures.push_back(pool_.submit([this, &ctx, &samples, &order, begin, batch,
-                                    shard, lo, hi]() {
+                                    shard, lo, hi, per_sample]() {
       Tape& tape = *shard_tapes_[shard];
       nn::Tape::GradRedirects redirects;
       redirects.reserve(ctx.params.size());
-      for (std::size_t b = lo; b < hi; ++b) {
-        std::vector<Tensor>& slots = sample_grads_[b];
-        redirects.clear();
+      if (per_sample) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          std::vector<Tensor>& slots = slot_grads_[b];
+          redirects.clear();
+          for (std::size_t k = 0; k < ctx.params.size(); ++k) {
+            slots[k].fill(0.0);
+            redirects.emplace_back(ctx.params[k], &slots[k]);
+          }
+          tape.set_grad_redirects(&redirects);
+          const rl::Sample& s = *samples[order[begin + b]];
+          slot_losses_[b] =
+              sample_loss_and_grads(tape, *ctx.actor, *ctx.critic, s, batch,
+                                    ctx.config->ppo);
+        }
+      } else {
+        std::vector<Tensor>& slots = slot_grads_[shard];
         for (std::size_t k = 0; k < ctx.params.size(); ++k) {
           slots[k].fill(0.0);
           redirects.emplace_back(ctx.params[k], &slots[k]);
         }
         tape.set_grad_redirects(&redirects);
-        const rl::Sample& s = *samples[order[begin + b]];
-        sample_losses_[b] =
-            sample_loss_and_grads(tape, *ctx.actor, *ctx.critic, s, batch,
-                                  ctx.config->ppo);
+        slot_losses_[shard] =
+            shard_loss_and_grads(tape, *ctx.actor, *ctx.critic, samples, order,
+                                 begin + lo, begin + hi, batch, *ctx.config);
       }
       tape.set_grad_redirects(nullptr);
     }));
   }
   for (auto& f : futures) f.get();  // rethrows worker exceptions
 
-  // Ordered reduce: fold sample slots in global order 0..batch-1 — the
-  // batched update's exact accumulation sequence (see file comment in the
-  // header).
+  // Ordered reduce on the calling thread. Per-sample mode folds sample slots
+  // in global order 0..batch-1 — the batched update's exact accumulation
+  // sequence; batched mode folds shard slots in shard order, which fixes the
+  // result for a given shard count but re-associates the serial row fold at
+  // shard boundaries (see file comment in the header).
   for (Tensor& g : reduced_grads_) g.fill(0.0);
-  for (std::size_t b = 0; b < batch; ++b)
+  const std::size_t fold_slots = per_sample ? batch : num_shards_;
+  for (std::size_t i = 0; i < fold_slots; ++i) {
+    if (!per_sample) {
+      const std::size_t lo = batch * i / num_shards_;
+      const std::size_t hi = batch * (i + 1) / num_shards_;
+      if (lo == hi) continue;
+    }
     for (std::size_t k = 0; k < ctx.params.size(); ++k)
-      reduced_grads_[k] += sample_grads_[b][k];
+      reduced_grads_[k] += slot_grads_[i][k];
+  }
 
   nn::clip_grad_norm(reduced_grads_, ctx.config->ppo.max_grad_norm);
   ctx.optim->step_with_grads(reduced_grads_);
 
   double loss = 0.0;
-  for (std::size_t b = 0; b < batch; ++b) loss += sample_losses_[b];
+  for (std::size_t i = 0; i < fold_slots; ++i) loss += slot_losses_[i];
   return loss;
 }
 

@@ -26,6 +26,21 @@
 // happen on the calling thread only after every shard completes, and each
 // sample's gradients land in dedicated slot tensors via the tape's
 // grad-redirect list, never in Parameter::grad.
+//
+// The batched-shard mode (UpdateMode::kBatchedShards) trades the exactness
+// of the per-sample layout for throughput: each worker runs ONE batched
+// forward/backward over its contiguous minibatch slice (every Linear/LSTM
+// matmul at rows = shard size instead of rows = 1), still scaled as its
+// 1/batch share of the minibatch via rl::ppo_shard_loss, and the calling
+// thread folds per-shard gradient slots in shard order. Within a shard the
+// weight-gradient matmul_tn folds rows in increasing row order — exactly
+// the serial sequence restricted to the slice — but the fold ACROSS shards
+// re-associates that row sum at shard boundaries: (g0+g1)+(g2+g3) instead
+// of ((g0+g1)+g2)+g3. The result is deterministic for a fixed shard count
+// (shards are folded in index order on one thread) but only
+// tolerance-bounded against the serial fold, which is why this mode has a
+// pinned numerical-equivalence test (tests/test_update_modes.cpp) rather
+// than a bitwise golden.
 #pragma once
 
 #include <cstddef>
@@ -74,17 +89,37 @@ double sample_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
                              CentralizedCritic& critic, const rl::Sample& sample,
                              std::size_t batch, const rl::PpoConfig& ppo);
 
-/// Shards each minibatch's per-sample forward/backward passes across a
-/// reusable thread pool (contiguous sample ranges, one scratch tape per
-/// shard), then reduces the per-sample gradient slots in fixed sample order
-/// on the calling thread before the single clip_grad_norm + Adam step. See
-/// the file comment for why this is bit-identical to the serial update.
+/// One batched forward/backward over the contiguous minibatch slice
+/// samples[order[begin..end)], scaled as its (end-begin)/`batch` share of
+/// the minibatch (rl::ppo_shard_loss with the GLOBAL batch divisor).
+/// Parameter gradients accumulate into the tape's installed grad-redirect
+/// targets (the caller's per-shard slot tensors). Returns the scaled shard
+/// loss, so the sum over a minibatch's shards equals that minibatch's loss
+/// up to summation order.
+double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
+                            CentralizedCritic& critic,
+                            const std::vector<const rl::Sample*>& samples,
+                            const std::vector<std::size_t>& order,
+                            std::size_t begin, std::size_t end,
+                            std::size_t batch, const PairUpConfig& config);
+
+/// Shards each minibatch's forward/backward work across a reusable thread
+/// pool (contiguous sample ranges, one scratch tape per shard), then
+/// reduces the gradient slots in a fixed order on the calling thread before
+/// the single clip_grad_norm + Adam step. Two layouts (see file comment):
+/// kPerSampleShards — one single-row tape per sample, per-sample slots
+/// folded in global sample order, bit-identical to the serial update;
+/// kBatchedShards — one batched tape per shard, per-shard slots folded in
+/// shard order, tolerance-bounded against the serial update.
 class ParallelUpdateEngine {
  public:
   /// `num_shards` >= 2 (use serial_minibatch_update directly for 1).
-  explicit ParallelUpdateEngine(std::size_t num_shards);
+  /// `mode` must not be UpdateMode::kSerial.
+  explicit ParallelUpdateEngine(std::size_t num_shards,
+                                UpdateMode mode = UpdateMode::kPerSampleShards);
 
   std::size_t num_shards() const { return num_shards_; }
+  UpdateMode mode() const { return mode_; }
 
   /// Sharded equivalent of serial_minibatch_update (ctx.tape is unused).
   /// Returns the sum of the per-sample scaled losses — the same quantity as
@@ -96,14 +131,16 @@ class ParallelUpdateEngine {
 
  private:
   void ensure_buffers(const std::vector<nn::Parameter*>& params,
-                      std::size_t batch);
+                      std::size_t num_slots);
 
   std::size_t num_shards_;
+  UpdateMode mode_;
   util::ThreadPool pool_;
   std::vector<std::unique_ptr<nn::Tape>> shard_tapes_;
-  /// sample_grads_[b][k]: sample b's gradient for params[k] (slot tensors).
-  std::vector<std::vector<nn::Tensor>> sample_grads_;
-  std::vector<double> sample_losses_;
+  /// slot_grads_[i][k]: gradient slot i's tensor for params[k]. One slot per
+  /// sample (kPerSampleShards) or per shard (kBatchedShards).
+  std::vector<std::vector<nn::Tensor>> slot_grads_;
+  std::vector<double> slot_losses_;
   /// Per-parameter reduction target for the ordered fold.
   std::vector<nn::Tensor> reduced_grads_;
 };

@@ -19,6 +19,7 @@ EpisodeStats run_episode(TscEnv& env, Controller& controller, std::uint64_t seed
   EpisodeStats stats;
   stats.avg_wait = env.episode_avg_wait();
   stats.travel_time = env.average_travel_time();
+  stats.delay = env.average_delay();
   stats.mean_reward = reward_count ? reward_sum / static_cast<double>(reward_count) : 0.0;
   stats.vehicles_finished = env.simulator().vehicles_finished();
   stats.vehicles_spawned = env.simulator().vehicles_spawned();
@@ -38,6 +39,7 @@ AggregateStats run_episodes(TscEnv& env, Controller& controller,
   for (const EpisodeStats& s : all) {
     agg.mean.avg_wait += s.avg_wait / n;
     agg.mean.travel_time += s.travel_time / n;
+    agg.mean.delay += s.delay / n;
     agg.mean.mean_reward += s.mean_reward / n;
     agg.mean.vehicles_finished += s.vehicles_finished;
     agg.mean.vehicles_spawned += s.vehicles_spawned;
@@ -45,17 +47,20 @@ AggregateStats run_episodes(TscEnv& env, Controller& controller,
   agg.mean.vehicles_finished /= all.size();
   agg.mean.vehicles_spawned /= all.size();
   if (all.size() > 1) {
-    double wait_var = 0.0, tt_var = 0.0, reward_var = 0.0;
+    // Sample variance (n-1), the convention shared with util/stats.
+    double wait_var = 0.0, tt_var = 0.0, delay_var = 0.0, reward_var = 0.0;
     for (const EpisodeStats& s : all) {
       wait_var += (s.avg_wait - agg.mean.avg_wait) * (s.avg_wait - agg.mean.avg_wait);
       tt_var += (s.travel_time - agg.mean.travel_time) *
                 (s.travel_time - agg.mean.travel_time);
+      delay_var += (s.delay - agg.mean.delay) * (s.delay - agg.mean.delay);
       reward_var += (s.mean_reward - agg.mean.mean_reward) *
                     (s.mean_reward - agg.mean.mean_reward);
     }
     const double denom = n - 1.0;
     agg.stddev.avg_wait = std::sqrt(wait_var / denom);
     agg.stddev.travel_time = std::sqrt(tt_var / denom);
+    agg.stddev.delay = std::sqrt(delay_var / denom);
     agg.stddev.mean_reward = std::sqrt(reward_var / denom);
   }
   return agg;

@@ -13,7 +13,8 @@ namespace tsc::env {
 /// Per-episode summary used by training curves and evaluation tables.
 struct EpisodeStats {
   double avg_wait = 0.0;       ///< mean over steps of network avg waiting time
-  double travel_time = 0.0;    ///< average travel time (unfinished charged)
+  double travel_time = 0.0;    ///< avg travel time of entered vehicles
+  double delay = 0.0;          ///< avg delay of all spawned (incl. backlog)
   double mean_reward = 0.0;    ///< mean per-agent per-step reward
   std::size_t vehicles_finished = 0;
   std::size_t vehicles_spawned = 0;

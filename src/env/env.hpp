@@ -119,8 +119,12 @@ class TscEnv {
   // ---- episode metrics ----
   /// Mean over steps of the network average waiting time (Fig. 7/8 metric).
   double episode_avg_wait() const;
-  /// Paper's travel-time metric (unfinished vehicles charged to now()).
+  /// Paper's travel-time metric over vehicles that entered the network
+  /// (in-network unfinished vehicles charged to now(); spawn backlog
+  /// excluded — see sim::Simulator::average_travel_time).
   double average_travel_time() const { return sim_.average_travel_time(); }
+  /// Mean delay over every spawned vehicle, spawn backlog included.
+  double average_delay() const { return sim_.average_delay(); }
   const std::vector<double>& wait_history() const { return wait_history_; }
 
  private:

@@ -18,7 +18,15 @@ void TraceRecorder::record(const Simulator& sim) {
     sample.max_head_wait =
         std::max(sample.max_head_wait, sim.intersection_max_head_wait(node));
   samples_.push_back(sample);
-  next_sample_ = sim.now() + interval_;
+  // Advance on the fixed grid 0, interval, 2*interval, ... rather than from
+  // now(): record() is often called at coarse action boundaries, and
+  // re-anchoring on now() would drift every subsequent sample time by the
+  // accumulated overshoot.
+  if (interval_ > 0.0) {
+    while (next_sample_ <= sim.now() + 1e-9) next_sample_ += interval_;
+  } else {
+    next_sample_ = sim.now() + interval_;
+  }
 }
 
 void TraceRecorder::clear() {

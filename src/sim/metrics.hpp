@@ -24,7 +24,11 @@ struct TraceSample {
 };
 
 /// Samples the simulator every `interval` seconds of simulated time.
-/// Call record() after each simulator advance; it samples when due.
+/// Call record() after each simulator advance; it samples when due. Sample
+/// deadlines live on the fixed grid 0, interval, 2*interval, ...: when a
+/// sample is taken late (record() called at a coarse action boundary), the
+/// next deadline is the first grid point after now(), so the schedule never
+/// drifts off the grid.
 class TraceRecorder {
  public:
   explicit TraceRecorder(double interval = 5.0) : interval_(interval) {}

@@ -15,8 +15,21 @@ SignalController::SignalController(NodeId node, std::size_t num_phases,
 void SignalController::request_phase(std::size_t p) {
   if (p >= num_phases_) throw std::out_of_range("request_phase: bad phase index");
   if (in_yellow()) {
-    // A switch is in flight; retarget the pending phase.
+    if (p == pending_phase_) return;  // same target: let the clearance run out
+    if (p == phase_) {
+      // Retarget back to the still-active phase: cancel the in-flight
+      // switch and resume green. green_elapsed_ was never reset (that only
+      // happens when a switch completes), so the green simply continues.
+      pending_phase_ = phase_;
+      yellow_remaining_ = 0.0;
+      return;
+    }
+    // Retarget to a different phase: the new target must receive the full
+    // clearance interval, so the yellow timer restarts. Without this a
+    // phase chosen late in yellow could go green after an arbitrarily
+    // short clearance (down to one tick).
     pending_phase_ = p;
+    yellow_remaining_ = yellow_time_;
     return;
   }
   if (p == phase_) return;  // extend current green

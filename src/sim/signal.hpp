@@ -19,7 +19,10 @@ class SignalController {
   SignalController(NodeId node, std::size_t num_phases, double yellow_time);
 
   /// Requests phase `p` (the agent action). Starts the yellow interlock if
-  /// `p` differs from the active phase and no switch is already pending.
+  /// `p` differs from the active phase. While a switch is in flight,
+  /// retargeting to a different phase RESTARTS the clearance interval (the
+  /// new target always receives the full yellow time), and retargeting back
+  /// to the active phase cancels the switch and resumes the running green.
   void request_phase(std::size_t p);
 
   /// Advances time by dt seconds, completing a pending switch when the

@@ -330,12 +330,27 @@ std::size_t Simulator::vehicles_active() const {
   return vehicles_.size() - finished_count_;
 }
 
-double Simulator::average_travel_time() const {
+double Simulator::average_delay() const {
   if (vehicles_.empty()) return 0.0;
   double total = finished_tt_sum_;
   for (const Vehicle& v : vehicles_)
     if (!v.finished) total += now_ - v.depart_scheduled;
   return total / static_cast<double>(vehicles_.size());
+}
+
+double Simulator::average_travel_time() const {
+  // Entered vehicles only: under spillback the spawn backlog holds vehicles
+  // that never reached the network, and counting them (as average_delay
+  // does) conflates source-queue delay with network travel time.
+  double total = finished_tt_sum_;
+  std::size_t entered = finished_count_;
+  for (const Vehicle& v : vehicles_) {
+    if (v.finished || v.entered < 0.0) continue;
+    total += now_ - v.depart_scheduled;
+    ++entered;
+  }
+  if (entered == 0) return 0.0;
+  return total / static_cast<double>(entered);
 }
 
 double Simulator::average_travel_time_finished() const {

@@ -113,8 +113,17 @@ class Simulator {
   std::size_t vehicles_spawned() const { return vehicles_.size(); }
   std::size_t vehicles_finished() const { return finished_count_; }
   std::size_t vehicles_active() const;
-  /// Mean travel time; unfinished vehicles (including backlog) are charged
-  /// up to now(), making oversaturation visible.
+  /// Mean delay over EVERY spawned vehicle: finished trips contribute their
+  /// travel time, unfinished vehicles — including those still waiting in
+  /// the spawn backlog — are charged up to now(). Makes oversaturation and
+  /// boundary spillback visible, at the cost of mixing source-queue delay
+  /// into the number.
+  double average_delay() const;
+  /// Mean travel time over vehicles that ENTERED the network (finished
+  /// trips plus in-network vehicles charged to now(); the spawn backlog is
+  /// excluded from numerator and denominator). Measured from the scheduled
+  /// departure, like average_travel_time_finished, so the two agree
+  /// structurally: this metric converges to it as the network drains.
   double average_travel_time() const;
   /// Mean travel time over finished vehicles only.
   double average_travel_time_finished() const;

@@ -40,7 +40,7 @@ void RunningStats::reset() { *this = RunningStats{}; }
 
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  return m2_ / static_cast<double>(count_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }

@@ -15,7 +15,9 @@ class RunningStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
-  /// Population variance; 0 when fewer than two samples.
+  /// Sample variance (n-1 divisor, matching stddev_of and the seed
+  /// aggregation in env/controller.cpp so every eval CSV reports one
+  /// convention); 0 when fewer than two samples.
   double variance() const;
   double stddev() const;
   double min() const { return count_ ? min_ : 0.0; }

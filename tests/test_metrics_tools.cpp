@@ -39,6 +39,33 @@ TEST(TraceRecorder, SamplesAtInterval) {
   EXPECT_GT(trace.samples().back().halting, trace.samples()[1].halting);
 }
 
+// Regression: record() used to re-anchor the next deadline at now() +
+// interval, so whenever record() ran at a cadence coarser than the interval
+// every sample drifted by the accumulated overshoot (4 s cadence, 5 s
+// interval sampled at 0, 8, 16, 24, ... — an 8 s effective interval). The
+// deadlines must stay on the fixed grid 0, 5, 10, ...: with a 4 s cadence
+// that means samples at 0, 8, 12, 16, 20, ... (the first record at or after
+// each multiple of 5).
+TEST(TraceRecorder, CoarseRecordCadenceStaysOnGrid) {
+  Cross cross;
+  sim::Simulator sim(&cross.net, {}, sim::SimConfig{}, 1);
+  sim::TraceRecorder trace(5.0);
+  trace.record(sim);  // t = 0
+  for (int i = 0; i < 10; ++i) {
+    sim.step_seconds(4.0);  // record every 4 s of simulated time
+    trace.record(sim);
+  }
+  // t = 0..40 at a 4 s cadence against the 5 s grid: 0, 8 (covers the 5 s
+  // deadline), 12 (10 s), 16 (15 s), 20 (20 s, landing ON the grid), then
+  // nothing at 24 (next deadline 25), 28, 32, 36, 40. The drifting pre-fix
+  // schedule was 0, 8, 16, 24, 32, 40 — an 8 s effective interval.
+  const std::vector<double> expected = {0.0, 8.0, 12.0, 16.0, 20.0,
+                                        28.0, 32.0, 36.0, 40.0};
+  ASSERT_EQ(trace.samples().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_DOUBLE_EQ(trace.samples()[i].time, expected[i]) << "sample " << i;
+}
+
 TEST(TraceRecorder, CongestionOnsetAndRecovery) {
   Cross cross;
   auto f = cross.flow_we({{0.0, 1200.0}, {60.0, 1200.0}});  // ends at 60 s

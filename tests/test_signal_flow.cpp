@@ -42,7 +42,64 @@ TEST(SignalController, RetargetDuringYellow) {
   sig.tick(1.0);
   sig.request_phase(3);  // change of mind mid-yellow
   sig.tick(1.0);
+  // Only 1 s of clearance has elapsed toward the NEW target: the retarget
+  // restarted the yellow, so the controller must still be clearing.
+  EXPECT_TRUE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 0u);
+  sig.tick(1.0);
+  EXPECT_FALSE(sig.in_yellow());
   EXPECT_EQ(sig.phase(), 3u);
+}
+
+// Regression: retargeting mid-yellow used to keep the original clearance
+// countdown, so the new target phase could go green after less than
+// yellow_time of clearance (here: 1.9 s into a 2.0 s yellow, a retarget
+// followed by a 0.2 s tick flipped straight to the new phase).
+TEST(SignalController, MidYellowRetargetRestartsClearance) {
+  SignalController sig(0, 4, 2.0);
+  sig.request_phase(1);
+  sig.tick(1.9);  // 0.1 s of the original clearance left
+  sig.request_phase(3);
+  sig.tick(0.2);  // would have finished the ORIGINAL countdown
+  EXPECT_TRUE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 0u);
+  sig.tick(1.7);  // 1.9 s since the retarget: still clearing
+  EXPECT_TRUE(sig.in_yellow());
+  sig.tick(0.1);  // full 2.0 s since the retarget
+  EXPECT_FALSE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 3u);
+}
+
+// Repeating the pending target mid-yellow is not a retarget: the running
+// clearance keeps counting down instead of restarting.
+TEST(SignalController, RepeatedPendingRequestDoesNotRestartClearance) {
+  SignalController sig(0, 4, 2.0);
+  sig.request_phase(1);
+  sig.tick(1.5);
+  sig.request_phase(1);  // same pending target, no-op
+  sig.tick(0.5);
+  EXPECT_FALSE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 1u);
+}
+
+// Regression: requesting the CURRENT phase mid-yellow used to be treated
+// like any other retarget, so the intersection sat through a pointless
+// clearance just to "switch" to the phase it was already serving. Now it
+// cancels the switch and resumes green with the elapsed time intact.
+TEST(SignalController, RetargetBackToCurrentPhaseCancelsSwitch) {
+  SignalController sig(0, 4, 2.0);
+  sig.tick(7.0);  // accumulate some green time on phase 0
+  sig.request_phase(2);
+  sig.tick(1.0);
+  EXPECT_TRUE(sig.in_yellow());
+  sig.request_phase(0);  // change of mind: stay on the current phase
+  EXPECT_FALSE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 0u);
+  EXPECT_DOUBLE_EQ(sig.green_elapsed(), 7.0);  // green time survives
+  sig.tick(1.0);
+  EXPECT_FALSE(sig.in_yellow());
+  EXPECT_EQ(sig.phase(), 0u);
+  EXPECT_DOUBLE_EQ(sig.green_elapsed(), 8.0);
 }
 
 TEST(SignalController, ZeroYellowSwitchesImmediately) {

@@ -4,7 +4,11 @@
 // every combination via parameterized tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "sim_fixtures.hpp"
 #include "src/sim/simulator.hpp"
@@ -158,6 +162,92 @@ INSTANTIATE_TEST_SUITE_P(Headways, SaturationFlow,
 // ---------------------------------------------------------------------------
 // Demand-response property: more demand never yields fewer completions
 // under the same (work-conserving, alternating) signal policy.
+
+// ---------------------------------------------------------------------------
+// Yellow-clearance interlock property: no queued vehicle crosses the
+// stopline of a node that is clearing — including the FULL restarted
+// clearance after a mid-yellow retarget. Pre-fix,
+// SignalController::request_phase kept the original countdown on a
+// retarget, so the new phase could go green (and discharge) less than
+// yellow_time after being chosen; this sweep caught that as a vehicle
+// advancing within the [retarget, retarget + yellow_time) window.
+
+TEST(YellowClearanceProperty, NoDischargeDuringYellowOrFreshRetarget) {
+  // A 4-way crossing with THREE phases so a mid-yellow retarget can name a
+  // phase that differs from both the current and the pending one.
+  RoadNetwork net;
+  const NodeId center = net.add_node(NodeType::kSignalized, 0, 0, "C");
+  const NodeId n = net.add_node(NodeType::kBoundary, 0, 200, "N");
+  const NodeId s = net.add_node(NodeType::kBoundary, 0, -200, "S");
+  const NodeId w = net.add_node(NodeType::kBoundary, -200, 0, "W");
+  const NodeId e = net.add_node(NodeType::kBoundary, 200, 0, "E");
+  const LinkId n_in = net.add_link(n, center, 200, 1, 10, "n_in");
+  const LinkId s_out = net.add_link(center, s, 200, 1, 10, "s_out");
+  const LinkId s_in = net.add_link(s, center, 200, 1, 10, "s_in");
+  const LinkId n_out = net.add_link(center, n, 200, 1, 10, "n_out");
+  const LinkId w_in = net.add_link(w, center, 200, 1, 10, "w_in");
+  const LinkId e_out = net.add_link(center, e, 200, 1, 10, "e_out");
+  const LinkId e_in = net.add_link(e, center, 200, 1, 10, "e_in");
+  const LinkId w_out = net.add_link(center, w, 200, 1, 10, "w_out");
+  const MovementId m_ns = net.add_movement(n_in, s_out, Turn::kThrough, {0});
+  const MovementId m_sn = net.add_movement(s_in, n_out, Turn::kThrough, {0});
+  const MovementId m_we = net.add_movement(w_in, e_out, Turn::kThrough, {0});
+  const MovementId m_ew = net.add_movement(e_in, w_out, Turn::kThrough, {0});
+  net.set_phases(center, {{m_ns, m_sn}, {m_we}, {m_ew}});
+  net.finalize();
+
+  auto make_flow = [](LinkId in, LinkId out) {
+    FlowSpec f;
+    f.route = {in, out};
+    f.profile = {{0.0, 700.0}, {400.0, 700.0}};
+    return f;
+  };
+  SimConfig config;  // tick 1 s, yellow 2 s
+  Simulator sim(&net,
+                {make_flow(n_in, s_out), make_flow(s_in, n_out),
+                 make_flow(w_in, e_out), make_flow(e_in, w_out)},
+                config, 321);
+
+  const LinkId in_links[] = {n_in, s_in, w_in, e_in};
+  auto on_in_link = [&](const Vehicle& v) {
+    const LinkId l = sim.flows()[v.flow].route[v.hop];
+    return std::find(std::begin(in_links), std::end(in_links), l) !=
+           std::end(in_links);
+  };
+
+  double last_retarget = -1e9;
+  for (int tick = 0; tick < 400; ++tick) {
+    // Every 20 ticks start a switch; one tick into its yellow, change the
+    // target again (when that names a genuinely different phase).
+    if (tick % 20 == 10) sim.set_phase(center, (tick / 20 + 1) % 3);
+    if (tick % 20 == 11 && sim.signal(center).in_yellow()) {
+      const std::size_t target = (tick / 20 + 2) % 3;
+      if (target != sim.signal(center).phase())
+        last_retarget = static_cast<double>(tick);
+      sim.set_phase(center, target);
+    }
+
+    const bool yellow_before = sim.signal(center).in_yellow();
+    const bool clearing =
+        sim.now() + 1e-9 < last_retarget + config.yellow_time;
+    std::vector<std::pair<std::size_t, std::uint32_t>> held;  // index, hop
+    if (yellow_before || clearing) {
+      const auto& vehicles = sim.vehicles();
+      for (std::size_t i = 0; i < vehicles.size(); ++i) {
+        const Vehicle& v = vehicles[i];
+        if (v.finished || v.entered < 0.0) continue;
+        if (on_in_link(v)) held.push_back({i, v.hop});
+      }
+    }
+    sim.step();
+    for (const auto& [idx, hop] : held)
+      ASSERT_EQ(sim.vehicles()[idx].hop, hop)
+          << "vehicle " << idx << " crossed a clearing stopline at tick "
+          << tick;
+  }
+  // The sweep must have exercised real traffic, not an empty intersection.
+  EXPECT_GT(sim.vehicles_finished(), 50u);
+}
 
 TEST(DemandMonotonicity, CompletionsGrowWithDemand) {
   std::size_t prev_finished = 0;

@@ -266,6 +266,51 @@ TEST(Simulator, BacklogInsertsWhenSpaceFrees) {
   EXPECT_EQ(sim.vehicles_finished(), spawned);  // everyone eventually passes
 }
 
+// Regression: average_travel_time used to charge vehicles still in the
+// spawn backlog (entered == -1) as if they were traveling, conflating
+// source-queue delay with network travel time. That all-vehicles charge now
+// lives in average_delay; average_travel_time averages entered vehicles
+// only.
+TEST(Simulator, TravelTimeCountsEnteredOnlyDelayChargesBacklog) {
+  // Tiny entry link (capacity 4) + one spawn per tick: a standing backlog.
+  RoadNetwork net;
+  const NodeId b0 = net.add_node(NodeType::kBoundary, -30, 0);
+  const NodeId j = net.add_node(NodeType::kUnsignalized, 0, 0);
+  const NodeId b1 = net.add_node(NodeType::kBoundary, 200, 0);
+  const LinkId l_in = net.add_link(b0, j, 30, 1, 10);
+  const LinkId l_out = net.add_link(j, b1, 200, 1, 10);
+  net.add_movement(l_in, l_out, Turn::kThrough, {0});
+  net.finalize();
+  FlowSpec f;
+  f.route = {l_in, l_out};
+  f.profile = {{0.0, 3600.0}, {15.0, 3600.0}};
+  Simulator sim(&net, {f}, default_config(), 25);
+  sim.step_seconds(16.0);
+
+  // Reconstruct both metrics from per-vehicle state.
+  double all_sum = 0.0, entered_sum = 0.0;
+  std::size_t all_count = 0, entered_count = 0, backlog = 0;
+  for (const Vehicle& v : sim.vehicles()) {
+    const double span = v.finished ? v.exit_time - v.depart_scheduled
+                                   : sim.now() - v.depart_scheduled;
+    all_sum += span;
+    ++all_count;
+    if (v.finished || v.entered >= 0.0) {
+      entered_sum += span;
+      ++entered_count;
+    } else {
+      ++backlog;
+    }
+  }
+  ASSERT_GT(backlog, 0u);  // the scenario must actually have a backlog
+  ASSERT_GT(entered_count, 0u);
+  EXPECT_DOUBLE_EQ(sim.average_delay(), all_sum / static_cast<double>(all_count));
+  EXPECT_DOUBLE_EQ(sim.average_travel_time(),
+                   entered_sum / static_cast<double>(entered_count));
+  // With a non-empty backlog the populations differ, so the metrics must.
+  EXPECT_NE(sim.average_travel_time(), sim.average_delay());
+}
+
 TEST(Simulator, DeterministicGivenSeed) {
   Cross cross;
   auto f1 = cross.flow_ns({{0.0, 700.0}, {200.0, 700.0}});

@@ -177,11 +177,39 @@ TEST(RunningStats, MatchesNaiveComputation) {
   EXPECT_NEAR(stats.mean(), 1.4, 1e-12);
   double var = 0.0;
   for (double x : xs) var += (x - 1.4) * (x - 1.4);
-  var /= 5.0;
+  var /= 4.0;  // sample variance (n-1), the convention of every helper here
   EXPECT_NEAR(stats.variance(), var, 1e-12);
   EXPECT_DOUBLE_EQ(stats.min(), -2.0);
   EXPECT_DOUBLE_EQ(stats.max(), 4.0);
   EXPECT_NEAR(stats.sum(), 7.0, 1e-12);
+}
+
+// Regression: RunningStats::variance used the population divisor (n) while
+// stddev_of used the sample divisor (n-1), so tools reaching for different
+// helpers produced CSVs mixing two variance conventions. Both are sample
+// variance now.
+TEST(RunningStats, AgreesWithStddevOf) {
+  const std::vector<double> xs = {1.5, -2.0, 4.0, 0.0, 3.5, 2.25};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_NEAR(stats.stddev(), stddev_of(xs), 1e-12);
+}
+
+TEST(RunningStats, MergeOfHalvesMatchesSinglePass) {
+  Rng rng(16);
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) xs.push_back(rng.normal(2.0, 3.0));
+  RunningStats lo, hi;
+  for (std::size_t i = 0; i < xs.size(); ++i) (i < xs.size() / 2 ? lo : hi).add(xs[i]);
+  lo.merge(hi);
+  // Direct single-pass computation over the full data set.
+  const double m = mean_of(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - m) * (x - m);
+  EXPECT_EQ(lo.count(), xs.size());
+  EXPECT_NEAR(lo.mean(), m, 1e-12);
+  EXPECT_NEAR(lo.variance(), m2 / static_cast<double>(xs.size() - 1), 1e-10);
+  EXPECT_NEAR(lo.stddev(), stddev_of(xs), 1e-10);
 }
 
 TEST(RunningStats, MergeEqualsCombinedStream) {

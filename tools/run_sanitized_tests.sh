@@ -1,33 +1,36 @@
 #!/usr/bin/env bash
 # Builds and runs the concurrency-sensitive test suites under ThreadSanitizer
-# and then AddressSanitizer+UBSan, using the TSC_SANITIZE cache knob from the
-# root CMakeLists. Each sanitizer gets its own build tree (build-san-<name>)
-# so incremental rebuilds stay cheap; only the two parallel test binaries are
-# built, and ctest is filtered to the suites that exercise threads:
+# and then AddressSanitizer+UBSan. The sanitizer build configuration lives in
+# CMakePresets.json (presets `tsan` and `asan-ubsan`, both setting the
+# TSC_SANITIZE cache knob from the root CMakeLists), so this script and
+# manual `cmake --preset ...` invocations share one source of truth. Each
+# preset keeps its own build tree (build-san-<preset>) so incremental
+# rebuilds stay cheap; only the parallel test binaries are built, and ctest
+# is filtered to the suites that exercise threads:
 #
 #   ThreadPool / MergeRollouts / ParallelRollout / TscEnvClone   (rollouts)
-#   ParallelUpdate / OptimizerCheckpoint / TrainerResume         (updates)
+#   ParallelUpdate / UpdateModes / OptimizerCheckpoint / TrainerResume
+#                                                                (updates)
 #
 # Usage: tools/run_sanitized_tests.sh [source-dir]
 # Exits non-zero on the first sanitizer failure.
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|OptimizerCheckpoint|TrainerResume'
-TARGETS=(test_parallel_rollout test_parallel_update)
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume'
+TARGETS=(test_parallel_rollout test_parallel_update test_update_modes)
 
 run_one() {
-  local san="$1" name="$2"
-  local build_dir="$SRC_DIR/build-san-$name"
-  echo "=== sanitizer: $san (build dir: $build_dir) ==="
-  cmake -B "$build_dir" -S "$SRC_DIR" -DTSC_SANITIZE="$san" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  local preset="$1"
+  local build_dir="$SRC_DIR/build-san-$preset"
+  echo "=== sanitizer preset: $preset (build dir: $build_dir) ==="
+  (cd "$SRC_DIR" && cmake --preset "$preset")
   cmake --build "$build_dir" -j --target "${TARGETS[@]}"
   (cd "$build_dir" && ctest -R "$FILTER" --output-on-failure)
-  echo "=== sanitizer: $san OK ==="
+  echo "=== sanitizer preset: $preset OK ==="
 }
 
-run_one thread tsan
-run_one "address,undefined" asan-ubsan
+run_one tsan
+run_one asan-ubsan
 
 echo "All sanitized test runs passed."

@@ -123,9 +123,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "\n%s on %s:\n  travel time %8.1f s | avg wait %6.2f s | trips %zu/%zu\n",
+      "\n%s on %s:\n  travel time %8.1f s | delay %8.1f s | avg wait %6.2f s "
+      "| trips %zu/%zu\n",
       controller->name().c_str(), scenario_path.c_str(),
-      environment.average_travel_time(), environment.episode_avg_wait(),
+      environment.average_travel_time(), environment.average_delay(),
+      environment.episode_avg_wait(),
       environment.simulator().vehicles_finished(),
       environment.simulator().vehicles_spawned());
   if (!trace_path.empty()) {
