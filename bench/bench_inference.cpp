@@ -1,0 +1,141 @@
+// Inference-path throughput: rollout collection steps per second with the
+// tape-free inference engine vs the full autodiff tape, on the paper's 6x6
+// grid.
+//
+// Both configurations run the identical serial collector (num_envs = 1) and
+// produce bit-identical rollouts (tests/test_inference_path.cpp); the only
+// difference is whether decide_step builds a tape per forward or reuses the
+// preallocated InferenceWorkspace. Alongside throughput the bench reports
+// the workspace allocation counter before and after the timed rounds: a
+// steady-state delta of 0 is the zero-allocation guarantee, printed here so
+// regressions show up in BENCH_inference.json as well as in the tests.
+//
+// Knobs: PAIRUP_EPISODES (collection rounds per path, default 3),
+// PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED.
+// `--smoke` shrinks the run (1 round, 60 s episodes) for CI wiring checks.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "src/core/trainer.hpp"
+#include "src/util/log.hpp"
+
+namespace {
+
+using namespace tsc;
+
+struct Row {
+  bool inference = false;
+  std::size_t env_steps = 0;
+  double wall_seconds = 0.0;
+  double steps_per_sec = 0.0;
+  double wall_per_episode = 0.0;
+  double speedup = 1.0;                   ///< vs the tape row
+  std::size_t warm_alloc_events = 0;      ///< workspace events after warmup
+  std::size_t steady_alloc_events = 0;    ///< events during the timed rounds
+};
+
+const char* path_name(bool inference) { return inference ? "inference" : "tape"; }
+
+void write_json(const std::string& path, const bench::HarnessConfig& config,
+                const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_warn("bench_inference: cannot write ", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"inference_path\",\n");
+  std::fprintf(f, "  \"grid\": [%zu, %zu],\n", config.grid_rows, config.grid_cols);
+  std::fprintf(f, "  \"episode_seconds\": %g,\n", config.episode_seconds);
+  std::fprintf(f, "  \"rounds\": %zu,\n", config.episodes);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"path\": \"%s\", \"env_steps\": %zu, "
+                 "\"wall_seconds\": %.6f, \"env_steps_per_sec\": %.2f, "
+                 "\"wall_seconds_per_episode\": %.6f, "
+                 "\"speedup_vs_tape\": %.3f, "
+                 "\"workspace_alloc_events_warmup\": %zu, "
+                 "\"workspace_alloc_events_steady_state\": %zu}%s\n",
+                 path_name(r.inference), r.env_steps, r.wall_seconds,
+                 r.steps_per_sec, r.wall_per_episode, r.speedup,
+                 r.warm_alloc_events, r.steady_alloc_events,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessConfig defaults;
+  defaults.episodes = 3;  // collection rounds per path
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  if (smoke) {
+    defaults.episodes = 1;
+    defaults.episode_seconds = 60.0;
+  }
+  const bench::HarnessConfig config = bench::load_config(defaults);
+  auto grid = bench::make_grid(config);
+
+  std::printf(
+      "Rollout forward path: tape vs inference workspace, %zux%zu grid, "
+      "%g s episodes, %zu rounds per path%s\n\n",
+      config.grid_rows, config.grid_cols, config.episode_seconds,
+      config.episodes, smoke ? " (smoke)" : "");
+  bench::print_header("path", {"steps/sec", "s/episode", "speedup"});
+
+  std::vector<Row> rows;
+  for (bool inference : {false, true}) {
+    // Fresh env + trainer per path: identical initial weights and seeds, so
+    // the rounds differ only in the forward implementation.
+    auto environment =
+        bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
+    core::PairUpConfig pairup_config = bench::make_pairup_config(config);
+    pairup_config.inference_path = inference;
+    core::PairUpLightTrainer trainer(environment.get(), pairup_config);
+
+    Row row;
+    row.inference = inference;
+    // Warm-up round (untimed): grows the workspace buffers to peak capacity
+    // and warms the tape node storage, so the timed rounds measure the
+    // steady state of both paths.
+    trainer.collect_rollouts(config.seed + 500);
+    row.warm_alloc_events = trainer.inference_workspace().alloc_events();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < config.episodes; ++r) {
+      const auto collected = trainer.collect_rollouts(config.seed + 1000 + r);
+      row.env_steps += collected.env_steps;
+    }
+    row.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    row.steady_alloc_events =
+        trainer.inference_workspace().alloc_events() - row.warm_alloc_events;
+    row.steps_per_sec = static_cast<double>(row.env_steps) / row.wall_seconds;
+    row.wall_per_episode =
+        row.wall_seconds / static_cast<double>(config.episodes);
+    row.speedup =
+        rows.empty() ? 1.0 : row.steps_per_sec / rows.front().steps_per_sec;
+    rows.push_back(row);
+
+    bench::print_row(path_name(inference),
+                     {row.steps_per_sec, row.wall_per_episode, row.speedup});
+    if (inference && row.steady_alloc_events != 0)
+      log_warn("bench_inference: workspace allocated ", row.steady_alloc_events,
+               " times after warmup (expected 0)");
+  }
+
+  write_json("BENCH_inference.json", config, rows);
+  return 0;
+}

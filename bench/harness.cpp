@@ -54,6 +54,8 @@ HarnessConfig load_config(HarnessConfig defaults) {
   config.num_update_shards = std::max<std::size_t>(
       1, env_size("PAIRUP_NUM_UPDATE_SHARDS", config.num_update_shards));
   config.update_mode = env_update_mode("PAIRUP_UPDATE_MODE", config.update_mode);
+  config.inference_path =
+      env_size("PAIRUP_INFERENCE", config.inference_path ? 1 : 0) != 0;
   return config;
 }
 
@@ -63,6 +65,7 @@ core::PairUpConfig make_pairup_config(const HarnessConfig& config) {
   pairup.num_envs = config.num_envs;
   pairup.num_update_shards = config.num_update_shards;
   pairup.update_mode = config.update_mode;
+  pairup.inference_path = config.inference_path;
   return pairup;
 }
 

@@ -12,11 +12,13 @@
 //   PAIRUP_NUM_ENVS     parallel rollout environments per training step
 //                       (default 1 = serial; see core/rollout_engine.hpp)
 //   PAIRUP_NUM_UPDATE_SHARDS  PPO-update worker threads per minibatch
-//                       (default 1 = serial; gradients are bit-identical
-//                       for every value, see core/update_engine.hpp)
+//                       (default 1 = serial; see core/update_engine.hpp)
 //   PAIRUP_UPDATE_MODE  sharded-update layout: "serial", "per_sample"
-//                       (default; bit-identical) or "batched" (one batched
-//                       pass per shard, tolerance-bounded)
+//                       (bit-identical to serial) or "batched" (default;
+//                       one batched pass per shard, tolerance-bounded)
+//   PAIRUP_INFERENCE    1 (default) = tape-free inference path for rollout
+//                       and evaluation forwards; 0 = force the tape path
+//                       (bit-identical either way, see nn/inference.hpp)
 // Set PAIRUP_TIME_SCALE=1 PAIRUP_EPISODE_SECONDS=3600 PAIRUP_EPISODES=1000
 // to replicate the paper's full protocol.
 #pragma once
@@ -43,7 +45,8 @@ struct HarnessConfig {
   std::size_t grid_cols = 6;
   std::size_t num_envs = 1;        ///< parallel rollout envs per train step
   std::size_t num_update_shards = 1;  ///< PPO-update shards per minibatch
-  core::UpdateMode update_mode = core::UpdateMode::kPerSampleShards;
+  core::UpdateMode update_mode = core::UpdateMode::kBatchedShards;
+  bool inference_path = true;      ///< tape-free rollout/eval forwards
 };
 
 /// Human-readable name of an UpdateMode ("serial" / "per_sample" /

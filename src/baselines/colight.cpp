@@ -26,6 +26,16 @@ Var CoLightTrainer::QNet::forward(Tape& tape, Var entity_obs,
   return q_head->forward(tape, mixed);                         // [1, A]
 }
 
+const Tensor& CoLightTrainer::QNet::forward_inference(
+    nn::InferenceWorkspace& ws, const Tensor& entity_obs,
+    const std::vector<bool>& mask) {
+  Tensor& embedded =
+      const_cast<Tensor&>(embed->forward_inference(ws, entity_obs));  // [E, d]
+  nn::relu_inplace(embedded);
+  const Tensor& mixed = gat->forward_inference(ws, embedded, mask);  // [1, d]
+  return q_head->forward_inference(ws, mixed);                       // [1, A]
+}
+
 CoLightTrainer::CoLightTrainer(env::TscEnv* env, CoLightConfig config)
     : env_(env),
       config_(config),
@@ -93,15 +103,25 @@ std::vector<std::size_t> CoLightTrainer::act_all(bool explore) {
       actions[i] = rng_.uniform_int(num_phases);
       continue;
     }
-    Tape tape;
-    Var obs = tape.constant(
-        Tensor::matrix(entities_, env_->obs_dim(), entity_obs(i)));
-    Var q = online_->forward(tape, obs, entity_mask(i));
-    const Tensor& q_t = tape.value(q);
-    std::size_t best = 0;
-    for (std::size_t p = 1; p < num_phases; ++p)
-      if (q_t.at(0, p) > q_t.at(0, best)) best = p;
-    actions[i] = best;
+    if (config_.inference_path) {
+      workspace_.begin_pass();
+      const auto flat = entity_obs(i);
+      Tensor& obs = workspace_.acquire(entities_, env_->obs_dim());
+      std::copy(flat.begin(), flat.end(), obs.data());
+      const Tensor& q_t = online_->forward_inference(workspace_, obs,
+                                                     entity_mask(i));
+      actions[i] = nn::argmax_row(q_t, 0, num_phases);
+    } else {
+      Tape tape;
+      Var obs = tape.constant(
+          Tensor::matrix(entities_, env_->obs_dim(), entity_obs(i)));
+      Var q = online_->forward(tape, obs, entity_mask(i));
+      const Tensor& q_t = tape.value(q);
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < num_phases; ++p)
+        if (q_t.at(0, p) > q_t.at(0, best)) best = p;
+      actions[i] = best;
+    }
   }
   return actions;
 }

@@ -13,6 +13,7 @@
 #include "src/env/controller.hpp"
 #include "src/env/env.hpp"
 #include "src/nn/gat.hpp"
+#include "src/nn/inference.hpp"
 #include "src/nn/layers.hpp"
 #include "src/nn/optim.hpp"
 #include "src/rl/replay.hpp"
@@ -32,6 +33,10 @@ struct CoLightConfig {
   std::size_t target_update_steps = 200;  ///< hard target-net sync interval
   std::size_t updates_per_step = 1;       ///< gradient steps per env step
   double max_grad_norm = 1.0;
+  /// Greedy action selection runs tape-free on a preallocated workspace
+  /// (nn/inference.hpp); bit-identical to the tape forward. False forces
+  /// the tape path (debug / A-B comparison).
+  bool inference_path = true;
   std::uint64_t seed = 4;
 };
 
@@ -58,6 +63,11 @@ class CoLightTrainer {
     /// entity_obs: [entities, obs_dim] (row 0 = self). Returns [1, max_phases].
     nn::Var forward(nn::Tape& tape, nn::Var entity_obs,
                     const std::vector<bool>& mask);
+    /// Tape-free forward; bit-identical to forward(). Non-const because the
+    /// GAT layer records its attention weights.
+    const nn::Tensor& forward_inference(nn::InferenceWorkspace& ws,
+                                        const nn::Tensor& entity_obs,
+                                        const std::vector<bool>& mask);
     std::unique_ptr<nn::Linear> embed;
     std::unique_ptr<nn::GatLayer> gat;
     std::unique_ptr<nn::Linear> q_head;
@@ -89,6 +99,7 @@ class CoLightTrainer {
   std::unique_ptr<QNet> target_;
   std::unique_ptr<nn::Adam> optim_;
   rl::ReplayBuffer<Transition> replay_;
+  nn::InferenceWorkspace workspace_;
   std::size_t episode_ = 0;
   std::size_t learn_steps_ = 0;
   std::uint64_t episode_seed_ = 0;

@@ -46,15 +46,23 @@ std::vector<std::size_t> IdqnTrainer::act_all(bool explore) {
       actions[i] = rng_.uniform_int(num_phases);
       continue;
     }
-    Tape tape;
     const auto obs = env_->local_obs(i);
-    Var x = tape.constant(Tensor::matrix(1, obs.size(), obs));
-    Var q = online_[i]->forward(tape, x);
-    const Tensor& q_t = tape.value(q);
-    std::size_t best = 0;
-    for (std::size_t p = 1; p < num_phases; ++p)
-      if (q_t.at(0, p) > q_t.at(0, best)) best = p;
-    actions[i] = best;
+    if (config_.inference_path) {
+      workspace_.begin_pass();
+      Tensor& x = workspace_.acquire(1, obs.size());
+      std::copy(obs.begin(), obs.end(), x.data());
+      const Tensor& q_t = online_[i]->forward_inference(workspace_, x);
+      actions[i] = nn::argmax_row(q_t, 0, num_phases);
+    } else {
+      Tape tape;
+      Var x = tape.constant(Tensor::matrix(1, obs.size(), obs));
+      Var q = online_[i]->forward(tape, x);
+      const Tensor& q_t = tape.value(q);
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < num_phases; ++p)
+        if (q_t.at(0, p) > q_t.at(0, best)) best = p;
+      actions[i] = best;
+    }
   }
   return actions;
 }

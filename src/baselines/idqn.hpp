@@ -11,6 +11,7 @@
 
 #include "src/env/controller.hpp"
 #include "src/env/env.hpp"
+#include "src/nn/inference.hpp"
 #include "src/nn/layers.hpp"
 #include "src/nn/optim.hpp"
 #include "src/rl/replay.hpp"
@@ -30,6 +31,10 @@ struct IdqnConfig {
   std::size_t target_update_steps = 200;
   std::size_t updates_per_step = 1;
   double max_grad_norm = 1.0;
+  /// Greedy action selection runs tape-free on a preallocated workspace
+  /// (nn/inference.hpp); bit-identical to the tape forward. False forces
+  /// the tape path (debug / A-B comparison).
+  bool inference_path = true;
   std::uint64_t seed = 5;
 };
 
@@ -68,6 +73,7 @@ class IdqnTrainer {
   std::vector<std::unique_ptr<nn::Mlp>> target_;
   std::vector<std::unique_ptr<nn::Adam>> optims_;
   std::vector<rl::ReplayBuffer<Transition>> replays_;
+  nn::InferenceWorkspace workspace_;
   std::size_t episode_ = 0;
   std::size_t learn_steps_ = 0;
 };

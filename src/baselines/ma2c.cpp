@@ -79,23 +79,54 @@ std::vector<std::size_t> Ma2cTrainer::act_all(bool explore,
   const std::size_t n = env_->num_agents();
   std::vector<std::size_t> actions(n);
   std::vector<std::vector<double>> new_fingerprints(n);
+  const std::size_t max_phases = env_->config().max_phases;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t num_phases = env_->agent(i).num_phases;
     const auto input = agent_input(i);
-    Tape tape;
-    Var x = tape.constant(pack_rows({input}, input_dim_));
-    Var logits = actors_[i]->forward(tape, x);
-    // Mask phases beyond this agent's count.
-    if (num_phases < env_->config().max_phases) {
-      Tensor mask = Tensor::zeros(1, env_->config().max_phases);
-      for (std::size_t p = num_phases; p < env_->config().max_phases; ++p)
-        mask.at(0, p) = -1e9;
-      logits = tape.add(logits, tape.constant(std::move(mask)));
+
+    // Both forward producers fill the same pointers; the selection /
+    // fingerprint / buffer code below is shared so the RNG consumption
+    // order is identical on either path.
+    const Tensor* probs_p = nullptr;
+    const Tensor* logp_p = nullptr;
+    const Tensor* val_p = nullptr;
+    Tape tape;  // used only on the tape path; outlives the pointers
+    if (config_.inference_path) {
+      workspace_.begin_pass();
+      Tensor& x = workspace_.acquire(1, input_dim_);
+      std::copy(input.begin(), input.end(), x.data());
+      Tensor& logits =
+          const_cast<Tensor&>(actors_[i]->forward_inference(workspace_, x));
+      // Mask exactly like the tape path: elementwise add of 0.0 / -1e9.
+      if (num_phases < max_phases)
+        for (std::size_t p = 0; p < max_phases; ++p)
+          logits.at(0, p) += p < num_phases ? 0.0 : -1e9;
+      Tensor& probs = workspace_.acquire(1, max_phases);
+      nn::softmax_rows_into(probs, logits);
+      Tensor& logp = workspace_.acquire(1, max_phases);
+      nn::log_softmax_rows_into(logp, logits);
+      const Tensor& value = critics_[i]->forward_inference(workspace_, x);
+      probs_p = &probs;
+      logp_p = &logp;
+      val_p = &value;
+    } else {
+      Var x = tape.constant(pack_rows({input}, input_dim_));
+      Var logits = actors_[i]->forward(tape, x);
+      // Mask phases beyond this agent's count.
+      if (num_phases < max_phases) {
+        Tensor mask = Tensor::zeros(1, max_phases);
+        for (std::size_t p = num_phases; p < max_phases; ++p)
+          mask.at(0, p) = -1e9;
+        logits = tape.add(logits, tape.constant(std::move(mask)));
+      }
+      Var probs = tape.softmax_rows(logits);
+      Var logp = tape.log_softmax_rows(logits);
+      Var value = critics_[i]->forward(tape, x);
+      probs_p = &tape.value(probs);
+      logp_p = &tape.value(logp);
+      val_p = &tape.value(value);
     }
-    Var probs = tape.softmax_rows(logits);
-    Var logp = tape.log_softmax_rows(logits);
-    Var value = critics_[i]->forward(tape, x);
-    const Tensor& probs_t = tape.value(probs);
+    const Tensor& probs_t = *probs_p;
 
     std::size_t action = 0;
     if (explore) {
@@ -112,8 +143,8 @@ std::vector<std::size_t> Ma2cTrainer::act_all(bool explore,
     }
     actions[i] = action;
 
-    new_fingerprints[i].assign(env_->config().max_phases, 0.0);
-    for (std::size_t p = 0; p < env_->config().max_phases; ++p)
+    new_fingerprints[i].assign(max_phases, 0.0);
+    for (std::size_t p = 0; p < max_phases; ++p)
       new_fingerprints[i][p] = probs_t.at(0, p);
 
     if (buffer != nullptr) {
@@ -121,8 +152,8 @@ std::vector<std::size_t> Ma2cTrainer::act_all(bool explore,
       s.obs = input;
       s.action = action;
       s.phase_count = num_phases;
-      s.log_prob = tape.value(logp).at(0, action);
-      s.value = tape.value(value).at(0, 0);
+      s.log_prob = logp_p->at(0, action);
+      s.value = val_p->at(0, 0);
       buffer->add(i, std::move(s));
     }
   }
@@ -157,11 +188,20 @@ env::EpisodeStats Ma2cTrainer::run(bool train_mode, std::uint64_t seed) {
     // Bootstrap each agent's value at the final state.
     for (std::size_t i = 0; i < env_->num_agents(); ++i) {
       const auto input = agent_input(i);
-      Tape tape;
-      Var x = tape.constant(pack_rows({input}, input_dim_));
-      Var value = critics_[i]->forward(tape, x);
+      double boot = 0.0;
+      if (config_.inference_path) {
+        workspace_.begin_pass();
+        Tensor& x = workspace_.acquire(1, input_dim_);
+        std::copy(input.begin(), input.end(), x.data());
+        boot = critics_[i]->forward_inference(workspace_, x).at(0, 0);
+      } else {
+        Tape tape;
+        Var x = tape.constant(pack_rows({input}, input_dim_));
+        Var value = critics_[i]->forward(tape, x);
+        boot = tape.value(value).at(0, 0);
+      }
       // A2C uses Monte-Carlo returns with bootstrap (lambda = 1).
-      buffer.finish_agent(i, tape.value(value).at(0, 0), config_.gamma, 1.0);
+      buffer.finish_agent(i, boot, config_.gamma, 1.0);
     }
     update(buffer);
     ++episode_;

@@ -15,6 +15,7 @@
 
 #include "src/env/controller.hpp"
 #include "src/env/env.hpp"
+#include "src/nn/inference.hpp"
 #include "src/nn/layers.hpp"
 #include "src/nn/optim.hpp"
 #include "src/rl/ppo.hpp"
@@ -35,6 +36,10 @@ struct Ma2cConfig {
   /// Sample from the stochastic policies at evaluation time (deterministic
   /// per-episode stream); argmax when true.
   bool greedy_eval = false;
+  /// Rollout/evaluation forwards run tape-free on a preallocated workspace
+  /// (nn/inference.hpp); bit-identical to the tape forward. False forces
+  /// the tape path (debug / A-B comparison).
+  bool inference_path = true;
   std::uint64_t seed = 3;
 };
 
@@ -71,6 +76,7 @@ class Ma2cTrainer {
   std::vector<std::unique_ptr<nn::Adam>> optims_;
   /// Policy fingerprints: last action distribution per agent.
   std::vector<std::vector<double>> fingerprints_;
+  nn::InferenceWorkspace workspace_;
   std::size_t episode_ = 0;
   std::uint64_t episode_seed_ = 0;
 };

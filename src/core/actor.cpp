@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/nn/inference.hpp"
+
 namespace tsc::core {
 
 using tsc::nn::Linear;
@@ -48,6 +50,33 @@ CoordinatedActor::Output CoordinatedActor::forward(
 
   Var message = message_head_->forward(tape, state.h);
   return {logits, message, state};
+}
+
+CoordinatedActor::InferenceOutput CoordinatedActor::forward_inference(
+    nn::InferenceWorkspace& ws, const Tensor& input, const Tensor& h,
+    const Tensor& c, const std::vector<std::size_t>& phase_counts) const {
+  const std::size_t batch = input.rows();
+  assert(input.cols() == input_dim());
+  assert(phase_counts.size() == batch);
+
+  Tensor& x = const_cast<Tensor&>(embed_->forward_inference(ws, input));
+  nn::tanh_inplace(x);
+  const LstmCell::InferenceState state = lstm_->forward_inference(ws, x, h, c);
+  Tensor& logits = const_cast<Tensor&>(policy_head_->forward_inference(ws, *state.h));
+
+  // Mask invalid phases exactly like the tape path: an element-wise add of
+  // 0.0 (valid) or -1e9 (invalid), applied only when some row needs it.
+  bool needs_mask = false;
+  for (std::size_t pc : phase_counts)
+    if (pc < max_phases_) needs_mask = true;
+  if (needs_mask) {
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t p = 0; p < max_phases_; ++p)
+        logits.at(b, p) += p < phase_counts[b] ? 0.0 : -1e9;
+  }
+
+  const Tensor& message = message_head_->forward_inference(ws, *state.h);
+  return {&logits, &message, state.h, state.c};
 }
 
 }  // namespace tsc::core

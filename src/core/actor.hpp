@@ -33,6 +33,24 @@ class CoordinatedActor : public tsc::nn::Module {
   Output forward(tsc::nn::Tape& tape, tsc::nn::Var input, tsc::nn::Var h,
                  tsc::nn::Var c, const std::vector<std::size_t>& phase_counts);
 
+  /// Tape-free forward results; tensors live in the workspace and stay
+  /// valid until its next begin_pass().
+  struct InferenceOutput {
+    const tsc::nn::Tensor* logits = nullptr;   ///< [B, max_phases]
+    const tsc::nn::Tensor* message = nullptr;  ///< [B, msg_dim], raw
+    const tsc::nn::Tensor* h = nullptr;        ///< [B, hidden]
+    const tsc::nn::Tensor* c = nullptr;        ///< [B, hidden]
+  };
+
+  /// Tape-free forward; bit-identical to forward() (including the masked
+  /// -1e9 logits at heterogeneous phase counts). `input`/`h`/`c` must not
+  /// alias buffers acquired by this call.
+  InferenceOutput forward_inference(tsc::nn::InferenceWorkspace& ws,
+                                    const tsc::nn::Tensor& input,
+                                    const tsc::nn::Tensor& h,
+                                    const tsc::nn::Tensor& c,
+                                    const std::vector<std::size_t>& phase_counts) const;
+
   std::size_t obs_dim() const { return obs_dim_; }
   std::size_t msg_dim() const { return msg_dim_; }
   std::size_t hidden_size() const { return hidden_; }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/nn/inference.hpp"
+
 namespace tsc::core {
 
 using tsc::nn::Linear;
@@ -27,6 +29,17 @@ CentralizedCritic::Output CentralizedCritic::forward(Tape& tape, Var input, Var 
   LstmCell::State state = lstm_->forward(tape, x, h, c);
   Var value = value_head_->forward(tape, state.h);
   return {value, state};
+}
+
+CentralizedCritic::InferenceOutput CentralizedCritic::forward_inference(
+    nn::InferenceWorkspace& ws, const nn::Tensor& input, const nn::Tensor& h,
+    const nn::Tensor& c) const {
+  assert(input.cols() == input_dim_);
+  nn::Tensor& x = const_cast<nn::Tensor&>(embed_->forward_inference(ws, input));
+  nn::tanh_inplace(x);
+  const LstmCell::InferenceState state = lstm_->forward_inference(ws, x, h, c);
+  const nn::Tensor& value = value_head_->forward_inference(ws, *state.h);
+  return {&value, state.h, state.c};
 }
 
 }  // namespace tsc::core

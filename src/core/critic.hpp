@@ -28,6 +28,20 @@ class CentralizedCritic : public tsc::nn::Module {
   Output forward(tsc::nn::Tape& tape, tsc::nn::Var input, tsc::nn::Var h,
                  tsc::nn::Var c);
 
+  /// Tape-free forward results; tensors live in the workspace and stay
+  /// valid until its next begin_pass().
+  struct InferenceOutput {
+    const tsc::nn::Tensor* value = nullptr;  ///< [B, 1]
+    const tsc::nn::Tensor* h = nullptr;      ///< [B, hidden]
+    const tsc::nn::Tensor* c = nullptr;      ///< [B, hidden]
+  };
+
+  /// Tape-free forward; bit-identical to forward().
+  InferenceOutput forward_inference(tsc::nn::InferenceWorkspace& ws,
+                                    const tsc::nn::Tensor& input,
+                                    const tsc::nn::Tensor& h,
+                                    const tsc::nn::Tensor& c) const;
+
   std::size_t input_dim() const { return input_dim_; }
   std::size_t hidden_size() const { return hidden_; }
 

@@ -1,5 +1,6 @@
 #include "src/core/rollout_engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -30,7 +31,6 @@ std::vector<double> extract_row(const Tensor& t, std::size_t r) {
 
 namespace {
 
-using detail::extract_row;
 using detail::pack_rows;
 
 std::vector<double> actor_input(const RolloutContext& ctx, std::size_t agent,
@@ -127,44 +127,110 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
     if (members.empty()) continue;
     const std::size_t batch = members.size();
 
-    Tape& tape = *ctx.tape;
-    tape.reset();
-    std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
-        vi_rows(batch), hv_rows(batch), cv_rows(batch);
-    std::vector<std::size_t> phase_counts(batch);
-    for (std::size_t b = 0; b < batch; ++b) {
-      const std::size_t i = members[b];
-      in_rows[b] = a_inputs[i];
-      ha_rows[b] = states[i].h_a;
-      ca_rows[b] = states[i].c_a;
-      vi_rows[b] = v_inputs[i];
-      hv_rows[b] = states[i].h_v;
-      cv_rows[b] = states[i].c_v;
-      phase_counts[b] = ctx.env->agent(i).num_phases;
-    }
     CoordinatedActor& actor = *ctx.actors[m];
     CentralizedCritic& critic = *ctx.critics[m];
+    const std::size_t hidden = ctx.config->hidden;
+    std::vector<std::size_t> phase_counts(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      phase_counts[b] = ctx.env->agent(members[b]).num_phases;
 
-    Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
-    Var h_a = tape.constant(pack_rows(ha_rows, ctx.config->hidden));
-    Var c_a = tape.constant(pack_rows(ca_rows, ctx.config->hidden));
-    auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
-    Var probs = tape.softmax_rows(actor_out.logits);
-    Var logp = tape.log_softmax_rows(actor_out.logits);
+    // Both forward producers fill the same pointers; the action-selection /
+    // state-advance loop below is shared so the RNG consumption order is
+    // identical on either path.
+    const Tensor* probs_p = nullptr;
+    const Tensor* logp_p = nullptr;
+    const Tensor* msg_p = nullptr;
+    const Tensor* ha_p = nullptr;
+    const Tensor* ca_p = nullptr;
+    const Tensor* hv_p = nullptr;
+    const Tensor* cv_p = nullptr;
+    const Tensor* val_p = nullptr;
 
-    Var v_input = tape.constant(pack_rows(vi_rows, ctx.critic_input_dim));
-    Var h_v = tape.constant(pack_rows(hv_rows, ctx.config->hidden));
-    Var c_v = tape.constant(pack_rows(cv_rows, ctx.config->hidden));
-    auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+    nn::InferenceWorkspace* ws =
+        ctx.config->inference_path ? ctx.workspace : nullptr;
+    if (ws != nullptr) {
+      // Tape-free path: pack rows straight into preallocated workspace
+      // buffers and run the bit-identical forward_inference kernels.
+      ws->begin_pass();
+      Tensor& input = ws->acquire(batch, actor.input_dim());
+      Tensor& h_a = ws->acquire(batch, hidden);
+      Tensor& c_a = ws->acquire(batch, hidden);
+      Tensor& v_input = ws->acquire(batch, ctx.critic_input_dim);
+      Tensor& h_v = ws->acquire(batch, hidden);
+      Tensor& c_v = ws->acquire(batch, hidden);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t i = members[b];
+        const AgentState& s = states[i];
+        std::copy(a_inputs[i].begin(), a_inputs[i].end(),
+                  input.data() + b * actor.input_dim());
+        std::copy(s.h_a.begin(), s.h_a.end(), h_a.data() + b * hidden);
+        std::copy(s.c_a.begin(), s.c_a.end(), c_a.data() + b * hidden);
+        std::copy(v_inputs[i].begin(), v_inputs[i].end(),
+                  v_input.data() + b * ctx.critic_input_dim);
+        std::copy(s.h_v.begin(), s.h_v.end(), h_v.data() + b * hidden);
+        std::copy(s.c_v.begin(), s.c_v.end(), c_v.data() + b * hidden);
+      }
+      auto actor_out =
+          actor.forward_inference(*ws, input, h_a, c_a, phase_counts);
+      Tensor& probs = ws->acquire(batch, actor.max_phases());
+      nn::softmax_rows_into(probs, *actor_out.logits);
+      Tensor& logp = ws->acquire(batch, actor.max_phases());
+      nn::log_softmax_rows_into(logp, *actor_out.logits);
+      auto critic_out = critic.forward_inference(*ws, v_input, h_v, c_v);
 
-    const Tensor& probs_t = tape.value(probs);
-    const Tensor& logp_t = tape.value(logp);
-    const Tensor& msg_t = tape.value(actor_out.message);
-    const Tensor& ha_t = tape.value(actor_out.state.h);
-    const Tensor& ca_t = tape.value(actor_out.state.c);
-    const Tensor& hv_t = tape.value(critic_out.state.h);
-    const Tensor& cv_t = tape.value(critic_out.state.c);
-    const Tensor& val_t = tape.value(critic_out.value);
+      probs_p = &probs;
+      logp_p = &logp;
+      msg_p = actor_out.message;
+      ha_p = actor_out.h;
+      ca_p = actor_out.c;
+      hv_p = critic_out.h;
+      cv_p = critic_out.c;
+      val_p = critic_out.value;
+    } else {
+      Tape& tape = *ctx.tape;
+      tape.reset();
+      std::vector<std::vector<double>> in_rows(batch), ha_rows(batch),
+          ca_rows(batch), vi_rows(batch), hv_rows(batch), cv_rows(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t i = members[b];
+        in_rows[b] = a_inputs[i];
+        ha_rows[b] = states[i].h_a;
+        ca_rows[b] = states[i].c_a;
+        vi_rows[b] = v_inputs[i];
+        hv_rows[b] = states[i].h_v;
+        cv_rows[b] = states[i].c_v;
+      }
+
+      Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
+      Var h_a = tape.constant(pack_rows(ha_rows, hidden));
+      Var c_a = tape.constant(pack_rows(ca_rows, hidden));
+      auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+      Var probs = tape.softmax_rows(actor_out.logits);
+      Var logp = tape.log_softmax_rows(actor_out.logits);
+
+      Var v_input = tape.constant(pack_rows(vi_rows, ctx.critic_input_dim));
+      Var h_v = tape.constant(pack_rows(hv_rows, hidden));
+      Var c_v = tape.constant(pack_rows(cv_rows, hidden));
+      auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+
+      probs_p = &tape.value(probs);
+      logp_p = &tape.value(logp);
+      msg_p = &tape.value(actor_out.message);
+      ha_p = &tape.value(actor_out.state.h);
+      ca_p = &tape.value(actor_out.state.c);
+      hv_p = &tape.value(critic_out.state.h);
+      cv_p = &tape.value(critic_out.state.c);
+      val_p = &tape.value(critic_out.value);
+    }
+
+    const Tensor& probs_t = *probs_p;
+    const Tensor& logp_t = *logp_p;
+    const Tensor& msg_t = *msg_p;
+    const Tensor& ha_t = *ha_p;
+    const Tensor& ca_t = *ca_p;
+    const Tensor& hv_t = *hv_p;
+    const Tensor& cv_t = *cv_p;
+    const Tensor& val_t = *val_p;
 
     for (std::size_t b = 0; b < batch; ++b) {
       const std::size_t i = members[b];
@@ -220,10 +286,12 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
 
       // Advance recurrent state and regularize the outgoing message:
       // m_hat = Logistic(N(m, sigma)); noiseless at evaluation time.
-      states[i].h_a = extract_row(ha_t, b);
-      states[i].c_a = extract_row(ca_t, b);
-      states[i].h_v = extract_row(hv_t, b);
-      states[i].c_v = extract_row(cv_t, b);
+      // assign() reuses each state vector's capacity — no allocation after
+      // the first step of an episode.
+      states[i].h_a.assign(ha_t.data() + b * hidden, ha_t.data() + (b + 1) * hidden);
+      states[i].c_a.assign(ca_t.data() + b * hidden, ca_t.data() + (b + 1) * hidden);
+      states[i].h_v.assign(hv_t.data() + b * hidden, hv_t.data() + (b + 1) * hidden);
+      states[i].c_v.assign(cv_t.data() + b * hidden, cv_t.data() + (b + 1) * hidden);
       for (std::size_t k = 0; k < ctx.config->msg_dim; ++k) {
         const double raw = msg_t.at(b, k);
         const double noisy =

@@ -15,6 +15,7 @@
 #include "src/core/critic.hpp"
 #include "src/env/controller.hpp"
 #include "src/env/env.hpp"
+#include "src/nn/inference.hpp"
 #include "src/nn/tape.hpp"
 #include "src/rl/ppo.hpp"
 #include "src/rl/rollout.hpp"
@@ -76,20 +77,28 @@ struct PairUpConfig {
   std::size_t num_envs = 1;
   /// Parallel PPO update: number of shards each minibatch's
   /// forward/backward is split across. 1 = the exact historical serial
-  /// update (single batched pass, no threads); K > 1 computes per-sample
-  /// gradients on K worker threads over the frozen weights and reduces
-  /// them in fixed sample order before the single clip + Adam step.
-  /// Gradients are bit-identical for every value, including 1, so — unlike
-  /// num_envs — training curves can be compared across shard counts (see
-  /// core/update_engine.hpp for the argument and its golden tests).
+  /// update (single batched pass, no threads); K > 1 splits the work over K
+  /// worker threads on the frozen weights and reduces the gradient slots in
+  /// a fixed order before the single clip + Adam step. Under
+  /// kPerSampleShards gradients are bit-identical for every value,
+  /// including 1, so — unlike num_envs — training curves can be compared
+  /// across shard counts (see core/update_engine.hpp for the argument and
+  /// its golden tests).
   std::size_t num_update_shards = 1;
   /// Work layout of the sharded update (only consulted when
   /// num_update_shards > 1; a single shard always runs kSerial).
   /// kPerSampleShards keeps the bit-identical guarantee above;
-  /// kBatchedShards trades it for one batched matmul per worker — weights
-  /// then track the serial run within a pinned tolerance instead of
-  /// exactly (tests/test_update_modes.cpp).
-  UpdateMode update_mode = UpdateMode::kPerSampleShards;
+  /// kBatchedShards (the default) runs one batched matmul per worker —
+  /// weights then track the serial run within a pinned tolerance instead of
+  /// exactly (tests/test_update_modes.cpp); select kPerSampleShards to keep
+  /// the bit-identical guarantee at the cost of rows = 1 matmuls.
+  UpdateMode update_mode = UpdateMode::kBatchedShards;
+  /// Rollout/evaluation forwards run on the tape-free inference path
+  /// (nn/inference.hpp): preallocated workspace buffers, no autodiff
+  /// bookkeeping, bit-identical actions/logits/messages/values
+  /// (tests/test_inference_path.cpp). Set false to force every forward
+  /// through the tape (debug / A-B comparison).
+  bool inference_path = true;
   std::uint64_t seed = 1;
 };
 
@@ -121,6 +130,10 @@ struct RolloutContext {
   Rng* rng = nullptr;           ///< exploration stream (training noise)
   double epsilon = 0.0;         ///< epsilon-greedy value for this episode
   nn::Tape* tape = nullptr;     ///< reusable scratch tape (reset per forward)
+  /// Tape-free inference workspace; when non-null (and the config enables
+  /// it) decide_step runs forward_inference instead of the tape forward.
+  /// Must not be shared with a concurrently running context.
+  nn::InferenceWorkspace* workspace = nullptr;
   /// Outputs recorded at the last decision (protocol inspection).
   std::vector<std::vector<double>>* last_messages = nullptr;
   std::vector<std::size_t>* last_partners = nullptr;

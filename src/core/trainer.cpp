@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "src/nn/serialize.hpp"
+#include "src/util/log.hpp"
 
 namespace tsc::core {
 
@@ -119,6 +121,13 @@ PairUpLightTrainer::PairUpLightTrainer(env::TscEnv* env, PairUpConfig config)
   if (config_.num_update_shards > 1 && config_.update_mode != UpdateMode::kSerial)
     updater_ = std::make_unique<ParallelUpdateEngine>(config_.num_update_shards,
                                                       config_.update_mode);
+  if (config_.num_update_shards > 1 &&
+      config_.update_mode == UpdateMode::kPerSampleShards &&
+      std::thread::hardware_concurrency() == 1) {
+    log_warn("update_mode=kPerSampleShards with a single hardware thread: "
+             "the per-sample layout pays rows=1 matmuls without any thread "
+             "overlap; prefer kBatchedShards (the default) or num_update_shards=1");
+  }
 }
 
 RolloutContext PairUpLightTrainer::serial_context() {
@@ -133,6 +142,7 @@ RolloutContext PairUpLightTrainer::serial_context() {
   ctx.rng = &rng_;
   ctx.epsilon = current_epsilon();
   ctx.tape = &scratch_tape_;
+  ctx.workspace = &workspace_;
   ctx.last_messages = &last_messages_;
   ctx.last_partners = &last_partners_;
   return ctx;
@@ -223,6 +233,7 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
         ctx.rng = &rng;
         ctx.epsilon = epsilon;
         ctx.tape = &worker.tape;
+        ctx.workspace = &worker.workspace;
         ctx.last_messages = &worker.last_messages;
         ctx.last_partners = &worker.last_partners;
 

@@ -100,6 +100,11 @@ class PairUpLightTrainer {
   /// (Table IV): msg_dim 32-bit values from exactly one neighbor.
   std::size_t comm_bits_per_step() const { return config_.msg_dim * 32; }
 
+  /// Workspace backing the serial-context inference path (rollouts,
+  /// evaluation, controller). Exposed so tests can assert the zero
+  /// steady-state-allocation property via alloc_events().
+  const nn::InferenceWorkspace& inference_workspace() const { return workspace_; }
+
   /// Regularized outgoing messages (one per agent) recorded at the last
   /// decision of train_episode()/eval_episode() - for protocol inspection.
   /// With num_envs > 1 these come from worker 0's episode.
@@ -132,6 +137,7 @@ class PairUpLightTrainer {
     std::vector<std::unique_ptr<CoordinatedActor>> actors;
     std::vector<std::unique_ptr<CentralizedCritic>> critics;
     nn::Tape tape;
+    nn::InferenceWorkspace workspace;  ///< one per worker thread (never shared)
     std::vector<std::vector<double>> last_messages;
     std::vector<std::size_t> last_partners;
   };
@@ -162,6 +168,9 @@ class PairUpLightTrainer {
   /// Reusable autodiff tape for serial rollouts and PPO minibatches (reset
   /// before every forward; reuse keeps node storage warm, see nn/tape.hpp).
   nn::Tape scratch_tape_;
+  /// Preallocated buffers for the tape-free inference path on the serial
+  /// context (rollouts, evaluation, controller). Workers carry their own.
+  nn::InferenceWorkspace workspace_;
   /// Built only when config.num_envs > 1.
   std::unique_ptr<rl::ParallelRolloutCollector<RolloutWorker>> collector_;
   /// Built only when config.num_update_shards > 1 and update_mode is not

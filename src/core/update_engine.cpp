@@ -12,7 +12,67 @@ using tsc::nn::Tape;
 using tsc::nn::Tensor;
 using tsc::nn::Var;
 
-using detail::pack_rows;
+namespace {
+
+// Packs minibatch sample fields straight into recycled alloc_constant()
+// nodes: no per-row vector intermediates and — after the first minibatch —
+// no allocation at all, since reset() returns each node's backing storage
+// to the tape's recycle pool (the pack_rows copies dominated the sharded
+// update's profile). Values are identical to the pack_rows path, so the
+// bitwise/tolerance pins in tests/test_update_modes.cpp are unaffected.
+struct PackedInputs {
+  Var input, h_a, c_a;
+};
+struct PackedCriticInputs {
+  Var v_input, h_v, c_v;
+};
+
+PackedInputs pack_actor_inputs(Tape& tape, const CoordinatedActor& actor,
+                               const std::vector<const rl::Sample*>& samples,
+                               const std::vector<std::size_t>& order,
+                               std::size_t begin, std::size_t rows,
+                               std::size_t hidden) {
+  PackedInputs p;
+  p.input = tape.alloc_constant(rows, actor.input_dim());
+  p.h_a = tape.alloc_constant(rows, hidden);
+  p.c_a = tape.alloc_constant(rows, hidden);
+  Tensor& in_t = tape.mutable_value(p.input);
+  Tensor& ha_t = tape.mutable_value(p.h_a);
+  Tensor& ca_t = tape.mutable_value(p.c_a);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const rl::Sample& s = *samples[order[begin + r]];
+    assert(s.obs.size() == actor.input_dim());
+    std::copy(s.obs.begin(), s.obs.end(), in_t.data() + r * actor.input_dim());
+    std::copy(s.h_actor.begin(), s.h_actor.end(), ha_t.data() + r * hidden);
+    std::copy(s.c_actor.begin(), s.c_actor.end(), ca_t.data() + r * hidden);
+  }
+  return p;
+}
+
+PackedCriticInputs pack_critic_inputs(Tape& tape, const CentralizedCritic& critic,
+                                      const std::vector<const rl::Sample*>& samples,
+                                      const std::vector<std::size_t>& order,
+                                      std::size_t begin, std::size_t rows,
+                                      std::size_t hidden) {
+  PackedCriticInputs p;
+  p.v_input = tape.alloc_constant(rows, critic.input_dim());
+  p.h_v = tape.alloc_constant(rows, hidden);
+  p.c_v = tape.alloc_constant(rows, hidden);
+  Tensor& vi_t = tape.mutable_value(p.v_input);
+  Tensor& hv_t = tape.mutable_value(p.h_v);
+  Tensor& cv_t = tape.mutable_value(p.c_v);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const rl::Sample& s = *samples[order[begin + r]];
+    assert(s.critic_obs.size() == critic.input_dim());
+    std::copy(s.critic_obs.begin(), s.critic_obs.end(),
+              vi_t.data() + r * critic.input_dim());
+    std::copy(s.h_critic.begin(), s.h_critic.end(), hv_t.data() + r * hidden);
+    std::copy(s.c_critic.begin(), s.c_critic.end(), cv_t.data() + r * hidden);
+  }
+  return p;
+}
+
+}  // namespace
 
 double serial_minibatch_update(UpdateContext& ctx,
                                const std::vector<const rl::Sample*>& samples,
@@ -25,18 +85,10 @@ double serial_minibatch_update(UpdateContext& ctx,
   Tape& tape = *ctx.tape;
   const std::size_t batch = end - begin;
 
-  std::vector<std::vector<double>> in_rows(batch), ha_rows(batch), ca_rows(batch),
-      vi_rows(batch), hv_rows(batch), cv_rows(batch);
   std::vector<std::size_t> actions(batch), phase_counts(batch);
   std::vector<double> old_logp(batch), advantages(batch), returns(batch);
   for (std::size_t b = 0; b < batch; ++b) {
     const rl::Sample& s = *samples[order[begin + b]];
-    in_rows[b] = s.obs;
-    ha_rows[b] = s.h_actor;
-    ca_rows[b] = s.c_actor;
-    vi_rows[b] = s.critic_obs;
-    hv_rows[b] = s.h_critic;
-    cv_rows[b] = s.c_critic;
     actions[b] = s.action;
     old_logp[b] = s.log_prob;
     advantages[b] = s.advantage;
@@ -45,18 +97,17 @@ double serial_minibatch_update(UpdateContext& ctx,
   }
 
   tape.reset();
-  Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
-  Var h_a = tape.constant(pack_rows(ha_rows, config.hidden));
-  Var c_a = tape.constant(pack_rows(ca_rows, config.hidden));
-  auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+  PackedInputs a_in =
+      pack_actor_inputs(tape, actor, samples, order, begin, batch, config.hidden);
+  auto actor_out =
+      actor.forward(tape, a_in.input, a_in.h_a, a_in.c_a, phase_counts);
   Var logp_all = tape.log_softmax_rows(actor_out.logits);
   Var new_logp = tape.gather_cols(logp_all, actions);
   Var entropy = rl::policy_entropy(tape, actor_out.logits);
 
-  Var v_input = tape.constant(pack_rows(vi_rows, critic.input_dim()));
-  Var h_v = tape.constant(pack_rows(hv_rows, config.hidden));
-  Var c_v = tape.constant(pack_rows(cv_rows, config.hidden));
-  auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+  PackedCriticInputs c_in =
+      pack_critic_inputs(tape, critic, samples, order, begin, batch, config.hidden);
+  auto critic_out = critic.forward(tape, c_in.v_input, c_in.h_v, c_in.c_v);
 
   Var loss = rl::ppo_total_loss(tape, new_logp, entropy, critic_out.value,
                                 old_logp, advantages, returns, config.ppo);
@@ -74,18 +125,22 @@ double sample_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
   tape.reset();
   // Node creation order mirrors serial_minibatch_update exactly so grads of
   // multi-consumer nodes accumulate their terms in the same sequence.
-  Var input = tape.constant(Tensor::matrix(1, actor.input_dim(), sample.obs));
-  Var h_a = tape.constant(Tensor::matrix(1, actor.hidden_size(), sample.h_actor));
-  Var c_a = tape.constant(Tensor::matrix(1, actor.hidden_size(), sample.c_actor));
+  auto one_row = [&tape](const std::vector<double>& row) {
+    Var v = tape.alloc_constant(1, row.size());
+    std::copy(row.begin(), row.end(), tape.mutable_value(v).data());
+    return v;
+  };
+  Var input = one_row(sample.obs);
+  Var h_a = one_row(sample.h_actor);
+  Var c_a = one_row(sample.c_actor);
   auto actor_out = actor.forward(tape, input, h_a, c_a, {sample.phase_count});
   Var logp_all = tape.log_softmax_rows(actor_out.logits);
   Var new_logp = tape.gather_cols(logp_all, {sample.action});
   Var entropy = rl::policy_entropy_scaled(tape, actor_out.logits, batch);
 
-  Var v_input =
-      tape.constant(Tensor::matrix(1, critic.input_dim(), sample.critic_obs));
-  Var h_v = tape.constant(Tensor::matrix(1, critic.hidden_size(), sample.h_critic));
-  Var c_v = tape.constant(Tensor::matrix(1, critic.hidden_size(), sample.c_critic));
+  Var v_input = one_row(sample.critic_obs);
+  Var h_v = one_row(sample.h_critic);
+  Var c_v = one_row(sample.c_critic);
   auto critic_out = critic.forward(tape, v_input, h_v, c_v);
 
   Var loss = rl::ppo_shard_loss(tape, new_logp, entropy, critic_out.value,
@@ -104,18 +159,10 @@ double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
   assert(begin < end && end <= order.size());
   const std::size_t rows = end - begin;
 
-  std::vector<std::vector<double>> in_rows(rows), ha_rows(rows), ca_rows(rows),
-      vi_rows(rows), hv_rows(rows), cv_rows(rows);
   std::vector<std::size_t> actions(rows), phase_counts(rows);
   std::vector<double> old_logp(rows), advantages(rows), returns(rows);
   for (std::size_t r = 0; r < rows; ++r) {
     const rl::Sample& s = *samples[order[begin + r]];
-    in_rows[r] = s.obs;
-    ha_rows[r] = s.h_actor;
-    ca_rows[r] = s.c_actor;
-    vi_rows[r] = s.critic_obs;
-    hv_rows[r] = s.h_critic;
-    cv_rows[r] = s.c_critic;
     actions[r] = s.action;
     old_logp[r] = s.log_prob;
     advantages[r] = s.advantage;
@@ -127,18 +174,17 @@ double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
   // Same node layout as serial_minibatch_update but at `rows` rows and with
   // the GLOBAL batch divisor: the shard contributes its rows/batch share of
   // the minibatch loss and gradients.
-  Var input = tape.constant(pack_rows(in_rows, actor.input_dim()));
-  Var h_a = tape.constant(pack_rows(ha_rows, actor.hidden_size()));
-  Var c_a = tape.constant(pack_rows(ca_rows, actor.hidden_size()));
-  auto actor_out = actor.forward(tape, input, h_a, c_a, phase_counts);
+  PackedInputs a_in = pack_actor_inputs(tape, actor, samples, order, begin, rows,
+                                        actor.hidden_size());
+  auto actor_out =
+      actor.forward(tape, a_in.input, a_in.h_a, a_in.c_a, phase_counts);
   Var logp_all = tape.log_softmax_rows(actor_out.logits);
   Var new_logp = tape.gather_cols(logp_all, actions);
   Var entropy = rl::policy_entropy_scaled(tape, actor_out.logits, batch);
 
-  Var v_input = tape.constant(pack_rows(vi_rows, critic.input_dim()));
-  Var h_v = tape.constant(pack_rows(hv_rows, critic.hidden_size()));
-  Var c_v = tape.constant(pack_rows(cv_rows, critic.hidden_size()));
-  auto critic_out = critic.forward(tape, v_input, h_v, c_v);
+  PackedCriticInputs c_in = pack_critic_inputs(tape, critic, samples, order,
+                                               begin, rows, critic.hidden_size());
+  auto critic_out = critic.forward(tape, c_in.v_input, c_in.h_v, c_in.c_v);
 
   Var loss = rl::ppo_shard_loss(tape, new_logp, entropy, critic_out.value,
                                 old_logp, advantages, returns, batch,

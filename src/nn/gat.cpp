@@ -1,7 +1,10 @@
 #include "src/nn/gat.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "src/nn/inference.hpp"
 
 namespace tsc::nn {
 
@@ -50,6 +53,49 @@ Var GatLayer::forward(Tape& tape, Var entities, const std::vector<bool>& mask) {
 
   Var mixed = tape.matmul(alpha, vals);  // [1, d]
   return tape.relu(w_out_->forward(tape, mixed));
+}
+
+const Tensor& GatLayer::forward_inference(InferenceWorkspace& ws,
+                                          const Tensor& entities,
+                                          const std::vector<bool>& mask) {
+  assert(entities.rows() == max_entities_);
+  assert(entities.cols() == entity_dim_);
+  assert(mask.size() == max_entities_);
+  assert(mask[0] && "row 0 (self) must be a live entity");
+
+  Tensor& self_row = ws.acquire(1, entity_dim_);  // select_row(entities, 0)
+  std::copy(entities.data(), entities.data() + entity_dim_, self_row.data());
+  const Tensor& query = w_query_->forward_inference(ws, self_row);  // [1, d]
+  const Tensor& keys = w_key_->forward_inference(ws, entities);     // [E, d]
+  const Tensor& vals = w_value_->forward_inference(ws, entities);   // [E, d]
+
+  // Per-entity scores replay the tape's mul -> sum -> scale -> mask chain:
+  // each product is rounded before the running sum, the scale by 1/sqrt(d)
+  // rounds once, and a masked slot becomes exactly dot*0.0 + (-1e9).
+  Tensor& scores = ws.acquire(1, max_entities_);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(out_dim_));
+  const double* pq = query.data();
+  for (std::size_t e = 0; e < max_entities_; ++e) {
+    const double* krow = keys.data() + e * out_dim_;
+    double dot = 0.0;
+    for (std::size_t j = 0; j < out_dim_; ++j) {
+      const double p = pq[j] * krow[j];
+      dot += p;
+    }
+    double score = dot * inv_sqrt_d;
+    if (!mask[e]) score = score * 0.0 + (-1e9);
+    scores[e] = score;
+  }
+  Tensor& alpha = ws.acquire(1, max_entities_);
+  softmax_rows_into(alpha, scores);
+
+  last_attention_.assign(alpha.data(), alpha.data() + max_entities_);
+
+  Tensor& mixed = ws.acquire(1, out_dim_);
+  matmul_into(mixed, alpha, vals);
+  Tensor& out = const_cast<Tensor&>(w_out_->forward_inference(ws, mixed));
+  relu_inplace(out);
+  return out;
 }
 
 }  // namespace tsc::nn

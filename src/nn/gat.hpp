@@ -24,6 +24,12 @@ class GatLayer : public Module {
   /// Returns [1, out_dim].
   Var forward(Tape& tape, Var entities, const std::vector<bool>& mask);
 
+  /// Tape-free forward; bit-identical to forward() (same dot/scale/mask
+  /// arithmetic, same softmax loops). Updates last_attention() like the
+  /// tape path does. The returned reference lives in the workspace.
+  const Tensor& forward_inference(InferenceWorkspace& ws, const Tensor& entities,
+                                  const std::vector<bool>& mask);
+
   /// Attention weights of the last forward() call (for tests/inspection).
   const std::vector<double>& last_attention() const { return last_attention_; }
 

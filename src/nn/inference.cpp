@@ -1,0 +1,78 @@
+#include "src/nn/inference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsc::nn {
+
+Tensor& InferenceWorkspace::acquire(std::size_t rows, std::size_t cols) {
+  if (cursor_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Tensor>());
+    ++alloc_events_;
+  }
+  Tensor& t = *slots_[cursor_++];
+  const std::size_t cap_before = t.values().capacity();
+  t.reshape(rows, cols);
+  if (t.values().capacity() != cap_before) ++alloc_events_;
+  return t;
+}
+
+// The softmax kernels below copy the input and then run the EXACT loop
+// bodies of Tape::softmax_rows / Tape::log_softmax_rows (tape.cpp): the
+// same max scan, the same exp/accumulate order, the same divide/subtract.
+// Any deviation breaks the inference path's bit-identity guarantee.
+
+void softmax_rows_into(Tensor& out, const Tensor& in) {
+  assert(&out != &in);
+  const std::size_t rows = in.rows(), cols = in.cols();
+  out.reshape(rows, cols);
+  std::copy(in.data(), in.data() + in.size(), out.data());
+  for (std::size_t r = 0; r < rows; ++r) {
+    double mx = out[r * cols];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, out[r * cols + c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[r * cols + c] = std::exp(out[r * cols + c] - mx);
+      denom += out[r * cols + c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) out[r * cols + c] /= denom;
+  }
+}
+
+void log_softmax_rows_into(Tensor& out, const Tensor& in) {
+  assert(&out != &in);
+  const std::size_t rows = in.rows(), cols = in.cols();
+  out.reshape(rows, cols);
+  std::copy(in.data(), in.data() + in.size(), out.data());
+  for (std::size_t r = 0; r < rows; ++r) {
+    double mx = out[r * cols];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, out[r * cols + c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) denom += std::exp(out[r * cols + c] - mx);
+    const double lse = mx + std::log(denom);
+    for (std::size_t c = 0; c < cols; ++c) out[r * cols + c] -= lse;
+  }
+}
+
+void relu_inplace(Tensor& t) {
+  double* p = t.data();
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = p[i] > 0.0 ? p[i] : 0.0;
+}
+
+void tanh_inplace(Tensor& t) {
+  double* p = t.data();
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+}
+
+std::size_t argmax_row(const Tensor& t, std::size_t r, std::size_t limit) {
+  assert(limit > 0 && limit <= t.cols());
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < limit; ++c)
+    if (t.at(r, c) > t.at(r, best)) best = c;
+  return best;
+}
+
+}  // namespace tsc::nn

@@ -1,0 +1,84 @@
+// Forward-only inference engine: preallocated activation buffers plus
+// tape-free kernels that replay the tape's exact floating-point operations.
+//
+// Rollout collection, greedy evaluation, and the baseline controllers never
+// call backward(), yet historically paid for a full autodiff tape per
+// forward pass: one node per op, each owning a freshly allocated value
+// tensor, plus a copy of every weight matrix (Tape::param copies the
+// Parameter value into its node). The InferenceWorkspace replaces all of
+// that with a flat list of reusable activation buffers handed out in
+// acquisition order: begin_pass() rewinds the cursor, acquire() returns the
+// next slot reshaped to the requested size. Because a decision step always
+// acquires the same shapes in the same order, every buffer reaches its peak
+// capacity after the first pass and the workspace performs ZERO steady-state
+// allocations — observable via alloc_events(), which counts slot creations
+// and backing-storage growth.
+//
+// Bit-identity contract: every kernel here mirrors the corresponding Tape
+// op's loop structure exactly (same operation order, same rounding), so
+// logits / messages / values / actions produced through forward_inference
+// are bit-identical to the tape path. tests/test_inference_path.cpp pins
+// this against the tape for the actor, critic, and all NN baselines.
+//
+// Threading: a workspace is mutable scratch — give each worker thread its
+// own (RolloutWorker carries one; see core/trainer.hpp). Buffers returned
+// by acquire() are only valid until the next begin_pass(), so persistent
+// state (LSTM h/c) must be copied out before the next pass.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+
+namespace tsc::nn {
+
+class InferenceWorkspace {
+ public:
+  InferenceWorkspace() = default;
+  InferenceWorkspace(const InferenceWorkspace&) = delete;
+  InferenceWorkspace& operator=(const InferenceWorkspace&) = delete;
+
+  /// Rewinds the buffer cursor; the next acquire() reuses the first slot.
+  void begin_pass() { cursor_ = 0; }
+
+  /// Next activation buffer, reshaped to [rows, cols]. Contents are
+  /// unspecified (kernels overwrite every element). The reference stays
+  /// valid until the slot is handed out again after a begin_pass() —
+  /// slots live behind stable unique_ptrs, so earlier acquisitions of the
+  /// same pass are never invalidated by later ones.
+  Tensor& acquire(std::size_t rows, std::size_t cols);
+
+  /// Total allocation events so far: slot creations plus backing-storage
+  /// growth inside acquire(). Stops increasing once the acquisition
+  /// sequence has stabilized — the zero-steady-state-allocation guarantee
+  /// tests assert on.
+  std::size_t alloc_events() const { return alloc_events_; }
+  std::size_t num_buffers() const { return slots_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Tensor>> slots_;
+  std::size_t cursor_ = 0;
+  std::size_t alloc_events_ = 0;
+};
+
+// ---- tape-free kernels (loops mirror the Tape ops bit-for-bit) ----
+
+/// out = row-wise softmax of `in` (same loops as Tape::softmax_rows).
+/// `out` must not alias `in`.
+void softmax_rows_into(Tensor& out, const Tensor& in);
+
+/// out = row-wise log-softmax of `in` (same loops as
+/// Tape::log_softmax_rows). `out` must not alias `in`.
+void log_softmax_rows_into(Tensor& out, const Tensor& in);
+
+/// In-place ReLU / tanh (same element order as Tape::relu / Tape::tanh).
+void relu_inplace(Tensor& t);
+void tanh_inplace(Tensor& t);
+
+/// argmax over columns [0, limit) of row `r` (first max wins, matching the
+/// strict `>` comparison the rollout/baseline action loops use).
+std::size_t argmax_row(const Tensor& t, std::size_t r, std::size_t limit);
+
+}  // namespace tsc::nn

@@ -1,6 +1,9 @@
 #include "src/nn/layers.hpp"
 
 #include <cassert>
+#include <cmath>
+
+#include "src/nn/inference.hpp"
 
 namespace tsc::nn {
 
@@ -23,6 +26,18 @@ Var Linear::forward(Tape& tape, Var x) {
   Var w = tape.param(weight);
   Var b = tape.param(bias);
   return tape.add(tape.matmul(x, w), b);
+}
+
+const Tensor& Linear::forward_inference(InferenceWorkspace& ws,
+                                        const Tensor& x) const {
+  assert(x.cols() == in_);
+  Tensor& out = ws.acquire(x.rows(), out_);
+  matmul_into(out, x, weight.value);
+  // Broadcast bias add: same loop as Tape::add's rank-1 branch.
+  const double* pb = bias.value.data();
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out_; ++c) out.at(r, c) += pb[c];
+  return out;
 }
 
 Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng, Activation hidden_act,
@@ -50,6 +65,26 @@ Var Mlp::forward(Tape& tape, Var x) {
     }
   }
   return x;
+}
+
+const Tensor& Mlp::forward_inference(InferenceWorkspace& ws,
+                                     const Tensor& x) const {
+  const Tensor* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor& out = const_cast<Tensor&>(layers_[i]->forward_inference(ws, *cur));
+    const bool is_output = (i + 1 == layers_.size());
+    if (!is_output) {
+      // In-place activation on the layer output: element-wise, so identical
+      // to the tape's copy-then-transform nodes.
+      switch (act_) {
+        case Activation::kRelu: relu_inplace(out); break;
+        case Activation::kTanh: tanh_inplace(out); break;
+        case Activation::kNone: break;
+      }
+    }
+    cur = &out;
+  }
+  return *cur;
 }
 
 LayerNorm::LayerNorm(std::size_t dim, double eps)
@@ -121,6 +156,53 @@ LstmCell::State LstmCell::forward(Tape& tape, Var x, Var h, Var c) {
   Var c_new = tape.add(tape.mul(f_gate, c), tape.mul(i_gate, g_gate));
   Var h_new = tape.mul(o_gate, tape.tanh(c_new));
   return {h_new, c_new};
+}
+
+LstmCell::InferenceState LstmCell::forward_inference(InferenceWorkspace& ws,
+                                                     const Tensor& x,
+                                                     const Tensor& h,
+                                                     const Tensor& c) const {
+  assert(x.cols() == in_);
+  assert(h.cols() == hidden_ && c.cols() == hidden_);
+  const std::size_t batch = x.rows();
+  const std::size_t gate_cols = 4 * hidden_;
+  Tensor& m1 = ws.acquire(batch, gate_cols);
+  matmul_into(m1, x, w_x.value);
+  Tensor& m2 = ws.acquire(batch, gate_cols);
+  matmul_into(m2, h, w_h.value);
+  // gates = (x@w_x + h@w_h) + bias as two separately rounded adds, exactly
+  // the tape's add(add(matmul, matmul), bias) chain.
+  Tensor& gates = m1;
+  const double* pb = bias.value.data();
+  for (std::size_t r = 0; r < batch; ++r) {
+    double* grow = gates.data() + r * gate_cols;
+    const double* m2row = m2.data() + r * gate_cols;
+    for (std::size_t j = 0; j < gate_cols; ++j) {
+      const double s = grow[j] + m2row[j];
+      grow[j] = s + pb[j];
+    }
+  }
+  Tensor& h_new = ws.acquire(batch, hidden_);
+  Tensor& c_new = ws.acquire(batch, hidden_);
+  assert(&c != &c_new && &h != &h_new && &c != &h_new && &h != &c_new);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* grow = gates.data() + r * gate_cols;
+    const double* crow = c.data() + r * hidden_;
+    double* hrow = h_new.data() + r * hidden_;
+    double* crow_new = c_new.data() + r * hidden_;
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      const double i_gate = 1.0 / (1.0 + std::exp(-grow[j]));
+      const double f_gate = 1.0 / (1.0 + std::exp(-grow[hidden_ + j]));
+      const double g_gate = std::tanh(grow[2 * hidden_ + j]);
+      const double o_gate = 1.0 / (1.0 + std::exp(-grow[3 * hidden_ + j]));
+      const double fc = f_gate * crow[j];
+      const double ig = i_gate * g_gate;
+      const double cn = fc + ig;
+      crow_new[j] = cn;
+      hrow[j] = o_gate * std::tanh(cn);
+    }
+  }
+  return {&h_new, &c_new};
 }
 
 LstmCell::State LstmCell::zero_state(Tape& tape, std::size_t batch) const {

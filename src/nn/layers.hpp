@@ -11,6 +11,8 @@
 
 namespace tsc::nn {
 
+class InferenceWorkspace;
+
 /// y = x @ W + b, with W [in, out], b [out].
 class Linear : public Module {
  public:
@@ -19,6 +21,11 @@ class Linear : public Module {
 
   /// x: [batch, in] -> [batch, out].
   Var forward(Tape& tape, Var x);
+
+  /// Tape-free forward into a workspace buffer; bit-identical to forward()
+  /// (same matmul kernel, same broadcast bias-add loop). The returned
+  /// reference is valid until the workspace's next begin_pass().
+  const Tensor& forward_inference(InferenceWorkspace& ws, const Tensor& x) const;
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
@@ -41,6 +48,9 @@ class Mlp : public Module {
       Activation hidden_act = Activation::kTanh, double out_gain = 0.01);
 
   Var forward(Tape& tape, Var x);
+
+  /// Tape-free forward; bit-identical to forward().
+  const Tensor& forward_inference(InferenceWorkspace& ws, const Tensor& x) const;
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
@@ -95,6 +105,20 @@ class LstmCell : public Module {
 
   /// x: [batch, in], h/c: [batch, hidden] -> new (h, c).
   State forward(Tape& tape, Var x, Var h, Var c);
+
+  /// Tape-free forward results; the pointed-to tensors live in the
+  /// workspace and stay valid until its next begin_pass().
+  struct InferenceState {
+    const Tensor* h = nullptr;
+    const Tensor* c = nullptr;
+  };
+
+  /// Tape-free forward; bit-identical to forward() (the gate pre-activation
+  /// replays the tape's add(add(x@w_x, h@w_h), bias) rounding chain, and
+  /// c/h updates use the same mul-mul-add order). `x`, `h`, `c` must not
+  /// alias buffers acquired by this call (pass prior-pass state copies).
+  InferenceState forward_inference(InferenceWorkspace& ws, const Tensor& x,
+                                   const Tensor& h, const Tensor& c) const;
 
   /// Convenience: zero initial state as tape constants.
   State zero_state(Tape& tape, std::size_t batch) const;

@@ -27,6 +27,23 @@ const Tape::Node& Tape::node(Var v) const {
 
 Var Tape::constant(Tensor value) { return push(std::move(value)); }
 
+Var Tape::alloc_constant(std::size_t rows, std::size_t cols) {
+  Tensor t;
+  if (!recycle_.empty()) {
+    t = std::move(recycle_.back());
+    recycle_.pop_back();
+  }
+  t.reshape(rows, cols);
+  Var v = push(std::move(t));
+  node(v).recyclable = true;
+  return v;
+}
+
+Tensor& Tape::mutable_value(Var v) {
+  assert(!node(v).back && node(v).parameter == nullptr);
+  return node(v).value;
+}
+
 Var Tape::leaf(Tensor value) { return push(std::move(value)); }
 
 Var Tape::param(Parameter& p) {
@@ -559,6 +576,8 @@ void Tape::backward(Var loss) {
 
 void Tape::reset() {
   peak_nodes_ = std::max(peak_nodes_, nodes_.size());
+  for (Node& n : nodes_)
+    if (n.recyclable) recycle_.push_back(std::move(n.value));
   nodes_.clear();
   nodes_.reserve(peak_nodes_);
 }

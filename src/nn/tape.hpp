@@ -44,6 +44,15 @@ class Tape {
 
   /// Node with no gradient tracking (inputs, masks, targets).
   Var constant(Tensor value);
+  /// Constant node with an unspecified-content [rows, cols] value, meant to
+  /// be filled in place via mutable_value(). The backing storage is recycled
+  /// across reset() calls, so batch packers that write sample rows straight
+  /// into the node (core/update_engine.cpp) stop allocating + copying a
+  /// row-vector intermediate on every minibatch.
+  Var alloc_constant(std::size_t rows, std::size_t cols);
+  /// Mutable access to an alloc_constant() node's value. Fill it before any
+  /// op consumes the node; other node kinds must not be mutated.
+  Tensor& mutable_value(Var v);
   /// Node whose gradient is tracked and queryable via grad().
   Var leaf(Tensor value);
   /// Node backed by a Parameter; backward() accumulates into p.grad.
@@ -148,6 +157,7 @@ class Tape {
     std::function<void()> back;  // empty for constants/leaves
     Parameter* parameter = nullptr;
     Tensor* grad_sink = nullptr;  // overrides parameter->grad when set
+    bool recyclable = false;      // alloc_constant() storage, reclaimed on reset
   };
 
   Var push(Tensor value);
@@ -155,6 +165,7 @@ class Tape {
   const Node& node(Var v) const;
 
   std::vector<Node> nodes_;
+  std::vector<Tensor> recycle_;  ///< storage pool for alloc_constant()
   std::size_t peak_nodes_ = 0;  ///< high-water mark for reset()'s reserve
   const GradRedirects* redirects_ = nullptr;
 };

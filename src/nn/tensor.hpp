@@ -48,6 +48,12 @@ class Tensor {
   void fill(double value);
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  /// Re-shapes this tensor to rank-2 [rows, cols], reusing the existing
+  /// backing storage where capacity allows. Contents are unspecified after
+  /// the call (callers overwrite every element). Never shrinks capacity, so
+  /// a buffer cycled through its peak shapes stops allocating.
+  void reshape(std::size_t rows, std::size_t cols);
+
   /// Element-wise in-place ops (shapes must match exactly).
   Tensor& operator+=(const Tensor& other);
   Tensor& operator-=(const Tensor& other);
@@ -68,6 +74,10 @@ class Tensor {
 
 /// out = a @ b for rank-2 a [m,k] and b [k,n]. Asserts on shape mismatch.
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// matmul into a preallocated output (reshaped to [m,n]; must not alias a
+/// or b). Runs the exact same loop as matmul(), so results are bit-identical
+/// to the allocating form — the tape-free inference path depends on that.
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
 /// out = a @ b^T for rank-2 a [m,k], b [n,k].
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// out = a^T @ b for rank-2 a [k,m], b [k,n].

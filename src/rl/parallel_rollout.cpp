@@ -8,13 +8,21 @@ RolloutBuffer merge_rollouts(std::vector<RolloutBuffer> parts) {
   if (parts.empty()) return RolloutBuffer(0);
   const std::size_t num_agents = parts.front().num_agents();
   RolloutBuffer merged(num_agents);
-  for (RolloutBuffer& part : parts) {
+  for (const RolloutBuffer& part : parts)
     if (part.num_agents() != num_agents)
       throw std::invalid_argument("merge_rollouts: mismatched agent rosters");
+  // Exact-capacity reserve so the moves below never trigger a vector growth
+  // reallocation (tests/test_parallel_rollout.cpp asserts this).
+  for (std::size_t agent = 0; agent < num_agents; ++agent) {
+    std::size_t total = 0;
+    for (const RolloutBuffer& part : parts)
+      total += part.agent_samples(agent).size();
+    merged.reserve_agent(agent, total);
+  }
+  for (RolloutBuffer& part : parts)
     for (std::size_t agent = 0; agent < num_agents; ++agent)
       for (Sample& s : part.mutable_agent_samples(agent))
         merged.add(agent, std::move(s));
-  }
   return merged;
 }
 

@@ -42,6 +42,16 @@ class RolloutBuffer {
     per_agent_.at(agent).push_back(std::move(sample));
   }
 
+  /// Preallocates room for `n` samples of `agent` (exact-capacity reserve:
+  /// callers that know an episode's length up front avoid all push_back
+  /// growth reallocations — see merge_rollouts).
+  void reserve_agent(std::size_t agent, std::size_t n) {
+    per_agent_.at(agent).reserve(n);
+  }
+  std::size_t agent_capacity(std::size_t agent) const {
+    return per_agent_.at(agent).capacity();
+  }
+
   /// Most recent sample of `agent` (e.g. to fill in the reward that arrives
   /// after the action executes).
   Sample& last(std::size_t agent) { return per_agent_.at(agent).back(); }

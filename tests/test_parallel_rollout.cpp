@@ -111,6 +111,22 @@ TEST(MergeRollouts, EmptyInputYieldsEmptyBuffer) {
   EXPECT_EQ(merged.total_samples(), 0u);
 }
 
+TEST(MergeRollouts, ReservesExactCapacityUpFront) {
+  // merge_rollouts sizes every per-agent vector to the exact sample total
+  // before moving anything in, so the moves never trigger a growth
+  // reallocation and no capacity is left stranded.
+  std::vector<rl::RolloutBuffer> parts;
+  parts.push_back(make_buffer(3, 7, 1.0));
+  parts.push_back(make_buffer(3, 2, 2.0));
+  parts.push_back(make_buffer(3, 5, 3.0));
+  rl::RolloutBuffer merged = rl::merge_rollouts(std::move(parts));
+  for (std::size_t agent = 0; agent < merged.num_agents(); ++agent) {
+    EXPECT_EQ(merged.agent_samples(agent).size(), 14u) << "agent " << agent;
+    EXPECT_EQ(merged.agent_capacity(agent), merged.agent_samples(agent).size())
+        << "agent " << agent;
+  }
+}
+
 TEST(MergeRollouts, GaeStaysIsolatedPerEpisode) {
   // finish_agent runs GAE per part (with each episode's own bootstrap)
   // BEFORE merge_rollouts concatenates, so merged advantages must equal the

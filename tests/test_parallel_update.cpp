@@ -125,6 +125,9 @@ TEST(ParallelUpdate, ShardedWeightsMatchSerialBitForBit) {
   GridFixture serial_f, sharded_f;
   core::PairUpConfig sharded_config = sharded_f.fast_config();
   sharded_config.num_update_shards = 4;
+  // Bitwise equality with the serial fold is the per-sample layout's
+  // guarantee; the default (kBatchedShards) is only tolerance-bounded.
+  sharded_config.update_mode = core::UpdateMode::kPerSampleShards;
   core::PairUpLightTrainer serial(&serial_f.environment, serial_f.fast_config());
   core::PairUpLightTrainer sharded(&sharded_f.environment, sharded_config);
 
@@ -150,8 +153,10 @@ TEST(ParallelUpdate, UnevenShardSplitsAgree) {
   GridFixture f2, f3;
   core::PairUpConfig config2 = f2.fast_config();
   config2.num_update_shards = 2;
+  config2.update_mode = core::UpdateMode::kPerSampleShards;
   core::PairUpConfig config3 = f3.fast_config();
   config3.num_update_shards = 3;
+  config3.update_mode = core::UpdateMode::kPerSampleShards;
   core::PairUpLightTrainer t2(&f2.environment, config2);
   core::PairUpLightTrainer t3(&f3.environment, config3);
   t2.train_episode();
@@ -185,6 +190,7 @@ TEST(ParallelUpdate, ShardingComposesWithParallelRollouts) {
   core::PairUpConfig sharded_config = sharded_f.fast_config();
   sharded_config.num_envs = 2;
   sharded_config.num_update_shards = 4;
+  sharded_config.update_mode = core::UpdateMode::kPerSampleShards;
   core::PairUpLightTrainer serial(&serial_f.environment, serial_config);
   core::PairUpLightTrainer sharded(&sharded_f.environment, sharded_config);
   serial.train_episode();

@@ -11,14 +11,15 @@
 #   ThreadPool / MergeRollouts / ParallelRollout / TscEnvClone   (rollouts)
 #   ParallelUpdate / UpdateModes / OptimizerCheckpoint / TrainerResume
 #                                                                (updates)
+#   InferencePath          (per-worker inference workspaces during rollouts)
 #
 # Usage: tools/run_sanitized_tests.sh [source-dir]
 # Exits non-zero on the first sanitizer failure.
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume'
-TARGETS=(test_parallel_rollout test_parallel_update test_update_modes)
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath'
+TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path)
 
 run_one() {
   local preset="$1"
