@@ -1,0 +1,255 @@
+// Simulator-only step throughput: ticks per second of tsc::sim::Simulator
+// across grid sizes and demand levels, with no neural network in the loop.
+//
+// Two timed loops per configuration:
+//   * "step"     — pure sim.step() under a fixed-time cycling signal plan
+//                  (every intersection advances its phase round-robin every
+//                  30 s), the innermost cost every training or evaluation
+//                  run pays per simulated second;
+//   * "step+obs" — the same loop plus the per-action observable sweep the
+//                  environment performs every 5 s decision (link pressure +
+//                  detector head wait per incoming link, per-intersection
+//                  halting, network average wait), so env-facing accessor
+//                  cost is visible separately from core stepping.
+//
+// Rows report steps/sec (simulated ticks per wall second) and the speedup
+// over the seed-state simulator (pre data-oriented-hot-path refactor,
+// commit fa35abe), whose numbers are baked in below from the same harness
+// defaults on the reference box. Results land on stdout and in
+// BENCH_sim.json.
+//
+// Flags: --smoke runs a tiny configuration (and, when built after the
+// refactor, the incremental-aggregate cross-check) for ctest wiring.
+// Knobs: PAIRUP_EPISODE_SECONDS (simulated seconds per timed loop, default
+// 3600 = one paper episode), PAIRUP_TIME_SCALE (flow schedule compression,
+// default 1 = the paper's full ramp/overlap schedule), PAIRUP_EPISODES
+// (repetitions per case, default 3), PAIRUP_SEED.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/log.hpp"
+
+namespace {
+
+using namespace tsc;
+
+struct CaseSpec {
+  std::size_t rows = 6, cols = 6;
+  scenario::FlowPattern pattern = scenario::FlowPattern::kPattern1;
+  double peak_veh_per_hour = 500.0;  ///< per-OD peak (the paper's demand)
+  const char* label = "";
+  /// steps/sec of the seed simulator for this configuration (0 = unknown).
+  double seed_step_rate = 0.0;
+  double seed_obs_rate = 0.0;
+};
+
+struct Row {
+  CaseSpec spec;
+  std::size_t ticks = 0;
+  double step_rate = 0.0;
+  double obs_rate = 0.0;
+  std::size_t vehicles = 0;
+  std::uint32_t peak_halting = 0;
+};
+
+/// Fixed-time plan: every signalized node advances round-robin every 30 s.
+void apply_fixed_time(sim::Simulator& sim, const std::vector<sim::NodeId>& nodes,
+                      std::size_t tick) {
+  if (tick % 30 != 0) return;
+  for (sim::NodeId n : nodes) {
+    const std::size_t phases = sim.signal(n).num_phases();
+    sim.set_phase(n, (tick / 30) % phases);
+  }
+}
+
+/// The observable sweep TscEnv performs per decision step.
+double observable_sweep(const sim::Simulator& sim,
+                        const std::vector<sim::NodeId>& nodes) {
+  double acc = 0.0;
+  for (sim::NodeId n : nodes) {
+    for (sim::LinkId l : sim.network().node(n).in_links) {
+      acc += sim.link_pressure(l);
+      acc += sim.detector_head_wait(l);
+      acc += sim.detector_queue(l);
+    }
+    acc += sim.intersection_halting(n);
+    acc += sim.intersection_max_head_wait(n);
+  }
+  acc += sim.network_avg_wait();
+  acc += sim.network_halting();
+  return acc;
+}
+
+Row run_case(const CaseSpec& spec, const bench::HarnessConfig& config,
+             bool with_obs, bool cross_check) {
+  scenario::GridConfig grid_config;
+  grid_config.rows = spec.rows;
+  grid_config.cols = spec.cols;
+  scenario::GridScenario grid(grid_config);
+  scenario::FlowPatternConfig flow_config;
+  flow_config.peak_veh_per_hour = spec.peak_veh_per_hour;
+  flow_config.time_scale = config.time_scale;
+  auto flows = scenario::make_flow_pattern(grid, spec.pattern, flow_config);
+  const auto nodes = grid.net().signalized_nodes();
+  const auto ticks = static_cast<std::size_t>(config.episode_seconds);
+
+  const std::size_t reps = std::max<std::size_t>(1, config.episodes);
+
+  Row row;
+  row.spec = spec;
+  row.ticks = ticks * reps;
+
+  {
+    double wall = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      sim::Simulator sim(&grid.net(), flows, sim::SimConfig{},
+                         config.seed + rep);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t t = 0; t < ticks; ++t) {
+        apply_fixed_time(sim, nodes, t);
+        sim.step();
+      }
+      wall +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      row.vehicles = sim.vehicles_spawned();
+    }
+    row.step_rate = static_cast<double>(ticks * reps) / wall;
+  }
+
+  if (with_obs) {
+    double wall = 0.0;
+    double sink = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      sim::Simulator sim(&grid.net(), flows, sim::SimConfig{},
+                         config.seed + rep);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t t = 0; t < ticks; ++t) {
+        apply_fixed_time(sim, nodes, t);
+        sim.step();
+        if (t % 5 == 4) sink += observable_sweep(sim, nodes);
+        if (cross_check) {
+          std::string error;
+          if (!sim.validate_incremental_state(&error)) {
+            log_error("bench_sim_step: cross-check failed at tick ", t, ": ",
+                      error);
+            std::exit(1);
+          }
+        }
+        row.peak_halting = std::max(row.peak_halting, sim.network_halting());
+      }
+      wall +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+    if (sink == -1.0) std::printf(" ");  // keep the sweep observable
+    row.obs_rate = static_cast<double>(ticks * reps) / wall;
+  }
+  return row;
+}
+
+void write_json(const std::string& path, const bench::HarnessConfig& config,
+                const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_warn("bench_sim_step: cannot write ", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"sim_step\",\n");
+  std::fprintf(f, "  \"sim_seconds\": %g,\n", config.episode_seconds);
+  std::fprintf(f, "  \"time_scale\": %g,\n", config.time_scale);
+  std::fprintf(f, "  \"seed_baseline\": \"commit fa35abe (pre data-oriented hot path)\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"case\": \"%s\", \"grid\": [%zu, %zu], "
+        "\"peak_veh_per_hour\": %g, \"ticks\": %zu, \"vehicles\": %zu, "
+        "\"peak_halting\": %u, \"steps_per_sec\": %.0f, "
+        "\"steps_per_sec_with_observables\": %.0f, "
+        "\"seed_steps_per_sec\": %.0f, "
+        "\"seed_steps_per_sec_with_observables\": %.0f, "
+        "\"speedup_vs_seed\": %.2f, \"speedup_vs_seed_with_observables\": %.2f}%s\n",
+        r.spec.label, r.spec.rows, r.spec.cols, r.spec.peak_veh_per_hour,
+        r.ticks, r.vehicles, r.peak_halting, r.step_rate, r.obs_rate,
+        r.spec.seed_step_rate, r.spec.seed_obs_rate,
+        r.spec.seed_step_rate > 0.0 ? r.step_rate / r.spec.seed_step_rate : 0.0,
+        r.spec.seed_obs_rate > 0.0 ? r.obs_rate / r.spec.seed_obs_rate : 0.0,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::HarnessConfig defaults;
+  defaults.episodes = 3;           // repetitions per case
+  defaults.episode_seconds = 3600; // one full paper episode per repetition
+  defaults.time_scale = 1.0;       // the paper's uncompressed flow schedule
+  const bench::HarnessConfig config = bench::load_config(defaults);
+
+  if (smoke) {
+    // Tiny wiring check: a 4x4 grid for 60 simulated seconds with the
+    // incremental-aggregate cross-check on every tick.
+    bench::HarnessConfig small = config;
+    small.episode_seconds = 60.0;
+    CaseSpec spec{4, 4, scenario::FlowPattern::kPattern1, 500.0, "smoke"};
+    const Row row = run_case(spec, small, /*with_obs=*/true,
+                             /*cross_check=*/true);
+    std::printf("bench_sim_step --smoke: %zu ticks, %.0f steps/s, "
+                "cross-check ok\n",
+                row.ticks, row.step_rate);
+    return 0;
+  }
+
+  // Seed baselines measured with this harness (defaults above: 3 reps of
+  // 3600 simulated seconds, time_scale 1, seed 1) at commit fa35abe, before
+  // the data-oriented hot-path refactor. Mean of repeated runs; the box has
+  // ~25% run-to-run noise, so treat speedups as indicative, not exact.
+  std::vector<CaseSpec> cases = {
+      {4, 4, scenario::FlowPattern::kPattern1, 500.0, "4x4 paper demand",
+       307000, 255000},
+      {6, 6, scenario::FlowPattern::kPattern1, 500.0, "6x6 paper demand",
+       219000, 135000},
+      {6, 6, scenario::FlowPattern::kPattern5, 500.0, "6x6 light traffic",
+       275000, 157000},
+      {6, 6, scenario::FlowPattern::kPattern1, 1000.0, "6x6 2x demand",
+       175000, 130000},
+      {8, 8, scenario::FlowPattern::kPattern1, 500.0, "8x8 paper demand",
+       142000, 80000},
+      {10, 10, scenario::FlowPattern::kPattern1, 500.0, "10x10 paper demand",
+       96000, 55000},
+  };
+
+  std::printf("Simulator step throughput, %g simulated seconds per case, "
+              "time_scale %g\n\n",
+              config.episode_seconds, config.time_scale);
+  bench::print_header("case", {"steps/sec", "steps/sec+obs", "vs seed"});
+
+  std::vector<Row> rows;
+  for (const CaseSpec& spec : cases) {
+    Row row = run_case(spec, config, /*with_obs=*/true, /*cross_check=*/false);
+    bench::print_row(spec.label,
+                     {row.step_rate, row.obs_rate,
+                      spec.seed_step_rate > 0.0
+                          ? row.step_rate / spec.seed_step_rate
+                          : 0.0});
+    rows.push_back(row);
+  }
+  write_json("BENCH_sim.json", config, rows);
+  return 0;
+}

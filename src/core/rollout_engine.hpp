@@ -75,6 +75,16 @@ struct PairUpConfig {
   /// deterministic for a fixed K but differ across K (different episode
   /// seeds and batch composition).
   std::size_t num_envs = 1;
+  /// Worker-count-invariant seeding: derive each collected episode's env
+  /// seed from the GLOBAL episode index (seed + round * num_envs + slot)
+  /// instead of the round's seeder stream, so the sequence of env seeds —
+  /// and hence the traffic each policy update sees — is identical for every
+  /// num_envs (training curves stay comparable when scaling workers).
+  /// Exploration streams for parallel workers derive from the env seed.
+  /// false = the historical slot-dependent seeder (bit-identical legacy).
+  /// With num_envs = 1 both modes use seed + round, so the serial golden
+  /// path is unchanged either way.
+  bool invariant_seeding = false;
   /// Parallel PPO update: number of shards each minibatch's
   /// forward/backward is split across. 1 = the exact historical serial
   /// update (single batched pass, no threads); K > 1 splits the work over K

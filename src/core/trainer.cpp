@@ -193,6 +193,9 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
   if (config_.num_envs <= 1) {
     // Serial path: the engine on the trainer's own env/networks/rng.
     // Identical RNG consumption order to the historical single-env trainer.
+    // (base_seed = seed + round, which is also what invariant_seeding
+    // prescribes for one worker, so the flag is a no-op here.)
+    last_episode_seeds_.assign(1, base_seed);
     result.buffer = rl::RolloutBuffer(env_->num_agents());
     RolloutContext ctx = serial_context();
     result.stats = run_rollout_episode(ctx, base_seed, /*train_mode=*/true,
@@ -219,8 +222,7 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
     std::size_t env_steps = 0;
   };
   const double epsilon = current_epsilon();
-  auto results = collector_->collect(
-      base_seed,
+  const auto run_worker =
       [this, epsilon](RolloutWorker& worker, std::uint64_t env_seed, Rng rng) {
         RolloutContext ctx;
         ctx.env = worker.env.get();
@@ -243,7 +245,20 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
                                       &r.buffer);
         r.env_steps = worker.env->steps_taken();
         return r;
-      });
+      };
+
+  std::vector<WorkerResult> results;
+  if (config_.invariant_seeding) {
+    // Episode seeds from the GLOBAL episode index: round r, slot w runs
+    // episode r*k + w with env seed episode_seed_ + r*k + w — the same
+    // sequence any other num_envs (including 1) walks through.
+    last_episode_seeds_.resize(k);
+    for (std::size_t w = 0; w < k; ++w)
+      last_episode_seeds_[w] = episode_seed_ + episode_ * k + w;
+    results = collector_->collect_seeded(last_episode_seeds_, run_worker);
+  } else {
+    results = collector_->collect(base_seed, run_worker, &last_episode_seeds_);
+  }
 
   std::vector<rl::RolloutBuffer> parts;
   parts.reserve(results.size());
@@ -310,6 +325,11 @@ void PairUpLightTrainer::update_model(std::size_t model,
   // only the first minibatch of a training run pays the allocation.
   ctx.tape = &scratch_tape_;
   ctx.optim = optims_[model].get();
+  // Pack the samples' rows once; every epoch's minibatches gather from this
+  // pinned block instead of re-walking the per-sample vectors.
+  sample_block_.build(samples, ctx.actor->input_dim(), ctx.critic->input_dim(),
+                      config_.hidden);
+  ctx.block = &sample_block_;
 
   std::vector<std::size_t> order(samples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

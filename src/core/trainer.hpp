@@ -95,6 +95,13 @@ class PairUpLightTrainer {
   CentralizedCritic& critic(std::size_t model = 0) { return *critics_.at(model); }
   /// Environment replicas collecting per training step (config.num_envs).
   std::size_t num_envs() const { return config_.num_envs; }
+  /// Env seeds of the most recent collect_rollouts round, in episode order
+  /// (one entry per env worker; one on the serial path). Under
+  /// config.invariant_seeding these depend only on the global episode
+  /// index, never on num_envs.
+  const std::vector<std::uint64_t>& last_episode_seeds() const {
+    return last_episode_seeds_;
+  }
 
   /// Bits each agent receives from other intersections per decision step
   /// (Table IV): msg_dim 32-bit values from exactly one neighbor.
@@ -165,12 +172,16 @@ class PairUpLightTrainer {
   std::uint64_t episode_seed_ = 0;
   std::vector<std::vector<double>> last_messages_;
   std::vector<std::size_t> last_partners_;
+  std::vector<std::uint64_t> last_episode_seeds_;
   /// Reusable autodiff tape for serial rollouts and PPO minibatches (reset
   /// before every forward; reuse keeps node storage warm, see nn/tape.hpp).
   nn::Tape scratch_tape_;
   /// Preallocated buffers for the tape-free inference path on the serial
   /// context (rollouts, evaluation, controller). Workers carry their own.
   nn::InferenceWorkspace workspace_;
+  /// Per-update packed sample rows (built once per update_model call and
+  /// shared by every epoch's minibatches; capacity pinned across updates).
+  PackedSampleBlock sample_block_;
   /// Built only when config.num_envs > 1.
   std::unique_ptr<rl::ParallelRolloutCollector<RolloutWorker>> collector_;
   /// Built only when config.num_update_shards > 1 and update_mode is not

@@ -72,7 +72,118 @@ PackedCriticInputs pack_critic_inputs(Tape& tape, const CentralizedCritic& criti
   return p;
 }
 
+PackedInputs pack_actor_inputs(Tape& tape, const PackedSampleBlock& block,
+                               const std::vector<std::size_t>& order,
+                               std::size_t begin, std::size_t rows) {
+  PackedInputs p;
+  p.input = tape.alloc_constant(rows, block.obs_dim());
+  p.h_a = tape.alloc_constant(rows, block.hidden());
+  p.c_a = tape.alloc_constant(rows, block.hidden());
+  Tensor& in_t = tape.mutable_value(p.input);
+  Tensor& ha_t = tape.mutable_value(p.h_a);
+  Tensor& ca_t = tape.mutable_value(p.c_a);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t src = order[begin + r];
+    std::copy(block.obs_row(src), block.obs_row(src) + block.obs_dim(),
+              in_t.data() + r * block.obs_dim());
+    std::copy(block.h_actor_row(src), block.h_actor_row(src) + block.hidden(),
+              ha_t.data() + r * block.hidden());
+    std::copy(block.c_actor_row(src), block.c_actor_row(src) + block.hidden(),
+              ca_t.data() + r * block.hidden());
+  }
+  return p;
+}
+
+PackedCriticInputs pack_critic_inputs(Tape& tape, const PackedSampleBlock& block,
+                                      const std::vector<std::size_t>& order,
+                                      std::size_t begin, std::size_t rows) {
+  PackedCriticInputs p;
+  p.v_input = tape.alloc_constant(rows, block.critic_dim());
+  p.h_v = tape.alloc_constant(rows, block.hidden());
+  p.c_v = tape.alloc_constant(rows, block.hidden());
+  Tensor& vi_t = tape.mutable_value(p.v_input);
+  Tensor& hv_t = tape.mutable_value(p.h_v);
+  Tensor& cv_t = tape.mutable_value(p.c_v);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t src = order[begin + r];
+    std::copy(block.critic_obs_row(src),
+              block.critic_obs_row(src) + block.critic_dim(),
+              vi_t.data() + r * block.critic_dim());
+    std::copy(block.h_critic_row(src), block.h_critic_row(src) + block.hidden(),
+              hv_t.data() + r * block.hidden());
+    std::copy(block.c_critic_row(src), block.c_critic_row(src) + block.hidden(),
+              cv_t.data() + r * block.hidden());
+  }
+  return p;
+}
+
+/// Minibatch PPO scalars gathered from either source (values identical).
+void gather_scalars(const std::vector<const rl::Sample*>& samples,
+                    const PackedSampleBlock* block,
+                    const std::vector<std::size_t>& order, std::size_t begin,
+                    std::size_t rows, std::vector<std::size_t>& actions,
+                    std::vector<std::size_t>& phase_counts,
+                    std::vector<double>& old_logp,
+                    std::vector<double>& advantages,
+                    std::vector<double>& returns) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t src = order[begin + r];
+    if (block != nullptr) {
+      actions[r] = block->action(src);
+      old_logp[r] = block->log_prob(src);
+      advantages[r] = block->advantage(src);
+      returns[r] = block->ret(src);
+      phase_counts[r] = block->phase_count(src);
+    } else {
+      const rl::Sample& s = *samples[src];
+      actions[r] = s.action;
+      old_logp[r] = s.log_prob;
+      advantages[r] = s.advantage;
+      returns[r] = s.ret;
+      phase_counts[r] = s.phase_count;
+    }
+  }
+}
+
 }  // namespace
+
+void PackedSampleBlock::build(const std::vector<const rl::Sample*>& samples,
+                              std::size_t obs_dim, std::size_t critic_dim,
+                              std::size_t hidden) {
+  rows_ = samples.size();
+  obs_dim_ = obs_dim;
+  critic_dim_ = critic_dim;
+  hidden_ = hidden;
+  obs_.resize(rows_ * obs_dim_);
+  h_a_.resize(rows_ * hidden_);
+  c_a_.resize(rows_ * hidden_);
+  critic_obs_.resize(rows_ * critic_dim_);
+  h_v_.resize(rows_ * hidden_);
+  c_v_.resize(rows_ * hidden_);
+  actions_.resize(rows_);
+  phase_counts_.resize(rows_);
+  log_probs_.resize(rows_);
+  advantages_.resize(rows_);
+  returns_.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const rl::Sample& s = *samples[r];
+    assert(s.obs.size() == obs_dim_);
+    assert(s.critic_obs.size() == critic_dim_);
+    assert(s.h_actor.size() == hidden_);
+    std::copy(s.obs.begin(), s.obs.end(), obs_.data() + r * obs_dim_);
+    std::copy(s.h_actor.begin(), s.h_actor.end(), h_a_.data() + r * hidden_);
+    std::copy(s.c_actor.begin(), s.c_actor.end(), c_a_.data() + r * hidden_);
+    std::copy(s.critic_obs.begin(), s.critic_obs.end(),
+              critic_obs_.data() + r * critic_dim_);
+    std::copy(s.h_critic.begin(), s.h_critic.end(), h_v_.data() + r * hidden_);
+    std::copy(s.c_critic.begin(), s.c_critic.end(), c_v_.data() + r * hidden_);
+    actions_[r] = s.action;
+    phase_counts_[r] = s.phase_count;
+    log_probs_[r] = s.log_prob;
+    advantages_[r] = s.advantage;
+    returns_[r] = s.ret;
+  }
+}
 
 double serial_minibatch_update(UpdateContext& ctx,
                                const std::vector<const rl::Sample*>& samples,
@@ -87,18 +198,15 @@ double serial_minibatch_update(UpdateContext& ctx,
 
   std::vector<std::size_t> actions(batch), phase_counts(batch);
   std::vector<double> old_logp(batch), advantages(batch), returns(batch);
-  for (std::size_t b = 0; b < batch; ++b) {
-    const rl::Sample& s = *samples[order[begin + b]];
-    actions[b] = s.action;
-    old_logp[b] = s.log_prob;
-    advantages[b] = s.advantage;
-    returns[b] = s.ret;
-    phase_counts[b] = s.phase_count;
-  }
+  gather_scalars(samples, ctx.block, order, begin, batch, actions, phase_counts,
+                 old_logp, advantages, returns);
 
   tape.reset();
   PackedInputs a_in =
-      pack_actor_inputs(tape, actor, samples, order, begin, batch, config.hidden);
+      ctx.block != nullptr
+          ? pack_actor_inputs(tape, *ctx.block, order, begin, batch)
+          : pack_actor_inputs(tape, actor, samples, order, begin, batch,
+                              config.hidden);
   auto actor_out =
       actor.forward(tape, a_in.input, a_in.h_a, a_in.c_a, phase_counts);
   Var logp_all = tape.log_softmax_rows(actor_out.logits);
@@ -106,7 +214,10 @@ double serial_minibatch_update(UpdateContext& ctx,
   Var entropy = rl::policy_entropy(tape, actor_out.logits);
 
   PackedCriticInputs c_in =
-      pack_critic_inputs(tape, critic, samples, order, begin, batch, config.hidden);
+      ctx.block != nullptr
+          ? pack_critic_inputs(tape, *ctx.block, order, begin, batch)
+          : pack_critic_inputs(tape, critic, samples, order, begin, batch,
+                               config.hidden);
   auto critic_out = critic.forward(tape, c_in.v_input, c_in.h_v, c_in.c_v);
 
   Var loss = rl::ppo_total_loss(tape, new_logp, entropy, critic_out.value,
@@ -155,35 +266,36 @@ double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
                             const std::vector<const rl::Sample*>& samples,
                             const std::vector<std::size_t>& order,
                             std::size_t begin, std::size_t end,
-                            std::size_t batch, const PairUpConfig& config) {
+                            std::size_t batch, const PairUpConfig& config,
+                            const PackedSampleBlock* block) {
   assert(begin < end && end <= order.size());
   const std::size_t rows = end - begin;
 
   std::vector<std::size_t> actions(rows), phase_counts(rows);
   std::vector<double> old_logp(rows), advantages(rows), returns(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const rl::Sample& s = *samples[order[begin + r]];
-    actions[r] = s.action;
-    old_logp[r] = s.log_prob;
-    advantages[r] = s.advantage;
-    returns[r] = s.ret;
-    phase_counts[r] = s.phase_count;
-  }
+  gather_scalars(samples, block, order, begin, rows, actions, phase_counts,
+                 old_logp, advantages, returns);
 
   tape.reset();
   // Same node layout as serial_minibatch_update but at `rows` rows and with
   // the GLOBAL batch divisor: the shard contributes its rows/batch share of
   // the minibatch loss and gradients.
-  PackedInputs a_in = pack_actor_inputs(tape, actor, samples, order, begin, rows,
-                                        actor.hidden_size());
+  PackedInputs a_in =
+      block != nullptr
+          ? pack_actor_inputs(tape, *block, order, begin, rows)
+          : pack_actor_inputs(tape, actor, samples, order, begin, rows,
+                              actor.hidden_size());
   auto actor_out =
       actor.forward(tape, a_in.input, a_in.h_a, a_in.c_a, phase_counts);
   Var logp_all = tape.log_softmax_rows(actor_out.logits);
   Var new_logp = tape.gather_cols(logp_all, actions);
   Var entropy = rl::policy_entropy_scaled(tape, actor_out.logits, batch);
 
-  PackedCriticInputs c_in = pack_critic_inputs(tape, critic, samples, order,
-                                               begin, rows, critic.hidden_size());
+  PackedCriticInputs c_in =
+      block != nullptr
+          ? pack_critic_inputs(tape, *block, order, begin, rows)
+          : pack_critic_inputs(tape, critic, samples, order, begin, rows,
+                               critic.hidden_size());
   auto critic_out = critic.forward(tape, c_in.v_input, c_in.h_v, c_in.c_v);
 
   Var loss = rl::ppo_shard_loss(tape, new_logp, entropy, critic_out.value,
@@ -274,7 +386,8 @@ double ParallelUpdateEngine::run_minibatch(
         tape.set_grad_redirects(&redirects);
         slot_losses_[shard] =
             shard_loss_and_grads(tape, *ctx.actor, *ctx.critic, samples, order,
-                                 begin + lo, begin + hi, batch, *ctx.config);
+                                 begin + lo, begin + hi, batch, *ctx.config,
+                                 ctx.block);
       }
       tape.set_grad_redirects(nullptr);
     }));

@@ -57,6 +57,45 @@
 
 namespace tsc::core {
 
+/// Network inputs and PPO scalars of an update's samples packed into
+/// contiguous row blocks ONCE per update_model call, so every epoch's
+/// minibatch packing gathers rows from one pinned block instead of
+/// re-walking the scattered per-sample vectors. Buffers keep their capacity
+/// across build() calls (pinned after the first update). Row r holds the
+/// same values as samples[r], so packing from the block is value-identical
+/// to packing from the samples.
+class PackedSampleBlock {
+ public:
+  void build(const std::vector<const rl::Sample*>& samples,
+             std::size_t obs_dim, std::size_t critic_dim, std::size_t hidden);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t obs_dim() const { return obs_dim_; }
+  std::size_t critic_dim() const { return critic_dim_; }
+  std::size_t hidden() const { return hidden_; }
+
+  const double* obs_row(std::size_t r) const { return obs_.data() + r * obs_dim_; }
+  const double* h_actor_row(std::size_t r) const { return h_a_.data() + r * hidden_; }
+  const double* c_actor_row(std::size_t r) const { return c_a_.data() + r * hidden_; }
+  const double* critic_obs_row(std::size_t r) const {
+    return critic_obs_.data() + r * critic_dim_;
+  }
+  const double* h_critic_row(std::size_t r) const { return h_v_.data() + r * hidden_; }
+  const double* c_critic_row(std::size_t r) const { return c_v_.data() + r * hidden_; }
+
+  std::size_t action(std::size_t r) const { return actions_[r]; }
+  std::size_t phase_count(std::size_t r) const { return phase_counts_[r]; }
+  double log_prob(std::size_t r) const { return log_probs_[r]; }
+  double advantage(std::size_t r) const { return advantages_[r]; }
+  double ret(std::size_t r) const { return returns_[r]; }
+
+ private:
+  std::size_t rows_ = 0, obs_dim_ = 0, critic_dim_ = 0, hidden_ = 0;
+  std::vector<double> obs_, h_a_, c_a_, critic_obs_, h_v_, c_v_;
+  std::vector<std::size_t> actions_, phase_counts_;
+  std::vector<double> log_probs_, advantages_, returns_;
+};
+
 /// The mutable collaborators of one model's PPO update. All pointers are
 /// non-owning and must outlive the call.
 struct UpdateContext {
@@ -68,6 +107,9 @@ struct UpdateContext {
   std::vector<nn::Parameter*> params;
   nn::Tape* tape = nullptr;  ///< scratch tape for the serial path
   nn::Adam* optim = nullptr;
+  /// Optional pre-packed inputs (built once per update). When set, minibatch
+  /// packing reads rows from here instead of the samples.
+  const PackedSampleBlock* block = nullptr;
 };
 
 /// One minibatch of the historical batched PPO update: a single batched
@@ -96,12 +138,15 @@ double sample_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
 /// targets (the caller's per-shard slot tensors). Returns the scaled shard
 /// loss, so the sum over a minibatch's shards equals that minibatch's loss
 /// up to summation order.
+/// `block`, when non-null, supplies the minibatch rows (value-identical to
+/// gathering from `samples`).
 double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
                             CentralizedCritic& critic,
                             const std::vector<const rl::Sample*>& samples,
                             const std::vector<std::size_t>& order,
                             std::size_t begin, std::size_t end,
-                            std::size_t batch, const PairUpConfig& config);
+                            std::size_t batch, const PairUpConfig& config,
+                            const PackedSampleBlock* block = nullptr);
 
 /// Shards each minibatch's forward/backward work across a reusable thread
 /// pool (contiguous sample ranges, one scratch tape per shard), then

@@ -14,6 +14,7 @@
 // so a run is bit-reproducible for a fixed worker count.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -51,17 +52,56 @@ class ParallelRolloutCollector {
   /// calling thread before dispatch, and each worker receives its Rng BY
   /// VALUE (Rng is not thread-safe; see util/rng.hpp). Results come back
   /// in worker order; a worker exception is rethrown here after all
-  /// workers have finished.
+  /// workers have finished. When `seeds_out` is non-null it receives the
+  /// env seed handed to each worker, in worker order.
   template <typename Fn>
-  auto collect(std::uint64_t base_seed, Fn&& fn)
+  auto collect(std::uint64_t base_seed, Fn&& fn,
+               std::vector<std::uint64_t>* seeds_out = nullptr)
+      -> std::vector<std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>> {
+    Rng seeder(base_seed);
+    std::vector<std::uint64_t> env_seeds;
+    std::vector<Rng> worker_rngs;
+    env_seeds.reserve(workers_.size());
+    worker_rngs.reserve(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      env_seeds.push_back(seeder());
+      worker_rngs.push_back(seeder.split());
+    }
+    if (seeds_out != nullptr) *seeds_out = env_seeds;
+    return dispatch(env_seeds, worker_rngs, std::forward<Fn>(fn));
+  }
+
+  /// Worker-count-invariant variant: worker w runs with the caller-chosen
+  /// `env_seeds[w]` (one per worker), and its exploration Rng derives from
+  /// that env seed alone — so an episode's seeds depend only on its global
+  /// episode index, never on how many workers collected the round.
+  template <typename Fn>
+  auto collect_seeded(const std::vector<std::uint64_t>& env_seeds, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>> {
+    assert(env_seeds.size() == workers_.size());
+    std::vector<Rng> worker_rngs;
+    worker_rngs.reserve(workers_.size());
+    for (std::uint64_t seed : env_seeds) {
+      // split() of a fresh stream decorrelates the exploration draws from
+      // the env's own Rng(seed) stream while staying a pure function of the
+      // episode's seed.
+      Rng derive(seed);
+      worker_rngs.push_back(derive.split());
+    }
+    return dispatch(env_seeds, worker_rngs, std::forward<Fn>(fn));
+  }
+
+ private:
+  template <typename Fn>
+  auto dispatch(const std::vector<std::uint64_t>& env_seeds,
+                const std::vector<Rng>& worker_rngs, Fn&& fn)
       -> std::vector<std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>> {
     using Result = std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>;
-    Rng seeder(base_seed);
     std::vector<std::future<Result>> futures;
     futures.reserve(workers_.size());
     for (std::size_t w = 0; w < workers_.size(); ++w) {
-      const std::uint64_t env_seed = seeder();
-      Rng worker_rng = seeder.split();
+      const std::uint64_t env_seed = env_seeds[w];
+      Rng worker_rng = worker_rngs[w];
       Worker* worker = workers_[w].get();
       futures.push_back(pool_.submit([&fn, worker, env_seed, worker_rng]() mutable {
         return fn(*worker, env_seed, worker_rng);
@@ -76,7 +116,6 @@ class ParallelRolloutCollector {
     return results;
   }
 
- private:
   std::vector<std::unique_ptr<Worker>> workers_;
   util::ThreadPool pool_;
 };

@@ -43,16 +43,36 @@ std::vector<RateKnot> constant(double start, double end, double rate) {
 
 }  // namespace profiles
 
+FlowSampler::FlowSampler(std::vector<FlowSpec> flows)
+    : flows_(std::move(flows)) {
+  window_begin_.reserve(flows_.size());
+  window_end_.reserve(flows_.size());
+  for (const FlowSpec& f : flows_) {
+    // Empty profiles never emit; an inverted window skips them forever.
+    window_begin_.push_back(f.profile.empty() ? 1.0 : f.profile.front().t_seconds);
+    window_end_.push_back(f.profile.empty() ? 0.0 : f.profile.back().t_seconds);
+  }
+}
+
 std::vector<std::size_t> FlowSampler::sample_arrivals(double t, double dt,
                                                       Rng& rng) const {
   std::vector<std::size_t> out;
+  sample_arrivals(t, dt, rng, out);
+  return out;
+}
+
+void FlowSampler::sample_arrivals(double t, double dt, Rng& rng,
+                                  std::vector<std::size_t>& out) const {
+  out.clear();
   for (std::size_t i = 0; i < flows_.size(); ++i) {
+    // Same comparisons rate_at() leads with: a flow outside its window has
+    // rate 0 and draws nothing, so this skip preserves the Rng stream.
+    if (t < window_begin_[i] || t > window_end_[i]) continue;
     const double rate = flows_[i].rate_at(t);
     if (rate <= 0.0) continue;
     const double p = rate / 3600.0 * dt;
     if (rng.bernoulli(std::min(p, 1.0))) out.push_back(i);
   }
-  return out;
 }
 
 }  // namespace tsc::sim

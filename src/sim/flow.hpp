@@ -48,7 +48,7 @@ std::vector<RateKnot> constant(double start, double end, double rate);
 /// the seed sequence from the owning simulator's Rng.
 class FlowSampler {
  public:
-  explicit FlowSampler(std::vector<FlowSpec> flows) : flows_(std::move(flows)) {}
+  explicit FlowSampler(std::vector<FlowSpec> flows);
 
   const std::vector<FlowSpec>& flows() const { return flows_; }
 
@@ -57,8 +57,18 @@ class FlowSampler {
   /// per tick; at 975 veh/h and dt=1 s the per-tick probability is 0.27).
   std::vector<std::size_t> sample_arrivals(double t, double dt, Rng& rng) const;
 
+  /// Allocation-free variant: clears and fills `out`. A flow whose rate is
+  /// zero at `t` consumes no Rng draw, so skipping flows outside their
+  /// precomputed support window leaves the random stream bit-identical.
+  void sample_arrivals(double t, double dt, Rng& rng,
+                       std::vector<std::size_t>& out) const;
+
  private:
   std::vector<FlowSpec> flows_;
+  /// Support of each flow's profile ([first knot, last knot]); the rate —
+  /// and therefore the Bernoulli draw — is suppressed outside it.
+  std::vector<double> window_begin_;
+  std::vector<double> window_end_;
 };
 
 }  // namespace tsc::sim

@@ -12,7 +12,7 @@ Simulator::Simulator(const RoadNetwork* net, std::vector<FlowSpec> flows,
     : net_(net), config_(config), sampler_(std::move(flows)), rng_(seed) {
   if (net_ == nullptr || !net_->finalized())
     throw std::invalid_argument("Simulator: network must be finalized");
-  validate_flows();
+  build_static_tables();
 
   link_states_.resize(net_->num_links());
   for (LinkId l = 0; l < net_->num_links(); ++l)
@@ -20,31 +20,72 @@ Simulator::Simulator(const RoadNetwork* net, std::vector<FlowSpec> flows,
 
   signal_index_.assign(net_->num_nodes(), -1);
   phase_green_.resize(net_->num_nodes());
+  phase_bits_.assign(net_->num_movements(), 0);
   for (const Node& n : net_->nodes()) {
     if (n.type != NodeType::kSignalized) continue;
     signal_index_[n.id] = static_cast<std::int32_t>(signals_.size());
     signals_.emplace_back(n.id, n.phases.size(), config_.yellow_time);
     phase_green_[n.id] = n.phases;
     for (auto& phase : phase_green_[n.id]) std::sort(phase.begin(), phase.end());
+    if (n.phases.size() <= 64) {
+      for (std::size_t p = 0; p < n.phases.size(); ++p)
+        for (MovementId m : n.phases[p])
+          phase_bits_[m] |= std::uint64_t{1} << p;
+    }
   }
+
+  link_queue_.assign(net_->num_links(), 0);
+  node_queued_.assign(net_->num_nodes(), 0);
+  in_backlog_active_.assign(net_->num_links(), 0);
+  in_approach_active_.assign(net_->num_links(), 0);
+  wait_sum_.assign(1, 0.0);
 }
 
-void Simulator::validate_flows() const {
-  for (const FlowSpec& f : sampler_.flows()) {
-    if (f.route.empty()) throw std::invalid_argument("flow: empty route");
-    for (std::size_t i = 0; i + 1 < f.route.size(); ++i) {
-      if (net_->find_movement(f.route[i], f.route[i + 1]) == kInvalidId)
+void Simulator::build_static_tables() {
+  const std::size_t num_links = net_->num_links();
+  capacity_.resize(num_links);
+  detector_cap_.resize(num_links);
+  fftime_.resize(num_links);
+  to_node_.resize(num_links);
+  for (LinkId l = 0; l < num_links; ++l) {
+    const Link& link = net_->link(l);
+    const auto per_lane =
+        static_cast<std::uint32_t>(link.length / config_.vehicle_gap);
+    capacity_[l] = std::max(1u, per_lane) * link.lanes;
+    // The head vehicle sits at the stopline, so it is always inside the
+    // detector footprint even when detector_range < vehicle_gap.
+    const auto det_per_lane = static_cast<std::uint32_t>(
+        config_.detector_range / config_.vehicle_gap);
+    detector_cap_[l] = std::max(1u, det_per_lane) * link.lanes;
+    fftime_[l] = link.free_flow_time();
+    to_node_[l] = link.to;
+  }
+
+  flow_moves_.resize(sampler_.flows().size());
+  for (std::size_t f = 0; f < sampler_.flows().size(); ++f) {
+    const FlowSpec& spec = sampler_.flows()[f];
+    if (spec.route.empty()) throw std::invalid_argument("flow: empty route");
+    flow_moves_[f].resize(spec.route.size() - 1);
+    for (std::size_t i = 0; i + 1 < spec.route.size(); ++i) {
+      const MovementId mid = net_->find_movement(spec.route[i], spec.route[i + 1]);
+      if (mid == kInvalidId)
         throw std::invalid_argument("flow: route hop without movement");
+      flow_moves_[f][i] = mid;
     }
-    const Link& last = net_->link(f.route.back());
+    const Link& last = net_->link(spec.route.back());
     if (net_->node(last.to).type != NodeType::kBoundary)
       throw std::invalid_argument("flow: route must end at a boundary node");
   }
+
+  for (const Node& n : net_->nodes())
+    if (n.type != NodeType::kBoundary) interior_nodes_.push_back(n.id);
+  signalized_nodes_ = net_->signalized_nodes();
 }
 
 void Simulator::reset(std::uint64_t seed) {
   rng_ = Rng(seed);
   now_ = 0.0;
+  step_count_ = 0;
   vehicles_.clear();
   finished_count_ = 0;
   finished_tt_sum_ = 0.0;
@@ -55,9 +96,22 @@ void Simulator::reset(std::uint64_t seed) {
     for (LaneState& lane : ls.lanes) {
       lane.queue.clear();
       lane.credit = 0.0;
+      lane.empty_since = -2;
     }
   }
   for (SignalController& s : signals_) s.reset();
+  std::fill(link_queue_.begin(), link_queue_.end(), 0u);
+  std::fill(node_queued_.begin(), node_queued_.end(), 0u);
+  total_queued_ = 0;
+  backlog_active_.clear();
+  approach_active_.clear();
+  std::fill(in_backlog_active_.begin(), in_backlog_active_.end(), 0);
+  std::fill(in_approach_active_.begin(), in_approach_active_.end(), 0);
+  enqueue_epoch_.clear();
+  wait_ticks_.clear();
+  unfinished_ids_.clear();
+  stale_finished_ = 0;
+  waits_dirty_ = false;
 }
 
 void Simulator::set_phase(NodeId node, std::size_t phase) {
@@ -75,11 +129,16 @@ const SignalController& Simulator::signal(NodeId node) const {
 void Simulator::step() {
   spawn_and_insert();
   process_arrivals();
-  for (const Node& n : net_->nodes())
-    if (n.type != NodeType::kBoundary) discharge_node(n);
-  accrue_waits();
+  for (NodeId nid : interior_nodes_) {
+    if (node_queued_[nid] == 0) continue;  // no in-link has a queue
+    discharge_node(net_->node(nid));
+  }
+  // Wait accrual is lazy: completing this step advances step_count_, which
+  // adds one tick to every vehicle still queued (enqueue_epoch_ bookkeeping).
   for (SignalController& s : signals_) s.tick(config_.tick);
   now_ += config_.tick;
+  ++step_count_;
+  waits_dirty_ = true;
 }
 
 void Simulator::step_seconds(double seconds) {
@@ -87,30 +146,69 @@ void Simulator::step_seconds(double seconds) {
   for (std::size_t i = 0; i < ticks; ++i) step();
 }
 
-LinkId Simulator::next_link_of(const Vehicle& v) const {
-  const auto& route = sampler_.flows()[v.flow].route;
-  if (v.hop + 1 >= route.size()) return kInvalidId;
-  return route[v.hop + 1];
+void Simulator::push_approaching(LinkId link, std::uint32_t veh_idx) {
+  link_states_[link].approaching.push_back({veh_idx, now_ + fftime_[link]});
+  if (!in_approach_active_[link]) {
+    in_approach_active_[link] = 1;
+    approach_active_.insert(
+        std::lower_bound(approach_active_.begin(), approach_active_.end(), link),
+        link);
+  }
+}
+
+void Simulator::push_queue(LinkId link, LaneState& lane, std::uint32_t veh_idx) {
+  // Legacy discharge zeroed the credit of every empty lane it visited, so a
+  // banked residual survives only across an immediate refill (see LaneState).
+  if (lane.queue.empty() && step_count_ > lane.empty_since + 1)
+    lane.credit = 0.0;
+  lane.queue.push_back(veh_idx);
+  enqueue_epoch_[veh_idx] = step_count_;
+  ++link_queue_[link];
+  ++node_queued_[to_node_[link]];
+  ++total_queued_;
+}
+
+void Simulator::pop_queue_bookkeeping(LinkId link, std::uint32_t veh_idx) {
+  wait_ticks_[veh_idx] +=
+      static_cast<std::uint32_t>(step_count_ - enqueue_epoch_[veh_idx]);
+  enqueue_epoch_[veh_idx] = -1;
+  --link_queue_[link];
+  --node_queued_[to_node_[link]];
+  --total_queued_;
 }
 
 void Simulator::spawn_and_insert() {
-  // Drain backlogs first so earlier arrivals keep priority.
-  for (LinkId l = 0; l < net_->num_links(); ++l) {
+  // Drain backlogs first (ascending link order) so earlier arrivals keep
+  // priority; only links with a nonempty backlog are visited.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < backlog_active_.size(); ++i) {
+    const LinkId l = backlog_active_[i];
     LinkState& ls = link_states_[l];
-    while (!ls.backlog.empty() && ls.count < link_capacity(l)) {
+    while (!ls.backlog.empty() && ls.count < capacity_[l]) {
       const std::uint32_t veh = ls.backlog.front();
       ls.backlog.pop_front();
       vehicles_[veh].entered = now_;
-      ls.approaching.push_back({veh, now_ + net_->link(l).free_flow_time()});
+      push_approaching(l, veh);
       ++ls.count;
     }
+    if (ls.backlog.empty()) {
+      in_backlog_active_[l] = 0;
+    } else {
+      backlog_active_[w++] = l;
+    }
   }
-  for (std::size_t flow_idx : sampler_.sample_arrivals(now_, config_.tick, rng_)) {
+  backlog_active_.resize(w);
+
+  sampler_.sample_arrivals(now_, config_.tick, rng_, arrivals_scratch_);
+  for (std::size_t flow_idx : arrivals_scratch_) {
     Vehicle v;
     v.id = static_cast<std::uint32_t>(vehicles_.size());
     v.flow = static_cast<std::uint32_t>(flow_idx);
     v.depart_scheduled = now_;
     vehicles_.push_back(v);
+    enqueue_epoch_.push_back(-1);
+    wait_ticks_.push_back(0);
+    unfinished_ids_.push_back(v.id);
     insert_vehicle(v.id);
   }
 }
@@ -119,24 +217,35 @@ void Simulator::insert_vehicle(std::uint32_t veh_idx) {
   Vehicle& v = vehicles_[veh_idx];
   const LinkId entry = sampler_.flows()[v.flow].route.front();
   LinkState& ls = link_states_[entry];
-  if (ls.count < link_capacity(entry) && ls.backlog.empty()) {
+  if (ls.count < capacity_[entry] && ls.backlog.empty()) {
     v.entered = now_;
-    ls.approaching.push_back({veh_idx, now_ + net_->link(entry).free_flow_time()});
+    push_approaching(entry, veh_idx);
     ++ls.count;
   } else {
     ls.backlog.push_back(veh_idx);
+    if (!in_backlog_active_[entry]) {
+      in_backlog_active_[entry] = 1;
+      backlog_active_.insert(
+          std::lower_bound(backlog_active_.begin(), backlog_active_.end(), entry),
+          entry);
+    }
   }
 }
 
 void Simulator::process_arrivals() {
-  for (LinkId l = 0; l < net_->num_links(); ++l) {
+  // Only links with pending approaching vehicles, ascending id order (the
+  // exit-time fold below is order-sensitive). Nothing is pushed onto an
+  // approaching deque during this pass, so in-place compaction is safe.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < approach_active_.size(); ++i) {
+    const LinkId l = approach_active_[i];
     LinkState& ls = link_states_[l];
     while (!ls.approaching.empty() && ls.approaching.front().arrival <= now_ + 1e-9) {
       const std::uint32_t veh_idx = ls.approaching.front().vehicle;
       ls.approaching.pop_front();
       Vehicle& v = vehicles_[veh_idx];
-      const LinkId next = next_link_of(v);
-      if (next == kInvalidId) {
+      const auto& moves = flow_moves_[v.flow];
+      if (v.hop >= moves.size()) {
         // Final link: the head node is a boundary, so the vehicle exits.
         v.finished = true;
         v.exit_time = now_;
@@ -144,11 +253,12 @@ void Simulator::process_arrivals() {
         finished_tt_sum_ += v.exit_time - v.depart_scheduled;
         assert(ls.count > 0);
         --ls.count;
+        if (++stale_finished_ >= 64 &&
+            stale_finished_ * 2 > unfinished_ids_.size())
+          compact_unfinished();
         continue;
       }
-      const MovementId mid = net_->find_movement(l, next);
-      assert(mid != kInvalidId);
-      const Movement& m = net_->movement(mid);
+      const Movement& m = net_->movement(moves[v.hop]);
       // Join the shortest permitted lane.
       std::uint32_t best_lane = m.allowed_lanes.front();
       std::size_t best_len = ls.lanes[best_lane].queue.size();
@@ -158,10 +268,15 @@ void Simulator::process_arrivals() {
           best_lane = lane;
         }
       }
-      v.wait_current = 0.0;
-      ls.lanes[best_lane].queue.push_back(veh_idx);
+      push_queue(l, ls.lanes[best_lane], veh_idx);
+    }
+    if (ls.approaching.empty()) {
+      in_approach_active_[l] = 0;
+    } else {
+      approach_active_[w++] = l;
     }
   }
+  approach_active_.resize(w);
 }
 
 bool Simulator::movement_green(const Node& node, MovementId m) const {
@@ -169,15 +284,20 @@ bool Simulator::movement_green(const Node& node, MovementId m) const {
   const SignalController& sig =
       signals_[static_cast<std::size_t>(signal_index_[node.id])];
   if (sig.in_yellow()) return false;
+  if (node.phases.size() <= 64)
+    return (phase_bits_[m] >> sig.phase()) & 1u;
   const auto& green = phase_green_[node.id][sig.phase()];
   return std::binary_search(green.begin(), green.end(), m);
 }
 
 void Simulator::discharge_node(const Node& node) {
   for (LinkId lid : node.in_links) {
+    if (link_queue_[lid] == 0) continue;
     const Link& link = net_->link(lid);
-    for (std::uint32_t lane = 0; lane < link.lanes; ++lane)
+    for (std::uint32_t lane = 0; lane < link.lanes; ++lane) {
+      if (link_states_[lid].lanes[lane].queue.empty()) continue;
       discharge_lane(lid, lane, node);
+    }
   }
 }
 
@@ -185,52 +305,70 @@ void Simulator::discharge_lane(LinkId link_id, std::uint32_t lane_idx,
                                const Node& node) {
   LinkState& ls = link_states_[link_id];
   LaneState& lane = ls.lanes[lane_idx];
-  // Saturation-flow budget accrues only while a queue is present. The cap
-  // to one banked vehicle is applied after discharging so the fractional
-  // remainder carries over during sustained green (exact 1/headway rate),
-  // while a blocked or empty lane cannot hoard green time.
-  if (lane.queue.empty()) {
-    lane.credit = 0.0;
-    return;
-  }
+  // Saturation-flow budget accrues only while a queue is present (the
+  // caller skips empty lanes; push_queue reproduces the credit reset an
+  // empty-lane visit used to perform). The cap to one banked vehicle is
+  // applied after discharging so the fractional remainder carries over
+  // during sustained green (exact 1/headway rate), while a blocked or
+  // empty lane cannot hoard green time.
   lane.credit += config_.tick / config_.sat_headway;
   while (!lane.queue.empty() && lane.credit >= 1.0 - 1e-9) {
     const std::uint32_t veh_idx = lane.queue.front();
     Vehicle& v = vehicles_[veh_idx];
-    const LinkId next = next_link_of(v);
-    assert(next != kInvalidId && "queued vehicle must have a next link");
-    const MovementId mid = net_->find_movement(link_id, next);
-    assert(mid != kInvalidId);
+    const auto& moves = flow_moves_[v.flow];
+    assert(v.hop < moves.size() && "queued vehicle must have a next link");
+    const MovementId mid = moves[v.hop];
     if (!movement_green(node, mid)) break;  // red head blocks the lane (HoL)
+    const LinkId next = net_->movement(mid).to_link;
     LinkState& next_ls = link_states_[next];
-    if (next_ls.count >= link_capacity(next)) break;  // spillback
+    if (next_ls.count >= capacity_[next]) break;  // spillback
     lane.queue.pop_front();
     lane.credit -= 1.0;
     assert(ls.count > 0);
     --ls.count;
+    pop_queue_bookkeeping(link_id, veh_idx);
     v.hop += 1;
-    v.wait_current = 0.0;
-    next_ls.approaching.push_back({veh_idx, now_ + net_->link(next).free_flow_time()});
+    push_approaching(next, veh_idx);
     ++next_ls.count;
   }
   lane.credit = std::min(lane.credit, 1.0);
+  if (lane.queue.empty()) lane.empty_since = step_count_;
 }
 
-void Simulator::accrue_waits() {
-  for (LinkState& ls : link_states_) {
-    for (LaneState& lane : ls.lanes) {
-      for (std::uint32_t veh_idx : lane.queue) {
-        vehicles_[veh_idx].wait_current += config_.tick;
-        vehicles_[veh_idx].wait_total += config_.tick;
-      }
-    }
+double Simulator::wait_value(std::uint32_t n) const {
+  while (wait_sum_.size() <= n) wait_sum_.push_back(wait_sum_.back() + config_.tick);
+  return wait_sum_[n];
+}
+
+void Simulator::materialize_waits() const {
+  if (!waits_dirty_) return;
+  auto& vehicles = const_cast<std::vector<Vehicle>&>(vehicles_);
+  for (std::size_t i = 0; i < vehicles.size(); ++i) {
+    Vehicle& v = vehicles[i];
+    const std::int64_t e = enqueue_epoch_[i];
+    const auto cur =
+        e >= 0 ? static_cast<std::uint32_t>(step_count_ - e) : 0u;
+    v.wait_current = wait_value(cur);
+    v.wait_total = wait_value(wait_ticks_[i] + cur);
   }
+  waits_dirty_ = false;
+}
+
+const std::vector<Vehicle>& Simulator::vehicles() const {
+  materialize_waits();
+  return vehicles_;
+}
+
+void Simulator::compact_unfinished() {
+  std::size_t w = 0;
+  for (std::uint32_t id : unfinished_ids_)
+    if (!vehicles_[id].finished) unfinished_ids_[w++] = id;
+  unfinished_ids_.resize(w);
+  stale_finished_ = 0;
 }
 
 std::uint32_t Simulator::link_capacity(LinkId link) const {
-  const Link& l = net_->link(link);
-  const auto per_lane = static_cast<std::uint32_t>(l.length / config_.vehicle_gap);
-  return std::max(1u, per_lane) * l.lanes;
+  return capacity_.at(link);
 }
 
 std::uint32_t Simulator::link_count(LinkId link) const {
@@ -238,10 +376,7 @@ std::uint32_t Simulator::link_count(LinkId link) const {
 }
 
 std::uint32_t Simulator::link_queue(LinkId link) const {
-  std::uint32_t total = 0;
-  for (const LaneState& lane : link_states_.at(link).lanes)
-    total += static_cast<std::uint32_t>(lane.queue.size());
-  return total;
+  return link_queue_.at(link);
 }
 
 std::uint32_t Simulator::lane_queue(LinkId link, std::uint32_t lane) const {
@@ -250,28 +385,28 @@ std::uint32_t Simulator::lane_queue(LinkId link, std::uint32_t lane) const {
 
 double Simulator::lane_head_wait(LinkId link, std::uint32_t lane) const {
   const auto& q = link_states_.at(link).lanes.at(lane).queue;
-  return q.empty() ? 0.0 : vehicles_[q.front()].wait_current;
+  if (q.empty()) return 0.0;
+  return wait_value(
+      static_cast<std::uint32_t>(step_count_ - enqueue_epoch_[q.front()]));
 }
 
 std::uint32_t Simulator::detector_queue(LinkId link) const {
-  const Link& l = net_->link(link);
-  const auto cap = static_cast<std::uint32_t>(config_.detector_range /
-                                              config_.vehicle_gap) * l.lanes;
-  return std::min(link_queue(link), cap);
+  return std::min(link_queue_.at(link), detector_cap_[link]);
 }
 
 std::uint32_t Simulator::detector_count(LinkId link) const {
-  const Link& l = net_->link(link);
-  const auto cap = static_cast<std::uint32_t>(config_.detector_range /
-                                              config_.vehicle_gap) * l.lanes;
-  return std::min(link_count(link), cap);
+  return std::min(link_states_.at(link).count, detector_cap_[link]);
 }
 
 double Simulator::detector_head_wait(LinkId link) const {
   double best = 0.0;
-  const Link& l = net_->link(link);
-  for (std::uint32_t lane = 0; lane < l.lanes; ++lane)
-    best = std::max(best, lane_head_wait(link, lane));
+  const auto& lanes = link_states_.at(link).lanes;
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const auto& q = lanes[lane].queue;
+    if (q.empty()) continue;
+    best = std::max(best, wait_value(static_cast<std::uint32_t>(
+                              step_count_ - enqueue_epoch_[q.front()])));
+  }
   return best;
 }
 
@@ -300,9 +435,7 @@ double Simulator::intersection_pressure(NodeId node) const {
 }
 
 std::uint32_t Simulator::intersection_halting(NodeId node) const {
-  std::uint32_t total = 0;
-  for (LinkId l : net_->node(node).in_links) total += link_queue(l);
-  return total;
+  return node_queued_.at(node);
 }
 
 double Simulator::intersection_max_head_wait(NodeId node) const {
@@ -313,17 +446,14 @@ double Simulator::intersection_max_head_wait(NodeId node) const {
 }
 
 double Simulator::network_avg_wait() const {
-  const auto nodes = net_->signalized_nodes();
-  if (nodes.empty()) return 0.0;
+  if (signalized_nodes_.empty()) return 0.0;
   double sum = 0.0;
-  for (NodeId n : nodes) sum += intersection_max_head_wait(n);
-  return sum / static_cast<double>(nodes.size());
+  for (NodeId n : signalized_nodes_) sum += intersection_max_head_wait(n);
+  return sum / static_cast<double>(signalized_nodes_.size());
 }
 
 std::uint32_t Simulator::network_halting() const {
-  std::uint32_t total = 0;
-  for (LinkId l = 0; l < net_->num_links(); ++l) total += link_queue(l);
-  return total;
+  return total_queued_;
 }
 
 std::size_t Simulator::vehicles_active() const {
@@ -332,9 +462,15 @@ std::size_t Simulator::vehicles_active() const {
 
 double Simulator::average_delay() const {
   if (vehicles_.empty()) return 0.0;
+  // Same fold, in the same vehicle-id order, as a walk over the full table
+  // (FP addition order is observable); unfinished_ids_ merely skips the
+  // finished prefix in O(active).
   double total = finished_tt_sum_;
-  for (const Vehicle& v : vehicles_)
-    if (!v.finished) total += now_ - v.depart_scheduled;
+  for (std::uint32_t id : unfinished_ids_) {
+    const Vehicle& v = vehicles_[id];
+    if (v.finished) continue;
+    total += now_ - v.depart_scheduled;
+  }
   return total / static_cast<double>(vehicles_.size());
 }
 
@@ -344,7 +480,8 @@ double Simulator::average_travel_time() const {
   // does) conflates source-queue delay with network travel time.
   double total = finished_tt_sum_;
   std::size_t entered = finished_count_;
-  for (const Vehicle& v : vehicles_) {
+  for (std::uint32_t id : unfinished_ids_) {
+    const Vehicle& v = vehicles_[id];
     if (v.finished || v.entered < 0.0) continue;
     total += now_ - v.depart_scheduled;
     ++entered;
@@ -356,6 +493,109 @@ double Simulator::average_travel_time() const {
 double Simulator::average_travel_time_finished() const {
   if (finished_count_ == 0) return 0.0;
   return finished_tt_sum_ / static_cast<double>(finished_count_);
+}
+
+bool Simulator::validate_incremental_state(std::string* error) const {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  std::uint32_t total = 0;
+  std::vector<std::uint32_t> node_sum(net_->num_nodes(), 0);
+  std::vector<std::uint8_t> queued(vehicles_.size(), 0);
+  for (LinkId l = 0; l < net_->num_links(); ++l) {
+    const LinkState& ls = link_states_[l];
+    std::uint32_t q = 0;
+    for (const LaneState& lane : ls.lanes) {
+      for (std::uint32_t id : lane.queue) {
+        if (queued[id])
+          return fail("vehicle " + std::to_string(id) + " queued twice");
+        queued[id] = 1;
+        if (enqueue_epoch_[id] < 0 || enqueue_epoch_[id] > step_count_)
+          return fail("vehicle " + std::to_string(id) +
+                      " queued with invalid enqueue epoch");
+      }
+      q += static_cast<std::uint32_t>(lane.queue.size());
+    }
+    if (q != link_queue_[l])
+      return fail("link_queue mismatch on link " + std::to_string(l) + ": " +
+                  std::to_string(link_queue_[l]) + " cached vs " +
+                  std::to_string(q) + " scratch");
+    const auto count =
+        static_cast<std::uint32_t>(ls.approaching.size()) + q;
+    if (count != ls.count)
+      return fail("link count mismatch on link " + std::to_string(l));
+    node_sum[to_node_[l]] += q;
+    total += q;
+    if (static_cast<bool>(in_backlog_active_[l]) != !ls.backlog.empty())
+      return fail("backlog active flag mismatch on link " + std::to_string(l));
+    if (static_cast<bool>(in_approach_active_[l]) != !ls.approaching.empty())
+      return fail("approach active flag mismatch on link " + std::to_string(l));
+  }
+  if (total != total_queued_)
+    return fail("network_halting mismatch: " + std::to_string(total_queued_) +
+                " cached vs " + std::to_string(total) + " scratch");
+  for (NodeId n = 0; n < net_->num_nodes(); ++n) {
+    if (node_sum[n] != node_queued_[n])
+      return fail("intersection_halting mismatch on node " + std::to_string(n));
+  }
+
+  const auto check_active = [&](const std::vector<LinkId>& list,
+                                const std::vector<std::uint8_t>& flags,
+                                const char* name) -> const char* {
+    if (!std::is_sorted(list.begin(), list.end())) return name;
+    if (std::adjacent_find(list.begin(), list.end()) != list.end()) return name;
+    std::size_t flagged = 0;
+    for (std::uint8_t f : flags) flagged += f;
+    if (flagged != list.size()) return name;
+    for (LinkId l : list)
+      if (!flags[l]) return name;
+    return nullptr;
+  };
+  if (const char* bad =
+          check_active(backlog_active_, in_backlog_active_, "backlog"))
+    return fail(std::string(bad) + " active set inconsistent");
+  if (const char* bad =
+          check_active(approach_active_, in_approach_active_, "approach"))
+    return fail(std::string(bad) + " active set inconsistent");
+
+  std::size_t finished = 0;
+  double tt = 0.0;
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const Vehicle& v = vehicles_[i];
+    if ((enqueue_epoch_[i] >= 0) != static_cast<bool>(queued[i]))
+      return fail("vehicle " + std::to_string(i) +
+                  " enqueue epoch disagrees with queue membership");
+    if (v.finished) {
+      ++finished;
+      tt += v.exit_time - v.depart_scheduled;
+      if (queued[i])
+        return fail("finished vehicle " + std::to_string(i) + " still queued");
+    }
+  }
+  if (finished != finished_count_)
+    return fail("finished_count mismatch: " + std::to_string(finished_count_) +
+                " cached vs " + std::to_string(finished) + " scratch");
+  // finished_tt_sum_ accumulates in finish order, the scratch sum in id
+  // order, so only near-equality (not bit equality) is checkable here.
+  if (std::abs(tt - finished_tt_sum_) >
+      1e-9 * std::max(1.0, std::abs(tt)))
+    return fail("finished travel-time sum mismatch");
+
+  std::vector<std::uint8_t> listed(vehicles_.size(), 0);
+  for (std::uint32_t id : unfinished_ids_) {
+    if (id >= vehicles_.size() || listed[id])
+      return fail("unfinished id list corrupt at id " + std::to_string(id));
+    listed[id] = 1;
+  }
+  if (!std::is_sorted(unfinished_ids_.begin(), unfinished_ids_.end()))
+    return fail("unfinished id list not sorted");
+  for (std::size_t i = 0; i < vehicles_.size(); ++i)
+    if (!vehicles_[i].finished && !listed[i])
+      return fail("unfinished vehicle " + std::to_string(i) +
+                  " missing from id list");
+  return true;
 }
 
 }  // namespace tsc::sim

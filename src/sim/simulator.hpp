@@ -17,11 +17,25 @@
 // Observables mirror roadside sensing: detector counts are capped at the
 // vehicles within `detector_range` of the stopline; head-vehicle waiting
 // time is measured at the stopline (paper Fig. 2).
+//
+// Hot-path layout: routing (route hop -> movement), link capacities,
+// detector caps and free-flow times are precomputed at construction; queue
+// aggregates (per-link, per-intersection, network halting) are maintained
+// incrementally at push/pop; waiting time is lazy integer tick bookkeeping
+// materialized on demand; and the per-tick sweeps visit only links with
+// pending backlog/arrivals/queues. All externally observable numbers are
+// bit-identical to the straightforward per-tick recomputation (see
+// validate_incremental_state and DESIGN.md).
+//
+// Const observables may grow an internal memo table, so concurrent reads of
+// the SAME simulator from several threads are not safe; distinct simulator
+// instances are independent.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/sim/flow.hpp"
@@ -127,7 +141,15 @@ class Simulator {
   double average_travel_time() const;
   /// Mean travel time over finished vehicles only.
   double average_travel_time_finished() const;
-  const std::vector<Vehicle>& vehicles() const { return vehicles_; }
+  /// Vehicle table with wait_current/wait_total materialized from the lazy
+  /// tick bookkeeping (O(#vehicles) when called after a step, free after).
+  const std::vector<Vehicle>& vehicles() const;
+
+  /// Cross-check mode: recomputes every incrementally maintained aggregate
+  /// from scratch (walking the lane deques and vehicle table) and compares.
+  /// Returns false and fills `error` on the first mismatch. O(network +
+  /// vehicles) — for tests and bench smoke runs, not the hot path.
+  bool validate_incremental_state(std::string* error = nullptr) const;
 
  private:
   struct ApproachEntry {
@@ -137,6 +159,12 @@ class Simulator {
   struct LaneState {
     std::deque<std::uint32_t> queue;
     double credit = 0.0;  ///< saturation-flow discharge budget (vehicles)
+    /// Step at which a discharge pop last emptied this lane. Reproduces the
+    /// legacy per-visit credit zeroing lazily: discharge used to zero the
+    /// credit of every lane it found empty, so a residual survives only if
+    /// the lane refills before the next discharge pass — i.e. a push at
+    /// step T keeps the banked credit iff T == empty_since + 1.
+    std::int64_t empty_since = -2;
   };
   struct LinkState {
     std::deque<ApproachEntry> approaching;
@@ -145,30 +173,81 @@ class Simulator {
     std::deque<std::uint32_t> backlog;  ///< spawned but not yet inserted
   };
 
-  void validate_flows() const;
+  /// Validates flows and precomputes routing/capacity/signal tables.
+  void build_static_tables();
   void spawn_and_insert();
   void insert_vehicle(std::uint32_t veh_idx);
   void process_arrivals();
   void discharge_node(const Node& node);
   void discharge_lane(LinkId link_id, std::uint32_t lane_idx, const Node& node);
   bool movement_green(const Node& node, MovementId m) const;
-  void accrue_waits();
-  /// Next link on the vehicle's route, or kInvalidId if on the last hop.
-  LinkId next_link_of(const Vehicle& v) const;
+
+  /// Moves a vehicle onto a link's approaching deque and marks the link
+  /// active for process_arrivals.
+  void push_approaching(LinkId link, std::uint32_t veh_idx);
+  /// Queue push/pop bookkeeping: incremental aggregates + wait epochs.
+  void push_queue(LinkId link, LaneState& lane, std::uint32_t veh_idx);
+  void pop_queue_bookkeeping(LinkId link, std::uint32_t veh_idx);
+  void compact_unfinished();
+  /// The value of a double accumulator after `n` additions of config_.tick
+  /// starting from 0 — the exact fold the per-tick accrual sweep produced.
+  double wait_value(std::uint32_t n) const;
+  void materialize_waits() const;
 
   const RoadNetwork* net_;
   SimConfig config_;
   FlowSampler sampler_;
   Rng rng_;
   double now_ = 0.0;
+  /// Completed steps; equals the number of wait-accrual points so far.
+  std::int64_t step_count_ = 0;
 
   std::vector<Vehicle> vehicles_;
   std::vector<LinkState> link_states_;
   std::vector<SignalController> signals_;       // dense over nodes (sparse use)
   std::vector<std::int32_t> signal_index_;      // node id -> index or -1
-  /// Per node: per phase: bitmask over node-local movements? We store a flat
-  /// set: phase_green_[node][phase] is a sorted vector of MovementId.
+  /// phase_green_[node][phase]: sorted movement list; fallback for nodes
+  /// with more than 64 phases (phase_bits_ covers the rest in O(1)).
   std::vector<std::vector<std::vector<MovementId>>> phase_green_;
+  /// Per movement: bit p set iff the movement is green in phase p.
+  std::vector<std::uint64_t> phase_bits_;
+
+  // ---- static per-link/per-flow tables (built once) ----
+  std::vector<std::uint32_t> capacity_;      // storage in vehicles
+  std::vector<std::uint32_t> detector_cap_;  // sensor coverage in vehicles
+  std::vector<double> fftime_;               // free-flow traversal time
+  std::vector<NodeId> to_node_;              // head node of each link
+  /// flow_moves_[f][i]: movement route[i] -> route[i+1] of flow f.
+  std::vector<std::vector<MovementId>> flow_moves_;
+  std::vector<NodeId> interior_nodes_;       // non-boundary, id order
+  std::vector<NodeId> signalized_nodes_;
+
+  // ---- incremental aggregates ----
+  std::vector<std::uint32_t> link_queue_;   // queued vehicles per link
+  std::vector<std::uint32_t> node_queued_;  // sum over in-links per node
+  std::uint32_t total_queued_ = 0;
+
+  // ---- active sets (sorted link ids + membership flags) ----
+  std::vector<LinkId> backlog_active_;
+  std::vector<LinkId> approach_active_;
+  std::vector<std::uint8_t> in_backlog_active_;
+  std::vector<std::uint8_t> in_approach_active_;
+
+  // ---- lazy wait accounting ----
+  std::vector<std::int64_t> enqueue_epoch_;  // per vehicle; -1 = not queued
+  std::vector<std::uint32_t> wait_ticks_;    // completed accrual ticks
+  /// wait_sum_[n] = n repeated additions of tick; grown on demand.
+  mutable std::vector<double> wait_sum_;
+  mutable bool waits_dirty_ = false;
+
+  std::vector<std::size_t> arrivals_scratch_;  // reused by spawn_and_insert
+
+  /// Unfinished vehicle ids in ascending order with lazy compaction, so the
+  /// delay/travel-time folds touch O(active) vehicles in the same order as
+  /// a full table walk.
+  std::vector<std::uint32_t> unfinished_ids_;
+  std::size_t stale_finished_ = 0;
+
   std::size_t finished_count_ = 0;
   double finished_tt_sum_ = 0.0;
 };

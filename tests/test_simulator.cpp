@@ -207,6 +207,22 @@ TEST(Simulator, DetectorCapsAtRange) {
   EXPECT_GT(sim.detector_head_wait(cross.w_in), 100.0);
 }
 
+TEST(Simulator, DetectorSeesStoplineHeadEvenWithShortRange) {
+  // Regression: with detector_range < vehicle_gap the per-lane cap used to
+  // truncate to zero, blinding the detector to the head vehicle that is, by
+  // definition, at the stopline.
+  Cross cross;
+  auto f = cross.flow_we({{0.0, 1800.0}, {200.0, 1800.0}});
+  SimConfig config;
+  config.detector_range = 5.0;  // shorter than the 7.5 m vehicle gap
+  Simulator sim(&cross.net, {f}, config, 17);
+  sim.step_seconds(200.0);  // WE is red; long queue forms
+  ASSERT_GT(sim.link_queue(cross.w_in), 1u);
+  EXPECT_EQ(sim.detector_queue(cross.w_in), 1u);  // the stopline vehicle
+  EXPECT_EQ(sim.detector_count(cross.w_in), 1u);
+  EXPECT_GT(sim.detector_head_wait(cross.w_in), 0.0);
+}
+
 TEST(Simulator, PressureSignsReflectImbalance) {
   Cross cross;
   auto f = cross.flow_we({{0.0, 1200.0}, {100.0, 1200.0}});

@@ -12,14 +12,17 @@
 #   ParallelUpdate / UpdateModes / OptimizerCheckpoint / TrainerResume
 #                                                                (updates)
 #   InferencePath          (per-worker inference workspaces during rollouts)
+#   InvariantSeeding       (worker-count-invariant seeding across the pool)
+#   SimHotPath             (single-threaded, but the lazy-wait/active-set
+#                           pointer bookkeeping is what ASan/UBSan are for)
 #
 # Usage: tools/run_sanitized_tests.sh [source-dir]
 # Exits non-zero on the first sanitizer failure.
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath'
-TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path)
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|InvariantSeeding|SimHotPath'
+TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_invariant_seeding test_sim_hotpath)
 
 run_one() {
   local preset="$1"
