@@ -1,22 +1,29 @@
 // Inference-path throughput: rollout collection steps per second with the
-// tape-free inference engine vs the full autodiff tape, on the paper's 6x6
-// grid.
+// full autodiff tape vs the tape-free inference engine vs the fleet-batched
+// engine, on the paper's 6x6 grid.
 //
-// Both configurations run the identical serial collector (num_envs = 1) and
-// produce bit-identical rollouts (tests/test_inference_path.cpp); the only
-// difference is whether decide_step builds a tape per forward or reuses the
-// preallocated InferenceWorkspace. Alongside throughput the bench reports
-// the workspace allocation counter before and after the timed rounds: a
-// steady-state delta of 0 is the zero-allocation guarantee, printed here so
-// regressions show up in BENCH_inference.json as well as in the tests.
+// All three configurations produce bit-identical rollouts
+// (tests/test_inference_path.cpp); they differ only in how the forwards
+// run: a tape per forward, the preallocated InferenceWorkspace per agent,
+// or one batched GEMM per layer across all num_envs x num_agents rows
+// (core/fleet_engine.hpp — num_envs defaults to 1 here, so the fleet row
+// isolates the batching-across-agents win; PAIRUP_NUM_ENVS scales it).
+// Alongside throughput the bench reports each path's allocation counter
+// before and after the timed rounds: a steady-state delta of 0 is the
+// zero-allocation guarantee, printed here so regressions show up in
+// BENCH_inference.json as well as in the tests. Every JSON row records the
+// hardware thread count and the fleet/batch configuration so the
+// trajectory can distinguish batching wins from thread-count artifacts.
 //
 // Knobs: PAIRUP_EPISODES (collection rounds per path, default 3),
-// PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED.
-// `--smoke` shrinks the run (1 round, 60 s episodes) for CI wiring checks.
+// PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED,
+// PAIRUP_NUM_ENVS. `--smoke` shrinks the run (1 round, 60 s episodes) for
+// CI wiring checks.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness.hpp"
@@ -27,8 +34,11 @@ namespace {
 
 using namespace tsc;
 
+enum class Path { kTape, kInference, kFleet };
+
 struct Row {
-  bool inference = false;
+  Path path = Path::kTape;
+  std::size_t num_envs = 1;
   std::size_t env_steps = 0;
   double wall_seconds = 0.0;
   double steps_per_sec = 0.0;
@@ -38,7 +48,14 @@ struct Row {
   std::size_t steady_alloc_events = 0;    ///< events during the timed rounds
 };
 
-const char* path_name(bool inference) { return inference ? "inference" : "tape"; }
+const char* path_name(Path path) {
+  switch (path) {
+    case Path::kTape: return "tape";
+    case Path::kInference: return "inference";
+    case Path::kFleet: return "fleet";
+  }
+  return "unknown";
+}
 
 void write_json(const std::string& path, const bench::HarnessConfig& config,
                 const std::vector<Row>& rows) {
@@ -47,8 +64,10 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
     log_warn("bench_inference: cannot write ", path);
     return;
   }
+  const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"inference_path\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
   std::fprintf(f, "  \"grid\": [%zu, %zu],\n", config.grid_rows, config.grid_cols);
   std::fprintf(f, "  \"episode_seconds\": %g,\n", config.episode_seconds);
   std::fprintf(f, "  \"rounds\": %zu,\n", config.episodes);
@@ -56,16 +75,18 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"path\": \"%s\", \"env_steps\": %zu, "
+                 "    {\"path\": \"%s\", \"fleet_batched\": %s, "
+                 "\"num_envs\": %zu, \"hardware_threads\": %u, "
+                 "\"env_steps\": %zu, "
                  "\"wall_seconds\": %.6f, \"env_steps_per_sec\": %.2f, "
                  "\"wall_seconds_per_episode\": %.6f, "
                  "\"speedup_vs_tape\": %.3f, "
                  "\"workspace_alloc_events_warmup\": %zu, "
                  "\"workspace_alloc_events_steady_state\": %zu}%s\n",
-                 path_name(r.inference), r.env_steps, r.wall_seconds,
-                 r.steps_per_sec, r.wall_per_episode, r.speedup,
-                 r.warm_alloc_events, r.steady_alloc_events,
-                 i + 1 < rows.size() ? "," : "");
+                 path_name(r.path), r.path == Path::kFleet ? "true" : "false",
+                 r.num_envs, hw, r.env_steps, r.wall_seconds, r.steps_per_sec,
+                 r.wall_per_episode, r.speedup, r.warm_alloc_events,
+                 r.steady_alloc_events, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -88,29 +109,38 @@ int main(int argc, char** argv) {
   auto grid = bench::make_grid(config);
 
   std::printf(
-      "Rollout forward path: tape vs inference workspace, %zux%zu grid, "
-      "%g s episodes, %zu rounds per path%s\n\n",
+      "Rollout forward path: tape vs inference workspace vs fleet-batched, "
+      "%zux%zu grid, %g s episodes, %zu rounds per path%s\n"
+      "hardware_concurrency: %u, num_envs: %zu\n\n",
       config.grid_rows, config.grid_cols, config.episode_seconds,
-      config.episodes, smoke ? " (smoke)" : "");
+      config.episodes, smoke ? " (smoke)" : "",
+      std::thread::hardware_concurrency(), config.num_envs);
   bench::print_header("path", {"steps/sec", "s/episode", "speedup"});
 
   std::vector<Row> rows;
-  for (bool inference : {false, true}) {
+  for (Path path : {Path::kTape, Path::kInference, Path::kFleet}) {
     // Fresh env + trainer per path: identical initial weights and seeds, so
     // the rounds differ only in the forward implementation.
     auto environment =
         bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
     core::PairUpConfig pairup_config = bench::make_pairup_config(config);
-    pairup_config.inference_path = inference;
+    pairup_config.inference_path = path != Path::kTape;
+    pairup_config.fleet_batched = path == Path::kFleet;
     core::PairUpLightTrainer trainer(environment.get(), pairup_config);
 
+    const auto alloc_events = [&]() -> std::size_t {
+      return path == Path::kFleet ? trainer.fleet_engine()->alloc_events()
+                                  : trainer.inference_workspace().alloc_events();
+    };
+
     Row row;
-    row.inference = inference;
-    // Warm-up round (untimed): grows the workspace buffers to peak capacity
-    // and warms the tape node storage, so the timed rounds measure the
-    // steady state of both paths.
+    row.path = path;
+    row.num_envs = pairup_config.num_envs;
+    // Warm-up round (untimed): grows the workspace buffers / fleet slabs to
+    // peak capacity and warms the tape node storage, so the timed rounds
+    // measure the steady state of every path.
     trainer.collect_rollouts(config.seed + 500);
-    row.warm_alloc_events = trainer.inference_workspace().alloc_events();
+    row.warm_alloc_events = alloc_events();
 
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t r = 0; r < config.episodes; ++r) {
@@ -120,8 +150,7 @@ int main(int argc, char** argv) {
     row.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    row.steady_alloc_events =
-        trainer.inference_workspace().alloc_events() - row.warm_alloc_events;
+    row.steady_alloc_events = alloc_events() - row.warm_alloc_events;
     row.steps_per_sec = static_cast<double>(row.env_steps) / row.wall_seconds;
     row.wall_per_episode =
         row.wall_seconds / static_cast<double>(config.episodes);
@@ -129,11 +158,11 @@ int main(int argc, char** argv) {
         rows.empty() ? 1.0 : row.steps_per_sec / rows.front().steps_per_sec;
     rows.push_back(row);
 
-    bench::print_row(path_name(inference),
+    bench::print_row(path_name(path),
                      {row.steps_per_sec, row.wall_per_episode, row.speedup});
-    if (inference && row.steady_alloc_events != 0)
-      log_warn("bench_inference: workspace allocated ", row.steady_alloc_events,
-               " times after warmup (expected 0)");
+    if (path != Path::kTape && row.steady_alloc_events != 0)
+      log_warn("bench_inference: ", path_name(path), " path allocated ",
+               row.steady_alloc_events, " times after warmup (expected 0)");
   }
 
   write_json("BENCH_inference.json", config, rows);

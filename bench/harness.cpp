@@ -56,6 +56,8 @@ HarnessConfig load_config(HarnessConfig defaults) {
   config.update_mode = env_update_mode("PAIRUP_UPDATE_MODE", config.update_mode);
   config.inference_path =
       env_size("PAIRUP_INFERENCE", config.inference_path ? 1 : 0) != 0;
+  config.fleet_batched =
+      env_size("PAIRUP_FLEET_BATCHED", config.fleet_batched ? 1 : 0) != 0;
   return config;
 }
 
@@ -66,6 +68,7 @@ core::PairUpConfig make_pairup_config(const HarnessConfig& config) {
   pairup.num_update_shards = config.num_update_shards;
   pairup.update_mode = config.update_mode;
   pairup.inference_path = config.inference_path;
+  pairup.fleet_batched = config.fleet_batched;
   return pairup;
 }
 

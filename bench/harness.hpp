@@ -19,6 +19,10 @@
 //   PAIRUP_INFERENCE    1 (default) = tape-free inference path for rollout
 //                       and evaluation forwards; 0 = force the tape path
 //                       (bit-identical either way, see nn/inference.hpp)
+//   PAIRUP_FLEET_BATCHED  1 = lockstep fleet-batched rollout collection
+//                       (one GEMM per layer across all envs x agents,
+//                       bit-identical to the per-agent path; see
+//                       core/fleet_engine.hpp). Default 0.
 // Set PAIRUP_TIME_SCALE=1 PAIRUP_EPISODE_SECONDS=3600 PAIRUP_EPISODES=1000
 // to replicate the paper's full protocol.
 #pragma once
@@ -47,6 +51,7 @@ struct HarnessConfig {
   std::size_t num_update_shards = 1;  ///< PPO-update shards per minibatch
   core::UpdateMode update_mode = core::UpdateMode::kBatchedShards;
   bool inference_path = true;      ///< tape-free rollout/eval forwards
+  bool fleet_batched = false;      ///< lockstep fleet-batched collection
 };
 
 /// Human-readable name of an UpdateMode ("serial" / "per_sample" /

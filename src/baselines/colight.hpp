@@ -46,6 +46,16 @@ class CoLightTrainer {
 
   env::EpisodeStats train_episode();
   env::EpisodeStats eval_episode(std::uint64_t seed);
+  /// Fleet-batched greedy evaluation: one episode per seed, all replicas
+  /// stepped in lockstep with every (replica, agent) neighborhood stacked
+  /// into one block-batched Q forward per step — the embedding, GAT
+  /// projections, and Q head each run as a single GEMM over
+  /// active_replicas * num_agents blocks. stats[w] is bit-identical to
+  /// eval_episode(seeds[w]) (greedy CoLight consumes no RNG). Runs on
+  /// per-call environment clones; the trainer's environment and RNG stream
+  /// are untouched.
+  std::vector<env::EpisodeStats> eval_episodes_fleet(
+      const std::vector<std::uint64_t>& seeds);
   std::unique_ptr<env::Controller> make_controller();
   std::size_t episodes_trained() const { return episode_; }
 
@@ -68,6 +78,14 @@ class CoLightTrainer {
     const nn::Tensor& forward_inference(nn::InferenceWorkspace& ws,
                                         const nn::Tensor& entity_obs,
                                         const std::vector<bool>& mask);
+    /// Block-batched tape-free forward: entity_obs stacks B neighborhoods
+    /// as [B * entities, obs_dim] and masks[b] is block b's entity mask.
+    /// Row b of the returned [B, max_phases] tensor is bit-identical to
+    /// forward_inference() on block b alone (see GatLayer::
+    /// forward_inference_blocks for the argument).
+    const nn::Tensor& forward_inference_blocks(
+        nn::InferenceWorkspace& ws, const nn::Tensor& entity_obs,
+        const std::vector<const std::vector<bool>*>& masks);
     std::unique_ptr<nn::Linear> embed;
     std::unique_ptr<nn::GatLayer> gat;
     std::unique_ptr<nn::Linear> q_head;

@@ -44,6 +44,15 @@ class IdqnTrainer {
 
   env::EpisodeStats train_episode();
   env::EpisodeStats eval_episode(std::uint64_t seed);
+  /// Fleet-batched greedy evaluation: one episode per seed, all replicas
+  /// stepped in lockstep with each agent's Q forward batched across the
+  /// live replicas into one GEMM per layer. stats[w] is bit-identical to
+  /// eval_episode(seeds[w]) — greedy IDQN consumes no RNG, per-row argmax
+  /// replays the serial tie-break, and the batched GEMM kernel matches the
+  /// reference bit-for-bit. Runs on per-call environment clones; the
+  /// trainer's own environment and RNG stream are untouched.
+  std::vector<env::EpisodeStats> eval_episodes_fleet(
+      const std::vector<std::uint64_t>& seeds);
   std::unique_ptr<env::Controller> make_controller();
   std::size_t episodes_trained() const { return episode_; }
 

@@ -49,6 +49,17 @@ class Ma2cTrainer {
 
   env::EpisodeStats train_episode();
   env::EpisodeStats eval_episode(std::uint64_t seed);
+  /// Fleet-batched evaluation: one episode per seed, replicas stepped in
+  /// lockstep with each agent's actor forward batched across the live
+  /// replicas into one GEMM per layer. stats[w] is bit-identical to
+  /// eval_episode(seeds[w]): each replica keeps its own fingerprint table
+  /// and (unless greedy_eval) its own Rng(seed ^ kEvalSampleSalt) sample
+  /// stream, consumed agent-ascending per step exactly like the serial
+  /// loop; the phase-mask add, softmax, and categorical weights replay the
+  /// serial arithmetic row-by-row. Runs on per-call environment clones; the
+  /// trainer's environment, fingerprints, and RNG streams are untouched.
+  std::vector<env::EpisodeStats> eval_episodes_fleet(
+      const std::vector<std::uint64_t>& seeds);
   std::unique_ptr<env::Controller> make_controller();
   std::size_t episodes_trained() const { return episode_; }
 

@@ -1,0 +1,144 @@
+// Fleet-batched rollout collection: all environment replicas stepped in
+// lockstep on ONE thread, with every layer forward running as a single
+// (num_envs * num_agents)-row GEMM per model bucket.
+//
+// The per-agent path (core/rollout_engine.hpp) runs each replica's episode
+// independently: per env step it packs at most num_agents rows per forward,
+// and with num_envs > 1 it buys throughput only from thread overlap — which
+// on few hardware threads is nearly nothing. The fleet engine instead holds
+// ONE decision batch for the whole fleet: observation rows from every
+// replica are packed into shared SoA batch matrices (reused
+// InferenceWorkspace slots, one persistent row-block layout per fleet), the
+// actor/critic forwards run once per model bucket at fleet batch size
+// through the multi-row blocked GEMM kernel (nn::matmul_into_batched), and
+// LSTM h/c plus outgoing messages stay resident in fleet-ordered slab
+// tensors (row = env * num_agents + agent) instead of per-agent vectors.
+//
+// Heterogeneous networks bucket agents by model exactly like
+// decide_step's groups: under parameter sharing one bucket holds all
+// agents (homogeneous obs/phase shape by construction); without sharing
+// (Monaco) each agent's model is its own bucket and the fleet batches that
+// agent's rows across replicas. Per-agent phase masks are applied at the
+// logits inside the bucket's batched forward, so phase-count heterogeneity
+// never splits a bucket.
+//
+// BIT-IDENTITY CONTRACT: for the same slots (env seeds, exploration
+// streams, weights) the fleet engine reproduces the per-agent engine's
+// trajectories bit-for-bit — actions, log-probs, values, messages, buffer
+// contents, stats. Three properties carry the proof:
+//  1. Every kernel is row-independent and the batched GEMM is bit-identical
+//     to the reference kernel (nn/tensor.hpp), so packing more rows into a
+//     batch never changes any row's result.
+//  2. Gather order: ALL buckets' input rows are packed (and partners
+//     picked, env-ascending then agent-ascending) before any bucket's
+//     forward/scatter runs, so every agent sees the PREVIOUS step's
+//     messages — decide_step's synchronous sweep.
+//  3. Scatter order: buckets are processed in model order and each bucket's
+//     rows env-major (members ascending within an env), so each env's RNG
+//     stream is consumed in exactly decide_step's per-agent order. Streams
+//     are per-env, so interleaving across envs is unobservable.
+// tests/test_inference_path.cpp pins the contract for num_envs in {1,2,4},
+// heterogeneous Monaco buckets, and multi-episode LSTM carry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rollout_engine.hpp"
+
+namespace tsc::core {
+
+/// One replica's bindings for a lockstep fleet run. All pointers are
+/// non-owning and must outlive the run; `rng` is the slot's exploration
+/// stream (required in train mode, and whenever the pairing strategy
+/// draws); `buffer` is required in train mode.
+struct FleetSlot {
+  env::TscEnv* env = nullptr;
+  std::uint64_t seed = 0;
+  Rng* rng = nullptr;
+  rl::RolloutBuffer* buffer = nullptr;
+};
+
+class FleetRolloutEngine {
+ public:
+  /// Captures the live models (read-only during runs; single-threaded, so
+  /// no copies or weight sync needed). Layout parameters mirror
+  /// RolloutContext.
+  FleetRolloutEngine(const PairUpConfig* config,
+                     std::vector<CoordinatedActor*> actors,
+                     std::vector<CentralizedCritic*> critics,
+                     std::size_t hop1_slots, std::size_t hop2_slots,
+                     std::size_t critic_input_dim);
+
+  /// Runs one full episode on every slot in lockstep (each env reset with
+  /// its slot seed). Train mode records into each slot's buffer, bootstraps
+  /// the terminal value, and runs GAE per agent — the fleet equivalent of
+  /// run_rollout_episode(train_mode=true) per slot. Eval mode follows
+  /// config.greedy_eval (stochastic eval streams derive from each slot's
+  /// seed, like the serial path). Returns per-slot stats in slot order.
+  /// The slot count may differ between calls; buffers reaching their peak
+  /// fleet shape stop allocating (alloc_events()).
+  std::vector<env::EpisodeStats> run_episodes(std::vector<FleetSlot>& slots,
+                                              bool train_mode, double epsilon);
+
+  /// Workspace + state-slab allocation events: warmup (first episodes at a
+  /// new peak fleet size) allocates, steady state is exactly zero — the
+  /// fleet extension of the InferenceWorkspace::alloc_events() contract.
+  std::size_t alloc_events() const { return ws_.alloc_events() + slab_events_; }
+  const nn::InferenceWorkspace& workspace() const { return ws_; }
+
+  /// Protocol-inspection views of a slot's episode, recorded at its final
+  /// decision (matching RolloutContext.last_messages / last_partners).
+  const std::vector<std::vector<double>>& last_messages(std::size_t slot) const {
+    return last_messages_.at(slot);
+  }
+  const std::vector<std::size_t>& last_partners(std::size_t slot) const {
+    return last_partners_.at(slot);
+  }
+
+ private:
+  /// One lockstep decision for the envs listed in `active` (indices into
+  /// `slots`). Fills actions_/values_ for those envs; `record` adds buffer
+  /// samples, `sample_rngs` (per slot, nullable) drives stochastic eval.
+  void decide_fleet(std::vector<FleetSlot>& slots,
+                    const std::vector<std::size_t>& active, bool explore,
+                    bool record, std::vector<Rng>* sample_rngs);
+
+  /// Slab reshape that counts backing-storage growth like
+  /// InferenceWorkspace::acquire (slabs never shrink capacity).
+  void reshape_slab(nn::Tensor& slab, std::size_t rows, std::size_t cols);
+
+  const PairUpConfig* config_;
+  std::vector<CoordinatedActor*> actors_;
+  std::vector<CentralizedCritic*> critics_;
+  std::size_t hop1_slots_ = 0, hop2_slots_ = 0;
+  std::size_t critic_input_dim_ = 0;
+
+  nn::InferenceWorkspace ws_;
+  std::size_t slab_events_ = 0;
+  /// Fleet-ordered recurrent/message state; row = slot * num_agents + agent.
+  nn::Tensor h_a_, c_a_, h_v_, c_v_, msg_;
+
+  double epsilon_ = 0.0;  ///< exploration epsilon of the current run
+
+  // Per-run scratch (capacities persist across runs).
+  std::vector<std::vector<std::size_t>> groups_;   ///< model -> member agents
+  std::vector<std::size_t> pos_in_bucket_;         ///< agent -> index in its bucket
+  /// Per-bucket batch tensors of the current decision pass, in acquisition
+  /// order: actor input, h_a, c_a, critic input, h_v, c_v.
+  std::vector<std::array<nn::Tensor*, 6>> bucket_slots_;
+  std::vector<std::size_t> active_;                ///< live slot indices
+  std::vector<std::size_t> newly_done_;
+  std::vector<double> reward_sum_;                 ///< [slot]
+  std::vector<std::size_t> reward_count_;          ///< [slot]
+  std::vector<std::vector<std::size_t>> actions_;  ///< [slot][agent]
+  std::vector<std::vector<double>> values_;        ///< [slot][agent]
+  std::vector<std::vector<std::size_t>> partners_; ///< [slot][agent]
+  std::vector<std::size_t> phase_counts_;          ///< per-bucket batch scratch
+  std::vector<double> cat_weights_;                ///< categorical scratch
+  std::vector<std::vector<std::vector<double>>> last_messages_;
+  std::vector<std::vector<std::size_t>> last_partners_;
+};
+
+}  // namespace tsc::core

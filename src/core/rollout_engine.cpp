@@ -84,15 +84,20 @@ void reset_agent_states(const RolloutContext& ctx, std::vector<AgentState>& stat
 }
 
 std::size_t pick_partner(RolloutContext& ctx, std::size_t agent) {
-  const auto& upstream = ctx.env->agent(agent).upstream;
-  switch (ctx.config->pairing) {
+  return pick_partner(*ctx.env, *ctx.config, ctx.rng, agent);
+}
+
+std::size_t pick_partner(const env::TscEnv& env, const PairUpConfig& config,
+                         Rng* rng, std::size_t agent) {
+  const auto& upstream = env.agent(agent).upstream;
+  switch (config.pairing) {
     case PairingStrategy::kMostCongestedUpstream:
-      return ctx.env->most_congested_upstream(agent);
+      return env.most_congested_upstream(agent);
     case PairingStrategy::kSelf:
       return agent;
     case PairingStrategy::kRandomNeighbor:
       if (upstream.empty()) return agent;
-      return upstream[ctx.rng->uniform_int(upstream.size())];
+      return upstream[rng->uniform_int(upstream.size())];
     case PairingStrategy::kFixedUpstream:
       return upstream.empty() ? agent : upstream.front();
   }

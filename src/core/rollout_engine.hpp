@@ -109,6 +109,19 @@ struct PairUpConfig {
   /// (tests/test_inference_path.cpp). Set false to force every forward
   /// through the tape (debug / A-B comparison).
   bool inference_path = true;
+  /// Fleet-batched rollout collection (core/fleet_engine.hpp): step all
+  /// num_envs replicas in lockstep on the calling thread and run every
+  /// layer forward as one (num_envs * num_agents)-row GEMM per model
+  /// bucket, with LSTM h/c state resident in fleet-ordered slabs.
+  /// Trajectories, merged buffers, stats, and trained weights are
+  /// BIT-IDENTICAL to the per-agent path at the same num_envs (fleet
+  /// consumes each env's RNG streams in the per-agent order; the batched
+  /// GEMM kernel is bit-identical — tests/test_inference_path.cpp pins
+  /// both). false (default) keeps the per-agent path as the oracle; the
+  /// fleet path wins on few hardware threads, where env replicas cannot
+  /// overlap anyway. Requires inference_path (the fleet engine has no tape
+  /// fallback).
+  bool fleet_batched = false;
   std::uint64_t seed = 1;
 };
 
@@ -158,6 +171,12 @@ void reset_agent_states(const RolloutContext& ctx, std::vector<AgentState>& stat
 
 /// Communication partner of `agent` under the configured strategy.
 std::size_t pick_partner(RolloutContext& ctx, std::size_t agent);
+
+/// Context-free overload shared with the fleet engine: same branches and the
+/// same `rng` consumption (one uniform_int draw exactly when the strategy is
+/// kRandomNeighbor and the agent has upstream neighbors).
+std::size_t pick_partner(const env::TscEnv& env, const PairUpConfig& config,
+                         Rng* rng, std::size_t agent);
 
 /// One decision for every agent; fills per-agent outputs. When `explore` is
 /// set, actions follow the configured exploration rule and messages get

@@ -95,7 +95,27 @@ PairUpLightTrainer::PairUpLightTrainer(env::TscEnv* env, PairUpConfig config)
     optims_.push_back(std::make_unique<nn::Adam>(std::move(params), adam_config));
   }
 
-  if (config_.num_envs > 1) {
+  if (config_.fleet_batched) {
+    if (!config_.inference_path)
+      throw std::invalid_argument(
+          "PairUpConfig: fleet_batched requires inference_path (the fleet "
+          "engine has no tape fallback)");
+    // The fleet engine steps every replica on the calling thread against
+    // the LIVE models, so it needs neither frozen copies nor weight sync;
+    // replicas beyond the trainer's own environment are cloned with the
+    // same seeds the threaded collector's workers would get.
+    for (std::size_t w = 0; config_.num_envs > 1 && w < config_.num_envs; ++w)
+      fleet_envs_.push_back(env_->clone(config_.seed + w));
+    std::vector<CoordinatedActor*> fleet_actors;
+    std::vector<CentralizedCritic*> fleet_critics;
+    for (auto& a : actors_) fleet_actors.push_back(a.get());
+    for (auto& c : critics_) fleet_critics.push_back(c.get());
+    fleet_ = std::make_unique<FleetRolloutEngine>(
+        &config_, std::move(fleet_actors), std::move(fleet_critics),
+        hop1_slots_, hop2_slots_, critic_input_dim_);
+  }
+
+  if (config_.num_envs > 1 && !config_.fleet_batched) {
     // Worker networks exist only as copy targets: their weights are synced
     // from the live models before every collection round, so the init
     // stream here is a throwaway and must NOT touch rng_ (num_envs must
@@ -190,6 +210,8 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
     std::uint64_t base_seed) {
   CollectResult result;
 
+  if (config_.fleet_batched) return collect_rollouts_fleet(base_seed);
+
   if (config_.num_envs <= 1) {
     // Serial path: the engine on the trainer's own env/networks/rng.
     // Identical RNG consumption order to the historical single-env trainer.
@@ -283,6 +305,74 @@ PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts(
   // Protocol-inspection views follow worker 0's episode.
   last_messages_ = collector_->worker(0).last_messages;
   last_partners_ = collector_->worker(0).last_partners;
+  return result;
+}
+
+PairUpLightTrainer::CollectResult PairUpLightTrainer::collect_rollouts_fleet(
+    std::uint64_t base_seed) {
+  CollectResult result;
+  const double epsilon = current_epsilon();
+
+  if (config_.num_envs <= 1) {
+    // Fleet of one: the trainer's own environment and exploration stream,
+    // so trajectories AND the post-episode state of rng_ are bit-identical
+    // to the serial per-agent path.
+    last_episode_seeds_.assign(1, base_seed);
+    result.buffer = rl::RolloutBuffer(env_->num_agents());
+    std::vector<FleetSlot> slots(1);
+    slots[0] = FleetSlot{env_, base_seed, &rng_, &result.buffer};
+    result.stats = fleet_->run_episodes(slots, /*train_mode=*/true, epsilon)[0];
+    result.env_steps = env_->steps_taken();
+    last_messages_ = fleet_->last_messages(0);
+    last_partners_ = fleet_->last_partners(0);
+    return result;
+  }
+
+  // Same seed/stream derivations as the threaded collector, so fleet and
+  // threaded collection see identical episodes for the same round.
+  const std::size_t k = config_.num_envs;
+  std::vector<Rng> rngs;
+  if (config_.invariant_seeding) {
+    last_episode_seeds_.resize(k);
+    for (std::size_t w = 0; w < k; ++w)
+      last_episode_seeds_[w] = episode_seed_ + episode_ * k + w;
+    rl::derive_seeded_streams(last_episode_seeds_, rngs);
+  } else {
+    rl::derive_round_streams(base_seed, k, last_episode_seeds_, rngs);
+  }
+
+  std::vector<rl::RolloutBuffer> parts;
+  parts.reserve(k);
+  std::vector<FleetSlot> slots(k);
+  for (std::size_t w = 0; w < k; ++w)
+    parts.push_back(rl::RolloutBuffer(env_->num_agents()));
+  for (std::size_t w = 0; w < k; ++w)
+    slots[w] = FleetSlot{fleet_envs_[w].get(), last_episode_seeds_[w], &rngs[w],
+                         &parts[w]};
+  const std::vector<env::EpisodeStats> episode_stats =
+      fleet_->run_episodes(slots, /*train_mode=*/true, epsilon);
+
+  // Fold in slot order, exactly like the threaded path's worker-order fold.
+  env::EpisodeStats& stats = result.stats;
+  for (std::size_t w = 0; w < k; ++w) {
+    const env::EpisodeStats& s = episode_stats[w];
+    stats.avg_wait += s.avg_wait;
+    stats.travel_time += s.travel_time;
+    stats.delay += s.delay;
+    stats.mean_reward += s.mean_reward;
+    stats.vehicles_finished += s.vehicles_finished;
+    stats.vehicles_spawned += s.vehicles_spawned;
+    result.env_steps += fleet_envs_[w]->steps_taken();
+  }
+  const double inv_k = 1.0 / static_cast<double>(k);
+  stats.avg_wait *= inv_k;
+  stats.travel_time *= inv_k;
+  stats.delay *= inv_k;
+  stats.mean_reward *= inv_k;
+  result.buffer = rl::merge_rollouts(std::move(parts));
+
+  last_messages_ = fleet_->last_messages(0);
+  last_partners_ = fleet_->last_partners(0);
   return result;
 }
 

@@ -35,6 +35,7 @@
 
 #include "src/core/actor.hpp"
 #include "src/core/critic.hpp"
+#include "src/core/fleet_engine.hpp"
 #include "src/core/rollout_engine.hpp"
 #include "src/core/update_engine.hpp"
 #include "src/env/controller.hpp"
@@ -112,6 +113,16 @@ class PairUpLightTrainer {
   /// steady-state-allocation property via alloc_events().
   const nn::InferenceWorkspace& inference_workspace() const { return workspace_; }
 
+  /// Engine backing the fleet-batched collection path, or null unless
+  /// config.fleet_batched. Exposed so tests can assert the fleet extension
+  /// of the allocation contract via FleetRolloutEngine::alloc_events().
+  const FleetRolloutEngine* fleet_engine() const { return fleet_.get(); }
+
+  /// Critic neighbor-ring padding widths (the fleet engine and tests need
+  /// the same layout parameters the trainer derived from the env graph).
+  std::size_t hop1_slots() const { return hop1_slots_; }
+  std::size_t hop2_slots() const { return hop2_slots_; }
+
   /// Regularized outgoing messages (one per agent) recorded at the last
   /// decision of train_episode()/eval_episode() - for protocol inspection.
   /// With num_envs > 1 these come from worker 0's episode.
@@ -152,6 +163,11 @@ class PairUpLightTrainer {
   /// Context running the engine on the trainer's own env/networks/rng.
   RolloutContext serial_context();
 
+  /// collect_rollouts body of the fleet-batched path (config.fleet_batched):
+  /// same seed/stream derivations and the same fold order as the threaded
+  /// collector, but all episodes run in lockstep through fleet_.
+  CollectResult collect_rollouts_fleet(std::uint64_t base_seed);
+
   void reset_states(std::vector<AgentState>& states);
   /// Thin wrapper over decide_step on the serial context (PairUpController).
   StepDecision decide(std::vector<AgentState>& states, bool explore,
@@ -182,8 +198,16 @@ class PairUpLightTrainer {
   /// Per-update packed sample rows (built once per update_model call and
   /// shared by every epoch's minibatches; capacity pinned across updates).
   PackedSampleBlock sample_block_;
-  /// Built only when config.num_envs > 1.
+  /// Built only when config.num_envs > 1 and not fleet_batched.
   std::unique_ptr<rl::ParallelRolloutCollector<RolloutWorker>> collector_;
+  /// Fleet-batched collection (config.fleet_batched): the engine runs the
+  /// LIVE models single-threaded, so no frozen copies or weight sync; with
+  /// num_envs = K > 1 the K - 1 extra replicas live here (slot 0 beyond the
+  /// serial case) — with K = 1 the fleet runs the trainer's own env_/rng_
+  /// and stays bit-identical to the serial path including the exploration
+  /// stream advancement.
+  std::vector<std::unique_ptr<env::TscEnv>> fleet_envs_;
+  std::unique_ptr<FleetRolloutEngine> fleet_;
   /// Built only when config.num_update_shards > 1 and update_mode is not
   /// kSerial.
   std::unique_ptr<ParallelUpdateEngine> updater_;

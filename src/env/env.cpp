@@ -110,25 +110,28 @@ std::vector<double> TscEnv::step(const std::vector<std::size_t>& actions) {
 }
 
 std::vector<double> TscEnv::local_obs(std::size_t i) const {
+  std::vector<double> obs(obs_dim());
+  local_obs_into(i, obs.data());
+  return obs;
+}
+
+void TscEnv::local_obs_into(std::size_t i, double* out) const {
   const AgentSpec& spec = agents_.at(i);
   const sim::Node& node = net_->node(spec.node);
-  std::vector<double> obs;
-  obs.reserve(obs_dim());
   for (std::size_t slot = 0; slot < config_.max_in_links; ++slot) {
     if (slot < node.in_links.size()) {
       const sim::LinkId link = node.in_links[slot];
-      obs.push_back(observed_pressure(link) / config_.pressure_norm);
-      obs.push_back(observed_head_wait(link) / config_.wait_norm);
+      *out++ = observed_pressure(link) / config_.pressure_norm;
+      *out++ = observed_head_wait(link) / config_.wait_norm;
     } else {
-      obs.push_back(0.0);
-      obs.push_back(0.0);
+      *out++ = 0.0;
+      *out++ = 0.0;
     }
   }
   const sim::SignalController& sig = sim_.signal(spec.node);
   for (std::size_t p = 0; p < config_.max_phases; ++p)
-    obs.push_back(p == sig.phase() ? 1.0 : 0.0);
-  obs.push_back(std::min(sig.green_elapsed() / 60.0, 2.0));
-  return obs;
+    *out++ = p == sig.phase() ? 1.0 : 0.0;
+  *out++ = std::min(sig.green_elapsed() / 60.0, 2.0);
 }
 
 double TscEnv::observed_pressure(sim::LinkId link) const {
@@ -158,10 +161,16 @@ double TscEnv::observed_head_wait(sim::LinkId link) const {
 }
 
 std::vector<double> TscEnv::neighbor_feat(std::size_t i) const {
+  std::vector<double> feat(kNeighborFeatDim);
+  neighbor_feat_into(i, feat.data());
+  return feat;
+}
+
+void TscEnv::neighbor_feat_into(std::size_t i, double* out) const {
   const sim::NodeId node = agents_.at(i).node;
-  return {sim_.intersection_pressure(node) / config_.pressure_norm,
-          static_cast<double>(sim_.intersection_halting(node)) /
-              config_.pressure_norm};
+  out[0] = sim_.intersection_pressure(node) / config_.pressure_norm;
+  out[1] = static_cast<double>(sim_.intersection_halting(node)) /
+           config_.pressure_norm;
 }
 
 double TscEnv::congestion_score(std::size_t i) const {

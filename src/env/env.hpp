@@ -93,6 +93,11 @@ class TscEnv {
 
   /// Local observation of agent i (Eq. 5 + phase context), normalized.
   std::vector<double> local_obs(std::size_t i) const;
+  /// local_obs written straight into `out[0..obs_dim())` — the row-packing
+  /// seam of the fleet-batched inference path, which fills shared batch
+  /// matrices without a per-agent vector allocation. Same values as
+  /// local_obs (that overload delegates here).
+  void local_obs_into(std::size_t i, double* out) const;
 
   // Sensor-view link readings with this step's faults applied (dropout ->
   // zero reading, Gaussian noise added). ALL controllers - learned or
@@ -105,6 +110,9 @@ class TscEnv {
   /// Compact features of agent i's intersection for consumption by other
   /// agents' critics / attention: {pressure, halting}, normalized.
   std::vector<double> neighbor_feat(std::size_t i) const;
+  /// neighbor_feat written into `out[0..kNeighborFeatDim)` (row-packing
+  /// seam; see local_obs_into).
+  void neighbor_feat_into(std::size_t i, double* out) const;
 
   /// Congestion score used for upstream pairing (halted vehicles on the
   /// intersection's incoming links).

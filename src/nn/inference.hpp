@@ -57,10 +57,21 @@ class InferenceWorkspace {
   std::size_t alloc_events() const { return alloc_events_; }
   std::size_t num_buffers() const { return slots_.size(); }
 
+  /// Selects the GEMM kernel the layer forwards run through this workspace:
+  /// false (default) = matmul_into, the per-agent path's reference kernel;
+  /// true = matmul_into_batched, the multi-row register-blocked kernel
+  /// tuned for fleet-sized batches. Both produce bit-identical results (see
+  /// nn/tensor.hpp); the flag exists so the fleet engine gets the batched
+  /// throughput while the per-agent path keeps running — and benchmarking
+  /// as — the exact historical kernel.
+  void set_batched_gemm(bool on) { batched_gemm_ = on; }
+  bool batched_gemm() const { return batched_gemm_; }
+
  private:
   std::vector<std::unique_ptr<Tensor>> slots_;
   std::size_t cursor_ = 0;
   std::size_t alloc_events_ = 0;
+  bool batched_gemm_ = false;
 };
 
 // ---- tape-free kernels (loops mirror the Tape ops bit-for-bit) ----

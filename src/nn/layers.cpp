@@ -32,11 +32,21 @@ const Tensor& Linear::forward_inference(InferenceWorkspace& ws,
                                         const Tensor& x) const {
   assert(x.cols() == in_);
   Tensor& out = ws.acquire(x.rows(), out_);
-  matmul_into(out, x, weight.value);
-  // Broadcast bias add: same loop as Tape::add's rank-1 branch.
+  // Both kernels are bit-identical (nn/tensor.hpp); the workspace selects
+  // the multi-row blocked one on the fleet-batched path.
+  if (ws.batched_gemm()) {
+    matmul_into_batched(out, x, weight.value);
+  } else {
+    matmul_into(out, x, weight.value);
+  }
+  // Broadcast bias add: same adds in the same order as Tape::add's rank-1
+  // branch, on raw rows (this loop runs once per fleet GEMM over every
+  // batch element and must not pay per-element accessor calls).
   const double* pb = bias.value.data();
-  for (std::size_t r = 0; r < out.rows(); ++r)
-    for (std::size_t c = 0; c < out_; ++c) out.at(r, c) += pb[c];
+  const std::size_t rows = out.rows();
+  double* po = out.data();
+  for (std::size_t r = 0; r < rows; ++r, po += out_)
+    for (std::size_t c = 0; c < out_; ++c) po[c] += pb[c];
   return out;
 }
 
@@ -167,9 +177,14 @@ LstmCell::InferenceState LstmCell::forward_inference(InferenceWorkspace& ws,
   const std::size_t batch = x.rows();
   const std::size_t gate_cols = 4 * hidden_;
   Tensor& m1 = ws.acquire(batch, gate_cols);
-  matmul_into(m1, x, w_x.value);
   Tensor& m2 = ws.acquire(batch, gate_cols);
-  matmul_into(m2, h, w_h.value);
+  if (ws.batched_gemm()) {
+    matmul_into_batched(m1, x, w_x.value);
+    matmul_into_batched(m2, h, w_h.value);
+  } else {
+    matmul_into(m1, x, w_x.value);
+    matmul_into(m2, h, w_h.value);
+  }
   // gates = (x@w_x + h@w_h) + bias as two separately rounded adds, exactly
   // the tape's add(add(matmul, matmul), bias) chain.
   Tensor& gates = m1;

@@ -2,6 +2,7 @@
 // shapes the RL stack needs); rank-2 tensors are [rows, cols].
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <string>
@@ -31,14 +32,28 @@ class Tensor {
   bool empty() const { return data_.empty(); }
 
   /// Rows of a rank-2 tensor; a rank-1 tensor is treated as a single row.
-  std::size_t rows() const;
+  /// Defined inline: rows()/cols()/at() sit inside the hot element loops of
+  /// the inference paths and must not cost an out-of-line call each.
+  std::size_t rows() const {
+    if (shape_.size() == 2) return shape_[0];
+    return shape_.empty() ? 0 : 1;
+  }
   /// Cols of a rank-2 tensor; the length of a rank-1 tensor.
-  std::size_t cols() const;
+  std::size_t cols() const {
+    if (shape_.size() == 2) return shape_[1];
+    return shape_.empty() ? 0 : shape_[0];
+  }
 
   double& operator[](std::size_t i) { return data_[i]; }
   double operator[](std::size_t i) const { return data_[i]; }
-  double& at(std::size_t r, std::size_t c);
-  double at(std::size_t r, std::size_t c) const;
+  double& at(std::size_t r, std::size_t c) {
+    assert(r < rows() && c < cols());
+    return data_[r * cols() + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    assert(r < rows() && c < cols());
+    return data_[r * cols() + c];
+  }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
@@ -78,6 +93,23 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 /// or b). Runs the exact same loop as matmul(), so results are bit-identical
 /// to the allocating form — the tape-free inference path depends on that.
 void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+/// Same contract and (for finite inputs) bit-identical results as
+/// matmul_into, tuned for the tall batches of the fleet-batched inference
+/// path: multi-row register blocking turns the ~2 accumulator dependency
+/// chains per output row of matmul_into into 8+ independent chains, which
+/// is where the single-thread GEMM throughput headroom lives. Each
+/// out[i][j] still receives its contributions in ascending-p order with
+/// separate mul/add rounding (this translation unit builds with
+/// -ffp-contract=off, so no FMA contraction on either kernel). See the
+/// implementation for the zero-skip equivalence argument.
+void matmul_into_batched(Tensor& out, const Tensor& a, const Tensor& b);
+/// matmul_into's reference row loop on raw row-major pointers:
+/// out [m,n] = a [m,k] @ b [k,n], same blocking / rounding / zero-skip.
+/// Exists so block-batched layers (nn/gat.hpp) can run per-block products on
+/// slices of a stacked workspace tensor — bit-identical to calling
+/// matmul_into on each block copied into its own tensor, without the copies.
+void matmul_rows_into(double* out, const double* a, const double* b,
+                      std::size_t m, std::size_t k, std::size_t n);
 /// out = a @ b^T for rank-2 a [m,k], b [n,k].
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// out = a^T @ b for rank-2 a [k,m], b [k,n].

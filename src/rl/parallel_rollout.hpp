@@ -34,6 +34,41 @@ namespace tsc::rl {
 /// cannot be computed across the merge boundary.
 RolloutBuffer merge_rollouts(std::vector<RolloutBuffer> parts);
 
+/// Derives one round's env seeds and exploration streams from the round's
+/// base seed: seed draw and split() interleaved per slot, exactly the
+/// historical ParallelRolloutCollector::collect derivation. Shared with the
+/// fleet-batched collection path so both consume identical streams for the
+/// same (base_seed, k) — which is what makes fleet-vs-threaded trajectories
+/// bit-comparable.
+inline void derive_round_streams(std::uint64_t base_seed, std::size_t k,
+                                 std::vector<std::uint64_t>& env_seeds,
+                                 std::vector<Rng>& rngs) {
+  Rng seeder(base_seed);
+  env_seeds.clear();
+  rngs.clear();
+  env_seeds.reserve(k);
+  rngs.reserve(k);
+  for (std::size_t w = 0; w < k; ++w) {
+    env_seeds.push_back(seeder());
+    rngs.push_back(seeder.split());
+  }
+}
+
+/// Worker-count-invariant variant: each slot's exploration stream derives
+/// from its caller-chosen env seed alone (split() of a fresh Rng(seed)
+/// decorrelates the exploration draws from the env's own Rng(seed) stream
+/// while staying a pure function of the episode's seed) — the historical
+/// collect_seeded derivation, shared with the fleet path.
+inline void derive_seeded_streams(const std::vector<std::uint64_t>& env_seeds,
+                                  std::vector<Rng>& rngs) {
+  rngs.clear();
+  rngs.reserve(env_seeds.size());
+  for (std::uint64_t seed : env_seeds) {
+    Rng derive(seed);
+    rngs.push_back(derive.split());
+  }
+}
+
 template <typename Worker>
 class ParallelRolloutCollector {
  public:
@@ -58,15 +93,9 @@ class ParallelRolloutCollector {
   auto collect(std::uint64_t base_seed, Fn&& fn,
                std::vector<std::uint64_t>* seeds_out = nullptr)
       -> std::vector<std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>> {
-    Rng seeder(base_seed);
     std::vector<std::uint64_t> env_seeds;
     std::vector<Rng> worker_rngs;
-    env_seeds.reserve(workers_.size());
-    worker_rngs.reserve(workers_.size());
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      env_seeds.push_back(seeder());
-      worker_rngs.push_back(seeder.split());
-    }
+    derive_round_streams(base_seed, workers_.size(), env_seeds, worker_rngs);
     if (seeds_out != nullptr) *seeds_out = env_seeds;
     return dispatch(env_seeds, worker_rngs, std::forward<Fn>(fn));
   }
@@ -80,14 +109,7 @@ class ParallelRolloutCollector {
       -> std::vector<std::invoke_result_t<Fn&, Worker&, std::uint64_t, Rng>> {
     assert(env_seeds.size() == workers_.size());
     std::vector<Rng> worker_rngs;
-    worker_rngs.reserve(workers_.size());
-    for (std::uint64_t seed : env_seeds) {
-      // split() of a fresh stream decorrelates the exploration draws from
-      // the env's own Rng(seed) stream while staying a pure function of the
-      // episode's seed.
-      Rng derive(seed);
-      worker_rngs.push_back(derive.split());
-    }
+    derive_seeded_streams(env_seeds, worker_rngs);
     return dispatch(env_seeds, worker_rngs, std::forward<Fn>(fn));
   }
 

@@ -14,15 +14,20 @@
 #include <cstddef>
 #include <vector>
 
+#include <memory>
+
 #include "src/baselines/colight.hpp"
 #include "src/baselines/idqn.hpp"
 #include "src/baselines/ma2c.hpp"
 #include "src/core/actor.hpp"
 #include "src/core/critic.hpp"
+#include "src/core/fleet_engine.hpp"
 #include "src/core/trainer.hpp"
 #include "src/nn/inference.hpp"
 #include "src/nn/tape.hpp"
+#include "src/rl/rollout.hpp"
 #include "src/scenarios/grid.hpp"
+#include "src/scenarios/monaco.hpp"
 #include "src/util/rng.hpp"
 
 namespace tsc {
@@ -354,6 +359,320 @@ TEST(InferencePath, WorkspaceStopsAllocatingAfterWarmup) {
   trainer.train_episode();
   EXPECT_EQ(trainer.inference_workspace().alloc_events(), warm_events)
       << "inference workspace allocated after warmup";
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-batched collection (core/fleet_engine.hpp). The contract is again
+// BIT-IDENTITY: for the same num_envs, flipping config.fleet_batched must
+// not change a single action, buffer entry, stat, or trained weight. That
+// rests on the batched GEMM kernel being bit-identical (pinned first) and on
+// the engine consuming each env's RNG streams in the per-agent order (pinned
+// by the trajectory/weight comparisons, which run whole recurrent episodes —
+// LSTM carry across steps and episode resets included).
+
+TEST(FleetBatched, BatchedGemmMatchesReferenceBitForBit) {
+  Rng rng(5);
+  const struct Shape {
+    std::size_t m, k, n;
+  } shapes[] = {
+      {1, 3, 5},      // single row, ragged columns
+      {4, 8, 8},      // below the row blocking
+      {7, 16, 8},     // row tail only
+      {8, 64, 256},   // exact 8x16 tiles (the LSTM gate shape)
+      {17, 33, 19},   // ragged everything
+      {36, 64, 256},  // per-agent-path batch
+      {144, 64, 8},   // fleet-sized batch, narrow head
+      {5, 1, 1},      // degenerate inner/outer dims
+  };
+  for (const Shape& s : shapes) {
+    nn::Tensor a = nn::Tensor::zeros(s.m, s.k);
+    nn::Tensor b = nn::Tensor::zeros(s.k, s.n);
+    // Sparse A exercises the reference kernel's zero-skip against the
+    // branch-free SIMD tiles (the ±0.0 equivalence argument in tensor.cpp).
+    for (double& x : a.values())
+      x = rng.bernoulli(0.3) ? 0.0 : rng.uniform(-2.0, 2.0);
+    for (double& x : b.values()) x = rng.uniform(-2.0, 2.0);
+    nn::Tensor ref, bat;
+    nn::matmul_into(ref, a, b);
+    nn::matmul_into_batched(bat, a, b);
+    ASSERT_EQ(ref.rows(), bat.rows());
+    ASSERT_EQ(ref.cols(), bat.cols());
+    for (std::size_t r = 0; r < ref.rows(); ++r)
+      for (std::size_t c = 0; c < ref.cols(); ++c)
+        ASSERT_EQ(ref.at(r, c), bat.at(r, c))
+            << "[" << s.m << "x" << s.k << "x" << s.n << "] at (" << r << ","
+            << c << ")";
+  }
+}
+
+void expect_buffers_identical(const rl::RolloutBuffer& a,
+                              const rl::RolloutBuffer& b) {
+  ASSERT_EQ(a.num_agents(), b.num_agents());
+  for (std::size_t i = 0; i < a.num_agents(); ++i) {
+    const auto& sa = a.agent_samples(i);
+    const auto& sb = b.agent_samples(i);
+    ASSERT_EQ(sa.size(), sb.size()) << "agent " << i;
+    for (std::size_t t = 0; t < sa.size(); ++t) {
+      EXPECT_EQ(sa[t].obs, sb[t].obs) << "agent " << i << " step " << t;
+      EXPECT_EQ(sa[t].critic_obs, sb[t].critic_obs) << "agent " << i;
+      EXPECT_EQ(sa[t].h_actor, sb[t].h_actor) << "agent " << i << " step " << t;
+      EXPECT_EQ(sa[t].c_actor, sb[t].c_actor) << "agent " << i << " step " << t;
+      EXPECT_EQ(sa[t].h_critic, sb[t].h_critic) << "agent " << i;
+      EXPECT_EQ(sa[t].c_critic, sb[t].c_critic) << "agent " << i;
+      EXPECT_EQ(sa[t].action, sb[t].action) << "agent " << i << " step " << t;
+      EXPECT_EQ(sa[t].phase_count, sb[t].phase_count) << "agent " << i;
+      EXPECT_EQ(sa[t].log_prob, sb[t].log_prob) << "agent " << i << " step " << t;
+      EXPECT_EQ(sa[t].value, sb[t].value) << "agent " << i << " step " << t;
+      EXPECT_EQ(sa[t].reward, sb[t].reward) << "agent " << i << " step " << t;
+      EXPECT_EQ(sa[t].advantage, sb[t].advantage) << "agent " << i;
+      EXPECT_EQ(sa[t].ret, sb[t].ret) << "agent " << i << " step " << t;
+    }
+  }
+}
+
+void run_fleet_parity(std::size_t num_envs) {
+  GridFixture per_f, fleet_f;
+  core::PairUpConfig per_config = per_f.fast_config();
+  per_config.num_envs = num_envs;
+  core::PairUpConfig fleet_config = fleet_f.fast_config();
+  fleet_config.num_envs = num_envs;
+  fleet_config.fleet_batched = true;
+  core::PairUpLightTrainer per_trainer(&per_f.environment, per_config);
+  core::PairUpLightTrainer fleet_trainer(&fleet_f.environment, fleet_config);
+
+  // Raw collection first: every buffer entry (obs, stored h/c, log-probs,
+  // values, GAE outputs) bit-equal, not just the aggregate stats.
+  {
+    auto r1 = per_trainer.collect_rollouts(12345);
+    auto r2 = fleet_trainer.collect_rollouts(12345);
+    expect_stats_identical(r1.stats, r2.stats, "collect stats");
+    EXPECT_EQ(r1.env_steps, r2.env_steps);
+    EXPECT_EQ(per_trainer.last_episode_seeds(), fleet_trainer.last_episode_seeds());
+    expect_buffers_identical(r1.buffer, r2.buffer);
+  }
+
+  // Whole training episodes (fresh episode resets in between), then eval:
+  // identical rollouts feed identical updates, so weights stay bit-equal.
+  for (int e = 0; e < 2; ++e) {
+    const auto s1 = per_trainer.train_episode();
+    const auto s2 = fleet_trainer.train_episode();
+    expect_stats_identical(s1, s2, "train episode");
+  }
+  expect_weights_identical(per_trainer, fleet_trainer);
+  EXPECT_EQ(per_trainer.last_partners(), fleet_trainer.last_partners());
+  EXPECT_EQ(per_trainer.last_messages(), fleet_trainer.last_messages());
+
+  const auto e1 = per_trainer.eval_episode(55);
+  const auto e2 = fleet_trainer.eval_episode(55);
+  expect_stats_identical(e1, e2, "eval episode");
+}
+
+TEST(FleetBatched, MatchesPerAgentPathSingleEnv) { run_fleet_parity(1); }
+TEST(FleetBatched, MatchesPerAgentPathTwoEnvs) { run_fleet_parity(2); }
+TEST(FleetBatched, MatchesPerAgentPathFourEnvs) { run_fleet_parity(4); }
+
+TEST(FleetBatched, MatchesPerAgentPathWithInvariantSeeding) {
+  // The invariant-seeding derivation (episode seeds from the global episode
+  // index) must route through the fleet path unchanged.
+  GridFixture per_f, fleet_f;
+  core::PairUpConfig per_config = per_f.fast_config();
+  per_config.num_envs = 2;
+  per_config.invariant_seeding = true;
+  core::PairUpConfig fleet_config = fleet_f.fast_config();
+  fleet_config.num_envs = 2;
+  fleet_config.invariant_seeding = true;
+  fleet_config.fleet_batched = true;
+  core::PairUpLightTrainer per_trainer(&per_f.environment, per_config);
+  core::PairUpLightTrainer fleet_trainer(&fleet_f.environment, fleet_config);
+  for (int e = 0; e < 2; ++e) {
+    const auto s1 = per_trainer.train_episode();
+    const auto s2 = fleet_trainer.train_episode();
+    expect_stats_identical(s1, s2, "train episode");
+    EXPECT_EQ(per_trainer.last_episode_seeds(), fleet_trainer.last_episode_seeds());
+  }
+  expect_weights_identical(per_trainer, fleet_trainer);
+}
+
+TEST(FleetBatched, HeterogeneousMonacoBucketsMatchPerAgentPath) {
+  // Monaco without parameter sharing: one model (= one fleet bucket) per
+  // agent, heterogeneous phase counts masked inside each bucket's batch.
+  struct MonacoFixture {
+    scenario::MonacoScenario monaco;
+    env::TscEnv environment;
+    MonacoFixture()
+        : monaco(make_config()),
+          environment(&monaco.net(), monaco.make_flows(700.0, 0.05, 4, 13),
+                      make_env_config(), 1) {}
+    static scenario::MonacoConfig make_config() {
+      scenario::MonacoConfig config;
+      config.grid_rows = 4;
+      config.grid_cols = 3;  // small for test speed, still heterogeneous
+      return config;
+    }
+    static env::EnvConfig make_env_config() {
+      env::EnvConfig config;
+      config.episode_seconds = 120.0;
+      return config;
+    }
+  };
+  MonacoFixture per_f, fleet_f;
+  core::PairUpConfig per_config;
+  per_config.hidden = 12;
+  per_config.ppo.epochs = 1;
+  per_config.seed = 7;
+  per_config.parameter_sharing = false;
+  per_config.num_envs = 2;
+  core::PairUpConfig fleet_config = per_config;
+  fleet_config.fleet_batched = true;
+  core::PairUpLightTrainer per_trainer(&per_f.environment, per_config);
+  core::PairUpLightTrainer fleet_trainer(&fleet_f.environment, fleet_config);
+
+  {
+    auto r1 = per_trainer.collect_rollouts(777);
+    auto r2 = fleet_trainer.collect_rollouts(777);
+    expect_stats_identical(r1.stats, r2.stats, "collect stats");
+    expect_buffers_identical(r1.buffer, r2.buffer);
+  }
+  const auto s1 = per_trainer.train_episode();
+  const auto s2 = fleet_trainer.train_episode();
+  expect_stats_identical(s1, s2, "train episode");
+  expect_weights_identical(per_trainer, fleet_trainer);
+}
+
+TEST(FleetBatched, AllocEventsSteadyStateZeroAcrossFleetSizes) {
+  // The fleet extension of the allocation contract: warmup (first episodes
+  // at a new peak fleet size) may allocate; steady state — including across
+  // episode resets and num_envs changes — is exactly zero.
+  GridFixture f;
+  core::PairUpConfig config = f.fast_config();
+  config.fleet_batched = true;
+  core::PairUpLightTrainer trainer(&f.environment, config);
+
+  std::vector<core::CoordinatedActor*> actors;
+  std::vector<core::CentralizedCritic*> critics;
+  for (std::size_t m = 0; m < trainer.num_models(); ++m) {
+    actors.push_back(&trainer.actor(m));
+    critics.push_back(&trainer.critic(m));
+  }
+  core::FleetRolloutEngine engine(&trainer.config(), actors, critics,
+                                  trainer.hop1_slots(), trainer.hop2_slots(),
+                                  trainer.critic_input_dim());
+
+  auto run = [&](std::size_t k) {
+    std::vector<std::unique_ptr<env::TscEnv>> envs;
+    std::vector<rl::RolloutBuffer> buffers;
+    std::vector<Rng> rngs;
+    for (std::size_t w = 0; w < k; ++w) {
+      envs.push_back(f.environment.clone(100 + w));
+      buffers.push_back(rl::RolloutBuffer(f.environment.num_agents()));
+      rngs.push_back(Rng(200 + w));
+    }
+    std::vector<core::FleetSlot> slots;
+    for (std::size_t w = 0; w < k; ++w)
+      slots.push_back(
+          core::FleetSlot{envs[w].get(), 300 + w, &rngs[w], &buffers[w]});
+    engine.run_episodes(slots, /*train_mode=*/true, 0.1);
+  };
+
+  run(4);  // warmup at peak fleet size
+  const std::size_t warm = engine.alloc_events();
+  EXPECT_GT(warm, 0u);
+  run(4);  // steady state: episode reset, same fleet
+  EXPECT_EQ(engine.alloc_events(), warm) << "fleet path allocated after warmup";
+  run(2);  // shrinking the fleet reuses existing capacity
+  EXPECT_EQ(engine.alloc_events(), warm) << "fleet shrink allocated";
+  run(4);  // back to the peak: capacities were never released
+  EXPECT_EQ(engine.alloc_events(), warm) << "fleet re-grow allocated";
+}
+
+TEST(FleetBatched, TrainerFleetWorkspaceStopsAllocatingAfterWarmup) {
+  GridFixture f;
+  core::PairUpConfig config = f.fast_config();
+  config.fleet_batched = true;
+  config.num_envs = 2;
+  core::PairUpLightTrainer trainer(&f.environment, config);
+  ASSERT_NE(trainer.fleet_engine(), nullptr);
+
+  trainer.train_episode();
+  const std::size_t warm = trainer.fleet_engine()->alloc_events();
+  EXPECT_GT(warm, 0u);
+  trainer.train_episode();
+  trainer.train_episode();
+  EXPECT_EQ(trainer.fleet_engine()->alloc_events(), warm)
+      << "fleet engine allocated after warmup";
+}
+
+// ---------------------------------------------------------------------------
+// Baseline fleet evaluation: eval_episodes_fleet({s0..sk})[w] must reproduce
+// eval_episode(s_w) stat-for-stat — the fleet batches forwards across
+// replicas but replays each replica's serial arithmetic and RNG streams.
+// Each fleet call runs FIRST to prove it leaves no trainer state behind
+// (clone envs, untouched member RNG) that could skew the serial replays.
+
+TEST(FleetBatched, IdqnFleetEvalMatchesSerialEval) {
+  GridFixture f;
+  baselines::IdqnConfig config;
+  config.hidden = 16;
+  baselines::IdqnTrainer trainer(&f.environment, config);
+  trainer.train_episode();  // non-trivial weights
+
+  const std::vector<std::uint64_t> seeds = {41, 42, 43};
+  const auto fleet = trainer.eval_episodes_fleet(seeds);
+  ASSERT_EQ(fleet.size(), seeds.size());
+  EXPECT_GT(fleet[0].vehicles_spawned, 0u);  // not vacuously equal
+  for (std::size_t w = 0; w < seeds.size(); ++w)
+    expect_stats_identical(fleet[w], trainer.eval_episode(seeds[w]),
+                           "idqn fleet eval");
+}
+
+TEST(FleetBatched, Ma2cFleetEvalMatchesSerialEval) {
+  // Default config samples at evaluation: the per-replica
+  // Rng(seed ^ kEvalSampleSalt) streams must line up draw-for-draw.
+  GridFixture f;
+  baselines::Ma2cConfig config;
+  config.hidden = 16;
+  baselines::Ma2cTrainer trainer(&f.environment, config);
+  trainer.train_episode();
+
+  const std::vector<std::uint64_t> seeds = {51, 52, 53};
+  const auto fleet = trainer.eval_episodes_fleet(seeds);
+  ASSERT_EQ(fleet.size(), seeds.size());
+  for (std::size_t w = 0; w < seeds.size(); ++w)
+    expect_stats_identical(fleet[w], trainer.eval_episode(seeds[w]),
+                           "ma2c fleet eval (sampling)");
+}
+
+TEST(FleetBatched, Ma2cFleetEvalMatchesSerialEvalGreedy) {
+  GridFixture f;
+  baselines::Ma2cConfig config;
+  config.hidden = 16;
+  config.greedy_eval = true;
+  baselines::Ma2cTrainer trainer(&f.environment, config);
+  trainer.train_episode();
+
+  const std::vector<std::uint64_t> seeds = {61, 62};
+  const auto fleet = trainer.eval_episodes_fleet(seeds);
+  ASSERT_EQ(fleet.size(), seeds.size());
+  for (std::size_t w = 0; w < seeds.size(); ++w)
+    expect_stats_identical(fleet[w], trainer.eval_episode(seeds[w]),
+                           "ma2c fleet eval (greedy)");
+}
+
+TEST(FleetBatched, CoLightFleetEvalMatchesSerialEval) {
+  // Exercises the block-batched GAT: stacked embed/key/value GEMMs with
+  // per-block attention must match the per-agent forward bit-for-bit.
+  GridFixture f;
+  baselines::CoLightConfig config;
+  config.embed_dim = 16;
+  baselines::CoLightTrainer trainer(&f.environment, config);
+  trainer.train_episode();
+
+  const std::vector<std::uint64_t> seeds = {71, 72, 73};
+  const auto fleet = trainer.eval_episodes_fleet(seeds);
+  ASSERT_EQ(fleet.size(), seeds.size());
+  for (std::size_t w = 0; w < seeds.size(); ++w)
+    expect_stats_identical(fleet[w], trainer.eval_episode(seeds[w]),
+                           "colight fleet eval");
 }
 
 }  // namespace

@@ -12,6 +12,9 @@
 #   ParallelUpdate / UpdateModes / OptimizerCheckpoint / TrainerResume
 #                                                                (updates)
 #   InferencePath          (per-worker inference workspaces during rollouts)
+#   FleetBatched           (lockstep fleet engine: batched GEMM kernels, slab
+#                           state, baseline fleet eval — single-threaded but
+#                           heavy on raw-pointer row packing)
 #   InvariantSeeding       (worker-count-invariant seeding across the pool)
 #   SimHotPath             (single-threaded, but the lazy-wait/active-set
 #                           pointer bookkeeping is what ASan/UBSan are for)
@@ -21,7 +24,7 @@
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|InvariantSeeding|SimHotPath'
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath'
 TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_invariant_seeding test_sim_hotpath)
 
 run_one() {
