@@ -39,13 +39,17 @@ int main() {
   baselines::FixedTimeController fixed_time;
 
   const double dropouts[] = {0.0, 0.2, 0.5};
-  bench::print_header("dropout", {"Fixedtime", "MaxPressure", "PairUpLight"});
+  bench::print_header(
+      "dropout", {"Fixedtime", "MaxPressure", "PairUpLight", "PairUp(cons)"});
   std::vector<std::vector<double>> rows;
   std::vector<std::string> names;
   // The fault rates live in the environment config, and a PairUpLight
   // controller reads through its trainer's bound environment - so for each
   // dropout level we build a faulty environment, spin up a trainer view
-  // over it, and copy the trained weights in via a checkpoint.
+  // over it, and copy the trained weights in via a checkpoint. The last
+  // column re-evaluates PairUpLight with sensor_consistent_obs on, where
+  // neighbor features see the same dropout the local observations do
+  // (legacy mode leaks fault-free raw counts to neighbors).
   const std::string prefix = "/tmp/pairup_robustness_ckpt";
   pairup.save_checkpoint(prefix);
   for (double dropout : dropouts) {
@@ -66,14 +70,30 @@ int main() {
     const auto pl =
         env::run_episode(faulty_env, *faulty_controller, config.seed + 2000);
 
-    bench::print_row("dropout " + std::to_string(dropout).substr(0, 4),
-                     {ft.travel_time, mp.travel_time, pl.travel_time});
-    rows.push_back({dropout, ft.travel_time, mp.travel_time, pl.travel_time});
+    env::EnvConfig consistent_config = faulty_config;
+    consistent_config.sensor_consistent_obs = true;
+    env::TscEnv consistent_env(
+        &grid->net(),
+        scenario::make_flow_pattern(*grid, scenario::FlowPattern::kPattern1,
+                                    flow_config),
+        consistent_config, config.seed + 2000);
+    core::PairUpLightTrainer consistent_view(&consistent_env, pairup_config);
+    consistent_view.load_checkpoint(prefix);
+    auto consistent_controller = consistent_view.make_controller();
+    const auto pc = env::run_episode(consistent_env, *consistent_controller,
+                                     config.seed + 2000);
+
+    bench::print_row(
+        "dropout " + std::to_string(dropout).substr(0, 4),
+        {ft.travel_time, mp.travel_time, pl.travel_time, pc.travel_time});
+    rows.push_back({dropout, ft.travel_time, mp.travel_time, pl.travel_time,
+                    pc.travel_time});
     names.push_back(std::to_string(dropout));
   }
   bench::write_csv("robustness_sensor.csv",
-                   {"dropout", "fixedtime", "maxpressure", "pairuplight"}, rows,
-                   names);
+                   {"dropout", "fixedtime", "maxpressure", "pairuplight",
+                    "pairuplight_consistent"},
+                   rows, names);
   std::printf(
       "\n(fixed-time is sensor-blind: its column is the no-degradation "
       "reference; adaptive methods should degrade gracefully, not "

@@ -210,8 +210,38 @@ int main(int argc, char** argv) {
     CaseSpec spec{4, 4, scenario::FlowPattern::kPattern1, 500.0, "smoke"};
     const Row row = run_case(spec, small, /*with_obs=*/true,
                              /*cross_check=*/true);
+
+    // Steady-state observable contract (mirrors alloc_events() == 0): once
+    // one sweep has refreshed the sensor snapshots, re-querying without a
+    // step in between must perform ZERO per-query deque walks or pressure
+    // refolds — the refresh counter stays frozen.
+    scenario::GridConfig grid_config;
+    grid_config.rows = grid_config.cols = 4;
+    scenario::GridScenario grid(grid_config);
+    scenario::FlowPatternConfig flow_config;
+    flow_config.time_scale = config.time_scale;
+    auto flows = scenario::make_flow_pattern(
+        grid, scenario::FlowPattern::kPattern1, flow_config);
+    const auto nodes = grid.net().signalized_nodes();
+    sim::Simulator sim(&grid.net(), flows, sim::SimConfig{}, config.seed);
+    double sink = 0.0;
+    for (std::size_t t = 0; t < 300; ++t) {
+      apply_fixed_time(sim, nodes, t);
+      sim.step();
+      sink += observable_sweep(sim, nodes);
+      const std::size_t frozen = sim.obs_refresh_events();
+      sink += observable_sweep(sim, nodes);
+      if (sim.obs_refresh_events() != frozen) {
+        log_error("bench_sim_step: steady-state re-query refreshed ",
+                  sim.obs_refresh_events() - frozen,
+                  " snapshots at tick ", t, " (expected 0)");
+        return 1;
+      }
+    }
+    if (sink == -1.0) std::printf(" ");  // keep the sweeps observable
+
     std::printf("bench_sim_step --smoke: %zu ticks, %.0f steps/s, "
-                "cross-check ok\n",
+                "cross-check ok, steady-state refreshes frozen\n",
                 row.ticks, row.step_rate);
     return 0;
   }

@@ -69,7 +69,6 @@ void FleetRolloutEngine::decide_fleet(std::vector<FleetSlot>& slots,
     bs[4] = &ws_.acquire(rows, hidden);
     bs[5] = &ws_.acquire(rows, hidden);
   }
-  const std::size_t feat = env::TscEnv::kNeighborFeatDim;
   for (std::size_t a = 0; a < num_active; ++a) {
     const std::size_t w = active[a];
     env::TscEnv& env = *slots[w].env;
@@ -78,10 +77,15 @@ void FleetRolloutEngine::decide_fleet(std::vector<FleetSlot>& slots,
       const std::size_t row = a * groups_[m].size() + pos_in_bucket_[i];
       auto& bs = bucket_slots_[m];
 
-      // Actor input: local obs packed straight into the batch row, then the
-      // partner's previous regularized message (or zeros when comm is off).
+      // Actor + critic rows in one zero-copy call: local obs straight into
+      // the actor batch row, obs prefix + padded 1-hop/2-hop neighbor
+      // features (paper section V-B) into the critic row, all from the
+      // env's cached observation snapshot.
       double* in_row = bs[0]->data() + row * actor_in_dim;
-      env.local_obs_into(i, in_row);
+      double* v_row = bs[3]->data() + row * critic_input_dim_;
+      env.obs_into_row(i, in_row, v_row, hop1_slots_, hop2_slots_);
+      // Then the partner's previous regularized message (or zeros when comm
+      // is off).
       if (config_->comm_enabled) {
         const double* msg_src = msg_.data() + (w * n + partners_[w][i]) * msg_dim;
         std::copy(msg_src, msg_src + msg_dim, in_row + obs_dim);
@@ -99,28 +103,6 @@ void FleetRolloutEngine::decide_fleet(std::vector<FleetSlot>& slots,
                 bs[4]->data() + row * hidden);
       std::copy(c_v_.data() + srow, c_v_.data() + srow + hidden,
                 bs[5]->data() + row * hidden);
-
-      // Critic input: same local obs (copied from the actor row rather than
-      // recomputed — the values are identical within a step), then padded
-      // 1-hop/2-hop neighbor features (paper section V-B).
-      double* v_row = bs[3]->data() + row * critic_input_dim_;
-      std::copy(in_row, in_row + obs_dim, v_row);
-      double* p = v_row + obs_dim;
-      const env::AgentSpec& spec = env.agent(i);
-      for (std::size_t slot = 0; slot < hop1_slots_; ++slot, p += feat) {
-        if (slot < spec.hop1.size()) {
-          env.neighbor_feat_into(spec.hop1[slot], p);
-        } else {
-          std::fill(p, p + feat, 0.0);
-        }
-      }
-      for (std::size_t slot = 0; slot < hop2_slots_; ++slot, p += feat) {
-        if (slot < spec.hop2.size()) {
-          env.neighbor_feat_into(spec.hop2[slot], p);
-        } else {
-          std::fill(p, p + feat, 0.0);
-        }
-      }
     }
   }
 

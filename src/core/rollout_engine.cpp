@@ -1,6 +1,7 @@
 #include "src/core/rollout_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 
@@ -113,19 +114,78 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
   decision.log_probs.resize(n);
   decision.values.resize(n);
 
-  // Gather inputs before any state mutation (messages are the previous
-  // step's outputs for everyone, matching Algorithm 1's synchronous sweep).
-  std::vector<std::vector<double>> a_inputs(n), v_inputs(n);
+  // Partner picks first, in agent order (kRandomNeighbor draws from
+  // ctx.rng, so this order is part of the deterministic stream).
   ctx.last_partners->resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n; ++i)
     (*ctx.last_partners)[i] = pick_partner(ctx, i);
-    a_inputs[i] = actor_input(ctx, i, (*ctx.last_partners)[i], states);
-    v_inputs[i] = critic_input(ctx, i);
-  }
 
   // Group agents by model so shared mode runs one batched forward.
   std::vector<std::vector<std::size_t>> groups(ctx.actors.size());
   for (std::size_t i = 0; i < n; ++i) groups[ctx.model_of(i)].push_back(i);
+
+  nn::InferenceWorkspace* const ws =
+      ctx.config->inference_path ? ctx.workspace : nullptr;
+
+  // Gather ALL inputs before any forward or state mutation (messages are
+  // the previous step's outputs for everyone, matching Algorithm 1's
+  // synchronous sweep — a later group must not see an earlier group's
+  // freshly advanced msg_out).
+  std::vector<std::vector<double>> a_inputs, v_inputs;
+  std::vector<std::array<Tensor*, 6>> gslots;
+  if (ws != nullptr) {
+    // Tape-free path: acquire every group's batch tensors up front and pack
+    // observation rows straight into them via the env's zero-copy row seam
+    // (no per-agent vector allocation).
+    ws->begin_pass();
+    const std::size_t hidden = ctx.config->hidden;
+    const std::size_t obs_dim = ctx.env->obs_dim();
+    gslots.assign(groups.size(), {});
+    for (std::size_t m = 0; m < groups.size(); ++m) {
+      if (groups[m].empty()) continue;
+      const std::size_t batch = groups[m].size();
+      gslots[m][0] = &ws->acquire(batch, ctx.actors[m]->input_dim());
+      gslots[m][1] = &ws->acquire(batch, hidden);
+      gslots[m][2] = &ws->acquire(batch, hidden);
+      gslots[m][3] = &ws->acquire(batch, ctx.critic_input_dim);
+      gslots[m][4] = &ws->acquire(batch, hidden);
+      gslots[m][5] = &ws->acquire(batch, hidden);
+    }
+    for (std::size_t m = 0; m < groups.size(); ++m) {
+      const auto& members = groups[m];
+      for (std::size_t b = 0; b < members.size(); ++b) {
+        const std::size_t i = members[b];
+        const AgentState& s = states[i];
+        double* in_row =
+            gslots[m][0]->data() + b * ctx.actors[m]->input_dim();
+        double* v_row = gslots[m][3]->data() + b * ctx.critic_input_dim;
+        ctx.env->obs_into_row(i, in_row, v_row, ctx.hop1_slots,
+                              ctx.hop2_slots);
+        if (ctx.config->comm_enabled) {
+          const auto& msg = states[(*ctx.last_partners)[i]].msg_out;
+          std::copy(msg.begin(), msg.end(), in_row + obs_dim);
+        } else {
+          std::fill(in_row + obs_dim,
+                    in_row + obs_dim + ctx.config->msg_dim, 0.0);
+        }
+        std::copy(s.h_a.begin(), s.h_a.end(),
+                  gslots[m][1]->data() + b * hidden);
+        std::copy(s.c_a.begin(), s.c_a.end(),
+                  gslots[m][2]->data() + b * hidden);
+        std::copy(s.h_v.begin(), s.h_v.end(),
+                  gslots[m][4]->data() + b * hidden);
+        std::copy(s.c_v.begin(), s.c_v.end(),
+                  gslots[m][5]->data() + b * hidden);
+      }
+    }
+  } else {
+    a_inputs.resize(n);
+    v_inputs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_inputs[i] = actor_input(ctx, i, (*ctx.last_partners)[i], states);
+      v_inputs[i] = critic_input(ctx, i);
+    }
+  }
 
   for (std::size_t m = 0; m < groups.size(); ++m) {
     const auto& members = groups[m];
@@ -151,30 +211,16 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
     const Tensor* cv_p = nullptr;
     const Tensor* val_p = nullptr;
 
-    nn::InferenceWorkspace* ws =
-        ctx.config->inference_path ? ctx.workspace : nullptr;
     if (ws != nullptr) {
-      // Tape-free path: pack rows straight into preallocated workspace
-      // buffers and run the bit-identical forward_inference kernels.
-      ws->begin_pass();
-      Tensor& input = ws->acquire(batch, actor.input_dim());
-      Tensor& h_a = ws->acquire(batch, hidden);
-      Tensor& c_a = ws->acquire(batch, hidden);
-      Tensor& v_input = ws->acquire(batch, ctx.critic_input_dim);
-      Tensor& h_v = ws->acquire(batch, hidden);
-      Tensor& c_v = ws->acquire(batch, hidden);
-      for (std::size_t b = 0; b < batch; ++b) {
-        const std::size_t i = members[b];
-        const AgentState& s = states[i];
-        std::copy(a_inputs[i].begin(), a_inputs[i].end(),
-                  input.data() + b * actor.input_dim());
-        std::copy(s.h_a.begin(), s.h_a.end(), h_a.data() + b * hidden);
-        std::copy(s.c_a.begin(), s.c_a.end(), c_a.data() + b * hidden);
-        std::copy(v_inputs[i].begin(), v_inputs[i].end(),
-                  v_input.data() + b * ctx.critic_input_dim);
-        std::copy(s.h_v.begin(), s.h_v.end(), h_v.data() + b * hidden);
-        std::copy(s.c_v.begin(), s.c_v.end(), c_v.data() + b * hidden);
-      }
+      // Tape-free path: the batch tensors were packed above (before any
+      // forward) and run through the bit-identical forward_inference
+      // kernels here.
+      Tensor& input = *gslots[m][0];
+      Tensor& h_a = *gslots[m][1];
+      Tensor& c_a = *gslots[m][2];
+      Tensor& v_input = *gslots[m][3];
+      Tensor& h_v = *gslots[m][4];
+      Tensor& c_v = *gslots[m][5];
       auto actor_out =
           actor.forward_inference(*ws, input, h_a, c_a, phase_counts);
       Tensor& probs = ws->acquire(batch, actor.max_phases());
@@ -276,8 +322,18 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
 
       if (buffer != nullptr) {
         rl::Sample sample;
-        sample.obs = a_inputs[i];
-        sample.critic_obs = v_inputs[i];
+        if (ws != nullptr) {
+          const double* obs_row =
+              gslots[m][0]->data() + b * actor.input_dim();
+          const double* vobs_row =
+              gslots[m][3]->data() + b * ctx.critic_input_dim;
+          sample.obs.assign(obs_row, obs_row + actor.input_dim());
+          sample.critic_obs.assign(vobs_row,
+                                   vobs_row + ctx.critic_input_dim);
+        } else {
+          sample.obs = a_inputs[i];
+          sample.critic_obs = v_inputs[i];
+        }
         sample.h_actor = states[i].h_a;
         sample.c_actor = states[i].c_a;
         sample.h_critic = states[i].h_v;

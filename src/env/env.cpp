@@ -9,7 +9,7 @@ namespace tsc::env {
 
 TscEnv::TscEnv(const sim::RoadNetwork* net, std::vector<sim::FlowSpec> flows,
                EnvConfig config, std::uint64_t seed)
-    : net_(net), config_(config), sim_(net, std::move(flows), sim::SimConfig{}, seed) {
+    : net_(net), config_(config), sim_(net, std::move(flows), config.sim, seed) {
   const auto nodes = net_->signalized_nodes();
   agent_of_node_.assign(net_->num_nodes(), -1);
   agents_.reserve(nodes.size());
@@ -39,6 +39,13 @@ TscEnv::TscEnv(const sim::RoadNetwork* net, std::vector<sim::FlowSpec> flows,
     for (std::size_t nb : spec.hop1) two_hop.erase(nb);
     spec.hop2.assign(two_hop.begin(), two_hop.end());
   }
+  // Observation snapshot covers exactly the links local observations read.
+  std::set<sim::LinkId> in_links;
+  for (const AgentSpec& spec : agents_)
+    for (sim::LinkId l : net_->node(spec.node).in_links) in_links.insert(l);
+  obs_links_.assign(in_links.begin(), in_links.end());
+  link_obs_.assign(2 * net_->num_links(), 0.0);
+  feat_obs_.assign(kNeighborFeatDim * agents_.size(), 0.0);
 }
 
 std::size_t TscEnv::obs_dim() const {
@@ -56,15 +63,17 @@ void TscEnv::reset(std::uint64_t seed) {
   wait_history_.clear();
   fault_rng_ = Rng(seed ^ 0xFA417ULL);
   resample_sensor_faults();
+  obs_synced_step_ = -1;  // fresh episode: full snapshot rebuild
 }
 
 void TscEnv::set_flows(std::vector<sim::FlowSpec> flows, std::uint64_t seed) {
-  sim_ = sim::Simulator(net_, std::move(flows), sim_.config(), seed);
+  sim_ = sim::Simulator(net_, std::move(flows), config_.sim, seed);
   episode_seed_ = seed;
   steps_ = 0;
   wait_history_.clear();
   fault_rng_ = Rng(seed ^ 0xFA417ULL);
   resample_sensor_faults();
+  obs_synced_step_ = -1;
 }
 
 void TscEnv::resample_sensor_faults() {
@@ -115,14 +124,41 @@ std::vector<double> TscEnv::local_obs(std::size_t i) const {
   return obs;
 }
 
+void TscEnv::ensure_observations() const {
+  const std::int64_t step = sim_.step_count();
+  if (obs_synced_step_ == step) return;
+  const bool faults =
+      config_.sensor_noise_std != 0.0 || config_.sensor_dropout != 0.0;
+  // With faults active every link's reading changes each decision step (the
+  // fault draws are resampled), so the dirty-set only pays off on the clean
+  // path — which is also the hot one (training and throughput benches).
+  const bool full = faults || obs_synced_step_ < 0;
+  const auto& stamps = sim_.obs_event_steps();
+  for (sim::LinkId l : obs_links_) {
+    // A link is dirty when the simulator stamped it since the last sync, or
+    // when it holds a standing queue (head wait advances every tick without
+    // any push/pop event).
+    if (!full && stamps[l] < obs_synced_step_ && sim_.link_queue(l) == 0)
+      continue;
+    link_obs_[2 * l] = observed_pressure(l) / config_.pressure_norm;
+    link_obs_[2 * l + 1] = observed_head_wait(l) / config_.wait_norm;
+  }
+  // Per-agent summary feats are O(node degree) over O(1) cached reads:
+  // recomputing all of them is cheaper than tracking node-level dirtiness.
+  for (std::size_t i = 0; i < agents_.size(); ++i)
+    compute_neighbor_feat(i, &feat_obs_[kNeighborFeatDim * i]);
+  obs_synced_step_ = step;
+}
+
 void TscEnv::local_obs_into(std::size_t i, double* out) const {
+  ensure_observations();
   const AgentSpec& spec = agents_.at(i);
   const sim::Node& node = net_->node(spec.node);
   for (std::size_t slot = 0; slot < config_.max_in_links; ++slot) {
     if (slot < node.in_links.size()) {
       const sim::LinkId link = node.in_links[slot];
-      *out++ = observed_pressure(link) / config_.pressure_norm;
-      *out++ = observed_head_wait(link) / config_.wait_norm;
+      *out++ = link_obs_[2 * link];
+      *out++ = link_obs_[2 * link + 1];
     } else {
       *out++ = 0.0;
       *out++ = 0.0;
@@ -144,14 +180,35 @@ double TscEnv::observed_queue(sim::LinkId link) const {
   if (!sensor_failed_.empty() && sensor_failed_[link]) return 0.0;
   const double noise = sensor_noise_.empty() ? 0.0 : sensor_noise_[link];
   return std::max(0.0, static_cast<double>(sim_.detector_queue(link)) +
-                           noise * config_.pressure_norm);
+                           noise * queue_noise_scale());
 }
 
 double TscEnv::observed_lane_queue(sim::LinkId link, std::uint32_t lane) const {
   if (!sensor_failed_.empty() && sensor_failed_[link]) return 0.0;
   const double noise = sensor_noise_.empty() ? 0.0 : sensor_noise_[link];
   return std::max(0.0, static_cast<double>(sim_.lane_queue(link, lane)) +
-                           noise * config_.pressure_norm);
+                           noise * queue_noise_scale());
+}
+
+double TscEnv::observed_count(sim::LinkId link) const {
+  if (!sensor_failed_.empty() && sensor_failed_[link]) return 0.0;
+  const double noise = sensor_noise_.empty() ? 0.0 : sensor_noise_[link];
+  return std::max(0.0, static_cast<double>(sim_.detector_count(link)) +
+                           noise * queue_noise_scale());
+}
+
+double TscEnv::observed_intersection_pressure(sim::NodeId node) const {
+  const sim::Node& n = net_->node(node);
+  double p = 0.0;
+  for (sim::LinkId l : n.in_links) p += observed_count(l);
+  for (sim::LinkId l : n.out_links) p -= observed_count(l);
+  return p;
+}
+
+double TscEnv::observed_intersection_halting(sim::NodeId node) const {
+  double h = 0.0;
+  for (sim::LinkId l : net_->node(node).in_links) h += observed_queue(l);
+  return h;
 }
 
 double TscEnv::observed_head_wait(sim::LinkId link) const {
@@ -166,11 +223,54 @@ std::vector<double> TscEnv::neighbor_feat(std::size_t i) const {
   return feat;
 }
 
+void TscEnv::compute_neighbor_feat(std::size_t i, double* out) const {
+  const sim::NodeId node = agents_[i].node;
+  if (config_.sensor_consistent_obs) {
+    out[0] = observed_intersection_pressure(node) / config_.pressure_norm;
+    out[1] = observed_intersection_halting(node) / config_.pressure_norm;
+  } else {
+    // Legacy bypass: raw uncapped link counts, no dropout/noise.
+    out[0] = sim_.intersection_pressure(node) / config_.pressure_norm;
+    out[1] = static_cast<double>(sim_.intersection_halting(node)) /
+             config_.pressure_norm;
+  }
+}
+
 void TscEnv::neighbor_feat_into(std::size_t i, double* out) const {
-  const sim::NodeId node = agents_.at(i).node;
-  out[0] = sim_.intersection_pressure(node) / config_.pressure_norm;
-  out[1] = static_cast<double>(sim_.intersection_halting(node)) /
-           config_.pressure_norm;
+  ensure_observations();
+  const double* src = &feat_obs_.at(kNeighborFeatDim * i);
+  out[0] = src[0];
+  out[1] = src[1];
+}
+
+void TscEnv::obs_into_row(std::size_t i, double* actor_row, double* critic_row,
+                          std::size_t hop1_slots, std::size_t hop2_slots) const {
+  local_obs_into(i, actor_row);
+  if (critic_row == nullptr) return;
+  const std::size_t prefix = obs_dim();
+  std::copy(actor_row, actor_row + prefix, critic_row);
+  double* p = critic_row + prefix;
+  const AgentSpec& spec = agents_.at(i);
+  for (std::size_t slot = 0; slot < hop1_slots; ++slot, p += kNeighborFeatDim) {
+    if (slot < spec.hop1.size()) {
+      const double* src = feat_obs_.data() + kNeighborFeatDim * spec.hop1[slot];
+      p[0] = src[0];
+      p[1] = src[1];
+    } else {
+      p[0] = 0.0;
+      p[1] = 0.0;
+    }
+  }
+  for (std::size_t slot = 0; slot < hop2_slots; ++slot, p += kNeighborFeatDim) {
+    if (slot < spec.hop2.size()) {
+      const double* src = feat_obs_.data() + kNeighborFeatDim * spec.hop2[slot];
+      p[0] = src[0];
+      p[1] = src[1];
+    } else {
+      p[0] = 0.0;
+      p[1] = 0.0;
+    }
+  }
 }
 
 double TscEnv::congestion_score(std::size_t i) const {

@@ -38,6 +38,24 @@ struct EnvConfig {
   // the reward bookkeeping, mirroring real detector faults.
   double sensor_noise_std = 0.0;  ///< additive Gaussian noise on normalized obs
   double sensor_dropout = 0.0;    ///< P(per link per step the sensor reads 0)
+
+  // Simulator tuning carried by the environment so clone() and
+  // construct-from-scratch build identical simulators. (Historically the
+  // constructor hardcoded sim::SimConfig{} while set_flows preserved the
+  // live simulator's config, so the two paths could disagree.)
+  sim::SimConfig sim;
+
+  // Normalizer for sensor noise on queue-count observables
+  // (observed_queue / observed_lane_queue). 0 (the default) preserves the
+  // historical behavior of scaling queue noise by pressure_norm —
+  // bit-identical goldens; set > 0 to give queue readings their own scale.
+  double queue_norm = 0.0;
+
+  // Route neighbor features through the same detector-capped, fault-aware
+  // observables as local observations. Default false preserves the legacy
+  // (bit-exact) behavior where neighbors read raw uncapped link counts
+  // with no dropout/noise applied — the sensor-model bypass.
+  bool sensor_consistent_obs = false;
 };
 
 /// Static description of one agent (intersection).
@@ -107,12 +125,29 @@ class TscEnv {
   double observed_queue(sim::LinkId link) const;
   double observed_lane_queue(sim::LinkId link, std::uint32_t lane) const;
   double observed_head_wait(sim::LinkId link) const;
+  /// Detector-capped link count with this step's faults applied (the
+  /// sensor-consistent replacement for raw sim link_count reads).
+  double observed_count(sim::LinkId link) const;
+  /// Fault-aware intersection pressure / halting (sums of observed_count /
+  /// observed_queue over the node's links) — what neighbor features report
+  /// under `sensor_consistent_obs`.
+  double observed_intersection_pressure(sim::NodeId node) const;
+  double observed_intersection_halting(sim::NodeId node) const;
   /// Compact features of agent i's intersection for consumption by other
   /// agents' critics / attention: {pressure, halting}, normalized.
   std::vector<double> neighbor_feat(std::size_t i) const;
   /// neighbor_feat written into `out[0..kNeighborFeatDim)` (row-packing
   /// seam; see local_obs_into).
   void neighbor_feat_into(std::size_t i, double* out) const;
+
+  /// Zero-copy row seam for the batched inference engines: writes agent i's
+  /// local observation into `actor_row[0..obs_dim())`, and — when
+  /// `critic_row` is non-null — the critic input row (local obs prefix, then
+  /// hop1_slots + hop2_slots neighbor-feature slots, zero-padded past the
+  /// agent's actual neighbor lists). One call packs both batch matrices
+  /// straight from the cached observation snapshot.
+  void obs_into_row(std::size_t i, double* actor_row, double* critic_row,
+                    std::size_t hop1_slots, std::size_t hop2_slots) const;
 
   /// Congestion score used for upstream pairing (halted vehicles on the
   /// intersection's incoming links).
@@ -139,6 +174,19 @@ class TscEnv {
   /// Resamples this step's per-link sensor faults (no-op with clean config).
   void resample_sensor_faults();
 
+  /// Brings the per-link / per-agent observation snapshot up to date with
+  /// the simulator, recomputing only rows for links the simulator stamped
+  /// (or that hold a standing queue, whose head wait advances every tick).
+  /// Lazy: triggered by the first observation read after the sim moved, so
+  /// callers that step the simulator directly stay correct.
+  void ensure_observations() const;
+  void compute_neighbor_feat(std::size_t i, double* out) const;
+  /// Scale applied to queue-count sensor noise (queue_norm, falling back to
+  /// the legacy pressure_norm scaling when unset).
+  double queue_noise_scale() const {
+    return config_.queue_norm > 0.0 ? config_.queue_norm : config_.pressure_norm;
+  }
+
   const sim::RoadNetwork* net_;
   EnvConfig config_;
   sim::Simulator sim_;
@@ -150,6 +198,12 @@ class TscEnv {
   Rng fault_rng_{0};
   std::vector<bool> sensor_failed_;   // per link, this step
   std::vector<double> sensor_noise_;  // per link, this step
+
+  // ---- observation snapshot (lazily synced to the simulator) ----
+  std::vector<sim::LinkId> obs_links_;      // in-links of signalized nodes
+  mutable std::vector<double> link_obs_;    // 2/link: {pressure, head wait}, normalized
+  mutable std::vector<double> feat_obs_;    // kNeighborFeatDim per agent
+  mutable std::int64_t obs_synced_step_ = -1;  // sim step at last sync; -1 = full
 };
 
 }  // namespace tsc::env

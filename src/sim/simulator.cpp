@@ -34,10 +34,16 @@ Simulator::Simulator(const RoadNetwork* net, std::vector<FlowSpec> flows,
     }
   }
 
+  link_count_.assign(net_->num_links(), 0);
   link_queue_.assign(net_->num_links(), 0);
   node_queued_.assign(net_->num_nodes(), 0);
   in_backlog_active_.assign(net_->num_links(), 0);
   in_approach_active_.assign(net_->num_links(), 0);
+  head_epoch_.assign(net_->num_links(), kNoHead);
+  head_stale_.assign(net_->num_links(), 0);
+  pressure_snap_.assign(net_->num_links(), 0.0);
+  pressure_stale_.assign(net_->num_links(), 1);
+  obs_event_step_.assign(net_->num_links(), -1);
   wait_sum_.assign(1, 0.0);
 }
 
@@ -80,6 +86,23 @@ void Simulator::build_static_tables() {
   for (const Node& n : net_->nodes())
     if (n.type != NodeType::kBoundary) interior_nodes_.push_back(n.id);
   signalized_nodes_ = net_->signalized_nodes();
+
+  // CSR list of pressure dependents: link X's detector count appears in the
+  // pressure fold of X itself and of every link with a movement into X.
+  std::vector<std::vector<LinkId>> deps(num_links);
+  for (LinkId l = 0; l < num_links; ++l) deps[l].push_back(l);
+  for (const Movement& m : net_->movements())
+    deps[m.to_link].push_back(m.from_link);
+  pressure_dep_offset_.assign(num_links + 1, 0);
+  pressure_dep_links_.clear();
+  for (LinkId l = 0; l < num_links; ++l) {
+    pressure_dep_offset_[l] =
+        static_cast<std::uint32_t>(pressure_dep_links_.size());
+    pressure_dep_links_.insert(pressure_dep_links_.end(), deps[l].begin(),
+                               deps[l].end());
+  }
+  pressure_dep_offset_[num_links] =
+      static_cast<std::uint32_t>(pressure_dep_links_.size());
 }
 
 void Simulator::reset(std::uint64_t seed) {
@@ -92,7 +115,6 @@ void Simulator::reset(std::uint64_t seed) {
   for (LinkState& ls : link_states_) {
     ls.approaching.clear();
     ls.backlog.clear();
-    ls.count = 0;
     for (LaneState& lane : ls.lanes) {
       lane.queue.clear();
       lane.credit = 0.0;
@@ -100,9 +122,15 @@ void Simulator::reset(std::uint64_t seed) {
     }
   }
   for (SignalController& s : signals_) s.reset();
+  std::fill(link_count_.begin(), link_count_.end(), 0u);
   std::fill(link_queue_.begin(), link_queue_.end(), 0u);
   std::fill(node_queued_.begin(), node_queued_.end(), 0u);
   total_queued_ = 0;
+  std::fill(head_epoch_.begin(), head_epoch_.end(), kNoHead);
+  std::fill(head_stale_.begin(), head_stale_.end(), 0);
+  std::fill(pressure_stale_.begin(), pressure_stale_.end(), 1);
+  std::fill(obs_event_step_.begin(), obs_event_step_.end(),
+            std::int64_t{-1});
   backlog_active_.clear();
   approach_active_.clear();
   std::fill(in_backlog_active_.begin(), in_backlog_active_.end(), 0);
@@ -166,15 +194,44 @@ void Simulator::push_queue(LinkId link, LaneState& lane, std::uint32_t veh_idx) 
   ++link_queue_[link];
   ++node_queued_[to_node_[link]];
   ++total_queued_;
+  // A push becomes the link's oldest head only when no head predates it, so
+  // the min-epoch snapshot stays clean (refreshes happen only after pops).
+  if (step_count_ < head_epoch_[link]) head_epoch_[link] = step_count_;
+  obs_event_step_[link] = step_count_;
 }
 
 void Simulator::pop_queue_bookkeeping(LinkId link, std::uint32_t veh_idx) {
+  // Popping the oldest head invalidates the min-epoch snapshot (another
+  // lane may share it); popping a younger head cannot move the minimum.
+  if (!head_stale_[link] && enqueue_epoch_[veh_idx] == head_epoch_[link])
+    head_stale_[link] = 1;
+  obs_event_step_[link] = step_count_;
   wait_ticks_[veh_idx] +=
       static_cast<std::uint32_t>(step_count_ - enqueue_epoch_[veh_idx]);
   enqueue_epoch_[veh_idx] = -1;
   --link_queue_[link];
   --node_queued_[to_node_[link]];
   --total_queued_;
+}
+
+void Simulator::mark_pressure_deps(LinkId link) {
+  const std::uint32_t begin = pressure_dep_offset_[link];
+  const std::uint32_t end = pressure_dep_offset_[link + 1];
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const LinkId d = pressure_dep_links_[i];
+    pressure_stale_[d] = 1;
+    obs_event_step_[d] = step_count_;
+  }
+}
+
+void Simulator::note_count_increased(LinkId link) {
+  // Called after ++link_count_: the detector-capped count changed iff the
+  // new value is still inside the detector footprint.
+  if (link_count_[link] <= detector_cap_[link]) mark_pressure_deps(link);
+}
+
+void Simulator::note_count_decreased(LinkId link) {
+  if (link_count_[link] < detector_cap_[link]) mark_pressure_deps(link);
 }
 
 void Simulator::spawn_and_insert() {
@@ -184,12 +241,13 @@ void Simulator::spawn_and_insert() {
   for (std::size_t i = 0; i < backlog_active_.size(); ++i) {
     const LinkId l = backlog_active_[i];
     LinkState& ls = link_states_[l];
-    while (!ls.backlog.empty() && ls.count < capacity_[l]) {
+    while (!ls.backlog.empty() && link_count_[l] < capacity_[l]) {
       const std::uint32_t veh = ls.backlog.front();
       ls.backlog.pop_front();
       vehicles_[veh].entered = now_;
       push_approaching(l, veh);
-      ++ls.count;
+      ++link_count_[l];
+      note_count_increased(l);
     }
     if (ls.backlog.empty()) {
       in_backlog_active_[l] = 0;
@@ -217,10 +275,11 @@ void Simulator::insert_vehicle(std::uint32_t veh_idx) {
   Vehicle& v = vehicles_[veh_idx];
   const LinkId entry = sampler_.flows()[v.flow].route.front();
   LinkState& ls = link_states_[entry];
-  if (ls.count < capacity_[entry] && ls.backlog.empty()) {
+  if (link_count_[entry] < capacity_[entry] && ls.backlog.empty()) {
     v.entered = now_;
     push_approaching(entry, veh_idx);
-    ++ls.count;
+    ++link_count_[entry];
+    note_count_increased(entry);
   } else {
     ls.backlog.push_back(veh_idx);
     if (!in_backlog_active_[entry]) {
@@ -251,8 +310,9 @@ void Simulator::process_arrivals() {
         v.exit_time = now_;
         ++finished_count_;
         finished_tt_sum_ += v.exit_time - v.depart_scheduled;
-        assert(ls.count > 0);
-        --ls.count;
+        assert(link_count_[l] > 0);
+        --link_count_[l];
+        note_count_decreased(l);
         if (++stale_finished_ >= 64 &&
             stale_finished_ * 2 > unfinished_ids_.size())
           compact_unfinished();
@@ -320,16 +380,17 @@ void Simulator::discharge_lane(LinkId link_id, std::uint32_t lane_idx,
     const MovementId mid = moves[v.hop];
     if (!movement_green(node, mid)) break;  // red head blocks the lane (HoL)
     const LinkId next = net_->movement(mid).to_link;
-    LinkState& next_ls = link_states_[next];
-    if (next_ls.count >= capacity_[next]) break;  // spillback
+    if (link_count_[next] >= capacity_[next]) break;  // spillback
     lane.queue.pop_front();
     lane.credit -= 1.0;
-    assert(ls.count > 0);
-    --ls.count;
+    assert(link_count_[link_id] > 0);
+    --link_count_[link_id];
+    note_count_decreased(link_id);
     pop_queue_bookkeeping(link_id, veh_idx);
     v.hop += 1;
     push_approaching(next, veh_idx);
-    ++next_ls.count;
+    ++link_count_[next];
+    note_count_increased(next);
   }
   lane.credit = std::min(lane.credit, 1.0);
   if (lane.queue.empty()) lane.empty_since = step_count_;
@@ -372,7 +433,7 @@ std::uint32_t Simulator::link_capacity(LinkId link) const {
 }
 
 std::uint32_t Simulator::link_count(LinkId link) const {
-  return link_states_.at(link).count;
+  return link_count_.at(link);
 }
 
 std::uint32_t Simulator::link_queue(LinkId link) const {
@@ -395,35 +456,53 @@ std::uint32_t Simulator::detector_queue(LinkId link) const {
 }
 
 std::uint32_t Simulator::detector_count(LinkId link) const {
-  return std::min(link_states_.at(link).count, detector_cap_[link]);
+  return std::min(link_count_.at(link), detector_cap_[link]);
+}
+
+void Simulator::refresh_head_snapshot(LinkId link) const {
+  ++obs_refresh_events_;
+  std::int64_t best = kNoHead;
+  for (const LaneState& lane : link_states_[link].lanes) {
+    if (lane.queue.empty()) continue;
+    const std::int64_t e = enqueue_epoch_[lane.queue.front()];
+    if (e < best) best = e;
+  }
+  head_epoch_[link] = best;
+  head_stale_[link] = 0;
 }
 
 double Simulator::detector_head_wait(LinkId link) const {
-  double best = 0.0;
-  const auto& lanes = link_states_.at(link).lanes;
-  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
-    const auto& q = lanes[lane].queue;
-    if (q.empty()) continue;
-    best = std::max(best, wait_value(static_cast<std::uint32_t>(
-                              step_count_ - enqueue_epoch_[q.front()])));
-  }
-  return best;
+  // wait_value is monotone non-decreasing in its argument, so the max over
+  // nonempty lane fronts equals the wait of the minimum front epoch — the
+  // cached scalar reproduces the legacy max-over-lanes fold bit-exactly.
+  if (head_stale_.at(link)) refresh_head_snapshot(link);
+  const std::int64_t e = head_epoch_[link];
+  if (e == kNoHead) return 0.0;
+  return wait_value(static_cast<std::uint32_t>(step_count_ - e));
 }
 
 double Simulator::link_pressure(LinkId link) const {
-  const Link& in = net_->link(link);
-  const double in_per_lane =
-      static_cast<double>(detector_count(link)) / static_cast<double>(in.lanes);
-  double out_sum = 0.0;
-  std::size_t out_count = 0;
-  for (MovementId mid : in.out_movements) {
-    const Link& out = net_->link(net_->movement(mid).to_link);
-    out_sum += static_cast<double>(detector_count(out.id)) /
-               static_cast<double>(out.lanes);
-    ++out_count;
+  if (pressure_stale_.at(link)) {
+    ++obs_refresh_events_;
+    // Exact legacy fold (division order and operand order preserved); the
+    // cache stores the identical bits the per-query path produced.
+    const Link& in = net_->link(link);
+    const double in_per_lane = static_cast<double>(detector_count(link)) /
+                               static_cast<double>(in.lanes);
+    double out_sum = 0.0;
+    std::size_t out_count = 0;
+    for (MovementId mid : in.out_movements) {
+      const Link& out = net_->link(net_->movement(mid).to_link);
+      out_sum += static_cast<double>(detector_count(out.id)) /
+                 static_cast<double>(out.lanes);
+      ++out_count;
+    }
+    pressure_snap_[link] =
+        out_count == 0 ? in_per_lane
+                       : in_per_lane - out_sum / static_cast<double>(out_count);
+    pressure_stale_[link] = 0;
   }
-  if (out_count == 0) return in_per_lane;
-  return in_per_lane - out_sum / static_cast<double>(out_count);
+  return pressure_snap_[link];
 }
 
 double Simulator::intersection_pressure(NodeId node) const {
@@ -503,6 +582,7 @@ bool Simulator::validate_incremental_state(std::string* error) const {
 
   std::uint32_t total = 0;
   std::vector<std::uint32_t> node_sum(net_->num_nodes(), 0);
+  std::vector<std::uint32_t> scratch_count(net_->num_links(), 0);
   std::vector<std::uint8_t> queued(vehicles_.size(), 0);
   for (LinkId l = 0; l < net_->num_links(); ++l) {
     const LinkState& ls = link_states_[l];
@@ -524,8 +604,24 @@ bool Simulator::validate_incremental_state(std::string* error) const {
                   std::to_string(q) + " scratch");
     const auto count =
         static_cast<std::uint32_t>(ls.approaching.size()) + q;
-    if (count != ls.count)
+    if (count != link_count_[l])
       return fail("link count mismatch on link " + std::to_string(l));
+    scratch_count[l] = count;
+    // Head-wait snapshot: a clean cache must equal the scratch minimum
+    // front-enqueue epoch across lanes (kNoHead when no lane has a queue).
+    if (!head_stale_[l]) {
+      std::int64_t best = kNoHead;
+      for (const LaneState& lane : ls.lanes) {
+        if (lane.queue.empty()) continue;
+        best = std::min(best, enqueue_epoch_[lane.queue.front()]);
+      }
+      if (best != head_epoch_[l])
+        return fail("head-epoch snapshot mismatch on link " + std::to_string(l) +
+                    ": " + std::to_string(head_epoch_[l]) + " cached vs " +
+                    std::to_string(best) + " scratch");
+    }
+    if (obs_event_step_[l] > step_count_)
+      return fail("obs event stamp from the future on link " + std::to_string(l));
     node_sum[to_node_[l]] += q;
     total += q;
     if (static_cast<bool>(in_backlog_active_[l]) != !ls.backlog.empty())
@@ -539,6 +635,31 @@ bool Simulator::validate_incremental_state(std::string* error) const {
   for (NodeId n = 0; n < net_->num_nodes(); ++n) {
     if (node_sum[n] != node_queued_[n])
       return fail("intersection_halting mismatch on node " + std::to_string(n));
+  }
+
+  // Pressure snapshot: a clean cache must reproduce the legacy fold over
+  // scratch detector counts bit-exactly (same operand and division order).
+  const auto scratch_det = [&](LinkId l) {
+    return std::min(scratch_count[l], detector_cap_[l]);
+  };
+  for (LinkId l = 0; l < net_->num_links(); ++l) {
+    if (pressure_stale_[l]) continue;
+    const Link& in = net_->link(l);
+    const double in_per_lane =
+        static_cast<double>(scratch_det(l)) / static_cast<double>(in.lanes);
+    double out_sum = 0.0;
+    std::size_t out_count = 0;
+    for (MovementId mid : in.out_movements) {
+      const Link& out = net_->link(net_->movement(mid).to_link);
+      out_sum += static_cast<double>(scratch_det(out.id)) /
+                 static_cast<double>(out.lanes);
+      ++out_count;
+    }
+    const double expect =
+        out_count == 0 ? in_per_lane
+                       : in_per_lane - out_sum / static_cast<double>(out_count);
+    if (expect != pressure_snap_[l])
+      return fail("pressure snapshot mismatch on link " + std::to_string(l));
   }
 
   const auto check_active = [&](const std::vector<LinkId>& list,

@@ -23,9 +23,13 @@
 // aggregates (per-link, per-intersection, network halting) are maintained
 // incrementally at push/pop; waiting time is lazy integer tick bookkeeping
 // materialized on demand; and the per-tick sweeps visit only links with
-// pending backlog/arrivals/queues. All externally observable numbers are
-// bit-identical to the straightforward per-tick recomputation (see
-// validate_incremental_state and DESIGN.md).
+// pending backlog/arrivals/queues. Sensor observables are backed by
+// per-link snapshots (head-vehicle enqueue epoch, cached pressure fold)
+// invalidated at the same push/pop/count points and refreshed lazily on
+// query, so repeated observable reads are O(changed), never O(network).
+// All externally observable numbers are bit-identical to the
+// straightforward per-tick recomputation (see validate_incremental_state
+// and DESIGN.md).
 //
 // Const observables may grow an internal memo table, so concurrent reads of
 // the SAME simulator from several threads are not safe; distinct simulator
@@ -34,6 +38,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -123,6 +128,27 @@ class Simulator {
   /// Total queued vehicles network-wide.
   std::uint32_t network_halting() const;
 
+  // ---- observation snapshot bookkeeping ----
+  /// Completed simulation steps (== ticks since the last reset).
+  std::int64_t step_count() const { return step_count_; }
+  /// Per-link stamp of the last step whose events (queue push/pop, or a
+  /// detector-visible count change on the link or on a link its pressure
+  /// reads) could alter the link's sensor observables; -1 = untouched since
+  /// reset. Unlike the internal stale flags these are never consumed by
+  /// queries, so an observation builder can diff against its own refresh
+  /// stamp: a link's sensor row changed since step S iff
+  /// `obs_event_steps()[l] >= S || link_queue(l) > 0` (a standing queue
+  /// advances head wait every tick without emitting events).
+  const std::vector<std::int64_t>& obs_event_steps() const {
+    return obs_event_step_;
+  }
+  /// Cumulative count of snapshot refreshes performed by observable queries
+  /// (head-lane rescans + pressure refolds). Frozen between queries when no
+  /// simulator state changed: the steady-state analog of the inference
+  /// path's alloc_events() == 0 contract (asserted by bench_sim_step
+  /// --smoke).
+  std::size_t obs_refresh_events() const { return obs_refresh_events_; }
+
   // ---- episode metrics ----
   std::size_t vehicles_spawned() const { return vehicles_.size(); }
   std::size_t vehicles_finished() const { return finished_count_; }
@@ -169,7 +195,6 @@ class Simulator {
   struct LinkState {
     std::deque<ApproachEntry> approaching;
     std::vector<LaneState> lanes;
-    std::uint32_t count = 0;  ///< approaching + queued
     std::deque<std::uint32_t> backlog;  ///< spawned but not yet inserted
   };
 
@@ -188,6 +213,14 @@ class Simulator {
   /// Queue push/pop bookkeeping: incremental aggregates + wait epochs.
   void push_queue(LinkId link, LaneState& lane, std::uint32_t veh_idx);
   void pop_queue_bookkeeping(LinkId link, std::uint32_t veh_idx);
+  /// Count-change hooks: invalidate the pressure snapshot of every link
+  /// whose fold reads this link's detector count, when the detector-capped
+  /// count actually changed. Call AFTER mutating link_count_[link].
+  void note_count_increased(LinkId link);
+  void note_count_decreased(LinkId link);
+  void mark_pressure_deps(LinkId link);
+  /// Rebuilds head_epoch_[link] from the lane fronts (counted refresh).
+  void refresh_head_snapshot(LinkId link) const;
   void compact_unfinished();
   /// The value of a double accumulator after `n` additions of config_.tick
   /// starting from 0 — the exact fold the per-tick accrual sweep produced.
@@ -223,9 +256,31 @@ class Simulator {
   std::vector<NodeId> signalized_nodes_;
 
   // ---- incremental aggregates ----
+  std::vector<std::uint32_t> link_count_;   // approaching + queued per link
   std::vector<std::uint32_t> link_queue_;   // queued vehicles per link
   std::vector<std::uint32_t> node_queued_;  // sum over in-links per node
   std::uint32_t total_queued_ = 0;
+
+  // ---- per-link sensor snapshots (lazy, query-refreshed) ----
+  static constexpr std::int64_t kNoHead =
+      std::numeric_limits<std::int64_t>::max();
+  /// Min enqueue epoch over the lane-front vehicles (kNoHead: no queue).
+  /// detector_head_wait == wait_value(step_count_ - head_epoch_): the
+  /// legacy max-over-lanes fold equals the wait of the oldest head because
+  /// wait_value is monotone in the tick count.
+  mutable std::vector<std::int64_t> head_epoch_;
+  mutable std::vector<std::uint8_t> head_stale_;
+  /// Cached result of the legacy link_pressure fold (bit-exact: the stale
+  /// path reruns the identical fold and the clean path returns its copy).
+  mutable std::vector<double> pressure_snap_;
+  mutable std::vector<std::uint8_t> pressure_stale_;
+  /// CSR table: links whose pressure fold reads link l's detector count
+  /// (l itself plus every link with a movement into l).
+  std::vector<std::uint32_t> pressure_dep_offset_;
+  std::vector<LinkId> pressure_dep_links_;
+  /// Env-facing event stamps (see obs_event_steps()).
+  std::vector<std::int64_t> obs_event_step_;
+  mutable std::size_t obs_refresh_events_ = 0;
 
   // ---- active sets (sorted link ids + membership flags) ----
   std::vector<LinkId> backlog_active_;

@@ -1,0 +1,303 @@
+// Regression tests for the sensor-model bugfixes and the env observation
+// snapshot:
+//   (1) neighbor features bypassed the sensor model (raw uncapped link
+//       counts, no dropout/noise) — fixed behind
+//       EnvConfig::sensor_consistent_obs;
+//   (2) queue observables scaled sensor noise by pressure_norm — fixed
+//       behind EnvConfig::queue_norm (0 keeps the legacy scaling);
+//   (3) the TscEnv constructor hardcoded sim::SimConfig{}, silently
+//       dropping any tuning — fixed by plumbing SimConfig through
+//       EnvConfig, so clone() and construct-from-scratch agree.
+// Plus: the lazily synced observation snapshot must reproduce the live
+// fault-aware queries bit-exactly under sensor-fault schedules, and
+// obs_into_row must pack exactly the rows the engines used to assemble by
+// hand.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/env/env.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+
+namespace tsc::env {
+namespace {
+
+scenario::GridScenario make_grid(std::size_t rows = 4, std::size_t cols = 4) {
+  scenario::GridConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  return scenario::GridScenario(config);
+}
+
+std::vector<sim::FlowSpec> demand(const scenario::GridScenario& grid,
+                                  double time_scale = 1.0) {
+  scenario::FlowPatternConfig config;
+  config.time_scale = time_scale;
+  return scenario::make_flow_pattern(grid, scenario::FlowPattern::kPattern1,
+                                     config);
+}
+
+/// Advances the env with all-zero phase actions (builds standing queues on
+/// the red approaches).
+void run_steps(TscEnv& env, std::size_t steps) {
+  const std::vector<std::size_t> actions(env.num_agents(), 0);
+  for (std::size_t s = 0; s < steps && !env.done(); ++s) env.step(actions);
+}
+
+// ---- Bugfix 1: sensor-consistent neighbor features ----
+
+TEST(SensorModel, NeighborFeatsSeeDroppedOutSensorsWhenConsistent) {
+  // With every sensor failed, an agent's LOCAL view of a link is zero; the
+  // legacy neighbor features still reported the raw counts — the bypass.
+  // Under sensor_consistent_obs the neighbors go dark too.
+  auto grid = make_grid();
+  EnvConfig config;
+  config.sensor_dropout = 1.0;  // every link reads 0, every step
+  config.sensor_consistent_obs = true;
+  TscEnv env(&grid.net(), demand(grid), config, 3);
+  run_steps(env, 12);
+  ASSERT_GT(env.simulator().network_halting(), 0u) << "no traffic built up";
+
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    const auto feat = env.neighbor_feat(i);
+    EXPECT_DOUBLE_EQ(feat[0], 0.0) << "agent " << i;
+    EXPECT_DOUBLE_EQ(feat[1], 0.0) << "agent " << i;
+  }
+}
+
+TEST(SensorModel, LegacyNeighborFeatsStillBypassFaults) {
+  // Compat default: feats keep reading the raw simulator (bit-exact with
+  // the historical goldens), even under total sensor dropout.
+  auto grid = make_grid();
+  EnvConfig config;
+  config.sensor_dropout = 1.0;
+  TscEnv env(&grid.net(), demand(grid), config, 3);
+  run_steps(env, 12);
+
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    const auto feat = env.neighbor_feat(i);
+    const sim::NodeId node = env.agent(i).node;
+    EXPECT_DOUBLE_EQ(
+        feat[0], env.simulator().intersection_pressure(node) /
+                     config.pressure_norm);
+    EXPECT_DOUBLE_EQ(
+        feat[1], static_cast<double>(
+                     env.simulator().intersection_halting(node)) /
+                     config.pressure_norm);
+    if (feat[0] != 0.0 || feat[1] != 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero) << "bypass check vacuous: all raw feats were zero";
+}
+
+TEST(SensorModel, ConsistentNeighborFeatsUseDetectorCappedCounts) {
+  // Clean sensors, consistent mode: feats must fold the detector-capped
+  // fault-aware observables, matching a hand fold over observed_count /
+  // observed_queue bit-exactly.
+  auto grid = make_grid();
+  EnvConfig config;
+  config.sensor_consistent_obs = true;
+  TscEnv env(&grid.net(), demand(grid), config, 7);
+  run_steps(env, 10);
+
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    const sim::NodeId node = env.agent(i).node;
+    const sim::Node& n = grid.net().node(node);
+    double pressure = 0.0;
+    for (sim::LinkId l : n.in_links) pressure += env.observed_count(l);
+    for (sim::LinkId l : n.out_links) pressure -= env.observed_count(l);
+    double halting = 0.0;
+    for (sim::LinkId l : n.in_links) halting += env.observed_queue(l);
+    const auto feat = env.neighbor_feat(i);
+    EXPECT_EQ(feat[0], pressure / config.pressure_norm) << "agent " << i;
+    EXPECT_EQ(feat[1], halting / config.pressure_norm) << "agent " << i;
+  }
+}
+
+// ---- Bugfix 2: queue noise normalizer ----
+
+TEST(SensorModel, QueueNormRescalesQueueNoise) {
+  // Same seed => identical fault draws; doubling the queue normalizer must
+  // double the noise term on queue observables (and only on those).
+  auto grid = make_grid();
+  EnvConfig base;
+  base.sensor_noise_std = 0.5;
+  EnvConfig scaled = base;
+  scaled.queue_norm = 2.0 * base.pressure_norm;
+  TscEnv env_base(&grid.net(), demand(grid), base, 11);
+  TscEnv env_scaled(&grid.net(), demand(grid), scaled, 11);
+  run_steps(env_base, 8);
+  run_steps(env_scaled, 8);
+
+  bool any_noise = false;
+  for (sim::LinkId l = 0; l < grid.net().num_links(); ++l) {
+    const double det = env_base.simulator().detector_queue(l);
+    const double obs1 = env_base.observed_queue(l);
+    const double obs2 = env_scaled.observed_queue(l);
+    if (obs1 <= 0.0 || obs2 <= 0.0) continue;  // clamped or dropped out
+    EXPECT_NEAR(obs2 - det, 2.0 * (obs1 - det), 1e-9) << "link " << l;
+    if (obs1 != det) {
+      any_noise = true;
+      EXPECT_NE(obs2, obs1) << "queue_norm had no effect on link " << l;
+    }
+    // Pressure observables must be untouched by queue_norm.
+    EXPECT_EQ(env_base.observed_pressure(l), env_scaled.observed_pressure(l));
+  }
+  EXPECT_TRUE(any_noise) << "rescale check vacuous: no noisy queue reading";
+}
+
+TEST(SensorModel, DefaultQueueNormKeepsLegacyPressureNormScaling) {
+  // queue_norm == 0 (default) must be bit-identical to explicitly scaling
+  // queue noise by pressure_norm — existing configs are unchanged.
+  auto grid = make_grid();
+  EnvConfig implicit;
+  implicit.sensor_noise_std = 0.5;
+  EnvConfig explicit_norm = implicit;
+  explicit_norm.queue_norm = implicit.pressure_norm;
+  TscEnv env_a(&grid.net(), demand(grid), implicit, 13);
+  TscEnv env_b(&grid.net(), demand(grid), explicit_norm, 13);
+  run_steps(env_a, 8);
+  run_steps(env_b, 8);
+
+  for (sim::LinkId l = 0; l < grid.net().num_links(); ++l) {
+    EXPECT_EQ(env_a.observed_queue(l), env_b.observed_queue(l)) << l;
+    EXPECT_EQ(env_a.observed_lane_queue(l, 0), env_b.observed_lane_queue(l, 0))
+        << l;
+  }
+}
+
+// ---- Bugfix 3: SimConfig plumbing ----
+
+TEST(SensorModel, EnvConfigSimConfigReachesTheSimulator) {
+  // The constructor used to hardcode sim::SimConfig{}, silently dropping
+  // any tuning the caller asked for.
+  auto grid = make_grid();
+  EnvConfig config;
+  config.sim.tick = 0.5;
+  config.sim.sat_headway = 2.5;
+  config.sim.detector_range = 30.0;
+  TscEnv env(&grid.net(), demand(grid), config, 1);
+  EXPECT_DOUBLE_EQ(env.simulator().config().tick, 0.5);
+  EXPECT_DOUBLE_EQ(env.simulator().config().sat_headway, 2.5);
+  EXPECT_DOUBLE_EQ(env.simulator().config().detector_range, 30.0);
+}
+
+TEST(SensorModel, CloneAndSetFlowsCarryTheSimConfig) {
+  // clone(), construct-from-scratch, and set_flows must all build the same
+  // simulator: stepping the original and its clone with identical actions
+  // stays bit-identical.
+  auto grid = make_grid();
+  EnvConfig config;
+  config.sim.tick = 0.5;
+  config.sim.sat_headway = 2.5;
+  TscEnv env(&grid.net(), demand(grid), config, 21);
+  auto replica = env.clone(21);
+  EXPECT_DOUBLE_EQ(replica->simulator().config().tick, 0.5);
+  EXPECT_DOUBLE_EQ(replica->simulator().config().sat_headway, 2.5);
+
+  run_steps(env, 10);
+  run_steps(*replica, 10);
+  EXPECT_EQ(env.simulator().network_halting(),
+            replica->simulator().network_halting());
+  EXPECT_EQ(env.simulator().vehicles_spawned(),
+            replica->simulator().vehicles_spawned());
+  EXPECT_EQ(env.simulator().network_avg_wait(),
+            replica->simulator().network_avg_wait());
+
+  TscEnv refreshed(&grid.net(), demand(grid), config, 99);
+  refreshed.set_flows(demand(grid), 21);
+  EXPECT_DOUBLE_EQ(refreshed.simulator().config().tick, 0.5);
+  run_steps(refreshed, 10);
+  EXPECT_EQ(env.simulator().network_halting(),
+            refreshed.simulator().network_halting());
+}
+
+// ---- Observation snapshot vs live queries ----
+
+TEST(SensorModel, SnapshotMatchesLiveQueriesUnderFaultSchedule) {
+  // Dropout + noise resampled every decision step: the cached rows served
+  // by local_obs / neighbor_feat must equal the live fault-aware queries
+  // bit-exactly after every step.
+  auto grid = make_grid();
+  EnvConfig config;
+  config.sensor_noise_std = 0.3;
+  config.sensor_dropout = 0.25;
+  config.sensor_consistent_obs = true;
+  TscEnv env(&grid.net(), demand(grid), config, 17);
+  const std::vector<std::size_t> actions(env.num_agents(), 0);
+
+  for (int step = 0; step < 20 && !env.done(); ++step) {
+    env.step(actions);
+    for (std::size_t i = 0; i < env.num_agents(); ++i) {
+      const auto obs = env.local_obs(i);
+      const sim::Node& node = grid.net().node(env.agent(i).node);
+      for (std::size_t slot = 0; slot < node.in_links.size(); ++slot) {
+        const sim::LinkId l = node.in_links[slot];
+        ASSERT_EQ(obs[2 * slot],
+                  env.observed_pressure(l) / config.pressure_norm)
+            << "agent " << i << " slot " << slot << " step " << step;
+        ASSERT_EQ(obs[2 * slot + 1],
+                  env.observed_head_wait(l) / config.wait_norm)
+            << "agent " << i << " slot " << slot << " step " << step;
+      }
+      const auto feat = env.neighbor_feat(i);
+      ASSERT_EQ(feat[0], env.observed_intersection_pressure(env.agent(i).node) /
+                             config.pressure_norm);
+      ASSERT_EQ(feat[1], env.observed_intersection_halting(env.agent(i).node) /
+                             config.pressure_norm);
+    }
+  }
+}
+
+TEST(SensorModel, ObsIntoRowMatchesHandAssembledRows) {
+  // The zero-copy seam must write exactly what the engines used to build:
+  // local obs in the actor row; obs prefix + zero-padded hop1/hop2
+  // neighbor feats in the critic row.
+  auto grid = make_grid();
+  EnvConfig config;
+  TscEnv env(&grid.net(), demand(grid), config, 29);
+  run_steps(env, 6);
+
+  const std::size_t hop1_slots = 4, hop2_slots = 8;
+  const std::size_t critic_dim =
+      env.obs_dim() + TscEnv::kNeighborFeatDim * (hop1_slots + hop2_slots);
+  for (std::size_t i = 0; i < env.num_agents(); ++i) {
+    std::vector<double> actor_row(env.obs_dim(), -1.0);
+    std::vector<double> critic_row(critic_dim, -1.0);
+    env.obs_into_row(i, actor_row.data(), critic_row.data(), hop1_slots,
+                     hop2_slots);
+
+    EXPECT_EQ(actor_row, env.local_obs(i)) << "agent " << i;
+
+    std::vector<double> expect = env.local_obs(i);
+    const AgentSpec& spec = env.agent(i);
+    for (std::size_t slot = 0; slot < hop1_slots; ++slot) {
+      if (slot < spec.hop1.size()) {
+        const auto f = env.neighbor_feat(spec.hop1[slot]);
+        expect.insert(expect.end(), f.begin(), f.end());
+      } else {
+        expect.insert(expect.end(), TscEnv::kNeighborFeatDim, 0.0);
+      }
+    }
+    for (std::size_t slot = 0; slot < hop2_slots; ++slot) {
+      if (slot < spec.hop2.size()) {
+        const auto f = env.neighbor_feat(spec.hop2[slot]);
+        expect.insert(expect.end(), f.begin(), f.end());
+      } else {
+        expect.insert(expect.end(), TscEnv::kNeighborFeatDim, 0.0);
+      }
+    }
+    EXPECT_EQ(critic_row, expect) << "agent " << i;
+  }
+
+  // Actor-only variant (critic_row == nullptr) must leave nothing unwritten.
+  std::vector<double> actor_only(env.obs_dim(), -1.0);
+  env.obs_into_row(0, actor_only.data(), nullptr, hop1_slots, hop2_slots);
+  EXPECT_EQ(actor_only, env.local_obs(0));
+}
+
+}  // namespace
+}  // namespace tsc::env

@@ -18,14 +18,18 @@
 #   InvariantSeeding       (worker-count-invariant seeding across the pool)
 #   SimHotPath             (single-threaded, but the lazy-wait/active-set
 #                           pointer bookkeeping is what ASan/UBSan are for)
+#   SensorSnapshot         (head-epoch/pressure snapshot invalidation and the
+#                           CSR dependency walk — raw index arithmetic)
+#   SensorModel            (env observation cache, obs_into_row raw-pointer
+#                           row packing, compat-flag semantics)
 #
 # Usage: tools/run_sanitized_tests.sh [source-dir]
 # Exits non-zero on the first sanitizer failure.
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath'
-TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_invariant_seeding test_sim_hotpath)
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath|SensorSnapshot|SensorModel'
+TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_invariant_seeding test_sim_hotpath test_sensor_model)
 
 run_one() {
   local preset="$1"
