@@ -1,0 +1,872 @@
+#include "src/core/fleet_orchestrator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "src/baselines/actuated.hpp"
+#include "src/baselines/fixed_time.hpp"
+#include "src/baselines/max_pressure.hpp"
+#include "src/core/trainer.hpp"
+#include "src/env/controller.hpp"
+#include "src/env/env.hpp"
+#include "src/sim/scenario_io.hpp"
+#include "src/util/fs.hpp"
+#include "src/util/parse.hpp"
+
+namespace tsc::core {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Sweep expansion.
+
+bool controller_learns(const std::string& name) {
+  return name == "pairuplight";
+}
+
+namespace {
+
+bool controller_known(const std::string& name) {
+  return name == "fixedtime" || name == "actuated" || name == "maxpressure" ||
+         controller_learns(name);
+}
+
+}  // namespace
+
+std::vector<FleetJob> expand_sweep(const SweepSpec& spec) {
+  if (spec.scenarios.empty())
+    throw std::invalid_argument("expand_sweep: no scenarios");
+  if (spec.controllers.empty())
+    throw std::invalid_argument("expand_sweep: no controllers");
+  if (spec.seeds.empty()) throw std::invalid_argument("expand_sweep: no seeds");
+  if (spec.hiddens.empty())
+    throw std::invalid_argument("expand_sweep: no hidden widths");
+  for (const std::string& c : spec.controllers)
+    if (!controller_known(c))
+      throw std::invalid_argument("expand_sweep: unknown controller '" + c + "'");
+
+  std::vector<FleetJob> jobs;
+  for (const std::string& scenario : spec.scenarios) {
+    for (const std::string& controller : spec.controllers) {
+      const bool learns = controller_learns(controller);
+      // The hyperparam axis only multiplies jobs that consume it.
+      const std::size_t num_hiddens = learns ? spec.hiddens.size() : 1;
+      for (std::uint64_t seed : spec.seeds) {
+        for (std::size_t h = 0; h < num_hiddens; ++h) {
+          FleetJob job;
+          job.id = jobs.size();
+          job.scenario = scenario;
+          job.controller = controller;
+          job.seed = seed;
+          job.hidden = spec.hiddens[h];
+          job.train_episodes = learns ? spec.train_episodes : 0;
+          job.episode_seconds = spec.episode_seconds;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// Flat single-line JSON.
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        // The journal never emits other control characters; map any that
+        // sneak in (e.g. via a hostile path) to space rather than emitting
+        // invalid JSON.
+        out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::map<std::string, std::string>> parse_flat_json(
+    const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto parse_string = [&](std::string& value) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    value.clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        if (i + 1 >= line.size()) return false;
+        const char esc = line[i + 1];
+        switch (esc) {
+          case '"': value += '"'; break;
+          case '\\': value += '\\'; break;
+          case '/': value += '/'; break;
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          default: return false;
+        }
+        i += 2;
+      } else {
+        value += line[i++];
+      }
+    }
+    if (i >= line.size()) return false;  // unterminated string (torn line)
+    ++i;
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      std::string key, value;
+      if (!parse_string(key)) return std::nullopt;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return std::nullopt;
+      ++i;
+      skip_ws();
+      if (i < line.size() && line[i] == '"') {
+        if (!parse_string(value)) return std::nullopt;
+      } else {
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+               line[i] != ' ' && line[i] != '\t')
+          ++i;
+        if (i == start) return std::nullopt;
+        value = line.substr(start, i - start);
+      }
+      out[key] = value;
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return std::nullopt;  // torn mid-object
+    }
+  }
+  skip_ws();
+  if (i != line.size()) return std::nullopt;
+  return out;
+}
+
+namespace {
+
+/// Builder for one flat journal/metrics line.
+class JsonLine {
+ public:
+  JsonLine& str(const std::string& key, const std::string& value) {
+    field(key);
+    line_ += '"';
+    line_ += json_escape(value);
+    line_ += '"';
+    return *this;
+  }
+  JsonLine& num(const std::string& key, std::uint64_t value) {
+    field(key);
+    line_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& snum(const std::string& key, std::int64_t value) {
+    field(key);
+    line_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& dbl(const std::string& key, double value) {
+    field(key);
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    line_ += buffer;
+    return *this;
+  }
+  std::string finish() { return line_ + "}"; }
+
+ private:
+  void field(const std::string& key) {
+    line_ += first_ ? "{\"" : ",\"";
+    first_ = false;
+    line_ += json_escape(key);
+    line_ += "\":";
+  }
+  std::string line_;
+  bool first_ = true;
+};
+
+using FlatJson = std::map<std::string, std::string>;
+
+const std::string& get_field(const FlatJson& json, const std::string& key,
+                             const std::string& where) {
+  const auto it = json.find(key);
+  if (it == json.end())
+    throw std::runtime_error(where + ": missing field '" + key + "'");
+  return it->second;
+}
+
+std::uint64_t get_u64(const FlatJson& json, const std::string& key,
+                      const std::string& where) {
+  const auto value = util::parse_u64(get_field(json, key, where));
+  if (!value)
+    throw std::runtime_error(where + ": field '" + key + "' is not an integer");
+  return *value;
+}
+
+std::int64_t get_i64(const FlatJson& json, const std::string& key,
+                     const std::string& where) {
+  const auto value = util::parse_i64(get_field(json, key, where));
+  if (!value)
+    throw std::runtime_error(where + ": field '" + key + "' is not an integer");
+  return *value;
+}
+
+double get_double(const FlatJson& json, const std::string& key,
+                  const std::string& where) {
+  const auto value = util::parse_double(get_field(json, key, where));
+  if (!value)
+    throw std::runtime_error(where + ": field '" + key + "' is not a number");
+  return *value;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Run store.
+
+const char* job_phase_name(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kPending: return "pending";
+    case JobPhase::kRunning: return "running";
+    case JobPhase::kDone: return "done";
+    case JobPhase::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string RunStore::job_dir(std::size_t id) const {
+  return dir_ + "/jobs/" + std::to_string(id);
+}
+std::string RunStore::metrics_path(std::size_t id) const {
+  return job_dir(id) + "/metrics.json";
+}
+std::string RunStore::log_path(std::size_t id) const {
+  return job_dir(id) + "/log.txt";
+}
+std::string RunStore::checkpoint_prefix(std::size_t id) const {
+  return job_dir(id) + "/ckpt";
+}
+
+RunStore RunStore::create(const std::string& dir,
+                          const std::vector<FleetJob>& jobs) {
+  if (jobs.empty()) throw std::invalid_argument("RunStore::create: no jobs");
+  RunStore store(dir);
+  if (fs::exists(store.journal_path()))
+    throw std::runtime_error("RunStore::create: " + store.journal_path() +
+                             " already exists (use open/resume)");
+  fs::create_directories(dir);
+  store.append_line(
+      JsonLine().str("event", "create").num("version", 1).num("jobs", jobs.size()).finish());
+  for (const FleetJob& job : jobs) {
+    if (job.id != store.jobs_.size())
+      throw std::invalid_argument("RunStore::create: job ids must be dense");
+    fs::create_directories(store.job_dir(job.id));
+    store.append_line(JsonLine()
+                          .str("event", "job")
+                          .num("id", job.id)
+                          .str("scenario", job.scenario)
+                          .str("controller", job.controller)
+                          .num("seed", job.seed)
+                          .num("hidden", job.hidden)
+                          .num("train_episodes", job.train_episodes)
+                          .dbl("episode_seconds", job.episode_seconds)
+                          .finish());
+    JobState state;
+    state.job = job;
+    store.jobs_.push_back(std::move(state));
+  }
+  return store;
+}
+
+RunStore RunStore::open(const std::string& dir) {
+  RunStore store(dir);
+  if (!fs::exists(store.journal_path()))
+    throw std::runtime_error("RunStore::open: no journal at " +
+                             store.journal_path());
+  store.replay();
+  return store;
+}
+
+void RunStore::replay() {
+  std::ifstream in(journal_path());
+  if (!in)
+    throw std::runtime_error("RunStore: cannot read " + journal_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto json = parse_flat_json(line);
+    // A line that does not parse is a torn tail from a writer killed
+    // mid-append: stop replaying. Everything after it (there should be
+    // nothing) is unreachable state we must not guess at.
+    if (!json) break;
+    const std::string& event = get_field(*json, "event", "journal");
+    if (event == "create") continue;
+    if (event == "sweep") {
+      ++totals_.sessions;
+      totals_.wall_seconds += get_double(*json, "wall_seconds", "journal");
+      totals_.max_parallel = std::max(
+          totals_.max_parallel,
+          static_cast<std::size_t>(get_u64(*json, "max_parallel", "journal")));
+      continue;
+    }
+    const std::size_t id =
+        static_cast<std::size_t>(get_u64(*json, "id", "journal"));
+    if (event == "job") {
+      if (id != jobs_.size())
+        throw std::runtime_error("journal: job ids out of order in " +
+                                 journal_path());
+      JobState state;
+      state.job.id = id;
+      state.job.scenario = get_field(*json, "scenario", "journal");
+      state.job.controller = get_field(*json, "controller", "journal");
+      state.job.seed = get_u64(*json, "seed", "journal");
+      state.job.hidden =
+          static_cast<std::size_t>(get_u64(*json, "hidden", "journal"));
+      state.job.train_episodes = static_cast<std::size_t>(
+          get_u64(*json, "train_episodes", "journal"));
+      state.job.episode_seconds = get_double(*json, "episode_seconds", "journal");
+      jobs_.push_back(std::move(state));
+      continue;
+    }
+    if (id >= jobs_.size())
+      throw std::runtime_error("journal: event for unknown job in " +
+                               journal_path());
+    JobState& state = jobs_[id];
+    if (event == "start") {
+      state.attempts =
+          static_cast<std::size_t>(get_u64(*json, "attempt", "journal"));
+      state.phase = JobPhase::kRunning;
+    } else if (event == "done") {
+      state.phase = JobPhase::kDone;
+      state.wall_seconds = get_double(*json, "wall_seconds", "journal");
+    } else if (event == "fail") {
+      state.phase = JobPhase::kFailed;
+      state.last_exit_code =
+          static_cast<int>(get_i64(*json, "exit_code", "journal"));
+      state.last_signal = static_cast<int>(get_i64(*json, "signal", "journal"));
+    } else {
+      throw std::runtime_error("journal: unknown event '" + event + "' in " +
+                               journal_path());
+    }
+  }
+  // Jobs still marked running belonged to a dead orchestrator: schedulable
+  // again (their checkpoints and the idempotent worker make that safe).
+  for (JobState& state : jobs_)
+    if (state.phase == JobPhase::kRunning) state.phase = JobPhase::kPending;
+}
+
+void RunStore::append_line(const std::string& line) {
+  std::ofstream out(journal_path(), std::ios::app);
+  if (!out)
+    throw std::runtime_error("RunStore: cannot append to " + journal_path());
+  out << line << '\n';
+  out.flush();
+  if (!out)
+    throw std::runtime_error("RunStore: append failed for " + journal_path());
+}
+
+void RunStore::record_start(std::size_t id, int pid) {
+  JobState& state = jobs_.at(id);
+  ++state.attempts;
+  append_line(JsonLine()
+                  .str("event", "start")
+                  .num("id", id)
+                  .num("attempt", state.attempts)
+                  .snum("pid", pid)
+                  .finish());
+  state.phase = JobPhase::kRunning;
+}
+
+void RunStore::record_done(std::size_t id, double wall_seconds) {
+  append_line(JsonLine()
+                  .str("event", "done")
+                  .num("id", id)
+                  .dbl("wall_seconds", wall_seconds)
+                  .finish());
+  JobState& state = jobs_.at(id);
+  state.phase = JobPhase::kDone;
+  state.wall_seconds = wall_seconds;
+}
+
+void RunStore::record_fail(std::size_t id, const util::ExitStatus& status) {
+  const int exit_code = status.exited ? status.exit_code : -1;
+  const int signal = status.signaled ? status.term_signal : 0;
+  append_line(JsonLine()
+                  .str("event", "fail")
+                  .num("id", id)
+                  .snum("exit_code", exit_code)
+                  .snum("signal", signal)
+                  .finish());
+  JobState& state = jobs_.at(id);
+  state.phase = JobPhase::kFailed;
+  state.last_exit_code = exit_code;
+  state.last_signal = signal;
+}
+
+void RunStore::record_sweep(std::size_t max_parallel, std::size_t done,
+                            std::size_t failed, std::size_t retries,
+                            double wall_seconds) {
+  append_line(JsonLine()
+                  .str("event", "sweep")
+                  .num("max_parallel", max_parallel)
+                  .num("done", done)
+                  .num("failed", failed)
+                  .num("retries", retries)
+                  .dbl("wall_seconds", wall_seconds)
+                  .finish());
+  ++totals_.sessions;
+  totals_.wall_seconds += wall_seconds;
+  totals_.max_parallel = std::max(totals_.max_parallel, max_parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration.
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+OrchestratorResult run_fleet(RunStore& store, const OrchestratorConfig& config) {
+  if (config.max_parallel == 0)
+    throw std::invalid_argument("run_fleet: max_parallel must be >= 1");
+  if (config.max_attempts == 0)
+    throw std::invalid_argument("run_fleet: max_attempts must be >= 1");
+  const std::string worker_exe =
+      config.worker_exe.empty() ? util::self_exe_path("") : config.worker_exe;
+  if (worker_exe.empty())
+    throw std::runtime_error("run_fleet: cannot determine worker executable");
+
+  struct Pending {
+    std::size_t id;
+    std::size_t session_attempts = 0;
+    Clock::time_point not_before = Clock::time_point::min();
+  };
+  struct Running {
+    std::size_t id;
+    std::size_t session_attempts;
+    Clock::time_point started;
+  };
+
+  std::deque<Pending> pending;
+  for (JobState& state : store.jobs())
+    if (state.phase != JobPhase::kDone) pending.push_back(Pending{state.job.id});
+
+  OrchestratorResult result;
+  const Clock::time_point sweep_start = Clock::now();
+  std::map<int, Running> running;
+
+  while (!pending.empty() || !running.empty()) {
+    // Launch every ready pending job while worker slots are free.
+    for (std::size_t scanned = 0;
+         running.size() < config.max_parallel && !pending.empty() &&
+         scanned < pending.size();) {
+      Pending next = pending.front();
+      pending.pop_front();
+      if (next.not_before > Clock::now()) {
+        pending.push_back(next);  // still backing off; rotate past it
+        ++scanned;
+        continue;
+      }
+      const std::vector<std::string> argv = {
+          worker_exe, "worker", "--run", store.dir(), "--job",
+          std::to_string(next.id)};
+      const int pid = util::spawn_process(argv, store.log_path(next.id));
+      store.record_start(next.id, pid);
+      if (config.verbose)
+        std::printf("[fleet] job %zu start (attempt %zu, pid %d)\n", next.id,
+                    store.jobs()[next.id].attempts, pid);
+      running[pid] = Running{next.id, next.session_attempts + 1, Clock::now()};
+      scanned = 0;  // a slot changed; rescan the rotation from the top
+    }
+
+    const auto reaped = util::try_wait_any();
+    if (!reaped) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    const auto it = running.find(reaped->first);
+    if (it == running.end()) continue;  // not one of ours
+    const Running job = it->second;
+    running.erase(it);
+    const util::ExitStatus& status = reaped->second;
+
+    if (status.success()) {
+      const double wall = seconds_since(job.started);
+      store.record_done(job.id, wall);
+      ++result.done;
+      if (config.verbose)
+        std::printf("[fleet] job %zu done (%.2f s)\n", job.id, wall);
+      continue;
+    }
+
+    store.record_fail(job.id, status);
+    if (config.verbose) {
+      if (status.signaled)
+        std::printf("[fleet] job %zu killed by signal %d (attempt %zu)\n",
+                    job.id, status.term_signal, job.session_attempts);
+      else
+        std::printf("[fleet] job %zu exited %d (attempt %zu)\n", job.id,
+                    status.exit_code, job.session_attempts);
+    }
+    if (job.session_attempts < config.max_attempts) {
+      // Bounded linear backoff before the retry; the job resumes from its
+      // last durable checkpoint, not from scratch.
+      Pending retry;
+      retry.id = job.id;
+      retry.session_attempts = job.session_attempts;
+      retry.not_before =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 config.backoff_seconds *
+                                 static_cast<double>(job.session_attempts)));
+      pending.push_back(retry);
+      ++result.retries;
+    } else {
+      ++result.failed;
+      if (config.verbose)
+        std::printf("[fleet] job %zu failed permanently after %zu attempts\n",
+                    job.id, job.session_attempts);
+    }
+  }
+
+  result.wall_seconds = seconds_since(sweep_start);
+  store.record_sweep(config.max_parallel, result.done, result.failed,
+                     result.retries, result.wall_seconds);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Worker.
+
+namespace {
+
+std::unique_ptr<env::Controller> make_classic_controller(
+    const std::string& name) {
+  if (name == "fixedtime") return std::make_unique<baselines::FixedTimeController>();
+  if (name == "actuated") return std::make_unique<baselines::ActuatedController>();
+  if (name == "maxpressure")
+    return std::make_unique<baselines::MaxPressureController>();
+  return nullptr;
+}
+
+/// One greedy evaluation episode, tsc_run-style.
+void run_eval_episode(env::TscEnv& environment, env::Controller& controller,
+                      std::uint64_t seed) {
+  environment.reset(seed);
+  controller.begin_episode(environment);
+  while (!environment.done()) environment.step(controller.act(environment));
+}
+
+}  // namespace
+
+int run_fleet_worker(const std::string& run_dir, std::size_t job_id) {
+  RunStore store = RunStore::open(run_dir);
+  if (job_id >= store.jobs().size()) {
+    std::fprintf(stderr, "worker: no job %zu in %s\n", job_id, run_dir.c_str());
+    return 2;
+  }
+  const FleetJob job = store.jobs()[job_id].job;
+
+  // Idempotent: a durable metrics record means this job already finished
+  // (the orchestrator may have died before journaling the done event).
+  if (fs::exists(store.metrics_path(job_id))) {
+    std::printf("worker: job %zu already has %s, nothing to do\n", job_id,
+                store.metrics_path(job_id).c_str());
+    return 0;
+  }
+
+  const Clock::time_point start = Clock::now();
+  sim::Scenario scenario = sim::load_scenario(job.scenario);
+  env::EnvConfig env_config;
+  env_config.episode_seconds = job.episode_seconds;
+  env::TscEnv environment(&scenario.net, scenario.flows, env_config, job.seed);
+
+  std::uint64_t env_steps = 0;
+  std::unique_ptr<env::Controller> controller;
+  std::unique_ptr<PairUpLightTrainer> trainer;
+
+  if (controller_learns(job.controller)) {
+    PairUpConfig config;
+    config.hidden = job.hidden;
+    config.seed = job.seed;
+    // Heterogeneous scenario files may have differing phase sets.
+    const std::size_t first = environment.agent(0).num_phases;
+    for (std::size_t i = 1; i < environment.num_agents(); ++i)
+      if (environment.agent(i).num_phases != first)
+        config.parameter_sharing = false;
+    trainer = std::make_unique<PairUpLightTrainer>(&environment, config);
+
+    const std::string prefix = store.checkpoint_prefix(job_id);
+    if (fs::exists(prefix + "_trainer.bin")) {
+      trainer->load_checkpoint(prefix);
+      std::printf("worker: job %zu resuming from checkpoint at episode %zu\n",
+                  job_id, trainer->episodes_trained());
+    }
+
+    // TEST HOOK: TSC_FLEET_CRASH_AFTER_EPISODE=K makes a FRESH worker (one
+    // that started from episode 0) SIGKILL itself after training episode K
+    // but BEFORE saving its checkpoint — simulating a worker dying
+    // mid-episode with episode K-1 as the last durable state. A resumed
+    // worker ignores the hook, so the retry runs to completion.
+    std::size_t crash_after = 0;
+    if (const char* hook = std::getenv("TSC_FLEET_CRASH_AFTER_EPISODE")) {
+      const auto parsed = util::parse_u64(hook);
+      if (parsed && trainer->episodes_trained() == 0)
+        crash_after = static_cast<std::size_t>(*parsed);
+    }
+
+    while (trainer->episodes_trained() < job.train_episodes) {
+      const auto stats = trainer->train_episode();
+      env_steps += environment.steps_taken();
+      std::printf("worker: job %zu episode %zu avg wait %.2f s\n", job_id,
+                  trainer->episodes_trained(), stats.avg_wait);
+      if (crash_after != 0 && trainer->episodes_trained() >= crash_after)
+        ::raise(SIGKILL);
+      trainer->save_checkpoint(store.checkpoint_prefix(job_id));
+    }
+    controller = trainer->make_controller();
+  } else {
+    controller = make_classic_controller(job.controller);
+    if (!controller) {
+      std::fprintf(stderr, "worker: unknown controller '%s'\n",
+                   job.controller.c_str());
+      return 2;
+    }
+  }
+
+  run_eval_episode(environment, *controller, job.seed);
+  env_steps += environment.steps_taken();
+
+  const double wall = seconds_since(start);
+  const std::string metrics =
+      JsonLine()
+          .num("job", job_id)
+          .str("scenario", job.scenario)
+          .str("controller", job.controller)
+          .num("seed", job.seed)
+          .num("hidden", job.hidden)
+          .num("train_episodes", job.train_episodes)
+          .dbl("episode_seconds", job.episode_seconds)
+          .dbl("travel_time", environment.average_travel_time())
+          .dbl("delay", environment.average_delay())
+          .dbl("avg_wait", environment.episode_avg_wait())
+          .num("finished", environment.simulator().vehicles_finished())
+          .num("spawned", environment.simulator().vehicles_spawned())
+          .num("env_steps", env_steps)
+          .dbl("wall_seconds", wall)
+          .num("hardware_threads", std::thread::hardware_concurrency())
+          .finish();
+  // The metrics record is the job's commit point: atomic, so the
+  // orchestrator (and report) either see the whole record or none of it.
+  util::atomic_write_file(store.metrics_path(job_id), metrics + "\n");
+  std::printf("worker: job %zu finished in %.2f s (%llu env steps)\n", job_id,
+              wall, static_cast<unsigned long long>(env_steps));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting.
+
+FleetReport build_report(RunStore& store) {
+  FleetReport report;
+  report.totals = store.totals();
+  for (const JobState& state : store.jobs()) {
+    FleetReport::Row row;
+    row.state = state;
+    report.total_attempts += state.attempts;
+    if (state.phase == JobPhase::kFailed) ++report.jobs_failed;
+    if (fs::exists(store.metrics_path(state.job.id))) {
+      std::ifstream in(store.metrics_path(state.job.id));
+      std::string line;
+      std::getline(in, line);
+      const auto json = parse_flat_json(line);
+      if (json) {
+        row.metrics = *json;
+        ++report.jobs_done;
+        report.serialized_wall_seconds +=
+            get_double(*json, "wall_seconds", "metrics");
+        report.total_env_steps += get_u64(*json, "env_steps", "metrics");
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+namespace {
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+double metric_or(const FleetReport::Row& row, const std::string& key,
+                 double fallback) {
+  const auto it = row.metrics.find(key);
+  if (it == row.metrics.end()) return fallback;
+  const auto value = util::parse_double(it->second);
+  return value ? *value : fallback;
+}
+
+}  // namespace
+
+void print_report(const FleetReport& report) {
+  std::printf(
+      "%4s  %-12s %-24s %6s %6s %4s  %-7s %3s  %10s %10s %8s %8s\n", "job",
+      "controller", "scenario", "seed", "hidden", "eps", "status", "try",
+      "travel(s)", "delay(s)", "wait(s)", "wall(s)");
+  for (const FleetReport::Row& row : report.rows) {
+    const FleetJob& job = row.state.job;
+    std::printf("%4zu  %-12s %-24s %6llu %6zu %4zu  %-7s %3zu  %10.1f %10.1f "
+                "%8.2f %8.2f\n",
+                job.id, job.controller.c_str(),
+                basename_of(job.scenario).c_str(),
+                static_cast<unsigned long long>(job.seed), job.hidden,
+                job.train_episodes, job_phase_name(row.state.phase),
+                row.state.attempts, metric_or(row, "travel_time", 0.0),
+                metric_or(row, "delay", 0.0), metric_or(row, "avg_wait", 0.0),
+                metric_or(row, "wall_seconds", 0.0));
+  }
+  const double wall = report.totals.wall_seconds;
+  const double serialized = report.serialized_wall_seconds;
+  std::printf("\n%zu/%zu jobs done (%zu failed, %zu attempts) across %zu "
+              "orchestrator session(s)\n",
+              report.jobs_done, report.rows.size(), report.jobs_failed,
+              report.total_attempts, report.totals.sessions);
+  if (wall > 0.0) {
+    std::printf("sweep wall %.2f s | jobs/hour %.1f | aggregate %.0f env "
+                "steps/s\n",
+                wall, static_cast<double>(report.jobs_done) * 3600.0 / wall,
+                static_cast<double>(report.total_env_steps) / wall);
+    if (serialized > 0.0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      std::printf("1-process baseline (serialized job wall) %.2f s -> "
+                  "speedup %.2fx on %u hardware thread(s)%s\n",
+                  serialized, serialized / wall, hw,
+                  report.totals.max_parallel > hw
+                      ? " [per-job walls contended: baseline inflated]"
+                      : "");
+    }
+  }
+}
+
+void write_bench_fleet_json(const FleetReport& report, const std::string& path) {
+  const double wall = report.totals.wall_seconds;
+  const double serialized = report.serialized_wall_seconds;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("write_bench_fleet_json: cannot open " + path);
+  out << "{\n  \"bench\": \"fleet\",\n";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"hardware_concurrency\": %u,\n  \"hardware_threads\": %u,\n",
+                hw, hw);
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"jobs\": %zu, \"done\": %zu, \"failed\": %zu, "
+                "\"attempts\": %zu,\n",
+                report.rows.size(), report.jobs_done, report.jobs_failed,
+                report.total_attempts);
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"max_parallel\": %zu, \"orchestrator_sessions\": %zu, "
+                "\"thread_limited\": %s,\n",
+                report.totals.max_parallel, report.totals.sessions,
+                report.totals.max_parallel > hw ? "true" : "false");
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"wall_seconds\": %.6f, \"jobs_per_hour\": %.2f,\n", wall,
+                wall > 0.0 ? static_cast<double>(report.jobs_done) * 3600.0 / wall
+                           : 0.0);
+  out << buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"total_env_steps\": %llu, \"agg_env_steps_per_sec\": %.2f,\n",
+                static_cast<unsigned long long>(report.total_env_steps),
+                wall > 0.0 ? static_cast<double>(report.total_env_steps) / wall
+                           : 0.0);
+  out << buffer;
+  // The serialized baseline sums per-job walls AS MEASURED DURING THE
+  // SWEEP. When worker processes oversubscribe the hardware
+  // (max_parallel > hardware threads), those walls are inflated by CPU
+  // contention and the derived speedup overstates reality — flag it so the
+  // row stays honest on thread-limited boxes.
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "  \"serialized_wall_seconds\": %.6f, "
+      "\"serialized_env_steps_per_sec\": %.2f, \"speedup_vs_one_process\": "
+      "%.3f, \"serialized_baseline_contended\": %s,\n",
+      serialized,
+      serialized > 0.0 ? static_cast<double>(report.total_env_steps) / serialized
+                       : 0.0,
+      wall > 0.0 && serialized > 0.0 ? serialized / wall : 0.0,
+      report.totals.max_parallel > hw ? "true" : "false");
+  out << buffer;
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const FleetReport::Row& row = report.rows[i];
+    const FleetJob& job = row.state.job;
+    JsonLine line;
+    line.num("job", job.id)
+        .str("controller", job.controller)
+        .str("scenario", basename_of(job.scenario))
+        .num("seed", job.seed)
+        .num("hidden", job.hidden)
+        .num("train_episodes", job.train_episodes)
+        .str("status", job_phase_name(row.state.phase))
+        .num("attempts", row.state.attempts)
+        .dbl("travel_time", metric_or(row, "travel_time", 0.0))
+        .dbl("delay", metric_or(row, "delay", 0.0))
+        .dbl("avg_wait", metric_or(row, "avg_wait", 0.0))
+        .dbl("env_steps", metric_or(row, "env_steps", 0.0))
+        .dbl("wall_seconds", metric_or(row, "wall_seconds", 0.0));
+    out << "    " << line.finish() << (i + 1 < report.rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out)
+    throw std::runtime_error("write_bench_fleet_json: write failed for " + path);
+}
+
+}  // namespace tsc::core

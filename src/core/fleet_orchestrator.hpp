@@ -1,0 +1,223 @@
+// Experiment fleet orchestrator: multi-process sweeps with a crash-safe,
+// append-only run store (ROADMAP item 4, DESIGN.md §9).
+//
+// A sweep spec (scenario x controller x seed x key hyperparams) expands
+// into jobs. The orchestrator runs each job as a CHILD OS PROCESS
+// (`tsc_fleet worker --run <dir> --job <id>`) with up to max_parallel
+// children alive at once, and journals every state transition into
+// <run>/journal.jsonl — one flat JSON object per line, appended and
+// flushed before the transition takes effect anywhere else. Nothing in the
+// store is ever rewritten in place:
+//
+//   <run>/journal.jsonl        append-only event log (the index)
+//   <run>/jobs/<id>/ckpt_*     trainer checkpoints (TSCW/TSCO/TSCT formats,
+//                              written via util::atomic_write_file)
+//   <run>/jobs/<id>/metrics.json  final per-job metrics record (atomic)
+//   <run>/jobs/<id>/log.txt    child stdout+stderr
+//
+// Crash safety falls out of three pieces composed:
+//   * every checkpoint/metrics write is temp-file + rename (util/fs.hpp),
+//     so a SIGKILL'd worker leaves its last completed save intact;
+//   * trainer resume == uninterrupted is pinned at the trainer level
+//     (tests/test_parallel_update.cpp TrainerResume), so re-running a
+//     half-trained job from its checkpoint reproduces the uninterrupted
+//     run bit for bit;
+//   * the journal is append-only and replay tolerates a torn final line,
+//     so an orchestrator killed mid-write loses at most one event — and
+//     the worst that costs is re-running a job whose metrics record
+//     already made it to disk (workers are idempotent: a job whose
+//     metrics.json exists exits immediately).
+//
+// Workers that die (non-zero exit or signal) are retried with bounded
+// linear backoff up to max_attempts; `tsc_fleet resume <run>` reopens the
+// journal and continues a half-finished sweep the same way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/proc.hpp"
+
+namespace tsc::core {
+
+// ---------------------------------------------------------------------------
+// Sweep expansion.
+
+/// One schedulable unit of work: train (when the controller learns) and
+/// evaluate one controller on one scenario with one seed/hyperparam combo.
+struct FleetJob {
+  std::size_t id = 0;
+  std::string scenario;        ///< path to a .scenario file
+  std::string controller;      ///< fixedtime|actuated|maxpressure|pairuplight
+  std::uint64_t seed = 1;
+  std::size_t hidden = 64;     ///< pairuplight network width (hyperparam axis)
+  std::size_t train_episodes = 0;  ///< 0 for non-learning controllers
+  double episode_seconds = 600.0;
+};
+
+struct SweepSpec {
+  std::vector<std::string> scenarios;
+  std::vector<std::string> controllers;
+  std::vector<std::uint64_t> seeds{1};
+  std::vector<std::size_t> hiddens{64};  ///< swept for learning controllers only
+  std::size_t train_episodes = 5;
+  double episode_seconds = 600.0;
+};
+
+/// True for controllers that train (and therefore checkpoint + sweep the
+/// hyperparam axes); false for the closed-form classics.
+bool controller_learns(const std::string& name);
+
+/// Deterministic job expansion: scenario-major, then controller, seed,
+/// hidden (the hidden axis collapses to one job for non-learning
+/// controllers). Throws std::invalid_argument on an unknown controller or
+/// an empty axis.
+std::vector<FleetJob> expand_sweep(const SweepSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Flat single-line JSON (the journal / metrics wire format).
+
+/// Escapes `"` `\` and control characters for embedding in a JSON string.
+std::string json_escape(const std::string& s);
+
+/// Parses ONE flat JSON object ({"key": value, ...}, strings or bare
+/// number/bool tokens, no nesting) into raw key -> unquoted-value text.
+/// Returns std::nullopt on malformed input — notably a torn line from a
+/// crashed writer, which journal replay treats as end-of-log.
+std::optional<std::map<std::string, std::string>> parse_flat_json(
+    const std::string& line);
+
+// ---------------------------------------------------------------------------
+// Run store.
+
+enum class JobPhase { kPending, kRunning, kDone, kFailed };
+const char* job_phase_name(JobPhase phase);
+
+/// Journal-replayed view of one job.
+struct JobState {
+  FleetJob job;
+  JobPhase phase = JobPhase::kPending;
+  std::size_t attempts = 0;       ///< start events seen so far
+  int last_exit_code = 0;
+  int last_signal = 0;
+  double wall_seconds = 0.0;      ///< successful attempt's wall clock
+};
+
+/// Aggregate of the journal's sweep-summary events (one per orchestrator
+/// session over this run — `run` plus every `resume`).
+struct SweepTotals {
+  std::size_t sessions = 0;
+  double wall_seconds = 0.0;      ///< summed orchestrator wall clock
+  std::size_t max_parallel = 0;   ///< largest cap any session ran with
+};
+
+class RunStore {
+ public:
+  /// Creates `dir` (which must not already contain a journal), journals
+  /// the expanded job definitions, and returns the open store.
+  static RunStore create(const std::string& dir,
+                         const std::vector<FleetJob>& jobs);
+  /// Replays `dir`'s journal. Jobs left kRunning by a dead orchestrator
+  /// are demoted to kPending (their next start event re-counts the
+  /// attempt). Tolerates a torn trailing line.
+  static RunStore open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string journal_path() const { return dir_ + "/journal.jsonl"; }
+  std::string job_dir(std::size_t id) const;
+  std::string metrics_path(std::size_t id) const;
+  std::string log_path(std::size_t id) const;
+  /// Prefix handed to PairUpLightTrainer::save_checkpoint/load_checkpoint.
+  std::string checkpoint_prefix(std::size_t id) const;
+
+  std::vector<JobState>& jobs() { return jobs_; }
+  const std::vector<JobState>& jobs() const { return jobs_; }
+  const SweepTotals& totals() const { return totals_; }
+
+  // Journaled state transitions (append one line, flushed, then mutate the
+  // in-memory view).
+  void record_start(std::size_t id, int pid);
+  void record_done(std::size_t id, double wall_seconds);
+  void record_fail(std::size_t id, const util::ExitStatus& status);
+  /// End-of-session summary (run_fleet writes one per orchestration).
+  void record_sweep(std::size_t max_parallel, std::size_t done,
+                    std::size_t failed, std::size_t retries,
+                    double wall_seconds);
+
+ private:
+  explicit RunStore(std::string dir) : dir_(std::move(dir)) {}
+  void append_line(const std::string& line);
+  void replay();
+
+  std::string dir_;
+  std::vector<JobState> jobs_;
+  SweepTotals totals_;
+};
+
+// ---------------------------------------------------------------------------
+// Orchestration.
+
+struct OrchestratorConfig {
+  std::size_t max_parallel = 2;   ///< concurrent worker processes
+  std::size_t max_attempts = 3;   ///< 1 initial try + up to 2 retries
+  double backoff_seconds = 0.25;  ///< retry delay, linear in attempt count
+  /// Worker executable (spawned as `<exe> worker --run <dir> --job <id>`).
+  /// Empty = this process's own binary (tsc_fleet re-execs itself).
+  std::string worker_exe;
+  bool verbose = true;            ///< per-transition progress lines to stdout
+};
+
+struct OrchestratorResult {
+  std::size_t done = 0;     ///< jobs with a durable metrics record
+  std::size_t failed = 0;   ///< jobs exhausted max_attempts
+  std::size_t retries = 0;  ///< crash/fail -> re-spawn transitions
+  double wall_seconds = 0.0;
+};
+
+/// Schedules every non-done job in the store across child processes.
+/// Returns once all jobs are done or permanently failed. Safe to call on a
+/// reopened store (that IS `tsc_fleet resume`).
+OrchestratorResult run_fleet(RunStore& store, const OrchestratorConfig& config);
+
+/// Worker entry point (the child side of run_fleet): executes one job,
+/// checkpointing after every training episode and resuming from the last
+/// durable checkpoint if one exists; writes the job's metrics record
+/// atomically on success. Returns a process exit code. Honors the
+/// TSC_FLEET_CRASH_AFTER_EPISODE test hook (see the .cpp).
+int run_fleet_worker(const std::string& run_dir, std::size_t job_id);
+
+// ---------------------------------------------------------------------------
+// Reporting.
+
+struct FleetReport {
+  struct Row {
+    JobState state;
+    /// Raw metrics.json fields (absent until the job is done).
+    std::map<std::string, std::string> metrics;
+  };
+  std::vector<Row> rows;
+  std::size_t jobs_done = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t total_attempts = 0;
+  SweepTotals totals;                    ///< orchestrator sessions/wall
+  double serialized_wall_seconds = 0.0;  ///< sum of per-job wall (the
+                                         ///< 1-process baseline)
+  std::uint64_t total_env_steps = 0;     ///< env steps with a durable record
+};
+
+/// Reads the journal + every per-job metrics record.
+FleetReport build_report(RunStore& store);
+
+/// Pretty-prints the per-job table plus the aggregate throughput summary.
+void print_report(const FleetReport& report);
+
+/// Appends the BENCH_fleet.json row: sweep wall clock, jobs/hour, and
+/// aggregate env steps/s vs the serialized 1-process baseline, with
+/// hardware_threads recorded honestly (multi-process speedup on a
+/// thread-limited box is reported as what it is).
+void write_bench_fleet_json(const FleetReport& report, const std::string& path);
+
+}  // namespace tsc::core

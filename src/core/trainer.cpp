@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/nn/serialize.hpp"
+#include "src/util/fs.hpp"
 #include "src/util/log.hpp"
 
 namespace tsc::core {
@@ -25,21 +26,25 @@ namespace {
 constexpr char kTrainerMagic[4] = {'T', 'S', 'C', 'T'};
 constexpr std::uint64_t kTrainerVersion = 1;
 
+// Written atomically (util::atomic_write_file: temp + rename), so a worker
+// killed mid-save leaves the previous trainer-state file intact — the fleet
+// orchestrator resumes crashed jobs from exactly that file.
 void save_trainer_state(const std::string& path, std::size_t episode,
                         const Rng::State& rng) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  auto write_u64 = [&out](std::uint64_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  out.write(kTrainerMagic, sizeof(kTrainerMagic));
-  write_u64(kTrainerVersion);
-  write_u64(episode);
-  for (std::uint64_t word : rng.s) write_u64(word);
-  out.write(reinterpret_cast<const char*>(&rng.cached_normal),
-            sizeof(rng.cached_normal));
-  write_u64(rng.has_cached_normal ? 1 : 0);
-  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+  util::atomic_write_file(path, [&](std::ostream& out) {
+    auto write_u64 = [&out](std::uint64_t v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    out.write(kTrainerMagic, sizeof(kTrainerMagic));
+    write_u64(kTrainerVersion);
+    write_u64(episode);
+    for (std::uint64_t word : rng.s) write_u64(word);
+    out.write(reinterpret_cast<const char*>(&rng.cached_normal),
+              sizeof(rng.cached_normal));
+    write_u64(rng.has_cached_normal ? 1 : 0);
+    if (!out)
+      throw std::runtime_error("save_checkpoint: write failed for " + path);
+  });
 }
 
 void load_trainer_state(const std::string& path, std::size_t& episode,

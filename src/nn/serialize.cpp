@@ -2,7 +2,10 @@
 
 #include <cstdint>
 #include <fstream>
+#include <ostream>
 #include <stdexcept>
+
+#include "src/util/fs.hpp"
 
 namespace tsc::nn {
 namespace {
@@ -11,7 +14,7 @@ constexpr char kMagic[4] = {'T', 'S', 'C', 'W'};
 constexpr char kOptimMagic[4] = {'T', 'S', 'C', 'O'};
 constexpr std::uint64_t kOptimVersion = 1;
 
-void write_u64(std::ofstream& out, std::uint64_t v) {
+void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
@@ -21,7 +24,7 @@ std::uint64_t read_u64(std::ifstream& in) {
   return v;
 }
 
-void write_values(std::ofstream& out, const Tensor& t) {
+void write_values(std::ostream& out, const Tensor& t) {
   out.write(reinterpret_cast<const char*>(t.data()),
             static_cast<std::streamsize>(t.size() * sizeof(double)));
 }
@@ -33,19 +36,23 @@ void read_values(std::ifstream& in, Tensor& t) {
 
 }  // namespace
 
+// Checkpoint writers go through util::atomic_write_file (temp file + rename
+// in the same directory), so a crash mid-save can never leave a truncated
+// file where a previously-good checkpoint was — the durability contract the
+// fleet orchestrator's crash-resume relies on (DESIGN.md §9).
 void save_weights(Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
-  auto params = module.parameters();
-  write_u64(out, params.size());
-  for (Parameter* p : params) {
-    write_u64(out, p->value.rank());
-    for (std::size_t d : p->value.shape()) write_u64(out, d);
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(double)));
-  }
-  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+  util::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(kMagic, sizeof(kMagic));
+    auto params = module.parameters();
+    write_u64(out, params.size());
+    for (Parameter* p : params) {
+      write_u64(out, p->value.rank());
+      for (std::size_t d : p->value.shape()) write_u64(out, d);
+      out.write(reinterpret_cast<const char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+    }
+    if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+  });
 }
 
 void load_weights(Module& module, const std::string& path) {
@@ -75,22 +82,22 @@ void load_weights(Module& module, const std::string& path) {
 }
 
 void save_optimizer_state(const Adam& optim, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_optimizer_state: cannot open " + path);
-  out.write(kOptimMagic, sizeof(kOptimMagic));
-  write_u64(out, kOptimVersion);
-  write_u64(out, optim.steps_taken());
-  const auto& m = optim.first_moments();
-  const auto& v = optim.second_moments();
-  write_u64(out, m.size());
-  for (std::size_t k = 0; k < m.size(); ++k) {
-    write_u64(out, m[k].rank());
-    for (std::size_t d : m[k].shape()) write_u64(out, d);
-    write_values(out, m[k]);
-    write_values(out, v[k]);
-  }
-  if (!out)
-    throw std::runtime_error("save_optimizer_state: write failed for " + path);
+  util::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(kOptimMagic, sizeof(kOptimMagic));
+    write_u64(out, kOptimVersion);
+    write_u64(out, optim.steps_taken());
+    const auto& m = optim.first_moments();
+    const auto& v = optim.second_moments();
+    write_u64(out, m.size());
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      write_u64(out, m[k].rank());
+      for (std::size_t d : m[k].shape()) write_u64(out, d);
+      write_values(out, m[k]);
+      write_values(out, v[k]);
+    }
+    if (!out)
+      throw std::runtime_error("save_optimizer_state: write failed for " + path);
+  });
 }
 
 void load_optimizer_state(Adam& optim, const std::string& path) {

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/parse.hpp"
+
 namespace tsc::sim {
 namespace {
 
@@ -182,12 +184,23 @@ Scenario read_scenario(std::istream& in) {
         FlowSpec f;
         f.route = parse_list<LinkId>(route, line_no, parse_u32);
         f.profile = parse_list<RateKnot>(profile, line_no, [&](const std::string& knot) {
+          // Strict full-token parsing: bare std::stod accepted trailing
+          // garbage ("3.5x" -> 3.5) and let overflow ("1e999") escape as a
+          // raw std::out_of_range without the line-numbered context.
           const auto colon = knot.find(':');
           if (colon == std::string::npos)
             throw fail("profile knot '" + knot + "' is not t:rate");
+          const auto t = util::parse_double(knot.substr(0, colon));
+          if (!t)
+            throw fail("profile knot '" + knot + "': bad time '" +
+                       knot.substr(0, colon) + "'");
+          const auto rate = util::parse_double(knot.substr(colon + 1));
+          if (!rate)
+            throw fail("profile knot '" + knot + "': bad rate '" +
+                       knot.substr(colon + 1) + "'");
           RateKnot k;
-          k.t_seconds = std::stod(knot.substr(0, colon));
-          k.rate_veh_per_hour = std::stod(knot.substr(colon + 1));
+          k.t_seconds = *t;
+          k.rate_veh_per_hour = *rate;
           return k;
         });
         scenario.flows.push_back(std::move(f));

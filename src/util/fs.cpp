@@ -1,0 +1,89 @@
+#include "src/util/fs.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tsc::util {
+namespace {
+
+bool g_fail_before_rename = false;
+
+// Flushes `path`'s data to disk (best effort on platforms without fsync).
+void sync_file(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+// After the rename, fsync the containing directory so the new directory
+// entry itself is durable (best effort).
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer,
+                       bool binary) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ios_base::openmode mode = std::ios::trunc;
+    if (binary) mode |= std::ios::binary;
+    std::ofstream out(tmp, mode);
+    if (!out)
+      throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("atomic_write_file: write failed for " + tmp);
+    }
+  }
+  sync_file(tmp);
+  if (g_fail_before_rename)
+    throw std::runtime_error(
+        "atomic_write_file: injected failure before rename of " + tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: rename to " + path + " failed");
+  }
+  sync_parent_dir(path);
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  atomic_write_file(path, [&content](std::ostream& out) { out << content; });
+}
+
+void set_atomic_write_failure_injection(bool fail_before_rename) {
+  g_fail_before_rename = fail_before_rename;
+}
+
+}  // namespace tsc::util

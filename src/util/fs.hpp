@@ -1,0 +1,39 @@
+// Crash-safe file replacement: write to a temp file in the target's
+// directory, flush it to disk, then atomically rename over the target.
+//
+// This is the durability seam under every checkpoint writer (TSCW weight,
+// TSCO optimizer, and TSCT trainer-state files) and the fleet run store's
+// metrics records: a process killed at ANY point during a save leaves
+// either the complete old file or the complete new file on disk, never a
+// truncated hybrid — which is what lets the fleet orchestrator resume a
+// SIGKILL'd training job from its last checkpoint (core/fleet_orchestrator).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace tsc::util {
+
+/// Atomically replaces `path` with whatever `writer` streams out:
+///   1. `writer` writes to `path + ".tmp"` (same directory, same filesystem)
+///   2. the temp file is flushed and fsync'd
+///   3. the temp file is rename(2)'d over `path` (atomic on POSIX)
+/// Throws std::runtime_error — with the temp file removed and the old
+/// `path` untouched — if the writer throws or any write/flush fails.
+/// The stream is opened in binary mode when `binary` (the default).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer,
+                       bool binary = true);
+
+/// Convenience wrapper: atomically replaces `path` with `content`.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// TEST HOOK: when armed, atomic_write_file completes the temp-write stage
+/// and then throws INSTEAD of renaming, leaving the temp file behind —
+/// simulating a process killed between writing the new checkpoint and
+/// committing it. The old `path` must survive such an interruption
+/// (tests/test_fleet_orchestrator.cpp pins this). Sticky until disarmed.
+void set_atomic_write_failure_injection(bool fail_before_rename);
+
+}  // namespace tsc::util

@@ -1,0 +1,100 @@
+#include "src/util/proc.hpp"
+
+#include <cerrno>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace tsc::util {
+
+#ifndef _WIN32
+
+namespace {
+
+ExitStatus decode_status(int raw) {
+  ExitStatus status;
+  if (WIFEXITED(raw)) {
+    status.exited = true;
+    status.exit_code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status.signaled = true;
+    status.term_signal = WTERMSIG(raw);
+  }
+  return status;
+}
+
+}  // namespace
+
+int spawn_process(const std::vector<std::string>& argv,
+                  const std::string& log_path) {
+  if (argv.empty()) throw std::runtime_error("spawn_process: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv)
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("spawn_process: fork failed");
+  if (pid == 0) {
+    // Child: redirect stdout/stderr, then exec. Only async-signal-safe
+    // calls from here on; any failure ends the child, never returns.
+    if (!log_path.empty()) {
+      const int fd =
+          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd < 0) ::_exit(127);
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed
+  }
+  return static_cast<int>(pid);
+}
+
+ExitStatus wait_process(int pid) {
+  int raw = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(static_cast<pid_t>(pid), &raw, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) throw std::runtime_error("wait_process: waitpid failed");
+  return decode_status(raw);
+}
+
+std::optional<std::pair<int, ExitStatus>> try_wait_any() {
+  int raw = 0;
+  const pid_t r = ::waitpid(-1, &raw, WNOHANG);
+  if (r <= 0) return std::nullopt;
+  return std::make_pair(static_cast<int>(r), decode_status(raw));
+}
+
+std::string self_exe_path(const std::string& fallback) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return fallback;
+  buffer[n] = '\0';
+  return std::string(buffer);
+}
+
+#else  // _WIN32: the fleet orchestrator is POSIX-only.
+
+int spawn_process(const std::vector<std::string>&, const std::string&) {
+  throw std::runtime_error("spawn_process: requires a POSIX platform");
+}
+ExitStatus wait_process(int) {
+  throw std::runtime_error("wait_process: requires a POSIX platform");
+}
+std::optional<std::pair<int, ExitStatus>> try_wait_any() {
+  throw std::runtime_error("try_wait_any: requires a POSIX platform");
+}
+std::string self_exe_path(const std::string& fallback) { return fallback; }
+
+#endif
+
+}  // namespace tsc::util

@@ -1,0 +1,46 @@
+// Child-process spawn/wait helper for the fleet orchestrator.
+//
+// Thin POSIX fork/exec wrapper: spawn a child with its stdout+stderr
+// appended to a log file, reap children (blocking or polling), and report
+// how each one died — normal exit code vs terminating signal. Signal-aware
+// exit status is what lets the orchestrator tell "job finished" from
+// "worker was SIGKILL'd mid-episode" and retry the latter
+// (core/fleet_orchestrator.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsc::util {
+
+/// How a child process ended.
+struct ExitStatus {
+  bool exited = false;    ///< normal exit (exit_code valid)
+  int exit_code = -1;
+  bool signaled = false;  ///< killed by a signal (term_signal valid)
+  int term_signal = 0;
+  bool success() const { return exited && exit_code == 0; }
+};
+
+/// Spawns `argv` (argv[0] is the executable path) as a child process.
+/// When `log_path` is non-empty, the child's stdout and stderr are
+/// APPENDED to that file (created if missing); otherwise they are
+/// inherited. Returns the child pid. Throws std::runtime_error if the
+/// process cannot be created (exec failures surface as exit code 127).
+int spawn_process(const std::vector<std::string>& argv,
+                  const std::string& log_path = "");
+
+/// Blocks until child `pid` exits and returns how it ended.
+ExitStatus wait_process(int pid);
+
+/// Non-blocking reap: returns the pid + status of ONE exited child of this
+/// process, or std::nullopt if none has exited yet (or there are none).
+std::optional<std::pair<int, ExitStatus>> try_wait_any();
+
+/// Absolute path of the running executable (/proc/self/exe on Linux),
+/// falling back to `fallback` where that is unavailable.
+std::string self_exe_path(const std::string& fallback);
+
+}  // namespace tsc::util

@@ -105,6 +105,54 @@ TEST(ScenarioIo, BadFlowProfileRejected) {
   EXPECT_THROW(read_scenario(in), std::runtime_error);
 }
 
+// Regressions for the bare-std::stod knot parsing: trailing garbage used to
+// be silently accepted ("3.5x" -> 3.5) and overflow escaped as a raw
+// std::out_of_range with no line context.
+TEST(ScenarioIo, FlowKnotTrailingGarbageRejected) {
+  std::istringstream in(
+      "node boundary 0 0\n"
+      "node boundary 100 0\n"
+      "link 0 1 100 1 10\n"
+      "flow 0 10:3.5x\n");
+  try {
+    read_scenario(in);
+    FAIL() << "expected garbage-suffix knot to be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("3.5x"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioIo, FlowKnotOverflowRejectedWithContext) {
+  std::istringstream in(
+      "node boundary 0 0\n"
+      "node boundary 100 0\n"
+      "link 0 1 100 1 10\n"
+      "flow 0 0:1e999\n");
+  try {
+    read_scenario(in);
+    FAIL() << "expected overflowing knot to be rejected";
+  } catch (const std::runtime_error& e) {
+    // Routed through fail(): line-numbered, not a raw std::out_of_range.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("1e999"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioIo, FlowKnotEmptyFieldRejected) {
+  for (const char* knot : {"10:", ":400", ":"}) {
+    std::istringstream in(std::string(
+                              "node boundary 0 0\n"
+                              "node boundary 100 0\n"
+                              "link 0 1 100 1 10\n"
+                              "flow 0 ") +
+                          knot + "\n");
+    EXPECT_THROW(read_scenario(in), std::runtime_error) << knot;
+  }
+}
+
 TEST(ScenarioIo, FinalizeErrorsSurface) {
   // Signalized node without phases fails at finalize.
   std::istringstream in(

@@ -1,0 +1,78 @@
+// Strict CLI/token numeric parsing (src/util/parse.hpp) — the shared
+// helpers behind tsc_run --seconds, tsc_make_scenario, tsc_fleet, and the
+// scenario-file flow-knot reader. Every tool used to go through
+// atof/atoi/stod, which silently turned typos into 0 or a truncated prefix.
+#include "src/util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace tsc::util {
+namespace {
+
+TEST(ParseDouble, AcceptsOrdinaryNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_double("600"), 600.0);
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsGarbageAndPartialTokens) {
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double("3.5x"));    // the std::stod trap: prefix parses
+  EXPECT_FALSE(parse_double("x3.5"));
+  EXPECT_FALSE(parse_double(" 3.5"));    // no silent whitespace
+  EXPECT_FALSE(parse_double("3.5 "));
+  EXPECT_FALSE(parse_double("1,5"));
+}
+
+TEST(ParseDouble, RejectsOverflowAndNonFinite) {
+  EXPECT_FALSE(parse_double("1e999"));   // used to escape as out_of_range
+  EXPECT_FALSE(parse_double("-1e999"));
+  EXPECT_FALSE(parse_double("inf"));
+  EXPECT_FALSE(parse_double("nan"));
+}
+
+TEST(ParseU64, AcceptsDigitsOnly) {
+  EXPECT_EQ(*parse_u64("0"), 0u);
+  EXPECT_EQ(*parse_u64("42"), 42u);
+  EXPECT_EQ(*parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsEverythingElse) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64("1.5"));
+  EXPECT_FALSE(parse_u64("6x"));         // the std::atoi trap
+  EXPECT_FALSE(parse_u64("six"));
+  EXPECT_FALSE(parse_u64(" 6"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // 2^64 overflows
+}
+
+TEST(ParseI64, HandlesSign) {
+  EXPECT_EQ(*parse_i64("-7"), -7);
+  EXPECT_EQ(*parse_i64("7"), 7);
+  EXPECT_FALSE(parse_i64("--7"));
+  EXPECT_FALSE(parse_i64("7-"));
+  EXPECT_FALSE(parse_i64(""));
+}
+
+TEST(ParseU64List, SplitsStrictly) {
+  const auto list = parse_u64_list("1,2,30");
+  ASSERT_TRUE(list);
+  EXPECT_EQ(*list, (std::vector<std::uint64_t>{1, 2, 30}));
+  EXPECT_EQ(parse_u64_list("5")->size(), 1u);
+  EXPECT_FALSE(parse_u64_list(""));
+  EXPECT_FALSE(parse_u64_list("1,,2"));
+  EXPECT_FALSE(parse_u64_list("1,2x"));
+  EXPECT_FALSE(parse_u64_list(","));
+}
+
+}  // namespace
+}  // namespace tsc::util

@@ -22,14 +22,19 @@
 #                           CSR dependency walk — raw index arithmetic)
 #   SensorModel            (env observation cache, obs_into_row raw-pointer
 #                           row packing, compat-flag semantics)
+#   RunStore / FlatJson / Proc / AtomicCheckpoint / SweepExpansion /
+#   FleetEndToEnd          (fleet orchestrator: fork/exec + waitpid process
+#                           lifecycle, journal replay, atomic-rename
+#                           checkpoint durability — the end-to-end suites
+#                           spawn real SIGKILL'd worker processes)
 #
 # Usage: tools/run_sanitized_tests.sh [source-dir]
 # Exits non-zero on the first sanitizer failure.
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath|SensorSnapshot|SensorModel'
-TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_invariant_seeding test_sim_hotpath test_sensor_model)
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath|SensorSnapshot|SensorModel|RunStore|FlatJson|Proc|AtomicCheckpoint|SweepExpansion|FleetEndToEnd'
+TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_invariant_seeding test_sim_hotpath test_sensor_model test_fleet_orchestrator tsc_fleet)
 
 run_one() {
   local preset="$1"

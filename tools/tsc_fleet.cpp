@@ -1,0 +1,253 @@
+// Crash-safe experiment fleet CLI (ROADMAP item 4, DESIGN.md §9).
+//
+// usage:
+//   tsc_fleet run <run-dir> --scenario FILE [--scenario FILE...] [options]
+//   tsc_fleet resume <run-dir> [options]
+//   tsc_fleet report <run-dir> [--bench FILE]
+//   tsc_fleet worker --run <run-dir> --job <id>
+//   tsc_fleet smoke <run-dir> [--jobs N]
+//
+// `run` expands scenario x controller x seed x hidden into jobs, executes
+// them as child processes (this same binary re-exec'd as `worker`), and
+// journals every transition into <run-dir>/journal.jsonl. Kill the
+// orchestrator or any worker at any point; `resume` replays the journal and
+// finishes the sweep, with workers resuming from their last durable
+// checkpoint. `report` aggregates per-job metrics into a table and a
+// BENCH_fleet.json row. `smoke` is the seconds-scale ctest target: it
+// generates a tiny grid scenario and runs a 2-job sweep end to end.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/core/fleet_orchestrator.hpp"
+#include "src/scenarios/flow_patterns.hpp"
+#include "src/scenarios/grid.hpp"
+#include "src/sim/scenario_io.hpp"
+#include "src/util/parse.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s run <run-dir> --scenario FILE [--scenario FILE...]\n"
+      "          [--controllers a,b,c] [--seeds 1,2] [--hidden 32,64]\n"
+      "          [--train N] [--seconds X] [--jobs N] [--attempts N]\n"
+      "          [--backoff X] [--quiet]\n"
+      "       %s resume <run-dir> [--jobs N] [--attempts N] [--backoff X] "
+      "[--quiet]\n"
+      "       %s report <run-dir> [--bench FILE]\n"
+      "       %s worker --run <run-dir> --job <id>\n"
+      "       %s smoke <run-dir> [--jobs N]\n",
+      argv0, argv0, argv0, argv0, argv0);
+  std::exit(2);
+}
+
+// Strict numeric option parsing shared with tsc_run/tsc_make_scenario: a
+// typo'd value is a usage error, never a silently-parsed prefix or 0.
+double require_double(const char* argv0, const char* flag, const char* text) {
+  const auto value = tsc::util::parse_double(text);
+  if (!value) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, text);
+    usage(argv0);
+  }
+  return *value;
+}
+
+std::uint64_t require_u64(const char* argv0, const char* flag, const char* text) {
+  const auto value = tsc::util::parse_u64(text);
+  if (!value) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 flag, text);
+    usage(argv0);
+  }
+  return *value;
+}
+
+std::vector<std::uint64_t> require_u64_list(const char* argv0, const char* flag,
+                                            const char* text) {
+  const auto values = tsc::util::parse_u64_list(text);
+  if (!values || values->empty()) {
+    std::fprintf(stderr,
+                 "error: %s expects a comma-separated integer list, got '%s'\n",
+                 flag, text);
+    usage(argv0);
+  }
+  return *values;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto comma = text.find(',', start);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_report(const std::string& run_dir, const std::string& bench_path) {
+  using namespace tsc::core;
+  RunStore store = RunStore::open(run_dir);
+  FleetReport report = build_report(store);
+  print_report(report);
+  if (!bench_path.empty()) {
+    write_bench_fleet_json(report, bench_path);
+    std::printf("bench row written to %s\n", bench_path.c_str());
+  }
+  return report.jobs_failed == 0 ? 0 : 1;
+}
+
+int cmd_smoke(const char* argv0, const std::string& run_dir,
+              std::size_t max_parallel) {
+  using namespace tsc;
+  namespace fs = std::filesystem;
+  fs::remove_all(run_dir);  // smoke is re-runnable; a fresh sweep each time
+  fs::create_directories(run_dir);
+  const std::string scenario_path = run_dir + "/grid2x2.scenario";
+  scenario::GridConfig grid_config;
+  grid_config.rows = 2;
+  grid_config.cols = 2;
+  scenario::GridScenario grid(grid_config);
+  // North-south flows down each avenue (the canonical flow patterns need a
+  // 4x4+ grid; the smoke grid stays tiny so the sweep is seconds-scale).
+  std::vector<sim::FlowSpec> flows;
+  for (std::size_t c = 0; c < grid_config.cols; ++c) {
+    sim::FlowSpec f;
+    f.route = grid.route(grid.north_terminal(c), grid.south_terminal(c));
+    f.profile = {{0.0, 400.0}, {200.0, 400.0}};
+    flows.push_back(std::move(f));
+  }
+  sim::save_scenario(grid.net(), flows, scenario_path);
+
+  core::SweepSpec spec;
+  spec.scenarios = {scenario_path};
+  spec.controllers = {"fixedtime", "pairuplight"};
+  spec.seeds = {1};
+  spec.hiddens = {8};
+  spec.train_episodes = 1;
+  spec.episode_seconds = 60.0;
+
+  core::RunStore store = core::RunStore::create(run_dir, core::expand_sweep(spec));
+  core::OrchestratorConfig config;
+  config.max_parallel = max_parallel;
+  config.worker_exe = tsc::util::self_exe_path(argv0);
+  const auto result = core::run_fleet(store, config);
+  std::printf("smoke: %zu done, %zu failed, %zu retries in %.2f s\n",
+              result.done, result.failed, result.retries, result.wall_seconds);
+  const int report_rc = cmd_report(run_dir, run_dir + "/BENCH_fleet.json");
+  return (result.failed == 0 && result.done == store.jobs().size() &&
+          report_rc == 0)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace tsc;
+  if (argc < 3) usage(argv[0]);
+  const std::string command = argv[1];
+
+  if (command == "worker") {
+    std::string run_dir;
+    std::uint64_t job_id = 0;
+    bool have_job = false;
+    for (int i = 2; i < argc; ++i) {
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--run")) run_dir = next();
+      else if (!std::strcmp(argv[i], "--job")) {
+        job_id = require_u64(argv[0], "--job", next());
+        have_job = true;
+      } else usage(argv[0]);
+    }
+    if (run_dir.empty() || !have_job) usage(argv[0]);
+    return core::run_fleet_worker(run_dir, static_cast<std::size_t>(job_id));
+  }
+
+  const std::string run_dir = argv[2];
+
+  if (command == "report") {
+    std::string bench_path;
+    for (int i = 3; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--bench") && i + 1 < argc) bench_path = argv[++i];
+      else usage(argv[0]);
+    }
+    return cmd_report(run_dir, bench_path);
+  }
+
+  if (command == "run" || command == "resume" || command == "smoke") {
+    core::SweepSpec spec;
+    core::OrchestratorConfig config;
+    config.worker_exe = util::self_exe_path(argv[0]);
+    for (int i = 3; i < argc; ++i) {
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--scenario")) spec.scenarios.push_back(next());
+      else if (!std::strcmp(argv[i], "--controllers"))
+        spec.controllers = split_commas(next());
+      else if (!std::strcmp(argv[i], "--seeds"))
+        spec.seeds = require_u64_list(argv[0], "--seeds", next());
+      else if (!std::strcmp(argv[i], "--hidden")) {
+        spec.hiddens.clear();
+        for (std::uint64_t h : require_u64_list(argv[0], "--hidden", next()))
+          spec.hiddens.push_back(static_cast<std::size_t>(h));
+      } else if (!std::strcmp(argv[i], "--train"))
+        spec.train_episodes =
+            static_cast<std::size_t>(require_u64(argv[0], "--train", next()));
+      else if (!std::strcmp(argv[i], "--seconds")) {
+        spec.episode_seconds = require_double(argv[0], "--seconds", next());
+        if (spec.episode_seconds <= 0.0) {
+          std::fprintf(stderr, "error: --seconds must be > 0\n");
+          usage(argv[0]);
+        }
+      } else if (!std::strcmp(argv[i], "--jobs")) {
+        config.max_parallel =
+            static_cast<std::size_t>(require_u64(argv[0], "--jobs", next()));
+        if (config.max_parallel == 0) {
+          std::fprintf(stderr, "error: --jobs must be >= 1\n");
+          usage(argv[0]);
+        }
+      } else if (!std::strcmp(argv[i], "--attempts"))
+        config.max_attempts =
+            static_cast<std::size_t>(require_u64(argv[0], "--attempts", next()));
+      else if (!std::strcmp(argv[i], "--backoff"))
+        config.backoff_seconds = require_double(argv[0], "--backoff", next());
+      else if (!std::strcmp(argv[i], "--quiet")) config.verbose = false;
+      else usage(argv[0]);
+    }
+
+    if (command == "smoke") return cmd_smoke(argv[0], run_dir, config.max_parallel);
+
+    core::RunStore store = [&] {
+      if (command == "resume") return core::RunStore::open(run_dir);
+      if (spec.scenarios.empty()) {
+        std::fprintf(stderr, "error: run needs at least one --scenario\n");
+        usage(argv[0]);
+      }
+      if (spec.controllers.empty()) spec.controllers = {"pairuplight"};
+      return core::RunStore::create(run_dir, core::expand_sweep(spec));
+    }();
+
+    const auto result = core::run_fleet(store, config);
+    std::printf("sweep: %zu done, %zu failed, %zu retries in %.2f s\n",
+                result.done, result.failed, result.retries, result.wall_seconds);
+    return result.failed == 0 ? 0 : 1;
+  }
+
+  usage(argv[0]);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -13,14 +13,43 @@
 #include "src/scenarios/grid.hpp"
 #include "src/scenarios/monaco.hpp"
 #include "src/sim/scenario_io.hpp"
+#include "src/util/parse.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s grid <rows> <cols> <pattern 1-5> <out>\n"
+               "       %s monaco <seed> <out>\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+// Strict argument parsing: "6x" or "six" is a usage error, never the
+// silent 0 std::atoi/atoll used to produce.
+std::uint64_t require_u64(const char* argv0, const char* what, const char* text) {
+  const auto value = tsc::util::parse_u64(text);
+  if (!value) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 what, text);
+    usage(argv0);
+  }
+  return *value;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace tsc;
   if (argc >= 6 && !std::strcmp(argv[1], "grid")) {
     scenario::GridConfig config;
-    config.rows = std::atoll(argv[2]);
-    config.cols = std::atoll(argv[3]);
-    const int pattern = std::atoi(argv[4]);
+    config.rows = static_cast<std::size_t>(require_u64(argv[0], "<rows>", argv[2]));
+    config.cols = static_cast<std::size_t>(require_u64(argv[0], "<cols>", argv[3]));
+    if (config.rows == 0 || config.cols == 0) {
+      std::fprintf(stderr, "error: grid dimensions must be >= 1\n");
+      return 1;
+    }
+    const std::uint64_t pattern = require_u64(argv[0], "<pattern>", argv[4]);
     if (pattern < 1 || pattern > 5) {
       std::fprintf(stderr, "error: pattern must be 1-5\n");
       return 1;
@@ -37,7 +66,7 @@ int main(int argc, char** argv) try {
   }
   if (argc >= 4 && !std::strcmp(argv[1], "monaco")) {
     scenario::MonacoConfig config;
-    config.seed = std::strtoull(argv[2], nullptr, 10);
+    config.seed = require_u64(argv[0], "<seed>", argv[2]);
     scenario::MonacoScenario monaco(config);
     const auto flows = monaco.make_flows();
     sim::save_scenario(monaco.net(), flows, argv[3]);
@@ -45,11 +74,7 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(config.seed), argv[3]);
     return 0;
   }
-  std::fprintf(stderr,
-               "usage: %s grid <rows> <cols> <pattern 1-5> <out>\n"
-               "       %s monaco <seed> <out>\n",
-               argv[0], argv[0]);
-  return 2;
+  usage(argv[0]);
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -25,6 +25,7 @@
 #include "src/sim/dot_export.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/scenario_io.hpp"
+#include "src/util/parse.hpp"
 
 namespace {
 
@@ -35,6 +36,27 @@ namespace {
                "[--emissions]\n",
                argv0);
   std::exit(2);
+}
+
+// Strict numeric option parsing: a typo'd value is a usage error, never a
+// silent 0 (the std::atof/atoi behavior this replaces).
+double require_double(const char* argv0, const char* flag, const char* text) {
+  const auto value = tsc::util::parse_double(text);
+  if (!value) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, text);
+    usage(argv0);
+  }
+  return *value;
+}
+
+std::uint64_t require_u64(const char* argv0, const char* flag, const char* text) {
+  const auto value = tsc::util::parse_u64(text);
+  if (!value) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 flag, text);
+    usage(argv0);
+  }
+  return *value;
 }
 
 }  // namespace
@@ -57,9 +79,16 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (!std::strcmp(argv[i], "--controller")) controller_name = next();
-    else if (!std::strcmp(argv[i], "--seconds")) seconds = std::atof(next());
-    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--train")) train_episodes = std::atoll(next());
+    else if (!std::strcmp(argv[i], "--seconds")) {
+      seconds = require_double(argv[0], "--seconds", next());
+      if (seconds <= 0.0) {
+        std::fprintf(stderr, "error: --seconds must be > 0\n");
+        usage(argv[0]);
+      }
+    }
+    else if (!std::strcmp(argv[i], "--seed")) seed = require_u64(argv[0], "--seed", next());
+    else if (!std::strcmp(argv[i], "--train"))
+      train_episodes = static_cast<std::size_t>(require_u64(argv[0], "--train", next()));
     else if (!std::strcmp(argv[i], "--trace")) trace_path = next();
     else if (!std::strcmp(argv[i], "--dot")) dot_path = next();
     else if (!std::strcmp(argv[i], "--emissions")) emissions = true;
