@@ -15,6 +15,12 @@
 // hardware thread count and the fleet/batch configuration so the
 // trajectory can distinguish batching wins from thread-count artifacts.
 //
+// The inference and fleet paths additionally run at both kernel tiers
+// (nn/kernels.hpp): "reference" is the bit-exact configuration above, "fast"
+// swaps in the SIMD/FMA kernels (tolerance-bounded, same rollout protocol
+// but not bit-identical). The tape path has no fast row: the tape only ever
+// runs reference-tier kernels.
+//
 // Knobs: PAIRUP_EPISODES (collection rounds per path, default 3),
 // PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED,
 // PAIRUP_NUM_ENVS. `--smoke` shrinks the run (1 round, 60 s episodes) for
@@ -38,6 +44,7 @@ enum class Path { kTape, kInference, kFleet };
 
 struct Row {
   Path path = Path::kTape;
+  nn::KernelTier kernel_tier = nn::KernelTier::kReference;
   std::size_t num_envs = 1;
   std::size_t env_steps = 0;
   double wall_seconds = 0.0;
@@ -55,6 +62,11 @@ const char* path_name(Path path) {
     case Path::kFleet: return "fleet";
   }
   return "unknown";
+}
+
+std::string row_name(const Row& r) {
+  return std::string(path_name(r.path)) + "[" +
+         nn::kernel_tier_name(r.kernel_tier) + "]";
 }
 
 void write_json(const std::string& path, const bench::HarnessConfig& config,
@@ -75,7 +87,8 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"path\": \"%s\", \"fleet_batched\": %s, "
+                 "    {\"path\": \"%s\", \"kernel_tier\": \"%s\", "
+                 "\"fleet_batched\": %s, "
                  "\"num_envs\": %zu, \"hardware_threads\": %u, "
                  "\"env_steps\": %zu, "
                  "\"wall_seconds\": %.6f, \"env_steps_per_sec\": %.2f, "
@@ -83,7 +96,8 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
                  "\"speedup_vs_tape\": %.3f, "
                  "\"workspace_alloc_events_warmup\": %zu, "
                  "\"workspace_alloc_events_steady_state\": %zu}%s\n",
-                 path_name(r.path), r.path == Path::kFleet ? "true" : "false",
+                 path_name(r.path), nn::kernel_tier_name(r.kernel_tier),
+                 r.path == Path::kFleet ? "true" : "false",
                  r.num_envs, hw, r.env_steps, r.wall_seconds, r.steps_per_sec,
                  r.wall_per_episode, r.speedup, r.warm_alloc_events,
                  r.steady_alloc_events, i + 1 < rows.size() ? "," : "");
@@ -119,13 +133,18 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   for (Path path : {Path::kTape, Path::kInference, Path::kFleet}) {
-    // Fresh env + trainer per path: identical initial weights and seeds, so
-    // the rounds differ only in the forward implementation.
+  for (nn::KernelTier tier :
+       {nn::KernelTier::kReference, nn::KernelTier::kFast}) {
+    // The tape path ignores the tier knob by design — skip the duplicate row.
+    if (path == Path::kTape && tier == nn::KernelTier::kFast) continue;
+    // Fresh env + trainer per configuration: identical initial weights and
+    // seeds, so the rounds differ only in the forward implementation.
     auto environment =
         bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
     core::PairUpConfig pairup_config = bench::make_pairup_config(config);
     pairup_config.inference_path = path != Path::kTape;
     pairup_config.fleet_batched = path == Path::kFleet;
+    pairup_config.kernel_tier = tier;
     core::PairUpLightTrainer trainer(environment.get(), pairup_config);
 
     const auto alloc_events = [&]() -> std::size_t {
@@ -135,6 +154,7 @@ int main(int argc, char** argv) {
 
     Row row;
     row.path = path;
+    row.kernel_tier = tier;
     row.num_envs = pairup_config.num_envs;
     // Warm-up round (untimed): grows the workspace buffers / fleet slabs to
     // peak capacity and warms the tape node storage, so the timed rounds
@@ -158,11 +178,12 @@ int main(int argc, char** argv) {
         rows.empty() ? 1.0 : row.steps_per_sec / rows.front().steps_per_sec;
     rows.push_back(row);
 
-    bench::print_row(path_name(path),
+    bench::print_row(row_name(row),
                      {row.steps_per_sec, row.wall_per_episode, row.speedup});
     if (path != Path::kTape && row.steady_alloc_events != 0)
-      log_warn("bench_inference: ", path_name(path), " path allocated ",
+      log_warn("bench_inference: ", row_name(row), " path allocated ",
                row.steady_alloc_events, " times after warmup (expected 0)");
+  }
   }
 
   write_json("BENCH_inference.json", config, rows);

@@ -1,12 +1,31 @@
 // Microbenchmarks for the substrates (google-benchmark): simulator step
 // throughput, tensor/tape costs, actor/critic forward passes, PPO update
-// minibatches, and scenario construction. These guard the design decisions
-// in DESIGN.md section 4 (tape autodiff overhead, link-queue step cost).
+// minibatches, scenario construction, and the kernel-tier math kernels.
+// These guard the design decisions in DESIGN.md section 4 (tape autodiff
+// overhead, link-queue step cost) and section 10 (fast-tier error budgets).
+//
+// `bench_micro --smoke` skips google-benchmark and runs the fast-tier
+// accuracy sweep instead: max ULP vs libm per transcendental (plus the
+// normalized GEMM bound) against the budgets in nn/kernels.hpp, exiting
+// nonzero on any violation. Registered as a ctest so the budgets are
+// enforced by the default test run.
 #include <benchmark/benchmark.h>
+
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string_view>
+#include <vector>
 
 #include "src/core/actor.hpp"
 #include "src/core/critic.hpp"
 #include "src/nn/gat.hpp"
+#include "src/nn/kernels.hpp"
 #include "src/nn/layers.hpp"
 #include "src/nn/optim.hpp"
 #include "src/rl/ppo.hpp"
@@ -180,6 +199,92 @@ void BM_PpoMinibatchUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_PpoMinibatchUpdate);
 
+// ---------------------------------------------------------------------------
+// Kernel tiers (nn/kernels.hpp): reference vs fast transcendentals over the
+// LSTM gate-row layout (36 agents x 4x64 gate pre-activations, the 6x6
+// fleet's hot shape) and the fleet GEMM. items/s in the reports is
+// elements/s, so `1 / items_per_second` is the ns/element column the
+// determinism matrix quotes. Arg: 0 = reference tier, 1 = fast tier.
+
+nn::KernelTier tier_arg(const benchmark::State& state) {
+  return state.range(0) == 0 ? nn::KernelTier::kReference
+                             : nn::KernelTier::kFast;
+}
+
+std::vector<double> gate_rows(std::size_t n, double lo, double hi) {
+  Rng rng(7);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.uniform(lo, hi);
+  return xs;
+}
+
+void BM_KernelExp(benchmark::State& state) {
+  const nn::KernelTier tier = tier_arg(state);
+  const auto src = gate_rows(36 * 4 * 64, -20.0, 0.0);  // softmax-shifted
+  std::vector<double> buf(src.size());
+  for (auto _ : state) {
+    std::memcpy(buf.data(), src.data(), src.size() * sizeof(double));
+    nn::exp_inplace_tier(buf.data(), buf.size(), tier);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.SetLabel(nn::kernel_tier_name(tier));
+}
+BENCHMARK(BM_KernelExp)->Arg(0)->Arg(1);
+
+void BM_KernelTanh(benchmark::State& state) {
+  const nn::KernelTier tier = tier_arg(state);
+  const auto src = gate_rows(36 * 4 * 64, -8.0, 8.0);
+  std::vector<double> buf(src.size());
+  for (auto _ : state) {
+    std::memcpy(buf.data(), src.data(), src.size() * sizeof(double));
+    nn::tanh_inplace_tier(buf.data(), buf.size(), tier);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.SetLabel(nn::kernel_tier_name(tier));
+}
+BENCHMARK(BM_KernelTanh)->Arg(0)->Arg(1);
+
+void BM_KernelSigmoid(benchmark::State& state) {
+  const nn::KernelTier tier = tier_arg(state);
+  const auto src = gate_rows(36 * 4 * 64, -8.0, 8.0);
+  std::vector<double> buf(src.size());
+  for (auto _ : state) {
+    std::memcpy(buf.data(), src.data(), src.size() * sizeof(double));
+    nn::sigmoid_inplace_tier(buf.data(), buf.size(), tier);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.SetLabel(nn::kernel_tier_name(tier));
+}
+BENCHMARK(BM_KernelSigmoid)->Arg(0)->Arg(1);
+
+void BM_KernelGemm(benchmark::State& state) {
+  // The fleet LSTM gate GEMM on the 6x6 grid at num_envs = 4:
+  // [144, 64] x [64, 256]. Arg 0 = reference batched kernel, 1 = fast FMA.
+  const nn::KernelTier tier = tier_arg(state);
+  Rng rng(8);
+  nn::Tensor a = nn::Tensor::zeros(144, 64), b = nn::Tensor::zeros(64, 256);
+  for (double& x : a.values()) x = rng.normal();
+  for (double& x : b.values()) x = rng.normal();
+  nn::Tensor c;
+  for (auto _ : state) {
+    if (tier == nn::KernelTier::kFast)
+      nn::matmul_into_fast(c, a, b);
+    else
+      nn::matmul_into_batched(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          144 * 64 * 256);
+  state.SetLabel(nn::kernel_tier_name(tier));
+}
+BENCHMARK(BM_KernelGemm)->Arg(0)->Arg(1);
+
 void BM_SimulatorStepGrid(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
   scenario::GridConfig grid_config;
@@ -225,6 +330,114 @@ void BM_ShortestRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_ShortestRoute);
 
+// ---------------------------------------------------------------------------
+// --smoke: fast-tier accuracy sweep vs libm, gated on the budgets in
+// nn/kernels.hpp. One row per kernel: worst ULP (or normalized error for the
+// GEMM), the budget, a rough ns/element, and PASS/FAIL.
+
+std::int64_t ordered_bits(double x) {
+  const std::int64_t i = std::bit_cast<std::int64_t>(x);
+  return i >= 0 ? i : std::numeric_limits<std::int64_t>::min() - i;
+}
+
+double ulp_distance(double a, double b) {
+  if (a == b) return 0.0;
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<double>::infinity();
+  return std::abs(static_cast<double>(ordered_bits(a) - ordered_bits(b)));
+}
+
+struct SmokeRow {
+  const char* kernel;
+  double worst;    // max ULP (transcendentals) or normalized error (GEMM)
+  double budget;
+  double ns_per_element;
+};
+
+template <typename Oracle>
+SmokeRow sweep_kernel(const char* name,
+                      void (*kernel)(double*, std::size_t, nn::KernelTier),
+                      double lo, double hi, double budget, Oracle oracle) {
+  Rng rng(11);
+  const std::size_t n = 200000;
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.uniform(lo, hi);
+  std::vector<double> ys = xs;
+  kernel(ys.data(), n, nn::KernelTier::kFast);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    worst = std::max(worst, ulp_distance(ys[i], oracle(xs[i])));
+
+  std::vector<double> buf = xs;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < 10; ++rep) {
+    std::memcpy(buf.data(), xs.data(), n * sizeof(double));
+    kernel(buf.data(), n, nn::KernelTier::kFast);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / (10.0 * n);
+  return {name, worst, budget, ns};
+}
+
+SmokeRow sweep_gemm() {
+  Rng rng(12);
+  const std::size_t m = 144, k = 64, n = 256;
+  nn::Tensor a = nn::Tensor::zeros(m, k), b = nn::Tensor::zeros(k, n);
+  for (double& x : a.values()) x = rng.normal();
+  for (double& x : b.values()) x = rng.normal();
+  double amax = 0.0, bmax = 0.0;
+  for (double x : a.values()) amax = std::max(amax, std::abs(x));
+  for (double x : b.values()) bmax = std::max(bmax, std::abs(x));
+
+  nn::Tensor ref, fast;
+  nn::matmul_into(ref, a, b);
+  nn::matmul_into_fast(fast, a, b);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    worst = std::max(worst, std::abs(fast.data()[i] - ref.data()[i]));
+  worst /= static_cast<double>(k) * amax * bmax;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < 50; ++rep) nn::matmul_into_fast(fast, a, b);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                    (50.0 * static_cast<double>(m * n));
+  return {"gemm_fma[144x64x256]", worst, nn::kFastGemmMaxNormErr, ns};
+}
+
+int run_smoke() {
+  std::printf("fast-tier accuracy sweep (simd %s)\n",
+              nn::fast_tier_simd_active() ? "active" : "inactive: scalar fallback");
+  std::printf("%-22s %12s %12s %14s  %s\n", "kernel", "worst", "budget",
+              "ns/element", "status");
+  const SmokeRow rows[] = {
+      sweep_kernel("exp", nn::exp_inplace_tier, -745.0, 709.0,
+                   nn::kFastExpMaxUlp, [](double x) { return std::exp(x); }),
+      sweep_kernel("tanh", nn::tanh_inplace_tier, -30.0, 30.0,
+                   nn::kFastTanhMaxUlp, [](double x) { return std::tanh(x); }),
+      sweep_kernel("sigmoid", nn::sigmoid_inplace_tier, -60.0, 60.0,
+                   nn::kFastSigmoidMaxUlp,
+                   [](double x) { return 1.0 / (1.0 + std::exp(-x)); }),
+      sweep_gemm(),
+  };
+  int failures = 0;
+  for (const SmokeRow& r : rows) {
+    const bool ok = r.worst <= r.budget;
+    failures += ok ? 0 : 1;
+    std::printf("%-22s %12.3g %12.3g %14.2f  %s\n", r.kernel, r.worst,
+                r.budget, r.ns_per_element, ok ? "PASS" : "FAIL");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--smoke") return run_smoke();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -36,6 +36,7 @@ using namespace tsc;
 struct Row {
   std::size_t num_envs = 0;
   bool fleet_batched = false;
+  tsc::nn::KernelTier kernel_tier = tsc::nn::KernelTier::kReference;
   bool thread_limited = false;
   std::size_t env_steps = 0;
   double wall_seconds = 0.0;
@@ -45,7 +46,8 @@ struct Row {
 };
 
 std::string row_name(const Row& r) {
-  return std::string(r.fleet_batched ? "fleet" : "per-agent") +
+  return std::string(r.fleet_batched ? "fleet" : "per-agent") + " " +
+         nn::kernel_tier_name(r.kernel_tier) +
          " num_envs=" + std::to_string(r.num_envs);
 }
 
@@ -68,12 +70,14 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
     const Row& r = rows[i];
     std::fprintf(f,
                  "    {\"num_envs\": %zu, \"fleet_batched\": %s, "
+                 "\"kernel_tier\": \"%s\", "
                  "\"hardware_threads\": %u, \"thread_limited\": %s, "
                  "\"env_steps\": %zu, "
                  "\"wall_seconds\": %.6f, \"env_steps_per_sec\": %.2f, "
                  "\"wall_seconds_per_episode\": %.6f, "
                  "\"speedup_vs_serial\": %.3f}%s\n",
-                 r.num_envs, r.fleet_batched ? "true" : "false", hw,
+                 r.num_envs, r.fleet_batched ? "true" : "false",
+                 nn::kernel_tier_name(r.kernel_tier), hw,
                  r.thread_limited ? "true" : "false", r.env_steps,
                  r.wall_seconds, r.steps_per_sec, r.wall_per_episode, r.speedup,
                  i + 1 < rows.size() ? "," : "");
@@ -111,21 +115,28 @@ int main(int argc, char** argv) {
   if (smoke) env_counts = {1, 2};
 
   std::vector<Row> rows;
+  for (nn::KernelTier tier :
+       {nn::KernelTier::kReference, nn::KernelTier::kFast}) {
   for (bool fleet : {false, true}) {
     for (std::size_t num_envs : env_counts) {
       // Fresh env + trainer per configuration: identical initial weights, so
-      // rounds differ only in the collector (threaded vs lockstep fleet).
+      // rounds differ only in the collector (threaded vs lockstep fleet) and
+      // the kernel tier. Speedups stay relative to the serial per-agent
+      // REFERENCE row (rows.front()), so fast-tier rows read directly as
+      // end-to-end kernel-tier lift.
       auto environment =
           bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
       core::PairUpConfig pairup_config = bench::make_pairup_config(config);
       pairup_config.num_envs = num_envs;
       pairup_config.fleet_batched = fleet;
+      pairup_config.kernel_tier = tier;
       if (fleet) pairup_config.inference_path = true;  // fleet requires it
       core::PairUpLightTrainer trainer(environment.get(), pairup_config);
 
       Row row;
       row.num_envs = num_envs;
       row.fleet_batched = fleet;
+      row.kernel_tier = tier;
       // The fleet engine is single-threaded by design; only the thread-pool
       // collector can be starved of hardware threads.
       row.thread_limited = !fleet && num_envs > std::max(1u, hw);
@@ -152,6 +163,7 @@ int main(int argc, char** argv) {
                     "thread%s; speedup reflects starvation)\n",
                     num_envs, hw, hw == 1 ? "" : "s");
     }
+  }
   }
 
   write_json("BENCH_rollout.json", config, rows);

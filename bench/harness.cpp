@@ -58,6 +58,7 @@ HarnessConfig load_config(HarnessConfig defaults) {
       env_size("PAIRUP_INFERENCE", config.inference_path ? 1 : 0) != 0;
   config.fleet_batched =
       env_size("PAIRUP_FLEET_BATCHED", config.fleet_batched ? 1 : 0) != 0;
+  config.kernel_tier = nn::kernel_tier_from_env(config.kernel_tier);
   return config;
 }
 
@@ -69,6 +70,7 @@ core::PairUpConfig make_pairup_config(const HarnessConfig& config) {
   pairup.update_mode = config.update_mode;
   pairup.inference_path = config.inference_path;
   pairup.fleet_batched = config.fleet_batched;
+  pairup.kernel_tier = config.kernel_tier;
   return pairup;
 }
 

@@ -23,6 +23,10 @@
 //                       (one GEMM per layer across all envs x agents,
 //                       bit-identical to the per-agent path; see
 //                       core/fleet_engine.hpp). Default 0.
+//   PAIRUP_KERNEL_TIER  math-kernel tier for inference-path forwards:
+//                       "reference" (default; bit-exact) or "fast"
+//                       (SIMD/FMA, tolerance-bounded; see nn/kernels.hpp
+//                       and the README determinism matrix).
 // Set PAIRUP_TIME_SCALE=1 PAIRUP_EPISODE_SECONDS=3600 PAIRUP_EPISODES=1000
 // to replicate the paper's full protocol.
 #pragma once
@@ -52,6 +56,7 @@ struct HarnessConfig {
   core::UpdateMode update_mode = core::UpdateMode::kBatchedShards;
   bool inference_path = true;      ///< tape-free rollout/eval forwards
   bool fleet_batched = false;      ///< lockstep fleet-batched collection
+  nn::KernelTier kernel_tier = nn::KernelTier::kReference;  ///< math kernels
 };
 
 /// Human-readable name of an UpdateMode ("serial" / "per_sample" /

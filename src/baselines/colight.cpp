@@ -52,6 +52,7 @@ CoLightTrainer::CoLightTrainer(env::TscEnv* env, CoLightConfig config)
       rng_(config.seed),
       replay_(config.replay_capacity),
       episode_seed_(config.seed * 3371) {
+  workspace_.set_kernel_tier(config_.kernel_tier);
   std::size_t hop1_slots = 0;
   for (std::size_t i = 0; i < env_->num_agents(); ++i)
     hop1_slots = std::max(hop1_slots, env_->agent(i).hop1.size());

@@ -11,6 +11,7 @@ using tsc::nn::Var;
 
 IdqnTrainer::IdqnTrainer(env::TscEnv* env, IdqnConfig config)
     : env_(env), config_(config), rng_(config.seed) {
+  workspace_.set_kernel_tier(config_.kernel_tier);
   const std::size_t obs = env_->obs_dim();
   const std::size_t max_phases = env_->config().max_phases;
   for (std::size_t i = 0; i < env_->num_agents(); ++i) {

@@ -35,6 +35,10 @@ struct IdqnConfig {
   /// (nn/inference.hpp); bit-identical to the tape forward. False forces
   /// the tape path (debug / A-B comparison).
   bool inference_path = true;
+  /// Math-kernel tier for the inference-path forwards (nn/kernels.hpp):
+  /// kReference (default) is bit-exact; kFast is tolerance-bounded SIMD/FMA.
+  /// Tape forwards/backwards (the Q update) always run reference.
+  nn::KernelTier kernel_tier = nn::KernelTier::kReference;
   std::uint64_t seed = 5;
 };
 

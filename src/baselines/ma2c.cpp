@@ -24,6 +24,7 @@ Tensor pack_rows(const std::vector<std::vector<double>>& rows, std::size_t width
 
 Ma2cTrainer::Ma2cTrainer(env::TscEnv* env, Ma2cConfig config)
     : env_(env), config_(config), rng_(config.seed), episode_seed_(config.seed * 4793) {
+  workspace_.set_kernel_tier(config_.kernel_tier);
   const std::size_t n = env_->num_agents();
   for (std::size_t i = 0; i < n; ++i)
     hop1_slots_ = std::max(hop1_slots_, env_->agent(i).hop1.size());
@@ -102,9 +103,9 @@ std::vector<std::size_t> Ma2cTrainer::act_all(bool explore,
         for (std::size_t p = 0; p < max_phases; ++p)
           logits.at(0, p) += p < num_phases ? 0.0 : -1e9;
       Tensor& probs = workspace_.acquire(1, max_phases);
-      nn::softmax_rows_into(probs, logits);
+      nn::softmax_rows_into(probs, logits, workspace_.kernel_tier());
       Tensor& logp = workspace_.acquire(1, max_phases);
-      nn::log_softmax_rows_into(logp, logits);
+      nn::log_softmax_rows_into(logp, logits, workspace_.kernel_tier());
       const Tensor& value = critics_[i]->forward_inference(workspace_, x);
       probs_p = &probs;
       logp_p = &logp;
@@ -294,7 +295,7 @@ std::vector<env::EpisodeStats> Ma2cTrainer::eval_episodes_fleet(
           for (std::size_t p = 0; p < max_phases; ++p)
             logits.at(a, p) += p < num_phases ? 0.0 : -1e9;
       Tensor& probs = workspace_.acquire(batch, max_phases);
-      nn::softmax_rows_into(probs, logits);
+      nn::softmax_rows_into(probs, logits, workspace_.kernel_tier());
       for (std::size_t a = 0; a < batch; ++a) {
         std::size_t action = 0;
         if (!config_.greedy_eval) {

@@ -40,6 +40,10 @@ struct Ma2cConfig {
   /// (nn/inference.hpp); bit-identical to the tape forward. False forces
   /// the tape path (debug / A-B comparison).
   bool inference_path = true;
+  /// Math-kernel tier for the inference-path forwards (nn/kernels.hpp):
+  /// kReference (default) is bit-exact; kFast is tolerance-bounded SIMD/FMA.
+  /// Tape forwards/backwards (the A2C update) always run reference.
+  nn::KernelTier kernel_tier = nn::KernelTier::kReference;
   std::uint64_t seed = 3;
 };
 

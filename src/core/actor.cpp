@@ -60,7 +60,7 @@ CoordinatedActor::InferenceOutput CoordinatedActor::forward_inference(
   assert(phase_counts.size() == batch);
 
   Tensor& x = const_cast<Tensor&>(embed_->forward_inference(ws, input));
-  nn::tanh_inplace(x);
+  nn::tanh_inplace(x, ws.kernel_tier());
   const LstmCell::InferenceState state = lstm_->forward_inference(ws, x, h, c);
   Tensor& logits = const_cast<Tensor&>(policy_head_->forward_inference(ws, *state.h));
 

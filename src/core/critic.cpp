@@ -36,7 +36,7 @@ CentralizedCritic::InferenceOutput CentralizedCritic::forward_inference(
     const nn::Tensor& c) const {
   assert(input.cols() == input_dim_);
   nn::Tensor& x = const_cast<nn::Tensor&>(embed_->forward_inference(ws, input));
-  nn::tanh_inplace(x);
+  nn::tanh_inplace(x, ws.kernel_tier());
   const LstmCell::InferenceState state = lstm_->forward_inference(ws, x, h, c);
   const nn::Tensor& value = value_head_->forward_inference(ws, *state.h);
   return {&value, state.h, state.c};

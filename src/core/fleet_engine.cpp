@@ -22,8 +22,11 @@ FleetRolloutEngine::FleetRolloutEngine(const PairUpConfig* config,
       critic_input_dim_(critic_input_dim) {
   assert(config_->inference_path && "fleet engine has no tape fallback");
   // All layer forwards through this workspace take the multi-row blocked
-  // GEMM (bit-identical to the reference kernel; see nn/tensor.hpp).
+  // GEMM (bit-identical to the reference kernel; see nn/tensor.hpp) — or,
+  // in the fast tier, the FMA GEMM plus the vectorized gate nonlinearities
+  // (tolerance-bounded; nn/kernels.hpp).
   ws_.set_batched_gemm(true);
+  ws_.set_kernel_tier(config_->kernel_tier);
 }
 
 void FleetRolloutEngine::reshape_slab(Tensor& slab, std::size_t rows,
@@ -127,9 +130,9 @@ void FleetRolloutEngine::decide_fleet(std::vector<FleetSlot>& slots,
     auto actor_out =
         actor.forward_inference(ws_, *bs[0], *bs[1], *bs[2], phase_counts_);
     Tensor& probs = ws_.acquire(rows, actor.max_phases());
-    nn::softmax_rows_into(probs, *actor_out.logits);
+    nn::softmax_rows_into(probs, *actor_out.logits, ws_.kernel_tier());
     Tensor& logp = ws_.acquire(rows, actor.max_phases());
-    nn::log_softmax_rows_into(logp, *actor_out.logits);
+    nn::log_softmax_rows_into(logp, *actor_out.logits, ws_.kernel_tier());
     auto critic_out = critic.forward_inference(ws_, *bs[3], *bs[4], *bs[5]);
 
     const Tensor& msg_t = *actor_out.message;
@@ -215,7 +218,7 @@ void FleetRolloutEngine::decide_fleet(std::vector<FleetSlot>& slots,
           const double raw = msg_t.at(row, k);
           const double noisy =
               explore ? slot.rng->normal(raw, config_->msg_sigma) : raw;
-          msg_row[k] = 1.0 / (1.0 + std::exp(-noisy));
+          msg_row[k] = nn::logistic(noisy, ws_.kernel_tier());
         }
       }
     }

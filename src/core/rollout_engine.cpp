@@ -126,6 +126,11 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
 
   nn::InferenceWorkspace* const ws =
       ctx.config->inference_path ? ctx.workspace : nullptr;
+  // Kernel tier follows the config on the inference path; the tape fallback
+  // has no fast kernels and always runs reference (nn/kernels.hpp).
+  if (ws != nullptr) ws->set_kernel_tier(ctx.config->kernel_tier);
+  const nn::KernelTier tier =
+      ws != nullptr ? ws->kernel_tier() : nn::KernelTier::kReference;
 
   // Gather ALL inputs before any forward or state mutation (messages are
   // the previous step's outputs for everyone, matching Algorithm 1's
@@ -224,9 +229,9 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
       auto actor_out =
           actor.forward_inference(*ws, input, h_a, c_a, phase_counts);
       Tensor& probs = ws->acquire(batch, actor.max_phases());
-      nn::softmax_rows_into(probs, *actor_out.logits);
+      nn::softmax_rows_into(probs, *actor_out.logits, tier);
       Tensor& logp = ws->acquire(batch, actor.max_phases());
-      nn::log_softmax_rows_into(logp, *actor_out.logits);
+      nn::log_softmax_rows_into(logp, *actor_out.logits, tier);
       auto critic_out = critic.forward_inference(*ws, v_input, h_v, c_v);
 
       probs_p = &probs;
@@ -357,7 +362,7 @@ StepDecision decide_step(RolloutContext& ctx, std::vector<AgentState>& states,
         const double raw = msg_t.at(b, k);
         const double noisy =
             explore ? ctx.rng->normal(raw, ctx.config->msg_sigma) : raw;
-        states[i].msg_out[k] = 1.0 / (1.0 + std::exp(-noisy));
+        states[i].msg_out[k] = nn::logistic(noisy, tier);
       }
     }
   }

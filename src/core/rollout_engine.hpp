@@ -122,6 +122,16 @@ struct PairUpConfig {
   /// overlap anyway. Requires inference_path (the fleet engine has no tape
   /// fallback).
   bool fleet_batched = false;
+  /// Math-kernel tier for the tape-free inference path (nn/kernels.hpp).
+  /// kReference (default) keeps the bit-exact legacy kernels everywhere.
+  /// kFast runs rollout collection and evaluation forwards through the
+  /// SIMD/FMA kernels — tolerance-bounded against reference (documented
+  /// error budgets in nn/kernels.hpp; divergence contract in the README
+  /// determinism matrix), NOT bit-identical, so training trajectories
+  /// diverge the way the `batched` update mode does. The PPO update itself
+  /// (tape forward/backward) always runs reference-tier kernels regardless
+  /// of this knob, as does the tape fallback when inference_path = false.
+  nn::KernelTier kernel_tier = nn::KernelTier::kReference;
   std::uint64_t seed = 1;
 };
 

@@ -87,7 +87,7 @@ const Tensor& GatLayer::forward_inference(InferenceWorkspace& ws,
     scores[e] = score;
   }
   Tensor& alpha = ws.acquire(1, max_entities_);
-  softmax_rows_into(alpha, scores);
+  softmax_rows_into(alpha, scores, ws.kernel_tier());
 
   last_attention_.assign(alpha.data(), alpha.data() + max_entities_);
 
@@ -137,7 +137,7 @@ const Tensor& GatLayer::forward_inference_blocks(
     }
   }
   Tensor& alpha = ws.acquire(blocks, max_entities_);
-  softmax_rows_into(alpha, scores);
+  softmax_rows_into(alpha, scores, ws.kernel_tier());
 
   last_attention_.assign(alpha.data() + (blocks - 1) * max_entities_,
                          alpha.data() + blocks * max_entities_);

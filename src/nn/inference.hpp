@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/nn/kernels.hpp"
 #include "src/nn/tensor.hpp"
 
 namespace tsc::nn {
@@ -67,11 +68,21 @@ class InferenceWorkspace {
   void set_batched_gemm(bool on) { batched_gemm_ = on; }
   bool batched_gemm() const { return batched_gemm_; }
 
+  /// Selects the math-kernel tier (nn/kernels.hpp) for every layer forward
+  /// run through this workspace: kReference (default) keeps the bit-exact
+  /// legacy kernels; kFast swaps in the tolerance-bounded SIMD/FMA ones.
+  /// Orthogonal to set_batched_gemm — in the fast tier both the batched and
+  /// per-agent GEMM route to the same FMA kernel, so fleet vs per-agent
+  /// stays bit-identical WITHIN a tier.
+  void set_kernel_tier(KernelTier tier) { kernel_tier_ = tier; }
+  KernelTier kernel_tier() const { return kernel_tier_; }
+
  private:
   std::vector<std::unique_ptr<Tensor>> slots_;
   std::size_t cursor_ = 0;
   std::size_t alloc_events_ = 0;
   bool batched_gemm_ = false;
+  KernelTier kernel_tier_ = KernelTier::kReference;
 };
 
 // ---- tape-free kernels (loops mirror the Tape ops bit-for-bit) ----
@@ -84,9 +95,19 @@ void softmax_rows_into(Tensor& out, const Tensor& in);
 /// Tape::log_softmax_rows). `out` must not alias `in`.
 void log_softmax_rows_into(Tensor& out, const Tensor& in);
 
+/// Tier-dispatched variants: kReference runs the exact loops above; kFast
+/// replaces the per-element libm exp with the vectorized fast-tier exp
+/// (max-subtraction and normalization unchanged, so rows still sum to 1 up
+/// to rounding and the -1e9 action mask still lands exactly on probability
+/// zero — the fast exp clamps into the underflow-to-+0 range).
+void softmax_rows_into(Tensor& out, const Tensor& in, KernelTier tier);
+void log_softmax_rows_into(Tensor& out, const Tensor& in, KernelTier tier);
+
 /// In-place ReLU / tanh (same element order as Tape::relu / Tape::tanh).
 void relu_inplace(Tensor& t);
 void tanh_inplace(Tensor& t);
+/// Tier-dispatched tanh (kReference == tanh_inplace above, bit for bit).
+void tanh_inplace(Tensor& t, KernelTier tier);
 
 /// argmax over columns [0, limit) of row `r` (first max wins, matching the
 /// strict `>` comparison the rollout/baseline action loops use).

@@ -1,0 +1,158 @@
+// INTERNAL header: the fast tier's scalar kernel bodies and polynomial
+// constants, shared verbatim between the portable translation unit
+// (kernels.cpp) and the SIMD one (kernels_simd.cpp).
+//
+// The contract that makes runtime CPU dispatch testable: every function here
+// performs, per element, EXACTLY the operation sequence the SIMD lanes
+// perform — same constants, same Horner order, fused multiply-adds via
+// std::fma (correctly rounded, like vfmadd), round-to-nearest-even via
+// std::nearbyint (like _mm256_round_pd TO_NEAREST_INT under the default FP
+// environment). IEEE-754 arithmetic is deterministic, so the scalar fallback
+// is bit-identical to the vector path lane for lane; tests/test_kernel_tiers
+// pins that by forcing the fallback and comparing bitwise.
+//
+// Inputs are assumed FINITE (network activations and pre-activations are by
+// construction); NaN propagation through the clamped range reduction is
+// unspecified. Accuracy budgets vs libm are pinned in nn/kernels.hpp.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstddef>
+
+namespace tsc::nn::fast_detail {
+
+// ---- exp: clamped range reduction + degree-13 Taylor Horner ----
+//
+// x clamped to [kExpLo, kExpHi] (below: exp underflows to +0, above:
+// overflows to +inf — the clamp keeps the 2^n reconstruction in range and
+// makes the softmax mask value -1e9 land exactly on 0).
+// n = nearbyint(x * log2(e)); r = x - n*ln2 via the hi/lo split (two fmas,
+// |r| <= ln2/2); e^r by Taylor to r^13/13! (max term error ~r^14/14! ~ 4e-18,
+// well under 1 ulp); scale by 2^n as two exponent-bit factors 2^n1 * 2^n2
+// with n1 = nearbyint(n/2), so each factor's biased exponent stays in
+// [484, 1536] — representable even at the clamp bounds.
+inline constexpr double kExpLo = -745.5;
+inline constexpr double kExpHi = 709.9;
+inline constexpr double kLog2E = 1.44269504088896340736;
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+// 1/k! for k = 13 down to 0 (Horner order).
+inline constexpr double kExpPoly[] = {
+    1.6059043836821614599e-10,  // 1/13!
+    2.0876756987868098979e-09,  // 1/12!
+    2.5052108385441718775e-08,  // 1/11!
+    2.7557319223985890653e-07,  // 1/10!
+    2.7557319223985892511e-06,  // 1/9!
+    2.4801587301587301566e-05,  // 1/8!
+    1.9841269841269841253e-04,  // 1/7!
+    1.3888888888888889419e-03,  // 1/6!
+    8.3333333333333332177e-03,  // 1/5!
+    4.1666666666666664354e-02,  // 1/4!
+    1.6666666666666665741e-01,  // 1/3!
+    5.0000000000000000000e-01,  // 1/2!
+    1.0000000000000000000e+00,  // 1/1!
+    1.0000000000000000000e+00,  // 1/0!
+};
+
+inline double exp_scalar(double x) {
+  x = x < kExpLo ? kExpLo : x;
+  x = x > kExpHi ? kExpHi : x;
+  const double n = std::nearbyint(x * kLog2E);
+  double r = std::fma(n, -kLn2Hi, x);
+  r = std::fma(n, -kLn2Lo, r);
+  double p = kExpPoly[0];
+  for (std::size_t i = 1; i < sizeof(kExpPoly) / sizeof(kExpPoly[0]); ++i)
+    p = std::fma(r, p, kExpPoly[i]);
+  const double n1 = std::nearbyint(n * 0.5);
+  const double n2 = n - n1;
+  const double s1 = std::bit_cast<double>(
+      (static_cast<std::int64_t>(n1) + 1023) << 52);
+  const double s2 = std::bit_cast<double>(
+      (static_cast<std::int64_t>(n2) + 1023) << 52);
+  return (p * s1) * s2;
+}
+
+// ---- tanh: Cephes split at |x| = 0.625 ----
+//
+// |x| < 0.625: x + x*z*P(z)/Q(z), z = x^2 (Cephes tanh.c rational, ~2 ulp;
+// exact at 0 and first-order exact for tiny x, so no relative blowup near
+// the origin). |x| >= 0.625: 1 - 2/(e^{2|x|} + 1) with the sign reapplied —
+// no cancellation (the subtrahend is <= 0.446 there), error dominated by
+// exp_scalar's. Saturates to +-1 exactly once e^{2|x|} overflows.
+inline constexpr double kTanhSplit = 0.625;
+inline constexpr double kTanhP[] = {
+    -9.64399179425052238628e-1,
+    -9.92877231001918586564e1,
+    -1.61468768441708447952e3,
+};
+inline constexpr double kTanhQ[] = {
+    // leading coefficient 1.0 implied (p1evl)
+    1.12811678491632931402e2,
+    2.23548839060100448583e3,
+    4.84406305325125486048e3,
+};
+
+inline double tanh_scalar(double x) {
+  const double ax = std::fabs(x);
+  if (ax < kTanhSplit) {
+    const double z = x * x;
+    double pn = kTanhP[0];
+    pn = std::fma(z, pn, kTanhP[1]);
+    pn = std::fma(z, pn, kTanhP[2]);
+    double pd = z + kTanhQ[0];
+    pd = std::fma(z, pd, kTanhQ[1]);
+    pd = std::fma(z, pd, kTanhQ[2]);
+    return std::fma(x * z, pn / pd, x);
+  }
+  const double e = exp_scalar(ax + ax);
+  const double t = 1.0 - 2.0 / (e + 1.0);
+  return std::copysign(t, x);
+}
+
+// ---- sigmoid: 1 / (1 + e^{-x}) on the shared exp core ----
+// Monotone, no cancellation (e^{-x} > 0); underflow/overflow of the exp
+// saturate the result to exactly 1.0 / 0.0 at the domain edges.
+inline double sigmoid_scalar(double x) {
+  const double e = exp_scalar(-x);
+  return 1.0 / (1.0 + e);
+}
+
+// ---- FMA GEMM row kernel ----
+//
+// out [m,n] = a [m,k] @ b [k,n], row-major, each out[i][j] accumulated as an
+// ascending-p chain of fused multiply-adds. Per-element chains are
+// independent of the blocking, so ANY tile shape over (i, j) — including the
+// SIMD 8x16 / 4x8 tiles — produces bit-identical results to this plain
+// loop. Unlike the reference kernel there is deliberately NO zero-skip:
+// skipping would change nothing numerically (finite b), but the fast tier
+// trades the branch away for straight-line FMA throughput.
+inline void gemm_fma_rows(double* __restrict__ po, const double* __restrict__ pa,
+                          const double* __restrict__ pb, std::size_t m,
+                          std::size_t k, std::size_t n) {
+  constexpr std::size_t kBlock = 8;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* __restrict__ arow = pa + i * k;
+    double* __restrict__ orow = po + i * n;
+    std::size_t j0 = 0;
+    for (; j0 + kBlock <= n; j0 += kBlock) {
+      double acc[kBlock] = {0.0};
+      for (std::size_t p = 0; p < k; ++p) {
+        const double aip = arow[p];
+        const double* __restrict__ brow = pb + p * n + j0;
+        for (std::size_t jj = 0; jj < kBlock; ++jj)
+          acc[jj] = std::fma(aip, brow[jj], acc[jj]);
+      }
+      for (std::size_t jj = 0; jj < kBlock; ++jj) orow[j0 + jj] = acc[jj];
+    }
+    for (; j0 < n; ++j0) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc = std::fma(arow[p], pb[p * n + j0], acc);
+      orow[j0] = acc;
+    }
+  }
+}
+
+}  // namespace tsc::nn::fast_detail

@@ -1,0 +1,298 @@
+// SIMD implementations of the fast-tier kernels. This translation unit is
+// compiled with explicit ISA flags (see src/nn/CMakeLists.txt, TSC_FAST_TIER)
+// and is only ENTERED after simd_detail::runtime_supported() confirms the
+// running CPU has every feature the compiler was allowed to emit — callers
+// in kernels.cpp otherwise take the scalar fallback, which is written to be
+// bit-identical to these lanes (see kernels_scalar.hpp for the contract).
+//
+// Lane-for-lane identity with the scalar fallback:
+//  * _mm256_fmadd_pd == std::fma per lane (both correctly rounded fused ops).
+//  * _mm256_round_pd(NEAREST_INT|NO_EXC) == std::nearbyint under the default
+//    round-to-nearest FP environment (the only one the repo runs in).
+//  * min/max/and/or/blend are exact bit operations or exact selections.
+//  * Vector loop tails run the scalar functions directly — same arithmetic.
+//
+// The GEMM tiles produce bit-identical results to gemm_fma_rows because each
+// out[i][j]'s FMA chain is ascending-p regardless of how (i, j) is tiled.
+#include <cstddef>
+
+#include "src/nn/kernels_scalar.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace tsc::nn::simd_detail {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+bool runtime_supported() {
+  // Must cover every ISA extension the compiler could have used in this TU:
+  // with -march=native on an AVX-512 box the "AVX2" intrinsics below may be
+  // EVEX-encoded, so the AVX-512 feature bits are required too when the
+  // corresponding macros were defined at compile time.
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma"))
+    return false;
+#if defined(__AVX512F__)
+  if (!__builtin_cpu_supports("avx512f")) return false;
+#endif
+#if defined(__AVX512VL__)
+  if (!__builtin_cpu_supports("avx512vl")) return false;
+#endif
+#if defined(__AVX512DQ__)
+  if (!__builtin_cpu_supports("avx512dq")) return false;
+#endif
+#if defined(__AVX512BW__)
+  if (!__builtin_cpu_supports("avx512bw")) return false;
+#endif
+  return true;
+}
+
+namespace {
+
+using fast_detail::kExpHi;
+using fast_detail::kExpLo;
+using fast_detail::kExpPoly;
+using fast_detail::kLn2Hi;
+using fast_detail::kLn2Lo;
+using fast_detail::kLog2E;
+using fast_detail::kTanhP;
+using fast_detail::kTanhQ;
+using fast_detail::kTanhSplit;
+
+// 2^52 + 2^51: for |v| < 2^51, bits(v + kMagic) - bits(kMagic) == (int64)v
+// when v is integral — the classic exact double->int64 conversion that AVX2
+// lacks a direct instruction for.
+constexpr double kMagic = 6755399441055744.0;
+
+inline __m256i to_int64(__m256d v) {
+  const __m256d magic = _mm256_set1_pd(kMagic);
+  return _mm256_sub_epi64(_mm256_castpd_si256(_mm256_add_pd(v, magic)),
+                          _mm256_castpd_si256(magic));
+}
+
+inline __m256d exp4(__m256d x) {
+  x = _mm256_max_pd(x, _mm256_set1_pd(kExpLo));
+  x = _mm256_min_pd(x, _mm256_set1_pd(kExpHi));
+  const __m256d n =
+      _mm256_round_pd(_mm256_mul_pd(x, _mm256_set1_pd(kLog2E)),
+                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fmadd_pd(n, _mm256_set1_pd(-kLn2Hi), x);
+  r = _mm256_fmadd_pd(n, _mm256_set1_pd(-kLn2Lo), r);
+  __m256d p = _mm256_set1_pd(kExpPoly[0]);
+  for (std::size_t i = 1; i < sizeof(kExpPoly) / sizeof(kExpPoly[0]); ++i)
+    p = _mm256_fmadd_pd(r, p, _mm256_set1_pd(kExpPoly[i]));
+  const __m256d n1 =
+      _mm256_round_pd(_mm256_mul_pd(n, _mm256_set1_pd(0.5)),
+                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d n2 = _mm256_sub_pd(n, n1);
+  const __m256i bias = _mm256_set1_epi64x(1023);
+  const __m256d s1 = _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(to_int64(n1), bias), 52));
+  const __m256d s2 = _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(to_int64(n2), bias), 52));
+  return _mm256_mul_pd(_mm256_mul_pd(p, s1), s2);
+}
+
+inline __m256d sigmoid4(__m256d x) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d e = exp4(_mm256_xor_pd(x, sign));  // e^{-x}: exact negation
+  const __m256d one = _mm256_set1_pd(1.0);
+  return _mm256_div_pd(one, _mm256_add_pd(one, e));
+}
+
+inline __m256d tanh4(__m256d x) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d sign = _mm256_and_pd(x, sign_mask);
+  const __m256d ax = _mm256_andnot_pd(sign_mask, x);
+  // Small branch (|x| < 0.625): Cephes rational, uses signed x directly.
+  const __m256d z = _mm256_mul_pd(x, x);
+  __m256d pn = _mm256_set1_pd(kTanhP[0]);
+  pn = _mm256_fmadd_pd(z, pn, _mm256_set1_pd(kTanhP[1]));
+  pn = _mm256_fmadd_pd(z, pn, _mm256_set1_pd(kTanhP[2]));
+  __m256d pd = _mm256_add_pd(z, _mm256_set1_pd(kTanhQ[0]));
+  pd = _mm256_fmadd_pd(z, pd, _mm256_set1_pd(kTanhQ[1]));
+  pd = _mm256_fmadd_pd(z, pd, _mm256_set1_pd(kTanhQ[2]));
+  const __m256d small =
+      _mm256_fmadd_pd(_mm256_mul_pd(x, z), _mm256_div_pd(pn, pd), x);
+  // Large branch: 1 - 2/(e^{2|x|}+1), sign reapplied (the quotient is >= 0).
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d e = exp4(_mm256_add_pd(ax, ax));
+  const __m256d t =
+      _mm256_sub_pd(one, _mm256_div_pd(_mm256_set1_pd(2.0), _mm256_add_pd(e, one)));
+  const __m256d big = _mm256_or_pd(t, sign);
+  const __m256d use_small =
+      _mm256_cmp_pd(ax, _mm256_set1_pd(kTanhSplit), _CMP_LT_OQ);
+  return _mm256_blendv_pd(big, small, use_small);
+}
+
+}  // namespace
+
+void exp_inplace(double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(x + i, exp4(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) x[i] = fast_detail::exp_scalar(x[i]);
+}
+
+void tanh_inplace(double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(x + i, tanh4(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) x[i] = fast_detail::tanh_scalar(x[i]);
+}
+
+void sigmoid_inplace(double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(x + i, sigmoid4(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) x[i] = fast_detail::sigmoid_scalar(x[i]);
+}
+
+// ---- FMA GEMM ----------------------------------------------------------
+// Same tiling skeleton as tensor.cpp's matmul_into_batched, with fused
+// multiply-adds and no zero-skip. AVX-512 tiles when compiled for it
+// (this box), AVX2 4x8 tiles otherwise; every tile keeps each out[i][j]'s
+// chain ascending-p, so results are bit-identical to gemm_fma_rows.
+
+#if defined(__AVX512F__)
+
+namespace {
+
+inline void fma_tile_8x8(double* __restrict__ po, const double* __restrict__ pa,
+                         const double* __restrict__ pb, std::size_t i0,
+                         std::size_t j0, std::size_t k, std::size_t n) {
+  __m512d acc[8];
+  for (std::size_t r = 0; r < 8; ++r) acc[r] = _mm512_setzero_pd();
+  for (std::size_t p = 0; p < k; ++p) {
+    const __m512d brow = _mm512_loadu_pd(pb + p * n + j0);
+    for (std::size_t r = 0; r < 8; ++r) {
+      const __m512d av = _mm512_set1_pd(pa[(i0 + r) * k + p]);
+      acc[r] = _mm512_fmadd_pd(av, brow, acc[r]);
+    }
+  }
+  for (std::size_t r = 0; r < 8; ++r)
+    _mm512_storeu_pd(po + (i0 + r) * n + j0, acc[r]);
+}
+
+inline void fma_tile_8x16(double* __restrict__ po, const double* __restrict__ pa,
+                          const double* __restrict__ pb, std::size_t i0,
+                          std::size_t j0, std::size_t k, std::size_t n) {
+  __m512d acc[8][2];
+  for (std::size_t r = 0; r < 8; ++r) {
+    acc[r][0] = _mm512_setzero_pd();
+    acc[r][1] = _mm512_setzero_pd();
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const __m512d b0 = _mm512_loadu_pd(pb + p * n + j0);
+    const __m512d b1 = _mm512_loadu_pd(pb + p * n + j0 + 8);
+    for (std::size_t r = 0; r < 8; ++r) {
+      const __m512d av = _mm512_set1_pd(pa[(i0 + r) * k + p]);
+      acc[r][0] = _mm512_fmadd_pd(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_pd(av, b1, acc[r][1]);
+    }
+  }
+  for (std::size_t r = 0; r < 8; ++r) {
+    _mm512_storeu_pd(po + (i0 + r) * n + j0, acc[r][0]);
+    _mm512_storeu_pd(po + (i0 + r) * n + j0 + 8, acc[r][1]);
+  }
+}
+
+}  // namespace
+
+void gemm_fma(double* __restrict__ po, const double* __restrict__ pa,
+              const double* __restrict__ pb, std::size_t m, std::size_t k,
+              std::size_t n) {
+  std::size_t i0 = 0;
+  for (; i0 + 8 <= m; i0 += 8) {
+    std::size_t j0 = 0;
+    for (; j0 + 16 <= n; j0 += 16) fma_tile_8x16(po, pa, pb, i0, j0, k, n);
+    for (; j0 + 8 <= n; j0 += 8) fma_tile_8x8(po, pa, pb, i0, j0, k, n);
+    for (; j0 < n; ++j0) {  // ragged column tail: scalar fma chain
+      for (std::size_t r = 0; r < 8; ++r) {
+        const double* __restrict__ arow = pa + (i0 + r) * k;
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p)
+          acc = __builtin_fma(arow[p], pb[p * n + j0], acc);
+        po[(i0 + r) * n + j0] = acc;
+      }
+    }
+  }
+  if (i0 < m)  // row tail (< 8 rows): the shared scalar kernel
+    fast_detail::gemm_fma_rows(po + i0 * n, pa + i0 * k, pb, m - i0, k, n);
+}
+
+#else  // AVX2-only build of this TU
+
+namespace {
+
+inline void fma_tile_4x8(double* __restrict__ po, const double* __restrict__ pa,
+                         const double* __restrict__ pb, std::size_t i0,
+                         std::size_t j0, std::size_t k, std::size_t n) {
+  __m256d acc[4][2];
+  for (std::size_t r = 0; r < 4; ++r) {
+    acc[r][0] = _mm256_setzero_pd();
+    acc[r][1] = _mm256_setzero_pd();
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(pb + p * n + j0);
+    const __m256d b1 = _mm256_loadu_pd(pb + p * n + j0 + 4);
+    for (std::size_t r = 0; r < 4; ++r) {
+      const __m256d av = _mm256_set1_pd(pa[(i0 + r) * k + p]);
+      acc[r][0] = _mm256_fmadd_pd(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(av, b1, acc[r][1]);
+    }
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    _mm256_storeu_pd(po + (i0 + r) * n + j0, acc[r][0]);
+    _mm256_storeu_pd(po + (i0 + r) * n + j0 + 4, acc[r][1]);
+  }
+}
+
+}  // namespace
+
+void gemm_fma(double* __restrict__ po, const double* __restrict__ pa,
+              const double* __restrict__ pb, std::size_t m, std::size_t k,
+              std::size_t n) {
+  std::size_t i0 = 0;
+  for (; i0 + 4 <= m; i0 += 4) {
+    std::size_t j0 = 0;
+    for (; j0 + 8 <= n; j0 += 8) fma_tile_4x8(po, pa, pb, i0, j0, k, n);
+    for (; j0 < n; ++j0) {
+      for (std::size_t r = 0; r < 4; ++r) {
+        const double* __restrict__ arow = pa + (i0 + r) * k;
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p)
+          acc = __builtin_fma(arow[p], pb[p * n + j0], acc);
+        po[(i0 + r) * n + j0] = acc;
+      }
+    }
+  }
+  if (i0 < m) fast_detail::gemm_fma_rows(po + i0 * n, pa + i0 * k, pb, m - i0, k, n);
+}
+
+#endif  // __AVX512F__
+
+#else  // TU compiled without AVX2+FMA (non-x86 box or flags rejected):
+       // runtime_supported() says no, so these stubs are never entered via
+       // dispatch; they defer to the scalar kernels for safety anyway.
+
+bool runtime_supported() { return false; }
+
+void exp_inplace(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = fast_detail::exp_scalar(x[i]);
+}
+void tanh_inplace(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = fast_detail::tanh_scalar(x[i]);
+}
+void sigmoid_inplace(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = fast_detail::sigmoid_scalar(x[i]);
+}
+void gemm_fma(double* po, const double* pa, const double* pb, std::size_t m,
+              std::size_t k, std::size_t n) {
+  fast_detail::gemm_fma_rows(po, pa, pb, m, k, n);
+}
+
+#endif  // __AVX2__ && __FMA__
+
+}  // namespace tsc::nn::simd_detail

@@ -32,9 +32,13 @@ const Tensor& Linear::forward_inference(InferenceWorkspace& ws,
                                         const Tensor& x) const {
   assert(x.cols() == in_);
   Tensor& out = ws.acquire(x.rows(), out_);
-  // Both kernels are bit-identical (nn/tensor.hpp); the workspace selects
-  // the multi-row blocked one on the fleet-batched path.
-  if (ws.batched_gemm()) {
+  // Reference tier: both kernels are bit-identical (nn/tensor.hpp); the
+  // workspace selects the multi-row blocked one on the fleet-batched path.
+  // Fast tier: one FMA kernel for both paths, so fleet vs per-agent stays
+  // bit-identical within the tier.
+  if (ws.kernel_tier() == KernelTier::kFast) {
+    matmul_into_fast(out, x, weight.value);
+  } else if (ws.batched_gemm()) {
     matmul_into_batched(out, x, weight.value);
   } else {
     matmul_into(out, x, weight.value);
@@ -178,7 +182,11 @@ LstmCell::InferenceState LstmCell::forward_inference(InferenceWorkspace& ws,
   const std::size_t gate_cols = 4 * hidden_;
   Tensor& m1 = ws.acquire(batch, gate_cols);
   Tensor& m2 = ws.acquire(batch, gate_cols);
-  if (ws.batched_gemm()) {
+  const bool fast = ws.kernel_tier() == KernelTier::kFast;
+  if (fast) {
+    matmul_into_fast(m1, x, w_x.value);
+    matmul_into_fast(m2, h, w_h.value);
+  } else if (ws.batched_gemm()) {
     matmul_into_batched(m1, x, w_x.value);
     matmul_into_batched(m2, h, w_h.value);
   } else {
@@ -200,6 +208,37 @@ LstmCell::InferenceState LstmCell::forward_inference(InferenceWorkspace& ws,
   Tensor& h_new = ws.acquire(batch, hidden_);
   Tensor& c_new = ws.acquire(batch, hidden_);
   assert(&c != &c_new && &h != &h_new && &c != &h_new && &h != &c_new);
+  if (fast) {
+    // Fast tier: batch the gate nonlinearities over the contiguous spans the
+    // i|f|g|o gate-row layout already provides — sigmoid across [0, 2H)
+    // (i and f back to back), tanh across [2H, 3H), sigmoid across [3H, 4H)
+    // — then the c/h update with one more batched tanh over the fresh cell
+    // row (m2 is dead after the gate sum above, so its rows serve as the
+    // tanh scratch). The per-element c_new arithmetic (f*c + i*g, separate
+    // rounding) matches the reference loop exactly; all tier divergence
+    // comes from the vectorized transcendentals and the FMA GEMMs.
+    for (std::size_t r = 0; r < batch; ++r) {
+      double* grow = gates.data() + r * gate_cols;
+      const double* crow = c.data() + r * hidden_;
+      double* hrow = h_new.data() + r * hidden_;
+      double* crow_new = c_new.data() + r * hidden_;
+      double* scratch = m2.data() + r * gate_cols;
+      sigmoid_inplace_tier(grow, 2 * hidden_, KernelTier::kFast);
+      tanh_inplace_tier(grow + 2 * hidden_, hidden_, KernelTier::kFast);
+      sigmoid_inplace_tier(grow + 3 * hidden_, hidden_, KernelTier::kFast);
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const double fc = grow[hidden_ + j] * crow[j];
+        const double ig = grow[j] * grow[2 * hidden_ + j];
+        const double cn = fc + ig;
+        crow_new[j] = cn;
+        scratch[j] = cn;
+      }
+      tanh_inplace_tier(scratch, hidden_, KernelTier::kFast);
+      const double* orow = grow + 3 * hidden_;
+      for (std::size_t j = 0; j < hidden_; ++j) hrow[j] = orow[j] * scratch[j];
+    }
+    return {&h_new, &c_new};
+  }
   for (std::size_t r = 0; r < batch; ++r) {
     const double* grow = gates.data() + r * gate_cols;
     const double* crow = c.data() + r * hidden_;

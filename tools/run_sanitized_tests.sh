@@ -22,6 +22,9 @@
 #                           CSR dependency walk — raw index arithmetic)
 #   SensorModel            (env observation cache, obs_into_row raw-pointer
 #                           row packing, compat-flag semantics)
+#   KernelTiers            (SIMD fast-tier kernels: intrinsic lane loops,
+#                           raw-pointer tails, the force-scalar dispatch
+#                           atomic, and fast-tier end-to-end episodes)
 #   RunStore / FlatJson / Proc / AtomicCheckpoint / SweepExpansion /
 #   FleetEndToEnd          (fleet orchestrator: fork/exec + waitpid process
 #                           lifecycle, journal replay, atomic-rename
@@ -33,8 +36,8 @@
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath|SensorSnapshot|SensorModel|RunStore|FlatJson|Proc|AtomicCheckpoint|SweepExpansion|FleetEndToEnd'
-TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_invariant_seeding test_sim_hotpath test_sensor_model test_fleet_orchestrator tsc_fleet)
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath|SensorSnapshot|SensorModel|KernelTiers|RunStore|FlatJson|Proc|AtomicCheckpoint|SweepExpansion|FleetEndToEnd'
+TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_kernel_tiers test_invariant_seeding test_sim_hotpath test_sensor_model test_fleet_orchestrator tsc_fleet)
 
 run_one() {
   local preset="$1"
