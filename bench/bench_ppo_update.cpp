@@ -1,28 +1,42 @@
 // PPO-update throughput: samples processed per second across the update
-// configuration matrix — serial, per-sample shards and batched shards for
-// num_update_shards in {2, 4, 8} — on the paper's 6x6 grid.
+// configuration matrix — {tape, fused} backward paths x {serial, per-sample
+// shards, batched shards} for num_update_shards in {2, 4, 8} — on the
+// paper's 6x6 grid.
 //
 // Measures trainer.update() only (the sharded phase; rollout collection is
-// covered by bench_rollout_throughput). Each configuration gets a fresh
-// trainer with identical initial weights and collects the same seeded
-// batch, so rounds differ only in update layout. Per-sample shards perform
-// literally the same weight trajectory as serial (bit-identical gradients,
-// core/update_engine.hpp); batched shards track it within FP noise
-// (tests/test_update_modes.cpp).
+// covered by bench_rollout_throughput). Every configuration starts from
+// identical initial weights and consumes the same seeded batch (collected
+// once up front — the collection path does not depend on the update
+// configuration), so rounds differ only in update layout and backward path.
+// Per-sample shards perform literally the same weight trajectory as serial
+// (bit-identical gradients, core/update_engine.hpp); batched shards track it
+// within FP noise (tests/test_update_modes.cpp); the fused path is
+// bit-identical to the tape in every layout (tests/test_backward_path.cpp).
 //
-// Two distinct speedup sources, worth separating when reading results:
+// Three distinct speedup sources, worth separating when reading results:
 //   * threads - per-sample vs serial only wins via parallelism, so a 1-core
-//     box shows <= 1x there (hardware_concurrency is printed alongside);
+//     box shows <= 1x there (hardware_threads is printed alongside, and
+//     rows that request more shards than the box has threads are flagged
+//     thread_limited);
 //   * batching - batched shards replace `minibatch` single-row tapes with
 //     one multi-row tape per shard, so every Linear/LSTM matmul runs at
-//     rows = shard size instead of rows = 1. That cuts per-node tape
-//     overhead and wins even on 1 core (expect >= 2x over per-sample at
-//     minibatch 256).
+//     rows = shard size instead of rows = 1;
+//   * the fused path - drops tape-graph construction entirely (no per-node
+//     allocation/bookkeeping, analytic backward kernels into preallocated
+//     workspace slots; nn/backward.hpp). Wins on any core count; expect
+//     >= 2x over the tape at the same layout.
 // The minibatch is raised to 256 here (vs the training default) so shard
 // slices stay wide enough for the batching effect to dominate.
 //
 // Results land on stdout and in BENCH_ppo_update.json for machine
-// consumption.
+// consumption. The speedup column is relative to the first row (tape,
+// serial), so the fused serial row reads directly as the headline
+// fused-vs-tape gain.
+//
+// `--smoke` runs a tiny wiring check instead (4x4 grid): it asserts the
+// fused path's backward workspace reaches a zero-allocation steady state
+// after warmup, in both the serial and sharded engines. Wired into ctest
+// as bench_ppo_update_smoke.
 //
 // Knobs: PAIRUP_EPISODES (update rounds per configuration, default 3),
 // PAIRUP_EPISODE_SECONDS (default 600), PAIRUP_TIME_SCALE, PAIRUP_SEED.
@@ -41,14 +55,23 @@ namespace {
 using namespace tsc;
 
 struct Row {
+  core::UpdatePath path = core::UpdatePath::kTape;
   core::UpdateMode mode = core::UpdateMode::kSerial;
-  std::size_t num_update_shards = 0;
+  std::size_t num_update_shards = 0;  ///< requested
+  std::size_t effective_shards = 0;   ///< after the per-sample hw clamp
+  bool thread_limited = false;        ///< requested shards > hardware threads
   std::size_t batch_samples = 0;
   double wall_seconds = 0.0;
   double samples_per_sec = 0.0;
   double wall_per_update = 0.0;
   double speedup = 1.0;
 };
+
+std::string row_name(const Row& r) {
+  return std::string(bench::update_path_name(r.path)) + " " +
+         bench::update_mode_name(r.mode) + " x" +
+         std::to_string(r.num_update_shards);
+}
 
 void write_json(const std::string& path, const bench::HarnessConfig& config,
                 const core::PairUpConfig& pairup, const std::vector<Row>& rows) {
@@ -59,25 +82,28 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"ppo_update\",\n");
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"grid\": [%zu, %zu],\n", config.grid_rows, config.grid_cols);
   std::fprintf(f, "  \"episode_seconds\": %g,\n", config.episode_seconds);
   std::fprintf(f, "  \"rounds\": %zu,\n", config.episodes);
   std::fprintf(f, "  \"ppo_epochs\": %zu,\n", pairup.ppo.epochs);
   std::fprintf(f, "  \"minibatch\": %zu,\n", pairup.ppo.minibatch);
+  std::fprintf(f, "  \"baseline\": \"tape serial x1\",\n");
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"update_mode\": \"%s\", \"num_update_shards\": %zu, "
-                 "\"batch_samples\": %zu, "
+                 "    {\"update_path\": \"%s\", \"update_mode\": \"%s\", "
+                 "\"num_update_shards\": %zu, \"effective_shards\": %zu, "
+                 "\"thread_limited\": %s, \"batch_samples\": %zu, "
                  "\"wall_seconds\": %.6f, \"samples_per_sec\": %.2f, "
                  "\"wall_seconds_per_update\": %.6f, "
                  "\"speedup_vs_serial\": %.3f}%s\n",
-                 bench::update_mode_name(r.mode), r.num_update_shards,
-                 r.batch_samples, r.wall_seconds, r.samples_per_sec,
-                 r.wall_per_update, r.speedup,
+                 bench::update_path_name(r.path), bench::update_mode_name(r.mode),
+                 r.num_update_shards, r.effective_shards,
+                 r.thread_limited ? "true" : "false", r.batch_samples,
+                 r.wall_seconds, r.samples_per_sec, r.wall_per_update, r.speedup,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -85,9 +111,71 @@ void write_json(const std::string& path, const bench::HarnessConfig& config,
   std::printf("\nwrote %s\n", path.c_str());
 }
 
+// Wiring check for ctest: the fused backward workspace must stop allocating
+// once warm (every slot preallocated and reused), in both the serial path
+// and the sharded engine. Returns 0 on success, 1 on failure.
+int run_smoke() {
+  struct Case {
+    const char* name;
+    core::UpdateMode mode;
+    std::size_t num_shards;
+  };
+  const Case cases[] = {
+      {"serial", core::UpdateMode::kSerial, 1},
+      {"batched x2", core::UpdateMode::kBatchedShards, 2},
+  };
+  for (const Case& c : cases) {
+    bench::HarnessConfig config;
+    config.grid_rows = 4;  // smallest grid the flow patterns accept
+    config.grid_cols = 4;
+    config.episode_seconds = 60.0;
+    auto grid = bench::make_grid(config);
+    auto environment =
+        bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
+    core::PairUpConfig pairup = bench::make_pairup_config(config);
+    pairup.ppo.minibatch = 32;
+    pairup.update_mode = c.mode;
+    pairup.num_update_shards = c.num_shards;
+    pairup.update_path = core::UpdatePath::kFused;
+    core::PairUpLightTrainer trainer(environment.get(), pairup);
+
+    const auto collected = trainer.collect_rollouts(config.seed + 1000);
+    for (int warm = 0; warm < 2; ++warm) {
+      rl::RolloutBuffer batch = collected.buffer;
+      trainer.update(batch);
+    }
+    const std::size_t steady = trainer.update_alloc_events();
+    if (steady == 0) {
+      std::fprintf(stderr,
+                   "bench_ppo_update --smoke [%s]: fused path never touched "
+                   "the backward workspace\n",
+                   c.name);
+      return 1;
+    }
+    for (int round = 0; round < 2; ++round) {
+      rl::RolloutBuffer batch = collected.buffer;
+      trainer.update(batch);
+    }
+    const std::size_t after = trainer.update_alloc_events();
+    if (after != steady) {
+      std::fprintf(stderr,
+                   "bench_ppo_update --smoke [%s]: backward workspace kept "
+                   "allocating after warmup (%zu -> %zu events)\n",
+                   c.name, steady, after);
+      return 1;
+    }
+    std::printf("bench_ppo_update --smoke [%s]: ok (%zu warm alloc events, "
+                "0 steady-state)\n",
+                c.name, steady);
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") return run_smoke();
+
   bench::HarnessConfig defaults;
   defaults.episodes = 3;  // update rounds per configuration
   const bench::HarnessConfig config = bench::load_config(defaults);
@@ -95,42 +183,64 @@ int main() {
   core::PairUpConfig pairup_template = bench::make_pairup_config(config);
   pairup_template.ppo.minibatch = 256;  // wide shard slices (see file comment)
 
+  const unsigned hw = std::thread::hardware_concurrency();
   std::printf(
       "PPO update throughput, %zux%zu grid, %g s episodes, "
       "%zu update rounds per configuration, minibatch %zu\n"
-      "hardware_concurrency: %u\n\n",
+      "hardware_threads: %u\n\n",
       config.grid_rows, config.grid_cols, config.episode_seconds,
-      config.episodes, pairup_template.ppo.minibatch,
-      std::thread::hardware_concurrency());
+      config.episodes, pairup_template.ppo.minibatch, hw);
   bench::print_header("updater", {"samples/sec", "s/update", "speedup"});
 
   struct Config {
+    core::UpdatePath path;
     core::UpdateMode mode;
     std::size_t num_shards;
   };
-  std::vector<Config> configs = {{core::UpdateMode::kSerial, 1}};
-  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}})
-    configs.push_back({core::UpdateMode::kPerSampleShards, shards});
-  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}})
-    configs.push_back({core::UpdateMode::kBatchedShards, shards});
+  std::vector<Config> configs;
+  for (core::UpdatePath path : {core::UpdatePath::kTape, core::UpdatePath::kFused}) {
+    configs.push_back({path, core::UpdateMode::kSerial, 1});
+    for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}})
+      configs.push_back({path, core::UpdateMode::kPerSampleShards, shards});
+    for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}})
+      configs.push_back({path, core::UpdateMode::kBatchedShards, shards});
+  }
+
+  // Collect the seeded batch once: all trainers share identical initial
+  // weights (same seed) and the collection path does not depend on the
+  // update configuration, so every configuration would collect this exact
+  // buffer anyway.
+  auto collect_env =
+      bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
+  core::PairUpLightTrainer collector(collect_env.get(), pairup_template);
+  const auto collected = collector.collect_rollouts(config.seed + 1000);
 
   std::vector<Row> rows;
   for (const Config& c : configs) {
-    // Fresh env + trainer per configuration: identical initial weights and
-    // an identically seeded batch, so rounds differ only in update layout.
+    // Fresh env + trainer per configuration: identical initial weights, so
+    // rounds differ only in update layout and backward path.
     auto environment =
         bench::make_env(*grid, scenario::FlowPattern::kPattern1, config);
     core::PairUpConfig pairup_config = pairup_template;
     pairup_config.num_update_shards = c.num_shards;
     pairup_config.update_mode = c.mode;
+    pairup_config.update_path = c.path;
     core::PairUpLightTrainer trainer(environment.get(), pairup_config);
 
-    const auto collected = trainer.collect_rollouts(config.seed + 1000);
-
     Row row;
+    row.path = c.path;
     row.mode = c.mode;
     row.num_update_shards = c.num_shards;
+    row.effective_shards = trainer.update_shards();
+    row.thread_limited = hw != 0 && c.num_shards > hw;
     row.batch_samples = collected.buffer.total_samples();
+    {
+      // Untimed warmup round: lets every one-time cost (workspace slot
+      // allocation, thread-pool spin-up, page faults on fresh weights)
+      // land outside the measurement, for both paths alike.
+      rl::RolloutBuffer warmup = collected.buffer;
+      trainer.update(warmup);
+    }
     for (std::size_t r = 0; r < config.episodes; ++r) {
       // Each round updates a fresh copy: update() normalizes advantages in
       // place, and the copy keeps it outside the timed region.
@@ -150,8 +260,7 @@ int main() {
         rows.empty() ? 1.0 : row.samples_per_sec / rows.front().samples_per_sec;
     rows.push_back(row);
 
-    bench::print_row(std::string(bench::update_mode_name(c.mode)) + " x" +
-                         std::to_string(c.num_shards),
+    bench::print_row(row_name(row),
                      {row.samples_per_sec, row.wall_per_update, row.speedup});
   }
 

@@ -32,6 +32,17 @@ core::UpdateMode env_update_mode(const char* name, core::UpdateMode fallback) {
   return fallback;
 }
 
+core::UpdatePath env_update_path(const char* name, core::UpdatePath fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  if (s == "tape") return core::UpdatePath::kTape;
+  if (s == "fused") return core::UpdatePath::kFused;
+  log_warn(name, ": unknown update path \"", s,
+           "\" (want tape | fused), keeping default");
+  return fallback;
+}
+
 }  // namespace
 
 const char* update_mode_name(core::UpdateMode mode) {
@@ -39,6 +50,14 @@ const char* update_mode_name(core::UpdateMode mode) {
     case core::UpdateMode::kSerial: return "serial";
     case core::UpdateMode::kPerSampleShards: return "per_sample";
     case core::UpdateMode::kBatchedShards: return "batched";
+  }
+  return "unknown";
+}
+
+const char* update_path_name(core::UpdatePath path) {
+  switch (path) {
+    case core::UpdatePath::kTape: return "tape";
+    case core::UpdatePath::kFused: return "fused";
   }
   return "unknown";
 }
@@ -54,6 +73,7 @@ HarnessConfig load_config(HarnessConfig defaults) {
   config.num_update_shards = std::max<std::size_t>(
       1, env_size("PAIRUP_NUM_UPDATE_SHARDS", config.num_update_shards));
   config.update_mode = env_update_mode("PAIRUP_UPDATE_MODE", config.update_mode);
+  config.update_path = env_update_path("PAIRUP_UPDATE_PATH", config.update_path);
   config.inference_path =
       env_size("PAIRUP_INFERENCE", config.inference_path ? 1 : 0) != 0;
   config.fleet_batched =
@@ -68,6 +88,7 @@ core::PairUpConfig make_pairup_config(const HarnessConfig& config) {
   pairup.num_envs = config.num_envs;
   pairup.num_update_shards = config.num_update_shards;
   pairup.update_mode = config.update_mode;
+  pairup.update_path = config.update_path;
   pairup.inference_path = config.inference_path;
   pairup.fleet_batched = config.fleet_batched;
   pairup.kernel_tier = config.kernel_tier;

@@ -16,6 +16,11 @@
 //   PAIRUP_UPDATE_MODE  sharded-update layout: "serial", "per_sample"
 //                       (bit-identical to serial) or "batched" (default;
 //                       one batched pass per shard, tolerance-bounded)
+//   PAIRUP_UPDATE_PATH  PPO backward implementation: "fused" (default;
+//                       tape-free analytic backward, nn/backward.hpp) or
+//                       "tape" (autodiff oracle). Bit-identical either way
+//                       for every update mode and shard count
+//                       (tests/test_backward_path.cpp).
 //   PAIRUP_INFERENCE    1 (default) = tape-free inference path for rollout
 //                       and evaluation forwards; 0 = force the tape path
 //                       (bit-identical either way, see nn/inference.hpp)
@@ -54,6 +59,7 @@ struct HarnessConfig {
   std::size_t num_envs = 1;        ///< parallel rollout envs per train step
   std::size_t num_update_shards = 1;  ///< PPO-update shards per minibatch
   core::UpdateMode update_mode = core::UpdateMode::kBatchedShards;
+  core::UpdatePath update_path = core::UpdatePath::kFused;  ///< PPO backward
   bool inference_path = true;      ///< tape-free rollout/eval forwards
   bool fleet_batched = false;      ///< lockstep fleet-batched collection
   nn::KernelTier kernel_tier = nn::KernelTier::kReference;  ///< math kernels
@@ -62,6 +68,10 @@ struct HarnessConfig {
 /// Human-readable name of an UpdateMode ("serial" / "per_sample" /
 /// "batched"), matching what PAIRUP_UPDATE_MODE accepts.
 const char* update_mode_name(core::UpdateMode mode);
+
+/// Human-readable name of an UpdatePath ("tape" / "fused"), matching what
+/// PAIRUP_UPDATE_PATH accepts.
+const char* update_path_name(core::UpdatePath path);
 
 /// Reads the PAIRUP_* environment overrides on top of `defaults`.
 HarnessConfig load_config(HarnessConfig defaults);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/nn/backward.hpp"
 #include "src/nn/inference.hpp"
 
 namespace tsc::core {
@@ -77,6 +78,51 @@ CoordinatedActor::InferenceOutput CoordinatedActor::forward_inference(
 
   const Tensor& message = message_head_->forward_inference(ws, *state.h);
   return {&logits, &message, state.h, state.c};
+}
+
+const Tensor& CoordinatedActor::forward_train(
+    nn::BackwardWorkspace& ws, const Tensor& input, const Tensor& h,
+    const Tensor& c, const std::vector<std::size_t>& phase_counts,
+    TrainActivations& acts) const {
+  const std::size_t batch = input.rows();
+  assert(input.cols() == input_dim());
+  assert(phase_counts.size() == batch);
+
+  Tensor& x = const_cast<Tensor&>(embed_->forward_inference(ws.fwd(), input));
+  nn::tanh_inplace(x);
+  const LstmCell::TrainState st = lstm_->forward_train(ws, x, h, c);
+  Tensor& logits = const_cast<Tensor&>(policy_head_->forward_inference(ws.fwd(), *st.h));
+
+  // Mask invalid phases exactly like the tape path (add of 0.0 / -1e9).
+  bool needs_mask = false;
+  for (std::size_t pc : phase_counts)
+    if (pc < max_phases_) needs_mask = true;
+  if (needs_mask) {
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t p = 0; p < max_phases_; ++p)
+        logits.at(b, p) += p < phase_counts[b] ? 0.0 : -1e9;
+  }
+
+  acts = {&input, &h, &c, &x, st, &logits};
+  return logits;
+}
+
+void CoordinatedActor::backward_train(nn::BackwardWorkspace& ws,
+                                      const TrainActivations& acts,
+                                      const Tensor& dlogits,
+                                      Tensor* const* sinks) const {
+  const std::size_t rows = dlogits.rows();
+  // The mask add is a constant node: dlogits passes through unchanged. The
+  // message head contributes exact zeros everywhere (see forward_train), so
+  // the LSTM state gradient is the policy head's alone.
+  Tensor& dh = ws.acquire_zeroed(rows, hidden_);
+  policy_head_->backward_train(*acts.lstm.h, dlogits, *sinks[5], *sinks[6], &dh);
+  Tensor& dx = ws.acquire_zeroed(rows, hidden_);
+  lstm_->backward_train(ws, *acts.x, *acts.h_in, *acts.c_in, acts.lstm, dh,
+                        *sinks[2], *sinks[3], *sinks[4], &dx);
+  Tensor& dembed = ws.acquire_zeroed(rows, hidden_);
+  nn::tanh_backward_acc(dembed, dx, *acts.x);
+  embed_->backward_train(*acts.input, dembed, *sinks[0], *sinks[1], nullptr);
 }
 
 }  // namespace tsc::core

@@ -51,6 +51,41 @@ class CoordinatedActor : public tsc::nn::Module {
                                     const tsc::nn::Tensor& c,
                                     const std::vector<std::size_t>& phase_counts) const;
 
+  /// Activations retained by forward_train() for backward_train(). The
+  /// input/h/c pointers refer to the caller's tensors; the rest live in the
+  /// workspace (valid until its next begin_pass()).
+  struct TrainActivations {
+    const tsc::nn::Tensor* input = nullptr;
+    const tsc::nn::Tensor* h_in = nullptr;
+    const tsc::nn::Tensor* c_in = nullptr;
+    const tsc::nn::Tensor* x = nullptr;  ///< tanh(embed) [B, hidden]
+    tsc::nn::LstmCell::TrainState lstm;
+    const tsc::nn::Tensor* logits = nullptr;  ///< masked [B, max_phases]
+  };
+
+  /// Tape-free training forward: logits bit-identical to forward() /
+  /// forward_inference(). The message head is not evaluated — the PPO loss
+  /// never consumes it, so on the tape its output gradient is exactly zero
+  /// and its parameter gradients stay exactly +0.0, which skipping
+  /// reproduces bit-for-bit.
+  const tsc::nn::Tensor& forward_train(tsc::nn::BackwardWorkspace& ws,
+                                       const tsc::nn::Tensor& input,
+                                       const tsc::nn::Tensor& h,
+                                       const tsc::nn::Tensor& c,
+                                       const std::vector<std::size_t>& phase_counts,
+                                       TrainActivations& acts) const;
+
+  /// Analytic backward of forward_train(): `dlogits` is the loss gradient
+  /// w.r.t. the (masked) logits; parameter gradients accumulate into
+  /// `sinks`, ordered exactly like parameters(): [embed.w, embed.b,
+  /// lstm.w_x, lstm.w_h, lstm.bias, policy.w, policy.b, msg.w, msg.b]
+  /// (the last two are left untouched — see forward_train). Matmul weight
+  /// sinks must hold exactly +0.0. Bit-identical to Tape::backward over
+  /// forward()'s graph.
+  void backward_train(tsc::nn::BackwardWorkspace& ws, const TrainActivations& acts,
+                      const tsc::nn::Tensor& dlogits,
+                      tsc::nn::Tensor* const* sinks) const;
+
   std::size_t obs_dim() const { return obs_dim_; }
   std::size_t msg_dim() const { return msg_dim_; }
   std::size_t hidden_size() const { return hidden_; }

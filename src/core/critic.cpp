@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/nn/backward.hpp"
 #include "src/nn/inference.hpp"
 
 namespace tsc::core {
@@ -40,6 +41,35 @@ CentralizedCritic::InferenceOutput CentralizedCritic::forward_inference(
   const LstmCell::InferenceState state = lstm_->forward_inference(ws, x, h, c);
   const nn::Tensor& value = value_head_->forward_inference(ws, *state.h);
   return {&value, state.h, state.c};
+}
+
+const nn::Tensor& CentralizedCritic::forward_train(nn::BackwardWorkspace& ws,
+                                                   const nn::Tensor& input,
+                                                   const nn::Tensor& h,
+                                                   const nn::Tensor& c,
+                                                   TrainActivations& acts) const {
+  assert(input.cols() == input_dim_);
+  nn::Tensor& x = const_cast<nn::Tensor&>(embed_->forward_inference(ws.fwd(), input));
+  nn::tanh_inplace(x);
+  const LstmCell::TrainState st = lstm_->forward_train(ws, x, h, c);
+  const nn::Tensor& value = value_head_->forward_inference(ws.fwd(), *st.h);
+  acts = {&input, &h, &c, &x, st, &value};
+  return value;
+}
+
+void CentralizedCritic::backward_train(nn::BackwardWorkspace& ws,
+                                       const TrainActivations& acts,
+                                       const nn::Tensor& dvalues,
+                                       nn::Tensor* const* sinks) const {
+  const std::size_t rows = dvalues.rows();
+  nn::Tensor& dh = ws.acquire_zeroed(rows, hidden_);
+  value_head_->backward_train(*acts.lstm.h, dvalues, *sinks[5], *sinks[6], &dh);
+  nn::Tensor& dx = ws.acquire_zeroed(rows, hidden_);
+  lstm_->backward_train(ws, *acts.x, *acts.h_in, *acts.c_in, acts.lstm, dh,
+                        *sinks[2], *sinks[3], *sinks[4], &dx);
+  nn::Tensor& dembed = ws.acquire_zeroed(rows, hidden_);
+  nn::tanh_backward_acc(dembed, dx, *acts.x);
+  embed_->backward_train(*acts.input, dembed, *sinks[0], *sinks[1], nullptr);
 }
 
 }  // namespace tsc::core

@@ -42,6 +42,32 @@ class CentralizedCritic : public tsc::nn::Module {
                                     const tsc::nn::Tensor& h,
                                     const tsc::nn::Tensor& c) const;
 
+  /// Activations retained by forward_train() for backward_train().
+  struct TrainActivations {
+    const tsc::nn::Tensor* input = nullptr;
+    const tsc::nn::Tensor* h_in = nullptr;
+    const tsc::nn::Tensor* c_in = nullptr;
+    const tsc::nn::Tensor* x = nullptr;  ///< tanh(embed) [B, hidden]
+    tsc::nn::LstmCell::TrainState lstm;
+    const tsc::nn::Tensor* value = nullptr;  ///< [B, 1]
+  };
+
+  /// Tape-free training forward; value bit-identical to forward().
+  const tsc::nn::Tensor& forward_train(tsc::nn::BackwardWorkspace& ws,
+                                       const tsc::nn::Tensor& input,
+                                       const tsc::nn::Tensor& h,
+                                       const tsc::nn::Tensor& c,
+                                       TrainActivations& acts) const;
+
+  /// Analytic backward of forward_train(): `dvalues` [B, 1] is the loss
+  /// gradient w.r.t. the value; parameter gradients accumulate into `sinks`
+  /// in parameters() order: [embed.w, embed.b, lstm.w_x, lstm.w_h,
+  /// lstm.bias, value.w, value.b]. Matmul weight sinks must hold exactly
+  /// +0.0. Bit-identical to Tape::backward over forward()'s graph.
+  void backward_train(tsc::nn::BackwardWorkspace& ws, const TrainActivations& acts,
+                      const tsc::nn::Tensor& dvalues,
+                      tsc::nn::Tensor* const* sinks) const;
+
   std::size_t input_dim() const { return input_dim_; }
   std::size_t hidden_size() const { return hidden_; }
 

@@ -50,6 +50,23 @@ enum class UpdateMode {
   kBatchedShards,
 };
 
+/// Which backward implementation the PPO update runs. Orthogonal to
+/// UpdateMode: every shard layout supports both paths, and the two produce
+/// BIT-IDENTICAL losses, gradients, and weight trajectories (the fused
+/// kernels replay the tape's FP accumulation orders — nn/backward.hpp has
+/// the contract, tests/test_backward_path.cpp the pins).
+enum class UpdatePath {
+  /// Autodiff tape (nn/tape.hpp): per-minibatch graph construction, node
+  /// allocation, and closure dispatch. The oracle the fused path is pinned
+  /// against.
+  kTape,
+  /// Tape-free fused forward/backward (nn/backward.hpp): preallocated
+  /// workspace slots, hand-written analytic kernels, gradients accumulated
+  /// straight into the per-slot sinks. Same numbers, ~2x+ update
+  /// throughput.
+  kFused,
+};
+
 struct PairUpConfig {
   rl::PpoConfig ppo;
   std::size_t hidden = 64;
@@ -103,6 +120,12 @@ struct PairUpConfig {
   /// exactly (tests/test_update_modes.cpp); select kPerSampleShards to keep
   /// the bit-identical guarantee at the cost of rows = 1 matmuls.
   UpdateMode update_mode = UpdateMode::kBatchedShards;
+  /// Backward implementation of the PPO update (env: PAIRUP_UPDATE_PATH =
+  /// tape|fused). kFused (default) runs the tape-free analytic backward —
+  /// bit-identical to the tape for every update_mode and shard count, so
+  /// all goldens exercise it; kTape keeps the autodiff tape (the oracle,
+  /// for A-B comparison and the bitwise pins).
+  UpdatePath update_path = UpdatePath::kFused;
   /// Rollout/evaluation forwards run on the tape-free inference path
   /// (nn/inference.hpp): preallocated workspace buffers, no autodiff
   /// bookkeeping, bit-identical actions/logits/messages/values

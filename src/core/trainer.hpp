@@ -113,6 +113,23 @@ class PairUpLightTrainer {
   /// steady-state-allocation property via alloc_events().
   const nn::InferenceWorkspace& inference_workspace() const { return workspace_; }
 
+  /// Allocation events across every backward workspace of the fused update
+  /// path (the serial workspace plus all shard workspaces). Like
+  /// inference_workspace().alloc_events(), flat once minibatch shapes
+  /// stabilize; exactly 0 grows when update_path == kTape.
+  std::size_t update_alloc_events() const {
+    return update_workspace_.alloc_events() +
+           (updater_ ? updater_->backward_alloc_events() : 0);
+  }
+
+  /// Effective shard count of the PPO update: the constructor clamps
+  /// kPerSampleShards requests beyond the hardware thread count (the
+  /// per-sample layout is bit-identical across shard counts, so clamping
+  /// only removes oversubscription). 1 on the serial path.
+  std::size_t update_shards() const {
+    return updater_ ? updater_->num_shards() : 1;
+  }
+
   /// Engine backing the fleet-batched collection path, or null unless
   /// config.fleet_batched. Exposed so tests can assert the fleet extension
   /// of the allocation contract via FleetRolloutEngine::alloc_events().
@@ -198,6 +215,10 @@ class PairUpLightTrainer {
   /// Per-update packed sample rows (built once per update_model call and
   /// shared by every epoch's minibatches; capacity pinned across updates).
   PackedSampleBlock sample_block_;
+  /// Activation/gradient buffers for the serial fused update path
+  /// (update_path == kFused, num_update_shards == 1). Shard workspaces live
+  /// inside updater_.
+  nn::BackwardWorkspace update_workspace_;
   /// Built only when config.num_envs > 1 and not fleet_batched.
   std::unique_ptr<rl::ParallelRolloutCollector<RolloutWorker>> collector_;
   /// Fleet-batched collection (config.fleet_batched): the engine runs the

@@ -193,8 +193,27 @@ double serial_minibatch_update(UpdateContext& ctx,
   CoordinatedActor& actor = *ctx.actor;
   CentralizedCritic& critic = *ctx.critic;
   const PairUpConfig& config = *ctx.config;
-  Tape& tape = *ctx.tape;
   const std::size_t batch = end - begin;
+
+  if (config.update_path == UpdatePath::kFused) {
+    assert(ctx.backward != nullptr);
+    // zero_grad seeds every sink with exact +0.0, as the fused matmul_tn
+    // accumulation requires; clip + step are the tape path's own calls.
+    actor.zero_grad();
+    critic.zero_grad();
+    std::vector<Tensor*> sinks;
+    sinks.reserve(ctx.params.size());
+    for (nn::Parameter* p : ctx.params) sinks.push_back(&p->grad);
+    const std::size_t actor_count = actor.parameters().size();
+    const double loss = fused_shard_loss_and_grads(
+        *ctx.backward, actor, critic, samples, order, begin, end, batch,
+        config, ctx.block, sinks.data(), sinks.data() + actor_count);
+    nn::clip_grad_norm(ctx.params, config.ppo.max_grad_norm);
+    ctx.optim->step();
+    return loss;
+  }
+
+  Tape& tape = *ctx.tape;
 
   std::vector<std::size_t> actions(batch), phase_counts(batch);
   std::vector<double> old_logp(batch), advantages(batch), returns(batch);
@@ -305,6 +324,89 @@ double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
   return tape.value(loss)[0];
 }
 
+double fused_shard_loss_and_grads(nn::BackwardWorkspace& ws,
+                                  CoordinatedActor& actor,
+                                  CentralizedCritic& critic,
+                                  const std::vector<const rl::Sample*>& samples,
+                                  const std::vector<std::size_t>& order,
+                                  std::size_t begin, std::size_t end,
+                                  std::size_t batch, const PairUpConfig& config,
+                                  const PackedSampleBlock* block,
+                                  nn::Tensor* const* actor_sinks,
+                                  nn::Tensor* const* critic_sinks) {
+  assert(begin < end && end <= order.size());
+  const std::size_t rows = end - begin;
+  const std::size_t hidden = actor.hidden_size();
+
+  std::vector<std::size_t> actions(rows), phase_counts(rows);
+  std::vector<double> old_logp(rows), advantages(rows), returns(rows);
+  gather_scalars(samples, block, order, begin, rows, actions, phase_counts,
+                 old_logp, advantages, returns);
+
+  // Fixed acquisition sequence per pass — after the first minibatch of a
+  // shape, the workspace recycles every slot (alloc_events() flatlines).
+  ws.begin_pass();
+  Tensor& input = ws.acquire(rows, actor.input_dim());
+  Tensor& h_a = ws.acquire(rows, hidden);
+  Tensor& c_a = ws.acquire(rows, hidden);
+  Tensor& v_input = ws.acquire(rows, critic.input_dim());
+  Tensor& h_v = ws.acquire(rows, hidden);
+  Tensor& c_v = ws.acquire(rows, hidden);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t src = order[begin + r];
+    if (block != nullptr) {
+      std::copy(block->obs_row(src), block->obs_row(src) + block->obs_dim(),
+                input.data() + r * block->obs_dim());
+      std::copy(block->h_actor_row(src),
+                block->h_actor_row(src) + block->hidden(),
+                h_a.data() + r * hidden);
+      std::copy(block->c_actor_row(src),
+                block->c_actor_row(src) + block->hidden(),
+                c_a.data() + r * hidden);
+      std::copy(block->critic_obs_row(src),
+                block->critic_obs_row(src) + block->critic_dim(),
+                v_input.data() + r * block->critic_dim());
+      std::copy(block->h_critic_row(src),
+                block->h_critic_row(src) + block->hidden(),
+                h_v.data() + r * hidden);
+      std::copy(block->c_critic_row(src),
+                block->c_critic_row(src) + block->hidden(),
+                c_v.data() + r * hidden);
+    } else {
+      const rl::Sample& s = *samples[src];
+      assert(s.obs.size() == actor.input_dim());
+      assert(s.critic_obs.size() == critic.input_dim());
+      std::copy(s.obs.begin(), s.obs.end(),
+                input.data() + r * actor.input_dim());
+      std::copy(s.h_actor.begin(), s.h_actor.end(), h_a.data() + r * hidden);
+      std::copy(s.c_actor.begin(), s.c_actor.end(), c_a.data() + r * hidden);
+      std::copy(s.critic_obs.begin(), s.critic_obs.end(),
+                v_input.data() + r * critic.input_dim());
+      std::copy(s.h_critic.begin(), s.h_critic.end(), h_v.data() + r * hidden);
+      std::copy(s.c_critic.begin(), s.c_critic.end(), c_v.data() + r * hidden);
+    }
+  }
+
+  CoordinatedActor::TrainActivations a_acts;
+  const Tensor& logits =
+      actor.forward_train(ws, input, h_a, c_a, phase_counts, a_acts);
+  CentralizedCritic::TrainActivations c_acts;
+  const Tensor& values = critic.forward_train(ws, v_input, h_v, c_v, c_acts);
+
+  Tensor& p = ws.acquire(rows, actor.max_phases());
+  Tensor& logp = ws.acquire(rows, actor.max_phases());
+  Tensor& dlogits = ws.acquire(rows, actor.max_phases());
+  Tensor& dvalues = ws.acquire(rows, 1);
+  const double loss =
+      rl::fused_ppo_loss_grad(logits, values, actions, old_logp, advantages,
+                              returns, batch, config.ppo, p, logp, dlogits,
+                              dvalues);
+
+  actor.backward_train(ws, a_acts, dlogits, actor_sinks);
+  critic.backward_train(ws, c_acts, dvalues, critic_sinks);
+  return loss;
+}
+
 ParallelUpdateEngine::ParallelUpdateEngine(std::size_t num_shards,
                                            UpdateMode mode)
     : num_shards_(std::max<std::size_t>(2, num_shards)),
@@ -312,8 +414,17 @@ ParallelUpdateEngine::ParallelUpdateEngine(std::size_t num_shards,
       pool_(num_shards_) {
   assert(mode_ != UpdateMode::kSerial);
   shard_tapes_.reserve(num_shards_);
-  for (std::size_t s = 0; s < num_shards_; ++s)
+  shard_ws_.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
     shard_tapes_.push_back(std::make_unique<Tape>());
+    shard_ws_.push_back(std::make_unique<nn::BackwardWorkspace>());
+  }
+}
+
+std::size_t ParallelUpdateEngine::backward_alloc_events() const {
+  std::size_t total = 0;
+  for (const auto& ws : shard_ws_) total += ws->alloc_events();
+  return total;
 }
 
 void ParallelUpdateEngine::ensure_buffers(
@@ -346,6 +457,9 @@ double ParallelUpdateEngine::run_minibatch(
   const bool per_sample = mode_ == UpdateMode::kPerSampleShards;
   const std::size_t num_slots = per_sample ? batch : num_shards_;
   ensure_buffers(ctx.params, num_slots);
+  const bool fused = ctx.config->update_path == UpdatePath::kFused;
+  const std::size_t actor_sink_count =
+      fused ? ctx.actor->parameters().size() : 0;
 
   // Contiguous shard ranges; each gradient slot is touched by exactly one
   // worker, and the weights are only read until every future resolves.
@@ -359,7 +473,37 @@ double ParallelUpdateEngine::run_minibatch(
       continue;
     }
     futures.push_back(pool_.submit([this, &ctx, &samples, &order, begin, batch,
-                                    shard, lo, hi, per_sample]() {
+                                    shard, lo, hi, per_sample, fused,
+                                    actor_sink_count]() {
+      // Fused path: gradients flow straight into the slot tensors as sinks
+      // (same slots the tape path redirects into), so the ordered fold —
+      // and hence the per-mode determinism contract — is unchanged.
+      std::vector<Tensor*> sinks(fused ? ctx.params.size() : 0);
+      auto point_sinks_at = [&](std::vector<Tensor>& slots) {
+        for (std::size_t k = 0; k < ctx.params.size(); ++k) {
+          slots[k].fill(0.0);
+          sinks[k] = &slots[k];
+        }
+      };
+      if (fused) {
+        nn::BackwardWorkspace& ws = *shard_ws_[shard];
+        if (per_sample) {
+          for (std::size_t b = lo; b < hi; ++b) {
+            point_sinks_at(slot_grads_[b]);
+            slot_losses_[b] = fused_shard_loss_and_grads(
+                ws, *ctx.actor, *ctx.critic, samples, order, begin + b,
+                begin + b + 1, batch, *ctx.config, ctx.block, sinks.data(),
+                sinks.data() + actor_sink_count);
+          }
+        } else {
+          point_sinks_at(slot_grads_[shard]);
+          slot_losses_[shard] = fused_shard_loss_and_grads(
+              ws, *ctx.actor, *ctx.critic, samples, order, begin + lo,
+              begin + hi, batch, *ctx.config, ctx.block, sinks.data(),
+              sinks.data() + actor_sink_count);
+        }
+        return;
+      }
       Tape& tape = *shard_tapes_[shard];
       nn::Tape::GradRedirects redirects;
       redirects.reserve(ctx.params.size());

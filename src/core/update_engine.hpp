@@ -41,6 +41,18 @@
 // tolerance-bounded against the serial fold, which is why this mode has a
 // pinned numerical-equivalence test (tests/test_update_modes.cpp) rather
 // than a bitwise golden.
+//
+// The backward implementation is orthogonal to the layout
+// (UpdatePath, default kFused): the fused path computes the same gradients
+// with hand-written analytic kernels into preallocated BackwardWorkspace
+// slots instead of building a tape graph, replaying the tape's
+// floating-point accumulation orders exactly, so every determinism
+// statement above carries over bit-for-bit (nn/backward.hpp states the
+// per-kernel replay contracts; tests/test_backward_path.cpp pins
+// tape-vs-fused equality per layout and over whole training runs). The
+// fused workers write into the same per-sample / per-shard slot tensors
+// the tape path grad-redirects into, so the ordered fold on the calling
+// thread is literally shared code.
 #pragma once
 
 #include <cstddef>
@@ -50,6 +62,7 @@
 #include "src/core/actor.hpp"
 #include "src/core/critic.hpp"
 #include "src/core/rollout_engine.hpp"
+#include "src/nn/backward.hpp"
 #include "src/nn/optim.hpp"
 #include "src/nn/tape.hpp"
 #include "src/rl/rollout.hpp"
@@ -110,6 +123,9 @@ struct UpdateContext {
   /// Optional pre-packed inputs (built once per update). When set, minibatch
   /// packing reads rows from here instead of the samples.
   const PackedSampleBlock* block = nullptr;
+  /// Workspace for the serial fused (tape-free) path; required when
+  /// config->update_path == UpdatePath::kFused and num_update_shards == 1.
+  nn::BackwardWorkspace* backward = nullptr;
 };
 
 /// One minibatch of the historical batched PPO update: a single batched
@@ -148,6 +164,27 @@ double shard_loss_and_grads(nn::Tape& tape, CoordinatedActor& actor,
                             std::size_t batch, const PairUpConfig& config,
                             const PackedSampleBlock* block = nullptr);
 
+/// Tape-free equivalent of shard_loss_and_grads (rows == 1 also covers
+/// sample_loss_and_grads): one fused forward + analytic backward over
+/// samples[order[begin..end)] as its (end-begin)/`batch` minibatch share,
+/// with NO tape — activations live in `ws` slots (zero steady-state
+/// allocations) and parameter gradients accumulate directly into
+/// `actor_sinks` / `critic_sinks` (one tensor per parameter in each
+/// module's parameters() order; matmul weight sinks must be zeroed by the
+/// caller). Loss and gradients are bit-identical to the tape functions
+/// above — every kernel replays the tape's FP accumulation order (see
+/// nn/backward.hpp; pinned by tests/test_backward_path.cpp).
+double fused_shard_loss_and_grads(nn::BackwardWorkspace& ws,
+                                  CoordinatedActor& actor,
+                                  CentralizedCritic& critic,
+                                  const std::vector<const rl::Sample*>& samples,
+                                  const std::vector<std::size_t>& order,
+                                  std::size_t begin, std::size_t end,
+                                  std::size_t batch, const PairUpConfig& config,
+                                  const PackedSampleBlock* block,
+                                  nn::Tensor* const* actor_sinks,
+                                  nn::Tensor* const* critic_sinks);
+
 /// Shards each minibatch's forward/backward work across a reusable thread
 /// pool (contiguous sample ranges, one scratch tape per shard), then
 /// reduces the gradient slots in a fixed order on the calling thread before
@@ -174,6 +211,12 @@ class ParallelUpdateEngine {
                        const std::vector<std::size_t>& order,
                        std::size_t begin, std::size_t end);
 
+  /// Total allocation events across the per-shard backward workspaces
+  /// (fused path only; 0 when running the tape path). Stops increasing
+  /// once minibatch shapes stabilize — the zero-steady-state-allocation
+  /// contract asserted by tests and bench_ppo_update --smoke.
+  std::size_t backward_alloc_events() const;
+
  private:
   void ensure_buffers(const std::vector<nn::Parameter*>& params,
                       std::size_t num_slots);
@@ -182,6 +225,9 @@ class ParallelUpdateEngine {
   UpdateMode mode_;
   util::ThreadPool pool_;
   std::vector<std::unique_ptr<nn::Tape>> shard_tapes_;
+  /// One backward workspace per shard (fused path); created lazily-never —
+  /// eagerly in the ctor, like the shard tapes.
+  std::vector<std::unique_ptr<nn::BackwardWorkspace>> shard_ws_;
   /// slot_grads_[i][k]: gradient slot i's tensor for params[k]. One slot per
   /// sample (kPerSampleShards) or per shard (kBatchedShards).
   std::vector<std::vector<nn::Tensor>> slot_grads_;

@@ -1,0 +1,183 @@
+// Backward kernels for the tape-free training path. Every loop replays the
+// corresponding Tape backward closure (nn/tape.cpp) and the matmul_nt /
+// matmul_tn kernels (nn/tensor.cpp) expression-for-expression — see the
+// contract in backward.hpp. Built with the tensor.cpp flag set
+// (-O3 -march=native -ffp-contract=off) so vectorization never introduces
+// FMA contraction or reassociation.
+#include "src/nn/backward.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace tsc::nn {
+
+void backward_matmul_nt_acc(Tensor& dx, const Tensor& dy, const Tensor& w) {
+  const std::size_t m = dy.rows();
+  const std::size_t n = dy.cols();
+  const std::size_t k = w.rows();  // dx is [m, k], w is [k, n]
+  const double* pg = dy.data();
+  const double* pw = w.data();
+  double* po = dx.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* grow = pg + i * n;
+    double* orow = po + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      // matmul_nt's sequential ascending dot, then the tape's single +=.
+      const double* wrow = pw + j * n;
+      double s = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        s += grow[p] * wrow[p];
+      }
+      orow[j] += s;
+    }
+  }
+}
+
+void backward_matmul_tn_acc(Tensor& dw, const Tensor& x, const Tensor& dy) {
+  const std::size_t m = x.rows();
+  const std::size_t k = x.cols();  // dw is [k, n]
+  const std::size_t n = dy.cols();
+  const double* px = x.data();
+  const double* pg = dy.data();
+  double* po = dw.data();
+  for (std::size_t p = 0; p < m; ++p) {
+    const double* xrow = px + p * k;
+    const double* grow = pg + p * n;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double xpi = xrow[i];
+      if (xpi == 0.0) {
+        continue;  // matmul_tn's zero-skip on the activation
+      }
+      double* orow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        orow[j] += xpi * grow[j];
+      }
+    }
+  }
+}
+
+void backward_bias_acc(Tensor& db, const Tensor& dy) {
+  const std::size_t rows = dy.rows();
+  const std::size_t cols = dy.cols();
+  const double* pg = dy.data();
+  double* pb = db.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* grow = pg + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      pb[c] += grow[c];
+    }
+  }
+}
+
+void relu_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y) {
+  const std::size_t n = y.size();
+  const double* pg = g.data();
+  const double* py = y.data();
+  double* po = dx.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (py[i] > 0.0) {
+      po[i] += pg[i];
+    }
+  }
+}
+
+void tanh_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y) {
+  const std::size_t n = y.size();
+  const double* pg = g.data();
+  const double* py = y.data();
+  double* po = dx.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] += pg[i] * (1.0 - py[i] * py[i]);
+  }
+}
+
+void sigmoid_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y) {
+  const std::size_t n = y.size();
+  const double* pg = g.data();
+  const double* py = y.data();
+  double* po = dx.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] += pg[i] * py[i] * (1.0 - py[i]);
+  }
+}
+
+void softmax_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y) {
+  const std::size_t rows = y.rows();
+  const std::size_t cols = y.cols();
+  const double* pg = g.data();
+  const double* py = y.data();
+  double* po = dx.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* grow = pg + r * cols;
+    const double* yrow = py + r * cols;
+    double* orow = po + r * cols;
+    double dot = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      dot += grow[c] * yrow[c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      orow[c] += yrow[c] * (grow[c] - dot);
+    }
+  }
+}
+
+void log_softmax_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y) {
+  const std::size_t rows = y.rows();
+  const std::size_t cols = y.cols();
+  const double* pg = g.data();
+  const double* py = y.data();
+  double* po = dx.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* grow = pg + r * cols;
+    const double* yrow = py + r * cols;
+    double* orow = po + r * cols;
+    double gsum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      gsum += grow[c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      orow[c] += grow[c] - std::exp(yrow[c]) * gsum;
+    }
+  }
+}
+
+void lstm_backward_gates(Tensor& dgates, const Tensor& dh, const Tensor& gates,
+                         const Tensor& tanh_c, const Tensor& c_in,
+                         std::size_t hidden) {
+  const std::size_t rows = dh.rows();
+  const double* pdh = dh.data();
+  const double* pgt = gates.data();
+  const double* ptc = tanh_c.data();
+  const double* pc = c_in.data();
+  double* po = dgates.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* dhrow = pdh + r * hidden;
+    const double* grow = pgt + r * 4 * hidden;
+    const double* tcrow = ptc + r * hidden;
+    const double* crow = pc + r * hidden;
+    double* orow = po + r * 4 * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const double iv = grow[j];
+      const double fv = grow[hidden + j];
+      const double gv = grow[2 * hidden + j];
+      const double ov = grow[3 * hidden + j];
+      const double tc = tcrow[j];
+      const double dhv = dhrow[j];
+      // The `0.0 +` adds are the tape's node-grad seeds (`grad += term`
+      // onto a zero tensor): they flush -0.0 to +0.0 before the value is
+      // multiplied downstream, which bit-identity requires.
+      const double go = 0.0 + dhv * tc;            // h = mul(o, tanh_c)
+      const double gtc = 0.0 + dhv * ov;
+      const double gcn = 0.0 + gtc * (1.0 - tc * tc);  // tanh backward
+      const double gi = 0.0 + gcn * gv;            // ig = mul(i, g)
+      const double gg = 0.0 + gcn * iv;
+      const double gf = 0.0 + gcn * crow[j];       // fc = mul(f, c_in)
+      orow[j] = 0.0 + gi * iv * (1.0 - iv);        // sigmoid backwards
+      orow[hidden + j] = 0.0 + gf * fv * (1.0 - fv);
+      orow[2 * hidden + j] = 0.0 + gg * (1.0 - gv * gv);  // tanh backward
+      orow[3 * hidden + j] = 0.0 + go * ov * (1.0 - ov);
+    }
+  }
+}
+
+}  // namespace tsc::nn

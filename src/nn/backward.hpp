@@ -1,0 +1,150 @@
+// Tape-free fused backward path for training: preallocated workspace plus
+// hand-written analytic backward kernels that replay the tape's exact
+// floating-point accumulation orders.
+//
+// This is the training-side counterpart of nn/inference.hpp. The autodiff
+// tape (nn/tape.hpp) pays, per minibatch, for graph construction (one node
+// per op), per-node value/grad tensor allocation, a copy of every weight
+// matrix (Tape::param copies the Parameter value into its node), and a
+// std::function dispatch per backward closure. None of that is needed for
+// the fixed actor/critic/PPO graph the update runs: the BackwardWorkspace
+// holds every activation and gradient buffer behind stable slots handed out
+// in acquisition order (begin_pass() rewinds the cursor), and the kernels
+// below compute the same gradients the tape would, directly into the
+// caller's gradient sinks.
+//
+// Bit-identity contract. Every kernel replays the corresponding Tape
+// backward closure's loop structure exactly:
+//   * backward_matmul_nt_acc runs matmul_nt's sequential ascending-k dot
+//     per output element and then adds the result — the same value the
+//     tape's `grad += matmul_nt(g, B)` contributes, in the same order.
+//   * backward_matmul_tn_acc runs matmul_tn's p-outer accumulation
+//     (ascending batch rows, zero-skip on the activation) directly into the
+//     sink. The sink must hold exactly +0.0 where this product is its first
+//     contribution (all call sites: parameters are consumed once per
+//     forward), which makes direct accumulation bitwise equal to the tape's
+//     temp-then-+= — a +0.0-seeded running sum can never become -0.0, so
+//     the tape's extra `0.0 + temp` add is the identity.
+//   * The element-wise kernels use the tape closures' exact expressions and
+//     association (e.g. sigmoid: `(g*y)*(1-y)`; square: `(2*g)*va`).
+// Intermediate node gradients in the tape are materialized as
+// `0.0 + term` (the += onto a zero-initialized grad); where a kernel folds
+// a chain of such nodes, it keeps those flushes explicit (`0.0 + x`
+// normalizes -0.0 to +0.0, which matters when the value is later
+// multiplied). tests/test_backward_path.cpp pins all of this bitwise
+// against the tape and against central differences.
+//
+// This translation unit builds with the same flags as nn/tensor.cpp
+// (-O3 -march=native -ffp-contract=off): vectorization without FMA
+// contraction or reassociation, so the strict IEEE per-op rounding the
+// contract depends on is preserved.
+#pragma once
+
+#include <cstddef>
+
+#include "src/nn/inference.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace tsc::nn {
+
+/// Preallocated activation + gradient buffers for the tape-free training
+/// path. Thin wrapper over an InferenceWorkspace (the forward half of a
+/// training pass reuses the inference kernels, which are bit-identical to
+/// the tape), with the same zero-steady-state-allocation contract:
+/// alloc_events() stops increasing once the acquisition sequence has
+/// stabilized. One workspace per thread — the sharded update engine gives
+/// every worker its own.
+class BackwardWorkspace {
+ public:
+  BackwardWorkspace() {
+    // Training forwards run the batched GEMM kernel (bit-identical to the
+    // reference kernel; see nn/tensor.hpp) — the update's matrices are
+    // minibatch-tall, which is exactly what it is blocked for. The kernel
+    // tier stays kReference: training is always bit-exact.
+    fwd_.set_batched_gemm(true);
+  }
+  BackwardWorkspace(const BackwardWorkspace&) = delete;
+  BackwardWorkspace& operator=(const BackwardWorkspace&) = delete;
+
+  /// The forward-side workspace (layer forward_inference calls route
+  /// through it; its slots share this workspace's lifetime and counter).
+  InferenceWorkspace& fwd() { return fwd_; }
+
+  /// Rewinds the slot cursor; the next acquire() reuses the first slot.
+  void begin_pass() { fwd_.begin_pass(); }
+
+  /// Next buffer, reshaped to [rows, cols]; contents unspecified.
+  Tensor& acquire(std::size_t rows, std::size_t cols) {
+    return fwd_.acquire(rows, cols);
+  }
+
+  /// acquire() + fill(0.0) — for gradient accumulators.
+  Tensor& acquire_zeroed(std::size_t rows, std::size_t cols) {
+    Tensor& t = fwd_.acquire(rows, cols);
+    t.fill(0.0);
+    return t;
+  }
+
+  /// Allocation events (slot creations + backing-storage growth). Zero
+  /// across steady-state epochs/minibatches — asserted by
+  /// tests/test_backward_path.cpp and bench_ppo_update --smoke.
+  std::size_t alloc_events() const { return fwd_.alloc_events(); }
+  std::size_t num_buffers() const { return fwd_.num_buffers(); }
+
+ private:
+  InferenceWorkspace fwd_;
+};
+
+// ---- backward kernels (loops mirror the Tape backward closures) ----
+
+/// dx [m,k] += dy [m,n] @ w [k,n]^T — the input-gradient half of
+/// Tape::matmul's backward (`grad += matmul_nt(g, B)`). Safe on sinks with
+/// prior contributions: matmul_nt forms each element with one sequential
+/// dot and the tape adds it in a single +=, which this kernel replays.
+void backward_matmul_nt_acc(Tensor& dx, const Tensor& dy, const Tensor& w);
+
+/// dw [j,n] += x [m,j]^T @ dy [m,n] — the weight-gradient half of
+/// Tape::matmul's backward (`grad += matmul_tn(A, g)`), replaying
+/// matmul_tn's p-outer ascending-row accumulation with its zero-skip on
+/// the activation. `dw` must hold exactly +0.0 wherever this product is
+/// its first contribution (see file comment).
+void backward_matmul_tn_acc(Tensor& dw, const Tensor& x, const Tensor& dy);
+
+/// db [n] += column sums of dy [m,n], rows ascending — Tape::add's rank-1
+/// broadcast backward (the bias gradient).
+void backward_bias_acc(Tensor& db, const Tensor& dy);
+
+/// dx[i] += g[i] where y[i] > 0 (Tape::relu backward; for relu outputs,
+/// y > 0 exactly where the pre-activation input is > 0).
+void relu_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y);
+
+/// dx[i] += g[i] * (1 - y[i]^2), y = tanh output (Tape::tanh backward).
+void tanh_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y);
+
+/// dx[i] += (g[i] * y[i]) * (1 - y[i]), y = sigmoid output (Tape::sigmoid
+/// backward). Also the analytic backward of the message-squash logistic
+/// (nn::logistic in nn/kernels.hpp is the same function).
+void sigmoid_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y);
+
+/// Row-wise softmax backward: per row, dot = sum_c g*y (ascending), then
+/// dx[r,c] += y*(g - dot) (Tape::softmax_rows backward).
+void softmax_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y);
+
+/// Row-wise log-softmax backward: per row, gsum = sum_c g (ascending),
+/// then dx[r,c] += g - exp(y)*gsum, y = log-probs (Tape::log_softmax_rows
+/// backward).
+void log_softmax_backward_acc(Tensor& dx, const Tensor& g, const Tensor& y);
+
+/// Full LSTM-cell gate backward for the training graphs, where downstream
+/// consumes only h_new (c_new's external gradient is exactly zero; the
+/// actor/critic losses never touch it). Inputs are the forward's retained
+/// post-activation gates [B,4H] (i|f|g|o), tanh(c_new) [B,H], and the cell
+/// input state c_in [B,H]; dh is the incoming h_new gradient. Writes the
+/// PRE-activation gate gradient into dgates [B,4H] (every element
+/// assigned, flushed through the tape's `0.0 +` node-grad seeds). The
+/// caller runs the matmul/bias backwards on dgates.
+void lstm_backward_gates(Tensor& dgates, const Tensor& dh, const Tensor& gates,
+                         const Tensor& tanh_c, const Tensor& c_in,
+                         std::size_t hidden);
+
+}  // namespace tsc::nn

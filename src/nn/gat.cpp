@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/nn/backward.hpp"
 #include "src/nn/inference.hpp"
 
 namespace tsc::nn {
@@ -96,6 +97,103 @@ const Tensor& GatLayer::forward_inference(InferenceWorkspace& ws,
   Tensor& out = const_cast<Tensor&>(w_out_->forward_inference(ws, mixed));
   relu_inplace(out);
   return out;
+}
+
+const Tensor& GatLayer::forward_train(BackwardWorkspace& ws,
+                                      const Tensor& entities,
+                                      const std::vector<bool>& mask,
+                                      TrainTrace& trace) {
+  assert(entities.rows() == max_entities_);
+  assert(entities.cols() == entity_dim_);
+  assert(mask.size() == max_entities_);
+  assert(mask[0] && "row 0 (self) must be a live entity");
+
+  // Same arithmetic as forward_inference (reference tier), with every
+  // intermediate pinned in the trace.
+  Tensor& self_row = ws.acquire(1, entity_dim_);
+  std::copy(entities.data(), entities.data() + entity_dim_, self_row.data());
+  const Tensor& query = w_query_->forward_inference(ws.fwd(), self_row);
+  const Tensor& keys = w_key_->forward_inference(ws.fwd(), entities);
+  const Tensor& vals = w_value_->forward_inference(ws.fwd(), entities);
+
+  Tensor& scores = ws.acquire(1, max_entities_);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(out_dim_));
+  const double* pq = query.data();
+  for (std::size_t e = 0; e < max_entities_; ++e) {
+    const double* krow = keys.data() + e * out_dim_;
+    double dot = 0.0;
+    for (std::size_t j = 0; j < out_dim_; ++j) {
+      const double p = pq[j] * krow[j];
+      dot += p;
+    }
+    double score = dot * inv_sqrt_d;
+    if (!mask[e]) score = score * 0.0 + (-1e9);
+    scores[e] = score;
+  }
+  Tensor& alpha = ws.acquire(1, max_entities_);
+  softmax_rows_into(alpha, scores);
+
+  last_attention_.assign(alpha.data(), alpha.data() + max_entities_);
+
+  Tensor& mixed = ws.acquire(1, out_dim_);
+  matmul_into(mixed, alpha, vals);
+  Tensor& out = const_cast<Tensor&>(w_out_->forward_inference(ws.fwd(), mixed));
+  relu_inplace(out);
+
+  trace = {&self_row, &query, &keys, &vals, &alpha, &mixed, &out, &mask};
+  return out;
+}
+
+void GatLayer::backward_train(BackwardWorkspace& ws, const Tensor& entities,
+                              const TrainTrace& trace, const Tensor& dout,
+                              Tensor* const* sinks, Tensor* dentities) const {
+  const std::vector<bool>& mask = *trace.mask;
+  // relu -> output Linear.
+  Tensor& dz = ws.acquire_zeroed(1, out_dim_);
+  relu_backward_acc(dz, dout, *trace.out);
+  Tensor& dmixed = ws.acquire_zeroed(1, out_dim_);
+  w_out_->backward_train(*trace.mixed, dz, *sinks[6], *sinks[7], &dmixed);
+  // mixed = alpha @ vals.
+  Tensor& dalpha = ws.acquire_zeroed(1, max_entities_);
+  backward_matmul_nt_acc(dalpha, dmixed, *trace.vals);
+  Tensor& dvals = ws.acquire_zeroed(max_entities_, out_dim_);
+  backward_matmul_tn_acc(dvals, *trace.alpha, dmixed);
+  // softmax, then the per-entity score chains in descending creation order.
+  Tensor& dscores = ws.acquire_zeroed(1, max_entities_);
+  softmax_backward_acc(dscores, dalpha, *trace.alpha);
+  Tensor& dquery = ws.acquire_zeroed(1, out_dim_);
+  Tensor& dkeys = ws.acquire_zeroed(max_entities_, out_dim_);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(out_dim_));
+  const double* pq = trace.query->data();
+  for (std::size_t e = max_entities_; e-- > 0;) {
+    // A masked slot's chain ends in scale-by-0.0: every contribution it
+    // feeds back is an exact ±0.0 onto +0.0-seeded sinks — skippable.
+    if (!mask[e]) continue;
+    const double gs = 0.0 + dscores[e];            // concat_cols backward
+    const double gdot = 0.0 + inv_sqrt_d * gs;     // scale backward
+    const double* krow = trace.keys->data() + e * out_dim_;
+    double* dkrow = dkeys.data() + e * out_dim_;
+    for (std::size_t j = 0; j < out_dim_; ++j) {
+      // sum backward broadcasts gdot; mul backward splits it to query/key.
+      dquery[j] += gdot * krow[j];
+      dkrow[j] = 0.0 + gdot * pq[j];
+    }
+  }
+  // Linear backwards in descending node order: values, keys, query. The
+  // entity gradient accumulates values-term first, then keys-term, then the
+  // select_row scatter of the self-row gradient — the tape's exact order.
+  Tensor* dself = nullptr;
+  w_value_->backward_train(entities, dvals, *sinks[4], *sinks[5], dentities);
+  w_key_->backward_train(entities, dkeys, *sinks[2], *sinks[3], dentities);
+  if (dentities != nullptr) {
+    dself = &ws.acquire_zeroed(1, entity_dim_);
+  }
+  w_query_->backward_train(*trace.self_row, dquery, *sinks[0], *sinks[1], dself);
+  if (dentities != nullptr) {
+    double* drow0 = dentities->data();
+    const double* ds = dself->data();
+    for (std::size_t c = 0; c < entity_dim_; ++c) drow0[c] += ds[c];
+  }
 }
 
 const Tensor& GatLayer::forward_inference_blocks(

@@ -43,6 +43,36 @@ class GatLayer : public Module {
       InferenceWorkspace& ws, const Tensor& entities,
       const std::vector<const std::vector<bool>*>& masks);
 
+  /// Activations retained by forward_train() for backward_train(); all
+  /// tensors are workspace slots (valid until the next begin_pass()).
+  struct TrainTrace {
+    const Tensor* self_row = nullptr;  ///< [1, entity_dim]
+    const Tensor* query = nullptr;     ///< [1, out_dim]
+    const Tensor* keys = nullptr;      ///< [max_entities, out_dim]
+    const Tensor* vals = nullptr;      ///< [max_entities, out_dim]
+    const Tensor* alpha = nullptr;     ///< [1, max_entities]
+    const Tensor* mixed = nullptr;     ///< [1, out_dim]
+    const Tensor* out = nullptr;       ///< [1, out_dim] post-relu
+    const std::vector<bool>* mask = nullptr;
+  };
+
+  /// Forward bit-identical to forward() / forward_inference(), retaining
+  /// the intermediates backward_train() needs.
+  const Tensor& forward_train(BackwardWorkspace& ws, const Tensor& entities,
+                              const std::vector<bool>& mask, TrainTrace& trace);
+
+  /// Analytic backward: `dout` is the [1, out_dim] output gradient;
+  /// parameter gradients accumulate into `sinks` in parameters() order
+  /// ([wq.w, wq.b, wk.w, wk.b, wv.w, wv.b, wo.w, wo.b], weight sinks
+  /// exactly +0.0); when dentities != nullptr, dentities += gradient w.r.t.
+  /// the entity rows. Bit-identical to the tape's backward, including the
+  /// accumulation order of the three entity-gradient contributions
+  /// (values term, keys term, then the self-row scatter) and the exactly
+  /// skippable masked-slot score chains.
+  void backward_train(BackwardWorkspace& ws, const Tensor& entities,
+                      const TrainTrace& trace, const Tensor& dout,
+                      Tensor* const* sinks, Tensor* dentities) const;
+
   /// Attention weights of the last forward() call (for tests/inspection).
   const std::vector<double>& last_attention() const { return last_attention_; }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/nn/backward.hpp"
 #include "src/nn/inference.hpp"
 
 namespace tsc::nn {
@@ -54,6 +55,16 @@ const Tensor& Linear::forward_inference(InferenceWorkspace& ws,
   return out;
 }
 
+void Linear::backward_train(const Tensor& x, const Tensor& dy, Tensor& dw_sink,
+                            Tensor& db_sink, Tensor* dx) const {
+  assert(x.cols() == in_ && dy.cols() == out_ && x.rows() == dy.rows());
+  // Tape order: the add node's backward (bias row sums) runs before the
+  // matmul node's — the sinks are disjoint, but keep the order anyway.
+  backward_bias_acc(db_sink, dy);
+  if (dx != nullptr) backward_matmul_nt_acc(*dx, dy, weight.value);
+  backward_matmul_tn_acc(dw_sink, x, dy);
+}
+
 Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng, Activation hidden_act,
          double out_gain)
     : act_(hidden_act) {
@@ -99,6 +110,59 @@ const Tensor& Mlp::forward_inference(InferenceWorkspace& ws,
     cur = &out;
   }
   return *cur;
+}
+
+const Tensor& Mlp::forward_train(BackwardWorkspace& ws, const Tensor& x,
+                                 TrainTrace& trace) const {
+  trace.inputs.clear();
+  const Tensor* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    trace.inputs.push_back(cur);
+    Tensor& out = const_cast<Tensor&>(layers_[i]->forward_inference(ws.fwd(), *cur));
+    const bool is_output = (i + 1 == layers_.size());
+    if (!is_output) {
+      switch (act_) {
+        case Activation::kRelu: relu_inplace(out); break;
+        case Activation::kTanh: tanh_inplace(out); break;
+        case Activation::kNone: break;
+      }
+    }
+    cur = &out;
+  }
+  trace.out = cur;
+  return *cur;
+}
+
+void Mlp::backward_train(BackwardWorkspace& ws, const TrainTrace& trace,
+                         const Tensor& dy, Tensor* const* sinks,
+                         Tensor* dx) const {
+  assert(trace.inputs.size() == layers_.size());
+  const std::size_t rows = dy.rows();
+  const Tensor* g = &dy;  // gradient w.r.t. layer i's pre-activation output
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& in = *trace.inputs[i];
+    Tensor* din = nullptr;
+    if (i > 0) {
+      din = &ws.acquire_zeroed(rows, layers_[i]->in_features());
+    } else {
+      din = dx;
+    }
+    layers_[i]->backward_train(in, *g, *sinks[2 * i], *sinks[2 * i + 1], din);
+    if (i == 0) break;
+    if (act_ == Activation::kNone) {  // no activation node on the tape either
+      g = din;
+      continue;
+    }
+    // Through the hidden activation: `in` is the previous layer's
+    // post-activation output, which is what the tape closures key off.
+    Tensor& gprev = ws.acquire_zeroed(rows, layers_[i]->in_features());
+    switch (act_) {
+      case Activation::kRelu: relu_backward_acc(gprev, *din, in); break;
+      case Activation::kTanh: tanh_backward_acc(gprev, *din, in); break;
+      case Activation::kNone: break;
+    }
+    g = &gprev;
+  }
 }
 
 LayerNorm::LayerNorm(std::size_t dim, double eps)
@@ -257,6 +321,80 @@ LstmCell::InferenceState LstmCell::forward_inference(InferenceWorkspace& ws,
     }
   }
   return {&h_new, &c_new};
+}
+
+LstmCell::TrainState LstmCell::forward_train(BackwardWorkspace& ws,
+                                             const Tensor& x, const Tensor& h,
+                                             const Tensor& c) const {
+  assert(x.cols() == in_);
+  assert(h.cols() == hidden_ && c.cols() == hidden_);
+  const std::size_t batch = x.rows();
+  const std::size_t gate_cols = 4 * hidden_;
+  Tensor& m1 = ws.acquire(batch, gate_cols);
+  Tensor& m2 = ws.acquire(batch, gate_cols);
+  // Always reference-tier GEMMs (training is bit-exact); batched vs plain
+  // are bit-identical (nn/tensor.hpp).
+  if (ws.fwd().batched_gemm()) {
+    matmul_into_batched(m1, x, w_x.value);
+    matmul_into_batched(m2, h, w_h.value);
+  } else {
+    matmul_into(m1, x, w_x.value);
+    matmul_into(m2, h, w_h.value);
+  }
+  // Gate pre-activation: the tape's add(add(x@w_x, h@w_h), bias) chain as
+  // two separately rounded adds, then the nonlinearities applied in place —
+  // m1 ends up holding the retained POST-activation gates.
+  Tensor& gates = m1;
+  const double* pb = bias.value.data();
+  Tensor& tanh_c = ws.acquire(batch, hidden_);
+  Tensor& h_new = ws.acquire(batch, hidden_);
+  assert(&c != &tanh_c && &h != &h_new && &c != &h_new && &h != &tanh_c);
+  for (std::size_t r = 0; r < batch; ++r) {
+    double* grow = gates.data() + r * gate_cols;
+    const double* m2row = m2.data() + r * gate_cols;
+    for (std::size_t j = 0; j < gate_cols; ++j) {
+      const double s = grow[j] + m2row[j];
+      grow[j] = s + pb[j];
+    }
+    const double* crow = c.data() + r * hidden_;
+    double* tcrow = tanh_c.data() + r * hidden_;
+    double* hrow = h_new.data() + r * hidden_;
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      const double i_gate = 1.0 / (1.0 + std::exp(-grow[j]));
+      const double f_gate = 1.0 / (1.0 + std::exp(-grow[hidden_ + j]));
+      const double g_gate = std::tanh(grow[2 * hidden_ + j]);
+      const double o_gate = 1.0 / (1.0 + std::exp(-grow[3 * hidden_ + j]));
+      grow[j] = i_gate;
+      grow[hidden_ + j] = f_gate;
+      grow[2 * hidden_ + j] = g_gate;
+      grow[3 * hidden_ + j] = o_gate;
+      const double fc = f_gate * crow[j];
+      const double ig = i_gate * g_gate;
+      const double cn = fc + ig;
+      tcrow[j] = std::tanh(cn);
+      hrow[j] = o_gate * tcrow[j];
+    }
+  }
+  return {&h_new, &gates, &tanh_c};
+}
+
+void LstmCell::backward_train(BackwardWorkspace& ws, const Tensor& x,
+                              const Tensor& h, const Tensor& c,
+                              const TrainState& st, const Tensor& dh,
+                              Tensor& dwx_sink, Tensor& dwh_sink,
+                              Tensor& dbias_sink, Tensor* dx) const {
+  const std::size_t batch = dh.rows();
+  assert(dh.cols() == hidden_);
+  Tensor& dgates = ws.acquire(batch, 4 * hidden_);  // every element assigned
+  lstm_backward_gates(dgates, dh, *st.gates, *st.tanh_c, c, hidden_);
+  // Tape descent through gates = add(add(x@w_x, h@w_h), bias): bias row
+  // sums, then the h-side matmul (created later, so its backward runs
+  // first), then the x-side. The h/c input gradients the tape computes into
+  // discarded constants are skipped.
+  backward_bias_acc(dbias_sink, dgates);
+  backward_matmul_tn_acc(dwh_sink, h, dgates);
+  if (dx != nullptr) backward_matmul_nt_acc(*dx, dgates, w_x.value);
+  backward_matmul_tn_acc(dwx_sink, x, dgates);
 }
 
 LstmCell::State LstmCell::zero_state(Tape& tape, std::size_t batch) const {

@@ -12,6 +12,7 @@
 namespace tsc::nn {
 
 class InferenceWorkspace;
+class BackwardWorkspace;
 
 /// y = x @ W + b, with W [in, out], b [out].
 class Linear : public Module {
@@ -26,6 +27,14 @@ class Linear : public Module {
   /// (same matmul kernel, same broadcast bias-add loop). The returned
   /// reference is valid until the workspace's next begin_pass().
   const Tensor& forward_inference(InferenceWorkspace& ws, const Tensor& x) const;
+
+  /// Analytic backward of forward(): given the forward input `x` and the
+  /// output gradient `dy`, accumulates db += column sums of dy and
+  /// dW += x^T @ dy into the sinks (dw_sink must hold exactly +0.0 — see
+  /// backward.hpp), and, when dx != nullptr, dx += dy @ W^T. Bit-identical
+  /// to the tape's add/matmul backward closures.
+  void backward_train(const Tensor& x, const Tensor& dy, Tensor& dw_sink,
+                      Tensor& db_sink, Tensor* dx) const;
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
@@ -51,6 +60,28 @@ class Mlp : public Module {
 
   /// Tape-free forward; bit-identical to forward().
   const Tensor& forward_inference(InferenceWorkspace& ws, const Tensor& x) const;
+
+  /// Retained activations of a forward_train() pass: inputs[i] points at
+  /// layer i's input (inputs[0] is the caller's x; the rest are workspace
+  /// slots holding the previous layer's post-activation output).
+  struct TrainTrace {
+    std::vector<const Tensor*> inputs;
+    const Tensor* out = nullptr;
+  };
+
+  /// Forward identical to forward_inference() (hence to forward()), but
+  /// retaining every layer input in `trace` for backward_train().
+  const Tensor& forward_train(BackwardWorkspace& ws, const Tensor& x,
+                              TrainTrace& trace) const;
+
+  /// Analytic backward: `dy` is the output gradient; parameter gradients
+  /// accumulate into `sinks` ([w0, b0, w1, b1, ...] in parameters() order,
+  /// weight sinks exactly +0.0); when dx != nullptr, dx += gradient w.r.t.
+  /// the forward input. Bit-identical to the tape.
+  void backward_train(BackwardWorkspace& ws, const TrainTrace& trace,
+                      const Tensor& dy, Tensor* const* sinks, Tensor* dx) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
@@ -119,6 +150,33 @@ class LstmCell : public Module {
   /// alias buffers acquired by this call (pass prior-pass state copies).
   InferenceState forward_inference(InferenceWorkspace& ws, const Tensor& x,
                                    const Tensor& h, const Tensor& c) const;
+
+  /// Activations a training step must retain for backward_train(). The
+  /// tensors live in the workspace (valid until its next begin_pass()).
+  /// c_new is not materialized: the training graphs only consume h_new, so
+  /// tanh(c_new) is all the backward needs.
+  struct TrainState {
+    const Tensor* h = nullptr;       ///< [B, hidden] h_new
+    const Tensor* gates = nullptr;   ///< [B, 4*hidden] post-activation i|f|g|o
+    const Tensor* tanh_c = nullptr;  ///< [B, hidden] tanh(c_new)
+  };
+
+  /// Forward for the tape-free training path; h_new is bit-identical to
+  /// forward() / forward_inference() (same gate pre-activation rounding
+  /// chain, same c/h update order; always reference-tier kernels).
+  TrainState forward_train(BackwardWorkspace& ws, const Tensor& x,
+                           const Tensor& h, const Tensor& c) const;
+
+  /// Analytic backward for graphs where downstream consumes only h_new
+  /// (the external c_new gradient is exactly zero). `dh` is the incoming
+  /// h_new gradient; parameter gradients accumulate into the sinks (matmul
+  /// sinks exactly +0.0); when dx != nullptr, dx += gradient w.r.t. x.
+  /// Gradients w.r.t. h/c (constant inputs in the training graphs) are not
+  /// produced. Bit-identical to the tape's backward.
+  void backward_train(BackwardWorkspace& ws, const Tensor& x, const Tensor& h,
+                      const Tensor& c, const TrainState& st, const Tensor& dh,
+                      Tensor& dwx_sink, Tensor& dwh_sink, Tensor& dbias_sink,
+                      Tensor* dx) const;
 
   /// Convenience: zero initial state as tape constants.
   State zero_state(Tape& tape, std::size_t batch) const;

@@ -1,6 +1,10 @@
 #include "src/rl/ppo.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "src/nn/inference.hpp"
 
 namespace tsc::rl {
 
@@ -82,6 +86,137 @@ nn::Var ppo_shard_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
       tape.neg(policy_objective),
       tape.sub(tape.scale(value_loss, config.value_coef),
                tape.scale(entropy, config.entropy_coef)));
+  return loss;
+}
+
+double fused_ppo_loss_grad(const nn::Tensor& logits, const nn::Tensor& values,
+                           const std::vector<std::size_t>& actions,
+                           const std::vector<double>& old_logp,
+                           const std::vector<double>& advantages,
+                           const std::vector<double>& returns,
+                           std::size_t divisor, const PpoConfig& config,
+                           nn::Tensor& p, nn::Tensor& logp, nn::Tensor& dlogits,
+                           nn::Tensor& dvalues) {
+  const std::size_t rows = logits.rows();
+  const std::size_t cols = logits.cols();
+  assert(divisor >= rows && divisor > 0);
+  assert(actions.size() == rows && old_logp.size() == rows);
+  assert(advantages.size() == rows && returns.size() == rows);
+  assert(values.rows() == rows && values.cols() == 1);
+
+  nn::softmax_rows_into(p, logits);
+  nn::log_softmax_rows_into(logp, logits);
+  dlogits.reshape(rows, cols);
+  dvalues.reshape(rows, 1);
+
+  const double d = static_cast<double>(divisor);
+  const double lo = 1.0 - config.clip_eps;
+  const double hi = 1.0 + config.clip_eps;
+  const double c_ent = -1.0 / d;
+  const double* plp = logp.data();
+  const double* pp = p.data();
+  const double* pv = values.data();
+
+  // ---- loss forward, rounding-for-rounding the tape graph's values ----
+  // (ascending-row sums; each tensor op's intermediate rounded exactly
+  // where the tape's node would round it).
+  double po_sum = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double nl = plp[r * cols + actions[r]];
+    const double ratio = std::exp(nl - old_logp[r]);
+    const double u = ratio * advantages[r];
+    const double cl = std::clamp(ratio, lo, hi) * advantages[r];
+    po_sum += std::min(u, cl);
+  }
+  double ss = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double vs = pv[r] - returns[r];
+    ss += vs * vs;
+  }
+  double plogp = 0.0;
+  for (std::size_t i = 0; i < rows * cols; ++i) plogp += pp[i] * plp[i];
+  const double entropy = plogp * c_ent;
+  const double po = po_sum / d;
+  const double vl = ss / d;
+  const double loss =
+      (po * -1.0) + ((vl * config.value_coef) - (entropy * config.entropy_coef));
+
+  // ---- backward scalars, in the tape's descending node order ----
+  // Every `0.0 +` is a tape node-grad seed (`grad += term` onto zeros): it
+  // flushes -0.0 to +0.0 exactly where the tape would.
+  const double g_se = 0.0 - 1.0;                        // sub backward
+  const double g_e = 0.0 + config.entropy_coef * g_se;  // scale backward
+  const double g_s = 0.0 + c_ent * g_e;
+  const double g_m = 0.0 + g_s;                         // sum backward
+  const double g_vl = 0.0 + config.value_coef * 1.0;
+  const double g_ss = 0.0 + g_vl / d;                   // div_scalar backward
+  const double g_po = 0.0 + -1.0 * 1.0;                 // neg (scale by -1)
+  const double g_sm = 0.0 + g_po / d;
+
+  const double g_sq = 0.0 + g_ss;  // sum backward, broadcast per row
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double vs = pv[r] - returns[r];
+    const double g_vs = 0.0 + 2.0 * g_sq * vs;  // square backward
+    dvalues[r] = 0.0 + g_vs;                    // sub backward -> dV
+  }
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t a = actions[r];
+    // Replay the surrogate chain's forward values for this row.
+    const double nl = plp[r * cols + a];
+    const double ratio = std::exp(nl - old_logp[r]);
+    const double u = ratio * advantages[r];
+    const double cl = std::clamp(ratio, lo, hi) * advantages[r];
+    // min_elem -> mul/clamp/mul -> exp -> sub -> gather backward. The
+    // ratio's two contributions land in the tape's order: the clamp
+    // passthrough first (higher node index), then the unclipped product.
+    const double g_mn = 0.0 + g_sm;
+    double g_u = 0.0;
+    double g_cl = 0.0;
+    if (u < cl) {
+      g_u += g_mn;
+    } else if (cl < u) {
+      g_cl += g_mn;
+    } else {
+      g_u += 0.5 * g_mn;
+      g_cl += 0.5 * g_mn;
+    }
+    const double g_c = 0.0 + g_cl * advantages[r];
+    double g_r = 0.0;
+    if (ratio > lo && ratio < hi) g_r += g_c;
+    g_r += g_u * advantages[r];
+    const double g_sb = 0.0 + g_r * ratio;  // exp backward (y == ratio)
+    const double g_nl = 0.0 + g_sb;
+    // gather_cols scatters g_nl into one column of the action
+    // log-softmax's grad; its row sum over that one-hot row is g_nl.
+    const double g_sum1 = 0.0 + g_nl;
+
+    // Entropy-term grads: the softmax node's backward runs first (highest
+    // node index), then the entropy log-softmax, then the gathered one —
+    // dlogits[rc] accumulates ((0 + t3) + t2) + t1 in that order.
+    const double* lprow = plp + r * cols;
+    const double* prow = pp + r * cols;
+    double* drow = dlogits.data() + r * cols;
+    double dot = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double g_p = 0.0 + g_m * lprow[c];  // mul backward -> softmax in
+      dot += g_p * prow[c];
+    }
+    double g_sum2 = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      g_sum2 += 0.0 + g_m * prow[c];  // mul backward -> log-softmax in
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double g_p = 0.0 + g_m * lprow[c];
+      const double g_lp = 0.0 + g_m * prow[c];
+      const double ey = std::exp(lprow[c]);
+      const double t3 = prow[c] * (g_p - dot);
+      const double t2 = g_lp - ey * g_sum2;
+      const double g1 = (c == a) ? g_nl : 0.0;
+      const double t1 = g1 - ey * g_sum1;
+      drow[c] = 0.0 + t3 + t2 + t1;
+    }
+  }
   return loss;
 }
 

@@ -68,6 +68,29 @@ nn::Var ppo_shard_loss(nn::Tape& tape, nn::Var new_logp, nn::Var entropy,
                        const std::vector<double>& returns, std::size_t divisor,
                        const PpoConfig& config);
 
+/// Tape-free fused PPO loss + gradient: evaluates the same objective as
+/// ppo_shard_loss (== ppo_total_loss when divisor == rows, where mean() and
+/// sum()/divisor are the same expression) over masked `logits` [rows, A]
+/// and `values` [rows, 1], and emits the gradient of the loss w.r.t. the
+/// logits and values directly into `dlogits` / `dvalues` (every element
+/// assigned; both reshaped here). `p` / `logp` are caller-provided scratch
+/// filled with softmax / log-softmax of the logits (retained because the
+/// backward reads them). Every arithmetic chain — the ratio/clip surrogate,
+/// the value MSE, the entropy term, and all three logits-gradient
+/// contributions (softmax, log-softmax, gathered action log-prob, in the
+/// tape's descending node order) — replays the tape's rounding exactly, so
+/// the returned loss and the emitted gradients are bit-identical to
+/// building the graph and calling Tape::backward (pinned by
+/// tests/test_backward_path.cpp).
+double fused_ppo_loss_grad(const nn::Tensor& logits, const nn::Tensor& values,
+                           const std::vector<std::size_t>& actions,
+                           const std::vector<double>& old_logp,
+                           const std::vector<double>& advantages,
+                           const std::vector<double>& returns,
+                           std::size_t divisor, const PpoConfig& config,
+                           nn::Tensor& p, nn::Tensor& logp, nn::Tensor& dlogits,
+                           nn::Tensor& dvalues);
+
 /// Linear epsilon decay: start -> end over `decay_episodes`.
 double epsilon_at(std::size_t episode, const PpoConfig& config);
 

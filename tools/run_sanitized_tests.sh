@@ -25,6 +25,9 @@
 #   KernelTiers            (SIMD fast-tier kernels: intrinsic lane loops,
 #                           raw-pointer tails, the force-scalar dispatch
 #                           atomic, and fast-tier end-to-end episodes)
+#   BackwardPath           (fused tape-free backward: per-shard workspace
+#                           slot reuse, raw-pointer gradient sinks shared
+#                           with the sharded-update worker threads)
 #   RunStore / FlatJson / Proc / AtomicCheckpoint / SweepExpansion /
 #   FleetEndToEnd          (fleet orchestrator: fork/exec + waitpid process
 #                           lifecycle, journal replay, atomic-rename
@@ -36,8 +39,8 @@
 set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath|SensorSnapshot|SensorModel|KernelTiers|RunStore|FlatJson|Proc|AtomicCheckpoint|SweepExpansion|FleetEndToEnd'
-TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_inference_path test_kernel_tiers test_invariant_seeding test_sim_hotpath test_sensor_model test_fleet_orchestrator tsc_fleet)
+FILTER='ThreadPool|MergeRollouts|ParallelRollout|TscEnvClone|ParallelUpdate|UpdateModes|OptimizerCheckpoint|TrainerResume|InferencePath|FleetBatched|InvariantSeeding|SimHotPath|SensorSnapshot|SensorModel|KernelTiers|RunStore|FlatJson|Proc|AtomicCheckpoint|SweepExpansion|FleetEndToEnd|BackwardPath'
+TARGETS=(test_parallel_rollout test_parallel_update test_update_modes test_backward_path test_inference_path test_kernel_tiers test_invariant_seeding test_sim_hotpath test_sensor_model test_fleet_orchestrator tsc_fleet)
 
 run_one() {
   local preset="$1"
